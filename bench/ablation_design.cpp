@@ -1,0 +1,168 @@
+// Ablation — the design choices DESIGN.md calls out:
+//   1. SearchMode: Algorithm 3 verbatim (5 slots) vs strict [0,H] search vs
+//      the linear walk — same estimates, different slot budgets;
+//   2. CodeMode: preloaded codes (Algorithm 4) vs per-round rehash
+//      (Algorithm 2) — near-identical statistics, very different tag cost;
+//   3. CommandEncoding (Section 4.6.2): 32-bit mask vs 6-bit mid vs 1-bit
+//      feedback — identical slots, ~30x less downlink;
+//   4. Tree height H: accuracy degrades only when 2^H stops dwarfing n;
+//   5. Depth-fusion rule: Eq. (14) geometric mean vs bias-corrected vs
+//      median-of-means;
+//   6. LoF early-stop variant (frame-scan cost ablation).
+#include <cstdint>
+
+#include "channel/sampled_channel.hpp"
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "tags/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv, "Design ablations: search mode, code mode, command "
+                  "encoding, tree height, LoF early stop.");
+
+  const std::uint64_t n = 50000;
+  const stats::AccuracyRequirement req{0.05, 0.01};
+
+  {
+    bench::TablePrinter table(
+        "Ablation 1: search mode (n = 50000, Eq.-20 rounds)",
+        {"mode", "slots/estimate", "accuracy", "in-interval"}, options.csv);
+    for (const auto mode : {core::SearchMode::kBinaryPaper,
+                            core::SearchMode::kBinaryStrict,
+                            core::SearchMode::kLinear}) {
+      core::PetConfig config;
+      config.search = mode;
+      const auto set =
+          bench::run_pet(n, config, req, 0, options.runs, options.seed);
+      table.add_row({std::string(core::to_string(mode)),
+                     bench::TablePrinter::num(set.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(set.summary.accuracy(), 4),
+                     bench::TablePrinter::num(
+                         set.summary.fraction_within(req.epsilon), 3)});
+    }
+    table.print();
+  }
+
+  {
+    // Code mode: the sampled channel is exactly the per-round-rehash
+    // process; the sorted channel is exactly the preloaded process.
+    bench::TablePrinter table(
+        "Ablation 2: code mode (Algorithm 2 vs Algorithm 4)",
+        {"mode", "accuracy", "in-interval", "tag hash ops",
+         "tag memory bits"},
+        options.csv);
+    const core::PetEstimator planner(core::PetConfig{}, req);
+    const std::uint64_t m = planner.planned_rounds();
+
+    const auto preloaded =
+        bench::run_pet(n, core::PetConfig{}, req, 0, options.runs,
+                       options.seed);
+    stats::TrialSummary rehash(static_cast<double>(n));
+    for (std::uint64_t run = 0; run < options.runs; ++run) {
+      chan::SampledChannel channel(n, options.seed + 31 * run);
+      rehash.add(planner.estimate_with_rounds(channel, m, run).n_hat);
+    }
+    table.add_row({"preloaded (Alg. 4, passive tags)",
+                   bench::TablePrinter::num(preloaded.summary.accuracy(), 4),
+                   bench::TablePrinter::num(
+                       preloaded.summary.fraction_within(req.epsilon), 3),
+                   "0", bench::TablePrinter::num(
+                            tags::preload_memory_bits(
+                                tags::ProtocolKind::kPet, m))});
+    table.add_row({"per-round rehash (Alg. 2, active tags)",
+                   bench::TablePrinter::num(rehash.accuracy(), 4),
+                   bench::TablePrinter::num(
+                       rehash.fraction_within(req.epsilon), 3),
+                   bench::TablePrinter::num(m), "0"});
+    table.print();
+  }
+
+  {
+    bench::TablePrinter table(
+        "Ablation 3: command encoding (Section 4.6.2), Eq.-20 rounds",
+        {"encoding", "slots/estimate", "downlink bits/estimate"},
+        options.csv);
+    for (const auto encoding : {tags::CommandEncoding::kFullMask,
+                                tags::CommandEncoding::kMidIndex,
+                                tags::CommandEncoding::kOneBitAck}) {
+      core::PetConfig config;
+      config.encoding = encoding;
+      const auto set =
+          bench::run_pet(n, config, req, 0, options.runs, options.seed);
+      const char* name = encoding == tags::CommandEncoding::kFullMask
+                             ? "32-bit mask"
+                             : encoding == tags::CommandEncoding::kMidIndex
+                                   ? "6-bit mid index"
+                                   : "1-bit feedback";
+      table.add_row({name,
+                     bench::TablePrinter::num(set.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(set.mean_reader_bits, 0)});
+    }
+    table.print();
+  }
+
+  {
+    bench::TablePrinter table(
+        "Ablation 4: tree height H (n = 50000, Eq.-20 rounds)",
+        {"H", "slots/estimate", "accuracy", "in-interval"}, options.csv);
+    for (const unsigned h : {16u, 20u, 24u, 32u, 48u, 64u}) {
+      core::PetConfig config;
+      config.tree_height = h;
+      const auto set =
+          bench::run_pet(n, config, req, 0, options.runs, options.seed);
+      table.add_row({bench::TablePrinter::num(static_cast<std::uint64_t>(h)),
+                     bench::TablePrinter::num(set.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(set.summary.accuracy(), 4),
+                     bench::TablePrinter::num(
+                         set.summary.fraction_within(req.epsilon), 3)});
+    }
+    table.print();
+  }
+
+  {
+    // Fusion rules: the paper's geometric mean vs this library's
+    // bias-corrected and median-of-means extensions, at a round count low
+    // enough for the geometric-mean bias (~e^{(ln2 sigma)^2/2m}) to show.
+    bench::TablePrinter table(
+        "Ablation 5: depth-fusion rule (n = 50000, m = 64 rounds)",
+        {"fusion", "accuracy", "normalized sigma"}, options.csv);
+    for (const auto rule : {core::FusionRule::kGeometricMean,
+                            core::FusionRule::kBiasCorrected,
+                            core::FusionRule::kMedianOfMeans}) {
+      core::PetConfig config;
+      config.fusion = rule;
+      const auto set =
+          bench::run_pet(n, config, req, 64, options.runs * 4, options.seed);
+      table.add_row({std::string(core::to_string(rule)),
+                     bench::TablePrinter::num(set.summary.accuracy(), 4),
+                     bench::TablePrinter::num(
+                         set.summary.normalized_deviation(), 4)});
+    }
+    table.print();
+  }
+
+  {
+    bench::TablePrinter table(
+        "Ablation 6: LoF frame scan vs early stop (Eq.-20 rounds)",
+        {"variant", "slots/estimate", "accuracy"}, options.csv);
+    proto::LofConfig full;
+    proto::LofConfig early;
+    early.early_stop = true;
+    const auto rf = bench::run_lof(n, full, req, 0, options.runs,
+                                   options.seed);
+    const auto re = bench::run_lof(n, early, req, 0, options.runs,
+                                   options.seed);
+    table.add_row({"full 32-slot frame",
+                   bench::TablePrinter::num(rf.mean_slots_per_estimate, 0),
+                   bench::TablePrinter::num(rf.summary.accuracy(), 4)});
+    table.add_row({"early stop at first idle",
+                   bench::TablePrinter::num(re.mean_slots_per_estimate, 0),
+                   bench::TablePrinter::num(re.summary.accuracy(), 4)});
+    table.print();
+  }
+  return 0;
+}

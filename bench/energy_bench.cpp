@@ -1,0 +1,87 @@
+// Extra bench — energy budgets (in the spirit of the paper's reference
+// [38]): reader energy per estimate and per-tag energy for active-tag
+// deployments, PET (preloaded and rehash modes) vs FNEB vs LoF.
+//
+// Runs the device-level simulation so the tag cost ledgers are real, at a
+// population small enough for O(n)-per-slot fidelity.
+#include <cstdint>
+
+#include "channel/device_channel.hpp"
+#include "core/estimator.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/lof.hpp"
+#include "sim/energy.hpp"
+#include "sim/gen2_timing.hpp"
+#include "tags/population.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Energy per estimate (device-level simulation, n = 2000, "
+      "(10%, 5%) contract).");
+
+  const std::uint64_t n = 2000;
+  const stats::AccuracyRequirement req{0.10, 0.05};
+  const auto pop = tags::TagPopulation::generate(n, 42);
+  const sim::EnergyModel model;
+  const sim::SlotTiming timing = sim::gen2_slot_timing(sim::Gen2LinkConfig{},
+                                                       32);
+
+  bench::TablePrinter table(
+      "Energy per (10%, 5%) estimate of 2000 tags (Gen2 fast profile)",
+      {"protocol", "slots", "reader mJ", "tag mean uJ (active)",
+       "tag hash ops"},
+      options.csv);
+
+  auto add_row = [&](const char* name, const sim::SlotLedger& ledger,
+                     const tags::TagCostLedger& cost) {
+    const auto energy = sim::session_energy(model, ledger, cost, n, true,
+                                            timing);
+    table.add_row({name, bench::TablePrinter::num(ledger.total_slots()),
+                   bench::TablePrinter::num(energy.reader_mj, 1),
+                   bench::TablePrinter::num(energy.tag_mean_uj, 2),
+                   bench::TablePrinter::num(cost.hash_evaluations)});
+  };
+
+  {
+    chan::DeviceChannelConfig device;
+    device.timing = timing;
+    chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet, device);
+    const core::PetEstimator estimator(core::PetConfig{}, req);
+    (void)estimator.estimate(channel, options.seed);
+    add_row("PET preloaded (Alg. 4)", channel.ledger(),
+            channel.total_tag_cost());
+  }
+  {
+    chan::DeviceChannelConfig device;
+    device.timing = timing;
+    device.pet_mode = sim::PetTagDevice::CodeMode::kPerRound;
+    chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet, device);
+    core::PetConfig config;
+    config.tags_rehash = true;
+    (void)core::PetEstimator(config, req).estimate(channel, options.seed);
+    add_row("PET rehash (Alg. 2)", channel.ledger(),
+            channel.total_tag_cost());
+  }
+  {
+    chan::DeviceChannelConfig device;
+    device.timing = timing;
+    chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kFneb, device);
+    const proto::FnebEstimator estimator(proto::FnebConfig{}, req);
+    (void)estimator.estimate(channel, options.seed);
+    add_row("FNEB", channel.ledger(), channel.total_tag_cost());
+  }
+  {
+    chan::DeviceChannelConfig device;
+    device.timing = timing;
+    chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kLof, device);
+    const proto::LofEstimator estimator(proto::LofConfig{}, req);
+    (void)estimator.estimate(channel, options.seed);
+    add_row("LoF", channel.ledger(), channel.total_tag_cost());
+  }
+  table.print();
+  return 0;
+}

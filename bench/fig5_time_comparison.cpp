@@ -1,0 +1,65 @@
+// Fig. 5 — estimating time comparison at fine granularity:
+//   (a) slots vs confidence interval eps (delta = 1%),
+//   (b) slots vs error probability delta (eps = 5%),
+// for PET, FNEB and LoF at n = 50 000.
+//
+// Expected shape: PET's curve sits well below both baselines everywhere,
+// and the gap widens as the requirement tightens.
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Fig. 5: estimating time (slots) of PET / FNEB / LoF vs eps (a) and "
+      "vs delta (b), n = 50000.");
+
+  const std::uint64_t n = 50000;
+
+  {
+    bench::TablePrinter table(
+        "Fig. 5a: slots vs confidence interval eps (delta = 1%)",
+        {"eps", "PET", "FNEB", "LoF"}, options.csv);
+    for (const double eps : {0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
+      const stats::AccuracyRequirement req{eps, 0.01};
+      const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,
+                                      options.runs, options.seed);
+      const auto fneb = bench::run_fneb(n, proto::FnebConfig{}, req, 0,
+                                        options.runs, options.seed + 1);
+      const auto lof = bench::run_lof(n, proto::LofConfig{}, req, 0,
+                                      options.runs, options.seed + 2);
+      table.add_row({bench::TablePrinter::num(eps, 3),
+                     bench::TablePrinter::num(pet.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(fneb.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(lof.mean_slots_per_estimate, 0)});
+    }
+    table.print();
+  }
+
+  {
+    bench::TablePrinter table(
+        "Fig. 5b: slots vs error probability delta (eps = 5%)",
+        {"delta", "PET", "FNEB", "LoF"}, options.csv);
+    for (const double delta : {0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20}) {
+      const stats::AccuracyRequirement req{0.05, delta};
+      const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,
+                                      options.runs, options.seed);
+      const auto fneb = bench::run_fneb(n, proto::FnebConfig{}, req, 0,
+                                        options.runs, options.seed + 1);
+      const auto lof = bench::run_lof(n, proto::LofConfig{}, req, 0,
+                                      options.runs, options.seed + 2);
+      table.add_row({bench::TablePrinter::num(delta, 3),
+                     bench::TablePrinter::num(pet.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(fneb.mean_slots_per_estimate, 0),
+                     bench::TablePrinter::num(lof.mean_slots_per_estimate, 0)});
+    }
+    table.print();
+  }
+  return 0;
+}

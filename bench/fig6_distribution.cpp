@@ -1,0 +1,121 @@
+// Fig. 6 — distribution of the estimates at (eps, delta) = (5%, 1%),
+// n = 50 000:
+//   (a) theoretical PET (independent rounds from the exact depth law)
+//       vs simulated PET (the real preloaded-code protocol);
+//   (b) PET vs FNEB given the same estimating-time budget;
+//   (c) PET vs LoF given the same estimating-time budget.
+//
+// Expected shape: >= 99% of PET estimates inside [47 500, 52 500]; FNEB and
+// LoF at PET's slot budget only ~90%.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/theory.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "rng/prng.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+void print_histogram(const char* name, const std::vector<double>& estimates,
+                     bool csv) {
+  pet::stats::Histogram hist(44000.0, 56000.0, 24);
+  for (const double x : estimates) hist.add(x);
+  if (csv) {
+    std::printf("# Fig6 histogram: %s\n", name);
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+      std::printf("%.0f,%llu\n", hist.bin_center(b),
+                  static_cast<unsigned long long>(hist.count(b)));
+    }
+    return;
+  }
+  std::printf("\n-- %s --\n%s", name, hist.render_ascii(48).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Fig. 6: distribution of estimates for 50000 tags at eps = 5%, "
+      "delta = 1%; PET theory/simulation and FNEB/LoF at PET's slot "
+      "budget.");
+
+  const std::uint64_t n = 50000;
+  const stats::AccuracyRequirement req{0.05, 0.01};
+  const core::PetConfig pet_config;
+  const core::PetEstimator pet_estimator(pet_config, req);
+  const std::uint64_t pet_rounds = pet_estimator.planned_rounds();
+  const std::uint64_t pet_slot_budget =
+      pet_rounds * pet_config.worst_case_slots_per_round();
+
+  // (a) theoretical PET: m independent draws from the exact depth law.
+  std::vector<double> theory;
+  {
+    const core::TheoreticalPet model(n, pet_config.tree_height, pet_rounds);
+    rng::Xoshiro256ss gen(options.seed);
+    for (std::uint64_t t = 0; t < options.runs; ++t) {
+      theory.push_back(model.sample_estimate(gen));
+    }
+  }
+  // Simulated PET: the full preloaded-code protocol.
+  const auto pet_set = bench::run_pet(n, pet_config, req, pet_rounds,
+                                      options.runs, options.seed + 1);
+
+  // (b) FNEB at PET's budget: pilot-measure its slots/round, then give it
+  // budget/slots_per_round rounds.
+  const auto fneb_pilot = bench::run_fneb(n, proto::FnebConfig{}, req, 50, 5,
+                                          options.seed + 2);
+  const auto fneb_rounds = static_cast<std::uint64_t>(
+      static_cast<double>(pet_slot_budget) /
+      (fneb_pilot.mean_slots_per_estimate / 50.0));
+  const auto fneb_set = bench::run_fneb(n, proto::FnebConfig{}, req,
+                                        fneb_rounds, options.runs,
+                                        options.seed + 3);
+
+  // (c) LoF at PET's budget: 32 slots/round.
+  const std::uint64_t lof_rounds = pet_slot_budget / 32;
+  const auto lof_set = bench::run_lof(n, proto::LofConfig{}, req, lof_rounds,
+                                      options.runs, options.seed + 4);
+
+  bench::TablePrinter table(
+      "Fig. 6: estimate concentration at equal estimating time "
+      "(n = 50000, interval [47500, 52500])",
+      {"series", "rounds", "slots/estimate", "mean nhat",
+       "in-interval fraction"},
+      options.csv);
+  auto add = [&](const char* name, std::uint64_t rounds, double slots,
+                 const stats::TrialSummary& summary) {
+    table.add_row({name, bench::TablePrinter::num(rounds),
+                   bench::TablePrinter::num(slots, 0),
+                   bench::TablePrinter::num(summary.accuracy() * n, 0),
+                   bench::TablePrinter::num(summary.fraction_within(0.05),
+                                            3)});
+  };
+  stats::TrialSummary theory_summary(static_cast<double>(n));
+  for (const double x : theory) theory_summary.add(x);
+  add("PET (theory)", pet_rounds, static_cast<double>(pet_slot_budget),
+      theory_summary);
+  add("PET (simulated)", pet_rounds, pet_set.mean_slots_per_estimate,
+      pet_set.summary);
+  add("FNEB (equal budget)", fneb_rounds, fneb_set.mean_slots_per_estimate,
+      fneb_set.summary);
+  add("LoF (equal budget)", lof_rounds, lof_set.mean_slots_per_estimate,
+      lof_set.summary);
+  table.print();
+
+  print_histogram("Fig. 6a-theory: PET theoretical estimates", theory,
+                  options.csv);
+  print_histogram("Fig. 6a-sim: PET simulated estimates",
+                  pet_set.summary.raw_estimates(), options.csv);
+  print_histogram("Fig. 6b: FNEB at PET's slot budget",
+                  fneb_set.summary.raw_estimates(), options.csv);
+  print_histogram("Fig. 6c: LoF at PET's slot budget",
+                  lof_set.summary.raw_estimates(), options.csv);
+  return 0;
+}

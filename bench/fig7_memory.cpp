@@ -1,0 +1,72 @@
+// Fig. 7 — per-tag memory for storing preloaded random codes (log scale):
+//   (a) vs confidence interval eps (delta = 1%),
+//   (b) vs error probability delta (eps = 5%).
+//
+// Passive tags must preload every random value they will consume: one
+// 32-bit code total for PET (Algorithm 4) vs one 32-bit value per round for
+// FNEB and LoF.  Expected shape: PET flat at 32 bits; baselines at
+// 32 x rounds (10^3..10^5 bits), shrinking as the contract loosens.
+#include <cmath>
+#include <cstdint>
+
+#include "core/planner.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/lof.hpp"
+#include "tags/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Fig. 7: per-tag memory (bits) for preloaded random codes, PET vs "
+      "FNEB vs LoF.");
+
+  auto memory_rows = [&](bench::TablePrinter& table, double x_value,
+                         double eps, double delta) {
+    const stats::AccuracyRequirement req{eps, delta};
+    const core::PetPlan pet = core::plan(core::PetConfig{}, req);
+    const proto::FnebEstimator fneb(proto::FnebConfig{}, req);
+    const proto::LofEstimator lof(proto::LofConfig{}, req);
+
+    const std::uint64_t pet_bits =
+        tags::preload_memory_bits(tags::ProtocolKind::kPet, pet.rounds);
+    const std::uint64_t fneb_bits = tags::preload_memory_bits(
+        tags::ProtocolKind::kFneb, fneb.planned_rounds());
+    const std::uint64_t lof_bits = tags::preload_memory_bits(
+        tags::ProtocolKind::kLof, lof.planned_rounds());
+    table.add_row({bench::TablePrinter::num(x_value, 3),
+                   bench::TablePrinter::num(pet_bits),
+                   bench::TablePrinter::num(fneb_bits),
+                   bench::TablePrinter::num(lof_bits),
+                   bench::TablePrinter::num(std::log10(
+                       static_cast<double>(fneb_bits)), 2),
+                   bench::TablePrinter::num(std::log10(
+                       static_cast<double>(lof_bits)), 2)});
+  };
+
+  {
+    bench::TablePrinter table(
+        "Fig. 7a: per-tag memory bits vs eps (delta = 1%)",
+        {"eps", "PET bits", "FNEB bits", "LoF bits", "log10 FNEB",
+         "log10 LoF"},
+        options.csv);
+    for (const double eps : {0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
+      memory_rows(table, eps, eps, 0.01);
+    }
+    table.print();
+  }
+  {
+    bench::TablePrinter table(
+        "Fig. 7b: per-tag memory bits vs delta (eps = 5%)",
+        {"delta", "PET bits", "FNEB bits", "LoF bits", "log10 FNEB",
+         "log10 LoF"},
+        options.csv);
+    for (const double delta : {0.01, 0.025, 0.05, 0.075, 0.10, 0.15}) {
+      memory_rows(table, delta, 0.05, delta);
+    }
+    table.print();
+  }
+  return 0;
+}

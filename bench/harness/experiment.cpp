@@ -1,0 +1,105 @@
+#include "harness/experiment.hpp"
+
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "rng/prng.hpp"
+#include "tags/population.hpp"
+
+namespace pet::bench {
+
+namespace {
+
+void absorb(TrialSet& set, double n_hat, const sim::SlotLedger& ledger,
+            std::uint64_t runs) {
+  set.summary.add(n_hat);
+  set.mean_slots_per_estimate +=
+      static_cast<double>(ledger.total_slots()) / static_cast<double>(runs);
+  set.mean_reader_bits +=
+      static_cast<double>(ledger.reader_bits) / static_cast<double>(runs);
+}
+
+}  // namespace
+
+TrialSet run_pet(std::uint64_t n, const core::PetConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                 std::uint64_t runs, std::uint64_t seed) {
+  TrialSet set(static_cast<double>(n));
+  const core::PetEstimator estimator(config, req);
+  const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
+
+  // Tag IDs are arbitrary; the per-run randomness is the manufacturing
+  // seed (fresh preloaded codes) plus the reader's estimating paths.
+  const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
+  const std::vector<TagId> ids(pop.ids().begin(), pop.ids().end());
+
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    chan::SortedPetChannelConfig channel_config;
+    channel_config.tree_height = config.tree_height;
+    channel_config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
+    chan::SortedPetChannel channel(ids, channel_config);
+    const auto result = estimator.estimate_with_rounds(
+        channel, m, rng::derive_seed(seed, 2 * run + 1));
+    absorb(set, result.n_hat, result.ledger, runs);
+  }
+  return set;
+}
+
+TrialSet run_fneb(std::uint64_t n, const proto::FnebConfig& config,
+                  const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                  std::uint64_t runs, std::uint64_t seed) {
+  TrialSet set(static_cast<double>(n));
+  const proto::FnebEstimator estimator(config, req);
+  const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    chan::SampledChannel channel(n, rng::derive_seed(seed, 3 * run));
+    const auto result = estimator.estimate_with_rounds(
+        channel, m, rng::derive_seed(seed, 3 * run + 1));
+    absorb(set, result.n_hat, result.ledger, runs);
+  }
+  return set;
+}
+
+TrialSet run_lof(std::uint64_t n, const proto::LofConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                 std::uint64_t runs, std::uint64_t seed) {
+  TrialSet set(static_cast<double>(n));
+  const proto::LofEstimator estimator(config, req);
+  const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    chan::SampledChannel channel(n, rng::derive_seed(seed, 5 * run));
+    const auto result = estimator.estimate_with_rounds(
+        channel, m, rng::derive_seed(seed, 5 * run + 1));
+    absorb(set, result.n_hat, result.ledger, runs);
+  }
+  return set;
+}
+
+TrialSet run_upe(std::uint64_t n, const proto::UpeConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t runs,
+                 std::uint64_t seed) {
+  TrialSet set(static_cast<double>(n));
+  const proto::UpeEstimator estimator(config, req);
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    chan::SampledChannel channel(n, rng::derive_seed(seed, 7 * run));
+    const auto result =
+        estimator.estimate(channel, rng::derive_seed(seed, 7 * run + 1));
+    absorb(set, result.n_hat, result.ledger, runs);
+  }
+  return set;
+}
+
+TrialSet run_ezb(std::uint64_t n, const proto::EzbConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t runs,
+                 std::uint64_t seed) {
+  TrialSet set(static_cast<double>(n));
+  const proto::EzbEstimator estimator(config, req);
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    chan::SampledChannel channel(n, rng::derive_seed(seed, 11 * run));
+    const auto result =
+        estimator.estimate(channel, rng::derive_seed(seed, 11 * run + 1));
+    absorb(set, result.n_hat, result.ledger, runs);
+  }
+  return set;
+}
+
+}  // namespace pet::bench

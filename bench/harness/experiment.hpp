@@ -1,0 +1,53 @@
+// Shared experiment drivers: run repeated estimation trials of a known
+// ground truth under each protocol and aggregate the paper's metrics.
+//
+// Fidelity choices (see DESIGN.md "scalability ladder"):
+//  * PET runs on SortedPetChannel — the bit-exact preloaded-code protocol
+//    (Algorithm 4), fresh manufacturing codes per run;
+//  * FNEB / LoF / UPE / EZB rehash per round, so they run on SampledChannel,
+//    whose per-round observables are drawn from the exact distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimator.hpp"
+#include "protocols/ezb.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/lof.hpp"
+#include "protocols/upe.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::bench {
+
+/// Aggregate of `runs` repeated estimates of the same ground truth.
+struct TrialSet {
+  stats::TrialSummary summary;         ///< paper Eqs. (22)-(23) metrics
+  double mean_slots_per_estimate = 0;  ///< protocol cost per estimate
+  double mean_reader_bits = 0;         ///< downlink cost per estimate
+
+  explicit TrialSet(double true_n) : summary(true_n) {}
+};
+
+/// PET, preloaded codes (Algorithm 4), binary-search reader (Algorithm 3)
+/// unless overridden in `config`.  rounds == 0 uses the Eq.-(20) plan.
+TrialSet run_pet(std::uint64_t n, const core::PetConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                 std::uint64_t runs, std::uint64_t seed);
+
+TrialSet run_fneb(std::uint64_t n, const proto::FnebConfig& config,
+                  const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                  std::uint64_t runs, std::uint64_t seed);
+
+TrialSet run_lof(std::uint64_t n, const proto::LofConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t rounds,
+                 std::uint64_t runs, std::uint64_t seed);
+
+TrialSet run_upe(std::uint64_t n, const proto::UpeConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t runs,
+                 std::uint64_t seed);
+
+TrialSet run_ezb(std::uint64_t n, const proto::EzbConfig& config,
+                 const stats::AccuracyRequirement& req, std::uint64_t runs,
+                 std::uint64_t seed);
+
+}  // namespace pet::bench

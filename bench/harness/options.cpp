@@ -1,0 +1,42 @@
+#include "harness/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace pet::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv,
+                                 const std::string& description) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s\n\n", description.c_str());
+      std::printf("options:\n"
+                  "  --runs=N   repetitions per data point (default 300)\n"
+                  "  --quick    use 30 runs (smoke test)\n"
+                  "  --csv      CSV output\n"
+                  "  --seed=S   master seed (default 1)\n");
+      std::exit(0);
+    } else if (arg == "--quick") {
+      options.runs = 30;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      options.runs = std::strtoull(argv[i] + 7, nullptr, 10);
+      if (options.runs == 0) {
+        std::fprintf(stderr, "--runs must be positive\n");
+        std::exit(2);
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace pet::bench

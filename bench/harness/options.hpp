@@ -1,0 +1,28 @@
+// Shared command-line handling for the table/figure harness binaries.
+//
+// Every harness accepts:
+//   --runs=N     repetitions per data point (default 300, the paper's setup)
+//   --quick      shrink runs to 30 for smoke testing
+//   --csv        machine-readable output instead of aligned tables
+//   --seed=S     master seed (default 1)
+//   --help       usage
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pet::bench {
+
+struct BenchOptions {
+  std::uint64_t runs = 300;
+  bool csv = false;
+  std::uint64_t seed = 1;
+
+  /// Parse argv; prints usage and exits(0) on --help, exits(2) on unknown
+  /// arguments.
+  static BenchOptions parse(int argc, char** argv,
+                            const std::string& description);
+};
+
+}  // namespace pet::bench

@@ -1,0 +1,71 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/ensure.hpp"
+
+namespace pet::bench {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns,
+                           bool csv)
+    : title_(std::move(title)), columns_(std::move(columns)), csv_(csv) {
+  expects(!columns_.empty(), "TablePrinter needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == columns_.size(),
+          "TablePrinter row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::num(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+void TablePrinter::print() const {
+  if (csv_) {
+    std::printf("# %s\n", title_.c_str());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s%s", c ? "," : "", columns_[c].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    }
+    return;
+  }
+
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c ? "  " : "", static_cast<int>(widths[c]),
+                  cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() ? 2 * (columns_.size() - 1) : 0;
+  for (const auto w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pet::bench

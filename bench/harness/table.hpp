@@ -1,0 +1,32 @@
+// Aligned-table / CSV printer for the harness binaries: every bench prints
+// the same rows the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pet::bench {
+
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> columns,
+               bool csv = false);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string num(std::uint64_t value);
+
+  /// Print everything to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  bool csv_;
+};
+
+}  // namespace pet::bench

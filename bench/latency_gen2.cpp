@@ -1,0 +1,96 @@
+// Extra bench — wall-clock estimation latency on an EPC C1G2 link.
+//
+// The paper reports slot counts; a deployment engineer needs seconds.  This
+// harness converts the Table-4 slot budgets into air time under two Gen2
+// profiles (fast dense-reader: Tari 6.25 us / Miller-4; slow conservative:
+// Tari 25 us / FM0), for PET, FNEB, LoF and full DFSA identification.
+#include <cstdint>
+
+#include "channel/sampled_channel.hpp"
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+#include "protocols/identification.hpp"
+#include "sim/gen2_timing.hpp"
+
+namespace {
+
+double session_seconds(const pet::sim::Gen2LinkConfig& link,
+                       const pet::sim::SlotLedger& ledger,
+                       std::uint64_t rounds, unsigned command_bits) {
+  return pet::sim::gen2_session_us(
+             link, ledger.singleton_slots + ledger.collision_slots,
+             ledger.idle_slots, command_bits, 1, rounds, 32) /
+         1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Gen2 wall-clock latency of one (eps, delta) = (5%, 1%) estimate of "
+      "50000 tags, two PHY profiles.");
+  options.runs = std::min<std::uint64_t>(options.runs, 50);
+
+  const std::uint64_t n = 50000;
+  const stats::AccuracyRequirement req{0.05, 0.01};
+
+  sim::Gen2LinkConfig fast;  // Tari 6.25, Miller 4
+  sim::Gen2LinkConfig slow;
+  slow.tari_us = 25.0;
+  slow.divide_ratio = 8.0;
+  slow.miller = 1;
+
+  proto::DfsaConfig dfsa_config;
+  dfsa_config.max_frame_size = 4 * n;
+  const auto dfsa =
+      proto::identify_dfsa_sampled(n, dfsa_config, options.seed + 3);
+
+  const core::PetEstimator pet_estimator(core::PetConfig{}, req);
+  const proto::FnebEstimator fneb_estimator(proto::FnebConfig{}, req);
+  const proto::LofEstimator lof_estimator(proto::LofConfig{}, req);
+
+  bench::TablePrinter table(
+      "Gen2 air time for one (5%, 1%) estimate of n = 50000 "
+      "(fast: Tari 6.25us Miller-4; slow: Tari 25us FM0)",
+      {"protocol", "slots", "fast profile (s)", "slow profile (s)"},
+      options.csv);
+
+  // Rebuild representative ledgers from one run each (slot mixes barely
+  // vary across runs).
+  struct Row {
+    const char* name;
+    sim::SlotLedger ledger;
+    std::uint64_t rounds;
+    unsigned command_bits;
+  };
+  chan::SampledChannel pet_chan(n, options.seed + 10);
+  chan::SampledChannel fneb_chan(n, options.seed + 11);
+  chan::SampledChannel lof_chan(n, options.seed + 12);
+  const auto pet_ledger = pet_estimator.estimate(pet_chan, 1).ledger;
+  const Row rows[] = {
+      {"PET (32-bit mask)", pet_ledger, pet_estimator.planned_rounds(), 32},
+      // Section 4.6.2's 1-bit feedback encoding: same slots, tiny commands.
+      {"PET (1-bit cmd)", pet_ledger, pet_estimator.planned_rounds(), 1},
+      {"FNEB", fneb_estimator.estimate(fneb_chan, 1).ledger,
+       fneb_estimator.planned_rounds(), 32},
+      {"LoF", lof_estimator.estimate(lof_chan, 1).ledger,
+       lof_estimator.planned_rounds(), 1},
+      {"DFSA identify", dfsa.ledger, dfsa.frames, 1},
+  };
+  for (const Row& row : rows) {
+    table.add_row({row.name,
+                   bench::TablePrinter::num(row.ledger.total_slots()),
+                   bench::TablePrinter::num(
+                       session_seconds(fast, row.ledger, row.rounds,
+                                       row.command_bits), 2),
+                   bench::TablePrinter::num(
+                       session_seconds(slow, row.ledger, row.rounds,
+                                       row.command_bits), 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// google-benchmark micro benchmarks: the primitive operations whose costs
+// dominate the simulator — hash families, code generation, per-round PET
+// queries on each channel substrate, and one full estimate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "channel/exact_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "core/estimator.hpp"
+#include "rng/hash_family.hpp"
+#include "rng/md5.hpp"
+#include "rng/prng.hpp"
+#include "rng/sha1.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using namespace pet;
+
+void BM_SplitMix64(benchmark::State& state) {
+  rng::SplitMix64 gen(1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_SplitMix64);
+
+void BM_Xoshiro256(benchmark::State& state) {
+  rng::Xoshiro256ss gen(1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen());
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_HashUniform64(benchmark::State& state) {
+  const auto kind = static_cast<rng::HashKind>(state.range(0));
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::uniform64(kind, 42, ++id));
+  }
+  state.SetLabel(std::string(rng::to_string(kind)));
+}
+BENCHMARK(BM_HashUniform64)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Md5Digest64Bytes(benchmark::State& state) {
+  const std::string msg(64, 'x');
+  for (auto _ : state) benchmark::DoNotOptimize(rng::Md5::hash(msg));
+}
+BENCHMARK(BM_Md5Digest64Bytes);
+
+void BM_Sha1Digest64Bytes(benchmark::State& state) {
+  const std::string msg(64, 'x');
+  for (auto _ : state) benchmark::DoNotOptimize(rng::Sha1::hash(msg));
+}
+BENCHMARK(BM_Sha1Digest64Bytes);
+
+std::vector<TagId> tags_for(std::int64_t n) {
+  const auto pop =
+      tags::TagPopulation::generate(static_cast<std::size_t>(n), 7);
+  return {pop.ids().begin(), pop.ids().end()};
+}
+
+void BM_PetRoundExactChannel(benchmark::State& state) {
+  chan::ExactChannel channel(tags_for(state.range(0)));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path =
+        rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round(channel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PetRoundExactChannel)->Range(1000, 1000000)->Complexity();
+
+void BM_PetRoundSortedChannel(benchmark::State& state) {
+  chan::SortedPetChannel channel(tags_for(state.range(0)));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path =
+        rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round(channel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PetRoundSortedChannel)->Range(1000, 1000000)->Complexity();
+
+void BM_PetRoundSampledChannel(benchmark::State& state) {
+  chan::SampledChannel channel(static_cast<std::uint64_t>(state.range(0)), 3);
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path =
+        rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round(channel));
+  }
+}
+BENCHMARK(BM_PetRoundSampledChannel)->Range(1000, 1000000);
+
+void BM_FullEstimate50kTags(benchmark::State& state) {
+  chan::SortedPetChannel channel(tags_for(50000));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.05, 0.01});
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(channel, ++seed));
+  }
+}
+BENCHMARK(BM_FullEstimate50kTags)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Extra bench — the related-work estimators of Section 2 at one operating
+// point: USE/UPE's zero and collision estimators (which need a prior of n)
+// and EZB (anonymous, prior-free), next to PET.  Quantifies the two
+// drawbacks the paper credits PET with removing: prior sensitivity and
+// per-round tag randomness.
+#include <cstdint>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Related-work estimators (UPE zero/collision, EZB) vs PET at "
+      "n = 50000, (10%, 5%).");
+
+  const std::uint64_t n = 50000;
+  const stats::AccuracyRequirement req{0.10, 0.05};
+
+  bench::TablePrinter table(
+      "Related estimators at n = 50000, contract (10%, 5%)",
+      {"estimator", "prior n", "slots/estimate", "accuracy", "in-interval"},
+      options.csv);
+
+  const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0, options.runs,
+                                  options.seed);
+  table.add_row({"PET (no prior)", "-",
+                 bench::TablePrinter::num(pet.mean_slots_per_estimate, 0),
+                 bench::TablePrinter::num(pet.summary.accuracy(), 4),
+                 bench::TablePrinter::num(
+                     pet.summary.fraction_within(req.epsilon), 3)});
+
+  // UPE variants at a perfect prior, and the zero estimator at priors that
+  // are 10x off in either direction.
+  struct UpeCase {
+    const char* name;
+    double prior;
+    proto::UpeVariant variant;
+  };
+  const UpeCase cases[] = {
+      {"UPE zero est. (prior = n)", 50000.0, proto::UpeVariant::kZeroEstimator},
+      {"UPE collision est. (prior = n)", 50000.0,
+       proto::UpeVariant::kCollisionEstimator},
+      {"UPE combined (prior = n)", 50000.0, proto::UpeVariant::kCombined},
+      {"UPE zero est. (prior = n/10)", 5000.0,
+       proto::UpeVariant::kZeroEstimator},
+      {"UPE zero est. (prior = 10n)", 500000.0,
+       proto::UpeVariant::kZeroEstimator},
+  };
+  for (const UpeCase& c : cases) {
+    proto::UpeConfig config;
+    config.expected_n = c.prior;
+    config.variant = c.variant;
+    const auto set = bench::run_upe(n, config, req, options.runs,
+                                    options.seed + 1);
+    table.add_row({c.name, bench::TablePrinter::num(c.prior, 0),
+                   bench::TablePrinter::num(set.mean_slots_per_estimate, 0),
+                   bench::TablePrinter::num(set.summary.accuracy(), 4),
+                   bench::TablePrinter::num(
+                       set.summary.fraction_within(req.epsilon), 3)});
+  }
+
+  const auto ezb = bench::run_ezb(n, proto::EzbConfig{}, req, options.runs,
+                                  options.seed + 2);
+  table.add_row({"EZB (anonymous, no prior)", "-",
+                 bench::TablePrinter::num(ezb.mean_slots_per_estimate, 0),
+                 bench::TablePrinter::num(ezb.summary.accuracy(), 4),
+                 bench::TablePrinter::num(
+                     ezb.summary.fraction_within(req.epsilon), 3)});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4 — total time slots needed to meet the accuracy requirement with
+// different confidence intervals eps (delta = 1%), PET vs FNEB vs LoF,
+// n = 50 000.
+//
+// Expected shape (paper Section 5.3): PET needs well under half the slots
+// of either baseline at every eps, and all three protocols meet the
+// contract (empirical in-interval fraction >= 1 - delta).
+#include <cstdint>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Table 4: slots to meet Pr{|nhat-n| <= eps*n} >= 99% for "
+      "eps in {5,10,15,20}%, PET vs FNEB vs LoF (n = 50000).");
+
+  const std::uint64_t n = 50000;
+  bench::TablePrinter table(
+      "Table 4: total slots to meet the accuracy requirement, delta = 1% "
+      "(n = 50000)",
+      {"eps", "PET slots", "FNEB slots", "LoF slots", "PET/FNEB", "PET/LoF",
+       "PET in-interval", "FNEB in-interval", "LoF in-interval"},
+      options.csv);
+
+  for (const double eps : {0.05, 0.10, 0.15, 0.20}) {
+    const stats::AccuracyRequirement req{eps, 0.01};
+    const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,
+                                    options.runs, options.seed);
+    const auto fneb = bench::run_fneb(n, proto::FnebConfig{}, req, 0,
+                                      options.runs, options.seed + 1);
+    const auto lof = bench::run_lof(n, proto::LofConfig{}, req, 0,
+                                    options.runs, options.seed + 2);
+    table.add_row(
+        {bench::TablePrinter::num(eps, 2),
+         bench::TablePrinter::num(pet.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(fneb.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(lof.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(
+             pet.mean_slots_per_estimate / fneb.mean_slots_per_estimate, 3),
+         bench::TablePrinter::num(
+             pet.mean_slots_per_estimate / lof.mean_slots_per_estimate, 3),
+         bench::TablePrinter::num(pet.summary.fraction_within(eps), 3),
+         bench::TablePrinter::num(fneb.summary.fraction_within(eps), 3),
+         bench::TablePrinter::num(lof.summary.fraction_within(eps), 3)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 5 — total time slots needed to meet the accuracy requirement with
+// different error probabilities delta (eps = 5%), PET vs FNEB vs LoF,
+// n = 50 000.
+#include <cstdint>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "Table 5: slots to meet Pr{|nhat-n| <= 0.05n} >= 1-delta for "
+      "delta in {1,5,10,20}%, PET vs FNEB vs LoF (n = 50000).");
+
+  const std::uint64_t n = 50000;
+  bench::TablePrinter table(
+      "Table 5: total slots to meet the accuracy requirement, eps = 5% "
+      "(n = 50000)",
+      {"delta", "PET slots", "FNEB slots", "LoF slots", "PET/FNEB",
+       "PET/LoF", "PET in-interval", "FNEB in-interval", "LoF in-interval"},
+      options.csv);
+
+  for (const double delta : {0.01, 0.05, 0.10, 0.20}) {
+    const stats::AccuracyRequirement req{0.05, delta};
+    const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,
+                                    options.runs, options.seed);
+    const auto fneb = bench::run_fneb(n, proto::FnebConfig{}, req, 0,
+                                      options.runs, options.seed + 1);
+    const auto lof = bench::run_lof(n, proto::LofConfig{}, req, 0,
+                                    options.runs, options.seed + 2);
+    table.add_row(
+        {bench::TablePrinter::num(delta, 2),
+         bench::TablePrinter::num(pet.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(fneb.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(lof.mean_slots_per_estimate, 0),
+         bench::TablePrinter::num(
+             pet.mean_slots_per_estimate / fneb.mean_slots_per_estimate, 3),
+         bench::TablePrinter::num(
+             pet.mean_slots_per_estimate / lof.mean_slots_per_estimate, 3),
+         bench::TablePrinter::num(pet.summary.fraction_within(0.05), 3),
+         bench::TablePrinter::num(fneb.summary.fraction_within(0.05), 3),
+         bench::TablePrinter::num(lof.summary.fraction_within(0.05), 3)});
+  }
+  table.print();
+  return 0;
+}

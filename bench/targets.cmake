@@ -1,0 +1,43 @@
+# Benchmark harness: one executable per paper table/figure plus ablations
+# and google-benchmark micro benches.  Included from the top-level
+# CMakeLists so that ${CMAKE_BINARY_DIR}/bench contains only executables.
+
+set(PET_BENCH_DIR ${CMAKE_CURRENT_SOURCE_DIR}/bench)
+
+add_library(pet_bench_harness STATIC
+  ${PET_BENCH_DIR}/harness/options.cpp
+  ${PET_BENCH_DIR}/harness/table.cpp
+  ${PET_BENCH_DIR}/harness/experiment.cpp
+)
+target_include_directories(pet_bench_harness PUBLIC ${PET_BENCH_DIR})
+target_link_libraries(pet_bench_harness PUBLIC pet PRIVATE pet_warnings)
+
+function(pet_bench name)
+  add_executable(${name} ${PET_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE pet pet_bench_harness pet_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pet_bench(table3_pet_slots)
+pet_bench(table4_eps_slots)
+pet_bench(table5_delta_slots)
+pet_bench(fig4_pet_rounds)
+pet_bench(fig5_time_comparison)
+pet_bench(fig6_distribution)
+pet_bench(fig7_memory)
+pet_bench(ablation_scaling)
+pet_bench(ablation_design)
+pet_bench(multireader_bench)
+pet_bench(latency_gen2)
+pet_bench(energy_bench)
+pet_bench(robustness_bench)
+pet_bench(related_estimators)
+
+# google-benchmark micro benchmarks (hashing, per-round latency, channel
+# substrates).
+add_executable(micro_ops ${PET_BENCH_DIR}/micro_ops.cpp)
+target_link_libraries(micro_ops PRIVATE pet benchmark::benchmark
+                                        pet_warnings)
+set_target_properties(micro_ops PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

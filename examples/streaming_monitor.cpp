@@ -1,0 +1,70 @@
+// Streaming monitor: continuous, low-overhead cardinality tracking with
+// automatic change detection — the StreamingMonitor API on a simulated
+// retail stockroom.
+//
+// Each tick spends ONE PET round (5 slots); the monitor keeps a sliding
+// window of depth observations, exposes a running estimate with a
+// confidence interval, and flags statistically significant population
+// jumps (deliveries, bulk removals) the moment the window disagrees with
+// the recent past.
+#include <cstdio>
+
+#include "channel/sorted_pet_channel.hpp"
+#include "core/monitor.hpp"
+#include "tags/population.hpp"
+
+int main() {
+  using namespace pet;
+
+  auto stockroom = tags::TagPopulation::generate(6000, 3);
+  core::MonitorConfig config;
+  config.window_rounds = 256;
+  config.recent_rounds = 32;
+  core::StreamingMonitor monitor(config, /*seed=*/9);
+
+  std::printf("stockroom monitor: 5 slots per tick, window of %zu rounds\n\n",
+              config.window_rounds);
+  std::printf("%6s %8s %10s %22s  %s\n", "hour", "truth", "estimate",
+              "95%-interval", "event");
+
+  for (int hour = 0; hour < 24; ++hour) {
+    // The stockroom's day.
+    const char* note = "";
+    if (hour == 6) {
+      stockroom.join_fresh(14000, 100u + static_cast<unsigned>(hour));  // morning delivery
+      note = "<- delivery (+14000)";
+    }
+    if (hour == 11) {
+      stockroom.leave_random(4000, 200u + static_cast<unsigned>(hour));  // shelves restocked
+      note = "<- restock (-4000)";
+    }
+    if (hour == 18) {
+      stockroom.leave_random(12000, 300u + static_cast<unsigned>(hour));  // evening shipment out
+      note = "<- shipment (-12000)";
+    }
+
+    // One hour = 64 monitor ticks (320 slots, ~0.2 s of Gen2 air time).
+    chan::SortedPetChannel channel(
+        {stockroom.ids().begin(), stockroom.ids().end()});
+    bool changed = false;
+    for (int tick = 0; tick < 64; ++tick) {
+      changed = monitor.tick(channel) || changed;
+    }
+
+    const auto estimate = monitor.estimate();
+    const auto interval = monitor.interval(0.05);
+    char band[32] = "-";
+    if (interval.has_value()) {
+      std::snprintf(band, sizeof band, "[%.0f, %.0f]", interval->lo,
+                    interval->hi);
+    }
+    std::printf("%6d %8zu %10.0f %22s  %s%s\n", hour, stockroom.size(),
+                estimate.value_or(0.0), band,
+                changed ? "CHANGE " : "", note);
+  }
+
+  std::printf("\nchange events flagged: %llu (the 3-sigma detector fires on "
+              "the large jumps; gradual drifts are simply tracked)\n",
+              static_cast<unsigned long long>(monitor.changes_detected()));
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Reproduction gate: runs the quick (30-run) harness and asserts the paper's
+# qualitative results still hold.  Intended for CI; exits nonzero with a
+# message on the first violated claim.
+#
+# usage: scripts/check_repro.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench"
+fail() { echo "REPRO CHECK FAILED: $*" >&2; exit 1; }
+
+command -v python3 >/dev/null || fail "python3 required"
+[ -x "$BENCH/table4_eps_slots" ] || fail "benches not built in $BUILD_DIR"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== claim 1: PET uses < half the slots of FNEB and LoF (Table 4) =="
+"$BENCH/table4_eps_slots" --quick --csv > "$WORK/table4.csv"
+python3 - "$WORK/table4.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = [r for r in csv.reader(f) if r and not r[0].startswith('#')]
+header, data = rows[0], rows[1:]
+assert len(data) == 4, f"expected 4 eps rows, got {len(data)}"
+for row in data:
+    eps, pet, fneb, lof = row[0], float(row[1]), float(row[2]), float(row[3])
+    assert pet < 0.5 * fneb, f"eps={eps}: PET {pet} !< FNEB/2 {fneb/2}"
+    assert pet < 0.5 * lof, f"eps={eps}: PET {pet} !< LoF/2 {lof/2}"
+    in_interval = float(row[6])
+    assert in_interval >= 0.93, f"eps={eps}: PET in-interval {in_interval}"
+print("ok: PET < 0.5x baselines at every eps, contract held")
+EOF
+
+echo "== claim 2: Table 3 slot arithmetic is exactly 5m =="
+"$BENCH/table3_pet_slots" --quick --csv > "$WORK/table3.csv"
+python3 - "$WORK/table3.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = [r for r in csv.reader(f) if r and not r[0].startswith('#')]
+for row in rows[1:]:
+    m, analytic, measured = int(row[0]), int(row[1]), float(row[2])
+    assert analytic == 5 * m and abs(measured - analytic) < 1e-6, row
+print("ok: slots == 5m for every m")
+EOF
+
+echo "== claim 3: normalized sigma ~0.2 at m = 64, independent of n (Fig 4c) =="
+"$BENCH/fig4_pet_rounds" --quick --csv > "$WORK/fig4.csv"
+python3 - "$WORK/fig4.csv" <<'EOF'
+import sys
+with open(sys.argv[1]) as f:
+    text = f.read().splitlines()
+# Third CSV block is Fig 4c.
+blocks, cur = [], []
+for line in text:
+    if line.startswith('#'):
+        if cur: blocks.append(cur)
+        cur = []
+    elif line:
+        cur.append(line)
+if cur: blocks.append(cur)
+rows = [r.split(',') for r in blocks[2]]
+m64 = next(r for r in rows[1:] if r[0] == '64')
+values = [float(x) for x in m64[1:]]
+for v in values:
+    assert 0.12 <= v <= 0.28, f"Fig4c at m=64: {v} outside [0.12, 0.28]"
+spread = max(values) - min(values)
+assert spread < 0.08, f"Fig4c at m=64 varies with n by {spread}"
+print("ok: normalized sigma at m=64 =", [round(v, 3) for v in values])
+EOF
+
+echo "== claim 4: PET tag memory flat at 32 bits; baselines 10^3..10^5 (Fig 7) =="
+"$BENCH/fig7_memory" --csv > "$WORK/fig7.csv"
+python3 - "$WORK/fig7.csv" <<'EOF'
+import csv, sys
+with open(sys.argv[1]) as f:
+    rows = [r for r in csv.reader(f) if r and not r[0].startswith('#')]
+for row in rows:
+    if row[0] in ('eps', 'delta'):
+        continue
+    pet, fneb, lof = int(row[1]), int(row[2]), int(row[3])
+    assert pet == 32, f"PET memory {pet} != 32"
+    assert 1000 <= fneb <= 100000 and 1000 <= lof <= 100000, row
+print("ok: PET 32 bits everywhere; baselines in the paper's band")
+EOF
+
+echo
+echo "ALL REPRODUCTION CLAIMS HOLD"

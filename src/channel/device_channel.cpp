@@ -1,0 +1,93 @@
+#include "channel/device_channel.hpp"
+
+#include "common/ensure.hpp"
+
+namespace pet::chan {
+
+DeviceChannel::DeviceChannel(std::span<const TagId> tags, DeviceKind kind,
+                             DeviceChannelConfig config)
+    : kind_(kind), config_(config),
+      medium_(config.impairments, config.timing) {
+  devices_.reserve(tags.size());
+  for (const TagId id : tags) {
+    switch (kind_) {
+      case DeviceKind::kPet:
+        devices_.push_back(std::make_unique<sim::PetTagDevice>(
+            id, config_.hash, config_.tree_height, config_.pet_mode,
+            config_.manufacturing_seed));
+        break;
+      case DeviceKind::kFneb:
+        devices_.push_back(
+            std::make_unique<sim::FnebTagDevice>(id, config_.hash));
+        break;
+      case DeviceKind::kLof:
+        devices_.push_back(
+            std::make_unique<sim::LofTagDevice>(id, config_.hash));
+        break;
+    }
+    medium_.attach(devices_.back().get());
+  }
+}
+
+void DeviceChannel::begin_round(const RoundConfig& round) {
+  expects(kind_ == DeviceKind::kPet,
+          "begin_round requires PET tag devices");
+  expects(round.path.width() == config_.tree_height,
+          "begin_round: path width must equal the tree height H");
+  round_path_ = round.path;
+  round_query_bits_ = round.query_bits;
+  medium_.broadcast(
+      sim::RoundBeginCmd{round.path, round.seed, round.tags_rehash,
+                         round.begin_bits},
+      simulator_);
+}
+
+bool DeviceChannel::query_prefix(unsigned len) {
+  expects(kind_ == DeviceKind::kPet, "query_prefix requires PET tag devices");
+  expects(len <= config_.tree_height, "query_prefix: len exceeds H");
+  const auto obs = medium_.run_slot(
+      sim::PrefixQueryCmd{round_path_, len, round_query_bits_}, simulator_);
+  return is_nonempty(obs.outcome);
+}
+
+void DeviceChannel::begin_range_frame(const RangeFrameConfig& frame) {
+  expects(kind_ == DeviceKind::kFneb,
+          "begin_range_frame requires FNEB tag devices");
+  range_query_bits_ = frame.query_bits;
+  medium_.broadcast(
+      sim::FrameBeginCmd{frame.seed, frame.frame_size, 1.0, frame.begin_bits},
+      simulator_);
+}
+
+bool DeviceChannel::query_range(std::uint64_t bound) {
+  expects(kind_ == DeviceKind::kFneb,
+          "query_range requires FNEB tag devices");
+  const auto obs = medium_.run_slot(
+      sim::RangeQueryCmd{bound, range_query_bits_}, simulator_);
+  return is_nonempty(obs.outcome);
+}
+
+std::vector<SlotOutcome> DeviceChannel::run_frame(const FrameConfig& frame) {
+  expects(kind_ == DeviceKind::kLof, "run_frame requires LoF tag devices");
+  expects(frame.persistence == 1.0,
+          "LoF device frames do not use persistence");
+  medium_.broadcast(sim::FrameBeginCmd{frame.seed, frame.frame_size, 1.0,
+                                       frame.begin_bits},
+                    simulator_);
+  std::vector<SlotOutcome> outcomes;
+  outcomes.reserve(frame.frame_size);
+  for (std::uint64_t slot = 1; slot <= frame.frame_size; ++slot) {
+    const auto obs = medium_.run_slot(
+        sim::SlotPollCmd{slot, frame.poll_bits}, simulator_);
+    outcomes.push_back(obs.outcome);
+  }
+  return outcomes;
+}
+
+tags::TagCostLedger DeviceChannel::total_tag_cost() const noexcept {
+  tags::TagCostLedger total;
+  for (const auto& device : devices_) total += device->cost();
+  return total;
+}
+
+}  // namespace pet::chan

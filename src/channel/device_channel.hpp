@@ -1,0 +1,89 @@
+// DeviceChannel: full-fidelity back end.  Instantiates a real tag device
+// state machine per tag (sim/devices.hpp), runs every command over the
+// shared Medium on the DES kernel, and supports link impairments and slot
+// airtime.  The slowest substrate — used for the device-level integration
+// tests, the cost-ledger verification of Section 4.6.1, and small-scale
+// cross-checks of the faster channels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "rng/hash_family.hpp"
+#include "sim/devices.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+#include "tags/cost_model.hpp"
+
+namespace pet::chan {
+
+/// Which protocol's tag firmware to flash onto the simulated tags.
+enum class DeviceKind : std::uint8_t { kPet, kFneb, kLof };
+
+struct DeviceChannelConfig {
+  unsigned tree_height = 32;
+  rng::HashKind hash = rng::HashKind::kMix64;
+  sim::PetTagDevice::CodeMode pet_mode =
+      sim::PetTagDevice::CodeMode::kPreloaded;
+  std::uint64_t manufacturing_seed = 0x9a9a5eedULL;
+  sim::ChannelImpairments impairments{};
+  sim::SlotTiming timing{};
+};
+
+class DeviceChannel final : public PrefixChannel,
+                            public RangeChannel,
+                            public FrameChannel {
+ public:
+  DeviceChannel(std::span<const TagId> tags, DeviceKind kind,
+                DeviceChannelConfig config = {});
+
+  [[nodiscard]] std::size_t tag_count() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] DeviceKind kind() const noexcept { return kind_; }
+
+  // PrefixChannel (DeviceKind::kPet)
+  void begin_round(const RoundConfig& round) override;
+  bool query_prefix(unsigned len) override;
+
+  // RangeChannel (DeviceKind::kFneb)
+  void begin_range_frame(const RangeFrameConfig& frame) override;
+  bool query_range(std::uint64_t bound) override;
+
+  // FrameChannel (DeviceKind::kLof)
+  std::vector<SlotOutcome> run_frame(const FrameConfig& frame) override;
+
+  [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
+    return medium_.ledger();
+  }
+  void reset_ledger() noexcept override { medium_.reset_ledger(); }
+
+  /// Aggregate on-chip cost across all tags (hashes, compares, replies).
+  [[nodiscard]] tags::TagCostLedger total_tag_cost() const noexcept;
+
+  /// Simulated wall-clock time spent on the air so far.
+  [[nodiscard]] sim::SimTime airtime_now() const noexcept {
+    return simulator_.now();
+  }
+
+  /// Install a per-slot observer on the underlying medium (tracing,
+  /// anonymity auditing); see sim::Medium::set_observer.
+  void set_observer(sim::Medium::Observer observer) {
+    medium_.set_observer(std::move(observer));
+  }
+
+ private:
+  DeviceKind kind_;
+  DeviceChannelConfig config_;
+  sim::Simulator simulator_;
+  sim::Medium medium_;
+  std::vector<std::unique_ptr<sim::TagDeviceBase>> devices_;
+  BitCode round_path_;
+  unsigned round_query_bits_ = 32;
+  unsigned range_query_bits_ = 32;
+};
+
+}  // namespace pet::chan

@@ -1,0 +1,144 @@
+#include "channel/exact_channel.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace pet::chan {
+
+ExactChannel::ExactChannel(std::vector<TagId> tags, ExactChannelConfig config)
+    : tags_(std::move(tags)), config_(config) {
+  expects(config_.tree_height >= 1 &&
+              config_.tree_height <= BitCode::kMaxWidth,
+          "ExactChannel: tree height must be in [1, 64]");
+  if (config_.preloaded_codes) {
+    preloaded_.reserve(tags_.size());
+    for (const TagId id : tags_) {
+      preloaded_.push_back(rng::uniform_code(config_.hash,
+                                             config_.manufacturing_seed, id,
+                                             config_.tree_height));
+    }
+  }
+}
+
+void ExactChannel::set_tags(std::vector<TagId> tags) {
+  tags_ = std::move(tags);
+  preloaded_.clear();
+  if (config_.preloaded_codes) {
+    preloaded_.reserve(tags_.size());
+    for (const TagId id : tags_) {
+      preloaded_.push_back(rng::uniform_code(config_.hash,
+                                             config_.manufacturing_seed, id,
+                                             config_.tree_height));
+    }
+  }
+}
+
+void ExactChannel::account_slot(std::size_t responders, unsigned downlink_bits) {
+  if (responders == 0) {
+    ++ledger_.idle_slots;
+  } else if (responders == 1) {
+    ++ledger_.singleton_slots;
+  } else {
+    ++ledger_.collision_slots;
+  }
+  ledger_.reader_bits += downlink_bits;
+  ledger_.tag_bits += responders;  // presence replies are 1 bit each
+  ledger_.airtime_us += config_.timing.slot_us();
+  clock_.advance(config_.timing.slot_us());
+}
+
+void ExactChannel::begin_round(const RoundConfig& round) {
+  expects(round.path.width() == config_.tree_height,
+          "begin_round: path width must equal the tree height H");
+  expects(config_.preloaded_codes || round.tags_rehash,
+          "per-round-code mode requires tags_rehash rounds");
+
+  const unsigned h = config_.tree_height;
+  depth_count_.assign(h + 1, 0);
+  round_query_bits_ = round.query_bits;
+
+  // depth_count_[k] = number of tags whose code shares a >= k-bit prefix
+  // with the path; computed by bucketing each tag's exact lcp.
+  std::vector<std::uint32_t> at_depth(h + 1, 0);
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    const BitCode code =
+        config_.preloaded_codes
+            ? preloaded_[i]
+            : rng::uniform_code(config_.hash, round.seed, tags_[i], h);
+    ++at_depth[code.common_prefix_len(round.path)];
+  }
+  std::uint32_t suffix = 0;
+  for (unsigned k = h + 1; k-- > 0;) {
+    suffix += at_depth[k];
+    depth_count_[k] = suffix;
+  }
+  ledger_.reader_bits += round.begin_bits;
+}
+
+bool ExactChannel::query_prefix(unsigned len) {
+  expects(len <= config_.tree_height, "query_prefix: len exceeds H");
+  expects(!depth_count_.empty(), "query_prefix before begin_round");
+  const std::size_t responders = depth_count_[len];
+  account_slot(responders, round_query_bits_);
+  return responders > 0;
+}
+
+void ExactChannel::begin_range_frame(const RangeFrameConfig& frame) {
+  expects(frame.frame_size >= 1, "begin_range_frame: empty frame");
+  range_slots_.clear();
+  range_slots_.reserve(tags_.size());
+  for (const TagId id : tags_) {
+    range_slots_.push_back(
+        rng::uniform_slot(config_.hash, frame.seed, id, frame.frame_size));
+  }
+  std::sort(range_slots_.begin(), range_slots_.end());
+  range_query_bits_ = frame.query_bits;
+  ledger_.reader_bits += frame.begin_bits;
+}
+
+bool ExactChannel::query_range(std::uint64_t bound) {
+  const auto end = std::upper_bound(range_slots_.begin(), range_slots_.end(),
+                                    bound);
+  const auto responders =
+      static_cast<std::size_t>(end - range_slots_.begin());
+  account_slot(responders, range_query_bits_);
+  return responders > 0;
+}
+
+std::vector<SlotOutcome> ExactChannel::run_frame(const FrameConfig& frame) {
+  expects(frame.frame_size >= 1, "run_frame: empty frame");
+  expects(frame.persistence > 0.0 && frame.persistence <= 1.0,
+          "run_frame: persistence must be in (0, 1]");
+
+  std::vector<std::uint32_t> occupancy(frame.frame_size, 0);
+  for (const TagId id : tags_) {
+    if (frame.persistence < 1.0) {
+      const std::uint64_t coin = rng::uniform64(
+          config_.hash, frame.seed ^ 0xc01cc01cc01cc01cULL, to_underlying(id));
+      const auto threshold = static_cast<std::uint64_t>(
+          frame.persistence * 18446744073709551615.0);
+      if (coin > threshold) continue;
+    }
+    const std::uint64_t slot =
+        frame.geometric
+            ? rng::geometric_level(config_.hash, frame.seed, id,
+                                   static_cast<unsigned>(frame.frame_size))
+            : rng::uniform_slot(config_.hash, frame.seed, id,
+                                frame.frame_size);
+    ++occupancy[slot - 1];
+  }
+
+  ledger_.reader_bits += frame.begin_bits;
+  std::vector<SlotOutcome> outcomes;
+  outcomes.reserve(frame.frame_size);
+  for (const std::uint32_t count : occupancy) {
+    account_slot(count, frame.poll_bits);
+    outcomes.push_back(count == 0   ? SlotOutcome::kIdle
+                       : count == 1 ? SlotOutcome::kSingleton
+                                    : SlotOutcome::kCollision);
+  }
+  return outcomes;
+}
+
+}  // namespace pet::chan

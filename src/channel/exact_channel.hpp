@@ -1,0 +1,65 @@
+// ExactChannel: the reference back end.  Hashes every tag per round exactly
+// as the tag devices would, and answers every probe by counting matching
+// tags.  O(n) work per round (plus O(1) per probe via per-depth prefix
+// counts), exact slot outcomes including singleton/collision distinction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "rng/hash_family.hpp"
+#include "sim/simulator.hpp"
+
+namespace pet::chan {
+
+struct ExactChannelConfig {
+  unsigned tree_height = 32;          ///< H: PET code width
+  rng::HashKind hash = rng::HashKind::kMix64;
+  bool preloaded_codes = true;        ///< PET Alg. 4 (true) vs Alg. 2 (false)
+  std::uint64_t manufacturing_seed = 0x9a9a5eedULL;
+  sim::SlotTiming timing{};
+};
+
+class ExactChannel final : public PrefixChannel,
+                           public RangeChannel,
+                           public FrameChannel {
+ public:
+  ExactChannel(std::vector<TagId> tags, ExactChannelConfig config = {});
+
+  [[nodiscard]] std::size_t tag_count() const noexcept { return tags_.size(); }
+
+  // PrefixChannel
+  void begin_round(const RoundConfig& round) override;
+  bool query_prefix(unsigned len) override;
+
+  // RangeChannel
+  void begin_range_frame(const RangeFrameConfig& frame) override;
+  bool query_range(std::uint64_t bound) override;
+
+  // FrameChannel
+  std::vector<SlotOutcome> run_frame(const FrameConfig& frame) override;
+
+  [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
+    return ledger_;
+  }
+  void reset_ledger() noexcept override { ledger_ = {}; }
+
+  /// Update the tag set (dynamic populations); takes effect next round.
+  void set_tags(std::vector<TagId> tags);
+
+ private:
+  void account_slot(std::size_t responders, unsigned downlink_bits);
+
+  std::vector<TagId> tags_;
+  ExactChannelConfig config_;
+  std::vector<BitCode> preloaded_;        ///< per-tag codes, Alg. 4 mode
+  std::vector<std::uint32_t> depth_count_;  ///< round state: #tags with lcp >= k
+  unsigned round_query_bits_ = 32;
+  std::vector<std::uint64_t> range_slots_;  ///< round state: sorted slot picks
+  unsigned range_query_bits_ = 32;
+  sim::Simulator clock_;
+  sim::SlotLedger ledger_;
+};
+
+}  // namespace pet::chan

@@ -1,0 +1,72 @@
+#include "channel/sorted_pet_channel.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace pet::chan {
+
+SortedPetChannel::SortedPetChannel(const std::vector<TagId>& tags,
+                                   SortedPetChannelConfig config)
+    : config_(config) {
+  expects(config_.tree_height >= 1 &&
+              config_.tree_height <= BitCode::kMaxWidth,
+          "SortedPetChannel: tree height must be in [1, 64]");
+  code_values_.reserve(tags.size());
+  for (const TagId id : tags) {
+    code_values_.push_back(rng::uniform_code(config_.hash,
+                                             config_.manufacturing_seed, id,
+                                             config_.tree_height)
+                               .value());
+  }
+  std::sort(code_values_.begin(), code_values_.end());
+}
+
+void SortedPetChannel::begin_round(const RoundConfig& round) {
+  expects(round.path.width() == config_.tree_height,
+          "begin_round: path width must equal the tree height H");
+  expects(!round.tags_rehash,
+          "SortedPetChannel supports preloaded-code mode only (Algorithm 4); "
+          "use ExactChannel or DeviceChannel for per-round rehashing");
+  path_value_ = round.path.value();
+  query_bits_ = round.query_bits;
+  round_open_ = true;
+  ledger_.reader_bits += round.begin_bits;
+}
+
+bool SortedPetChannel::query_prefix(unsigned len) {
+  expects(round_open_, "query_prefix before begin_round");
+  expects(len <= config_.tree_height, "query_prefix: len exceeds H");
+
+  std::size_t responders;
+  if (len == 0) {
+    responders = code_values_.size();
+  } else {
+    const unsigned shift = config_.tree_height - len;
+    const std::uint64_t lo = (path_value_ >> shift) << shift;
+    const auto first = std::lower_bound(code_values_.begin(),
+                                        code_values_.end(), lo);
+    // hi wraps to 0 exactly when the probed range reaches the top of the
+    // code space (all-ones prefix with H == 64); the range then extends to
+    // the end of the array.
+    const std::uint64_t hi = lo + (std::uint64_t{1} << shift);
+    const auto last = (hi == 0)
+                          ? code_values_.end()
+                          : std::lower_bound(first, code_values_.end(), hi);
+    responders = static_cast<std::size_t>(last - first);
+  }
+
+  if (responders == 0) {
+    ++ledger_.idle_slots;
+  } else if (responders == 1) {
+    ++ledger_.singleton_slots;
+  } else {
+    ++ledger_.collision_slots;
+  }
+  ledger_.reader_bits += query_bits_;
+  ledger_.tag_bits += responders;
+  ledger_.airtime_us += config_.timing.slot_us();
+  return responders > 0;
+}
+
+}  // namespace pet::chan

@@ -1,0 +1,26 @@
+#include "common/bitcode.hpp"
+
+namespace pet {
+
+std::string BitCode::to_string() const {
+  std::string out;
+  out.reserve(width_);
+  for (unsigned i = 0; i < width_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+BitCode BitCode::parse(std::string_view text) {
+  if (text.size() > kMaxWidth) {
+    throw ConfigError("BitCode::parse: literal longer than 64 bits");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c != '0' && c != '1') {
+      throw ConfigError("BitCode::parse: literal must contain only 0/1");
+    }
+    value = (value << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return BitCode(value, static_cast<unsigned>(text.size()));
+}
+
+}  // namespace pet

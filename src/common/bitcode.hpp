@@ -1,0 +1,102 @@
+// BitCode: a fixed-width bit string of up to 64 bits, MSB-first.
+//
+// PET maps every RFID tag to a leaf of a depth-H binary tree via an H-bit
+// code; the reader walks a random H-bit "estimating path".  Both are
+// BitCodes.  Bit 0 (the "first" bit, the root branch) is the most
+// significant of the `width` low-order bits of `bits_`.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/ensure.hpp"
+
+namespace pet {
+
+class BitCode {
+ public:
+  static constexpr unsigned kMaxWidth = 64;
+
+  /// An empty (zero-width) code; prefix of everything.
+  constexpr BitCode() noexcept = default;
+
+  /// A code of `width` bits whose MSB-first value is the low `width` bits
+  /// of `value`.  Width 0..64; value must fit.
+  constexpr BitCode(std::uint64_t value, unsigned width)
+      : bits_(value), width_(width) {
+    expects(width <= kMaxWidth, "BitCode width must be <= 64");
+    if (width < kMaxWidth) {
+      expects((value >> width) == 0, "BitCode value wider than declared width");
+    }
+  }
+
+  [[nodiscard]] constexpr unsigned width() const noexcept { return width_; }
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return width_ == 0; }
+
+  /// Bit at position i (0 = first/most-significant branch).
+  [[nodiscard]] constexpr bool bit(unsigned i) const {
+    expects(i < width_, "BitCode::bit index out of range");
+    return ((bits_ >> (width_ - 1 - i)) & 1u) != 0;
+  }
+
+  /// The first `len` bits as a new BitCode.
+  [[nodiscard]] constexpr BitCode prefix(unsigned len) const {
+    expects(len <= width_, "BitCode::prefix longer than code");
+    if (len == 0) return BitCode{};
+    return BitCode(bits_ >> (width_ - len), len);
+  }
+
+  /// True iff the first `len` bits of *this equal the first `len` bits of
+  /// `other`.  This is exactly the tag-side mask comparison of the paper's
+  /// Algorithms 2/4 (respond iff prc AND mask == r AND mask).
+  [[nodiscard]] constexpr bool matches_prefix(const BitCode& other,
+                                              unsigned len) const {
+    expects(len <= width_ && len <= other.width_,
+            "matches_prefix length exceeds a code width");
+    if (len == 0) return true;
+    const std::uint64_t a = bits_ >> (width_ - len);
+    const std::uint64_t b = other.bits_ >> (other.width_ - len);
+    return a == b;
+  }
+
+  /// Length of the longest common prefix with `other` (widths must match).
+  /// Equivalently: number of leading zeros of (this XOR other) within the
+  /// code width — the per-round PET observation d.
+  [[nodiscard]] constexpr unsigned common_prefix_len(const BitCode& other) const {
+    expects(width_ == other.width_, "common_prefix_len widths differ");
+    if (width_ == 0) return 0;
+    const std::uint64_t x = (bits_ ^ other.bits_) << (kMaxWidth - width_);
+    if (x == 0) return width_;
+    return static_cast<unsigned>(std::countl_zero(x));
+  }
+
+  /// Append one branch bit (0-branch or 1-branch).
+  [[nodiscard]] constexpr BitCode extended(bool one_branch) const {
+    expects(width_ < kMaxWidth, "BitCode::extended would exceed 64 bits");
+    return BitCode((bits_ << 1) | (one_branch ? 1u : 0u), width_ + 1);
+  }
+
+  /// MSB-first "0101..." rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse an MSB-first binary literal like "0011"; throws ConfigError on
+  /// any character other than 0/1 or on length > 64.
+  [[nodiscard]] static BitCode parse(std::string_view text);
+
+  friend constexpr bool operator==(const BitCode&, const BitCode&) = default;
+
+ private:
+  std::uint64_t bits_ = 0;
+  unsigned width_ = 0;
+};
+
+/// Strict weak order by (width, value); handy for sorted code arrays.
+constexpr bool operator<(const BitCode& a, const BitCode& b) noexcept {
+  if (a.width() != b.width()) return a.width() < b.width();
+  return a.value() < b.value();
+}
+
+}  // namespace pet

@@ -1,0 +1,36 @@
+#include "common/ensure.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pet::detail {
+
+namespace {
+std::string describe(std::string_view what, std::source_location where) {
+  std::string out;
+  out.reserve(what.size() + 128);
+  out += what;
+  out += " [at ";
+  out += where.file_name();
+  out += ':';
+  out += std::to_string(where.line());
+  out += " in ";
+  out += where.function_name();
+  out += ']';
+  return out;
+}
+}  // namespace
+
+void throw_precondition(std::string_view what, std::source_location where) {
+  throw PreconditionError(describe(what, where));
+}
+
+void fail_invariant(std::string_view what, std::source_location where) {
+  const std::string msg = describe(what, where);
+  std::fputs("pet invariant violated: ", stderr);
+  std::fputs(msg.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace pet::detail

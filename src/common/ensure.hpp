@@ -1,0 +1,48 @@
+// Runtime contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", E.12): a narrow, exception-throwing assertion
+// used at API boundaries, and a hard abort for internal invariants that
+// must never fire even in release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pet {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller-supplied configuration is inconsistent.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(std::string_view what,
+                                     std::source_location where);
+[[noreturn]] void fail_invariant(std::string_view what,
+                                 std::source_location where);
+}  // namespace detail
+
+/// Check a precondition of a public function; throws PreconditionError with
+/// the call site on failure.  Cheap enough to keep enabled in release.
+constexpr void expects(bool ok, std::string_view what,
+                       std::source_location where = std::source_location::current()) {
+  if (!ok) detail::throw_precondition(what, where);
+}
+
+/// Check an internal invariant; aborts (after printing diagnostics) on
+/// failure.  Use for "cannot happen" conditions whose violation means the
+/// library itself is broken, not the caller.
+constexpr void invariant(bool ok, std::string_view what,
+                         std::source_location where = std::source_location::current()) {
+  if (!ok) detail::fail_invariant(what, where);
+}
+
+}  // namespace pet

@@ -1,0 +1,60 @@
+// Small strong types shared across the library.
+//
+// The paper's notation is easy to confuse (its Algorithm 1 records the
+// longest responding prefix length but calls it h, while the analysis' h is
+// the gray-node *height*; see DESIGN.md).  We therefore give both views
+// distinct types and convert explicitly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/ensure.hpp"
+
+namespace pet {
+
+/// Unique identifier of a physical RFID tag (the EPC-like ID the tag never
+/// transmits during estimation).
+enum class TagId : std::uint64_t {};
+
+constexpr std::uint64_t to_underlying(TagId id) noexcept {
+  return static_cast<std::uint64_t>(id);
+}
+
+/// Length (in bits) of the longest estimating-path prefix that drew a tag
+/// response in one round: d = max_tag lcp(code, r).  Range [0, H].
+struct PrefixDepth {
+  unsigned value = 0;
+  friend constexpr auto operator<=>(PrefixDepth, PrefixDepth) = default;
+};
+
+/// Height of the gray node on the estimating path: h = H - d.  Range [0, H].
+struct GrayHeight {
+  unsigned value = 0;
+  friend constexpr auto operator<=>(GrayHeight, GrayHeight) = default;
+};
+
+constexpr GrayHeight to_gray_height(PrefixDepth d, unsigned tree_height) {
+  expects(d.value <= tree_height, "prefix depth exceeds tree height");
+  return GrayHeight{tree_height - d.value};
+}
+
+constexpr PrefixDepth to_prefix_depth(GrayHeight h, unsigned tree_height) {
+  expects(h.value <= tree_height, "gray height exceeds tree height");
+  return PrefixDepth{tree_height - h.value};
+}
+
+/// What the reader's receiver saw during one reply slot.
+enum class SlotOutcome : std::uint8_t {
+  kIdle,       ///< no tag transmitted (an "empty"/idle slot)
+  kSingleton,  ///< exactly one tag transmitted and was decodable
+  kCollision,  ///< two or more tags transmitted simultaneously
+};
+
+/// Estimation protocols only need "was there any reply energy"; both
+/// singleton and collision slots count as nonempty (Section 4.1).
+constexpr bool is_nonempty(SlotOutcome o) noexcept {
+  return o != SlotOutcome::kIdle;
+}
+
+}  // namespace pet

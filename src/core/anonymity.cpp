@@ -1,0 +1,20 @@
+#include "core/anonymity.hpp"
+
+namespace pet::core {
+
+sim::Medium::Observer AnonymityAuditor::observer() {
+  return [this](const sim::Command& /*cmd*/, const sim::SlotObservation& obs) {
+    ++report_.slots_observed;
+    if (is_nonempty(obs.outcome)) ++report_.busy_slots;
+    if (obs.decoded.has_value()) {
+      // A decodable singleton: identifying only if the reply carried more
+      // than the 1-bit presence pulse (i.e. an ID payload).
+      if (obs.decoded->bits > 1) {
+        report_.identifying_uplink_bits += obs.decoded->bits;
+        ++report_.attributable_replies;
+      }
+    }
+  };
+}
+
+}  // namespace pet::core

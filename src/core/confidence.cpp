@@ -1,0 +1,50 @@
+#include "core/confidence.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "core/constants.hpp"
+#include "core/theory.hpp"
+#include "stats/normal.hpp"
+#include "stats/running_stat.hpp"
+
+namespace pet::core {
+
+namespace {
+
+ConfidenceInterval interval_from_depth_sigma(const EstimateResult& result,
+                                             double delta,
+                                             double depth_sigma) {
+  expects(!result.depths.empty(),
+          "confidence interval needs at least one depth observation");
+  expects(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+
+  const double m = static_cast<double>(result.depths.size());
+  const double c = stats::two_sided_normal_constant(delta);
+  const double half_width = c * depth_sigma / std::sqrt(m);
+
+  ConfidenceInterval interval;
+  interval.point = estimate_from_mean_depth(result.mean_depth);
+  interval.lo = estimate_from_mean_depth(result.mean_depth - half_width);
+  interval.hi = estimate_from_mean_depth(result.mean_depth + half_width);
+  return interval;
+}
+
+}  // namespace
+
+ConfidenceInterval confidence_interval(const EstimateResult& result,
+                                       double delta) {
+  return interval_from_depth_sigma(result, delta, kSigmaH);
+}
+
+ConfidenceInterval empirical_confidence_interval(const EstimateResult& result,
+                                                 double delta) {
+  expects(result.depths.size() >= 2,
+          "empirical interval needs at least two depth observations");
+  stats::RunningStat stat;
+  for (const unsigned d : result.depths) stat.add(static_cast<double>(d));
+  return interval_from_depth_sigma(result, delta,
+                                   std::sqrt(stat.sample_variance()));
+}
+
+}  // namespace pet::core

@@ -1,0 +1,40 @@
+// Post-hoc confidence intervals for a completed PET estimate.
+//
+// Eq. (20) plans the round count *before* estimating; this module answers
+// the inverse question *after* estimating: given the m depth observations
+// actually collected, what interval contains the true n at confidence
+// 1 - delta?  Since dbar is asymptotically normal with deviation
+// sigma(h)/sqrt(m) (Eqs. 12-16), the interval is the depth-domain normal
+// interval mapped through the estimator n̂ = 2^dbar / phi.
+#pragma once
+
+#include "core/estimator.hpp"
+
+namespace pet::core {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;
+
+  [[nodiscard]] bool contains(double n) const noexcept {
+    return n >= lo && n <= hi;
+  }
+  /// Half-width relative to the point estimate (comparable to eps).
+  [[nodiscard]] double relative_half_width() const noexcept {
+    return point > 0.0 ? (hi - lo) / (2.0 * point) : 0.0;
+  }
+};
+
+/// Interval from the asymptotic per-round deviation sigma(h) (Eq. 11) —
+/// matches the planning math exactly.
+[[nodiscard]] ConfidenceInterval confidence_interval(
+    const EstimateResult& result, double delta);
+
+/// Interval from the *sample* deviation of the observed depths — slightly
+/// wider or narrower than the asymptotic one depending on the draw; useful
+/// as a self-check that the observations behave as the theory predicts.
+[[nodiscard]] ConfidenceInterval empirical_confidence_interval(
+    const EstimateResult& result, double delta);
+
+}  // namespace pet::core

@@ -1,0 +1,21 @@
+// The analytical constants of Section 4.2.
+#pragma once
+
+#include <cmath>
+
+namespace pet::core {
+
+/// Euler-Mascheroni constant.
+inline constexpr double kEulerGamma = 0.577215664901532860606512090082;
+
+/// phi = e^gamma / sqrt(2) = 1.25941... (Eq. (9)): the multiplicative bias
+/// of the 2^(mean depth) estimator, E(d) ~= log2(phi * n).
+inline const double kPhi = std::exp(kEulerGamma) / std::sqrt(2.0);
+
+/// sigma(h) = sqrt(pi^2 / (6 ln^2 2) + 1/12) = 1.87271... (Eq. (11)): the
+/// asymptotic per-round standard deviation of the gray-node height (equal
+/// to that of the prefix depth d = H - h).
+inline const double kSigmaH =
+    std::sqrt(M_PI * M_PI / (6.0 * M_LN2 * M_LN2) + 1.0 / 12.0);
+
+}  // namespace pet::core

@@ -1,0 +1,75 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "core/constants.hpp"
+#include "core/theory.hpp"
+
+namespace pet::core {
+
+std::string_view to_string(FusionRule rule) noexcept {
+  switch (rule) {
+    case FusionRule::kGeometricMean: return "geometric-mean";
+    case FusionRule::kBiasCorrected: return "bias-corrected";
+    case FusionRule::kMedianOfMeans: return "median-of-means";
+  }
+  return "unknown";
+}
+
+double geometric_mean_bias(std::uint64_t rounds) {
+  expects(rounds >= 1, "geometric_mean_bias: rounds must be >= 1");
+  const double s = M_LN2 * kSigmaH;
+  return std::exp(s * s / (2.0 * static_cast<double>(rounds)));
+}
+
+namespace {
+
+double geometric_mean_estimate(std::span<const unsigned> depths) {
+  double sum = 0.0;
+  for (const unsigned d : depths) sum += static_cast<double>(d);
+  return estimate_from_mean_depth(sum / static_cast<double>(depths.size()));
+}
+
+}  // namespace
+
+double fuse_depths(std::span<const unsigned> depths, FusionRule rule,
+                   unsigned groups) {
+  expects(!depths.empty(), "fuse_depths: need at least one observation");
+  switch (rule) {
+    case FusionRule::kGeometricMean:
+      return geometric_mean_estimate(depths);
+    case FusionRule::kBiasCorrected:
+      return geometric_mean_estimate(depths) /
+             geometric_mean_bias(depths.size());
+    case FusionRule::kMedianOfMeans: {
+      const std::size_t g = std::clamp<std::size_t>(groups, 1, depths.size());
+      std::vector<double> group_estimates;
+      group_estimates.reserve(g);
+      // Contiguous, near-equal splits; every observation lands in exactly
+      // one group.
+      std::size_t begin = 0;
+      for (std::size_t i = 0; i < g; ++i) {
+        const std::size_t end = depths.size() * (i + 1) / g;
+        invariant(end > begin, "median-of-means produced an empty group");
+        group_estimates.push_back(
+            geometric_mean_estimate(depths.subspan(begin, end - begin)));
+        begin = end;
+      }
+      auto mid = group_estimates.begin() +
+                 static_cast<std::ptrdiff_t>(group_estimates.size() / 2);
+      std::nth_element(group_estimates.begin(), mid, group_estimates.end());
+      if (group_estimates.size() % 2 == 1) return *mid;
+      const double upper = *mid;
+      const double lower =
+          *std::max_element(group_estimates.begin(), mid);
+      return 0.5 * (lower + upper);
+    }
+  }
+  invariant(false, "fuse_depths: unhandled FusionRule");
+  return 0.0;
+}
+
+}  // namespace pet::core

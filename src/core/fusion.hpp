@@ -1,0 +1,38 @@
+// Depth-fusion rules: how the m per-round observations d_1..d_m become one
+// cardinality estimate.
+//
+//  * kGeometricMean  — the paper's Eq. (14): n̂ = 2^dbar / phi.  Averaging
+//    in the exponent makes this a geometric-mean estimator with a small
+//    multiplicative bias e^{(ln2 sigma)^2 / 2m} (~1.3% at m = 64).
+//  * kBiasCorrected  — Eq. (14) divided by that bias factor; asymptotically
+//    unbiased under the normal approximation.
+//  * kMedianOfMeans  — split the rounds into g groups, estimate per group,
+//    take the median.  Sub-Gaussian concentration even under heavy-tailed
+//    contamination (e.g. bursts of false-busy slots inflating a few
+//    depths); the robust choice for impaired channels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace pet::core {
+
+enum class FusionRule : std::uint8_t {
+  kGeometricMean,  ///< paper Eq. (14)
+  kBiasCorrected,
+  kMedianOfMeans,
+};
+
+[[nodiscard]] std::string_view to_string(FusionRule rule) noexcept;
+
+/// The multiplicative bias of the geometric-mean estimator at m rounds:
+/// E[2^dbar] / 2^E[dbar] ~= exp((ln2 * sigma(h))^2 / (2m)).
+[[nodiscard]] double geometric_mean_bias(std::uint64_t rounds);
+
+/// Fuse depth observations into a cardinality estimate.  `groups` is used
+/// by kMedianOfMeans only (clamped to [1, depths.size()]).
+[[nodiscard]] double fuse_depths(std::span<const unsigned> depths,
+                                 FusionRule rule, unsigned groups = 16);
+
+}  // namespace pet::core

@@ -1,0 +1,42 @@
+#include "core/planner.hpp"
+
+#include <cmath>
+
+#include "core/theory.hpp"
+#include "tags/cost_model.hpp"
+
+namespace pet::core {
+
+PetPlan plan(const PetConfig& config,
+             const stats::AccuracyRequirement& requirement,
+             double expected_n) {
+  config.validate();
+  PetPlan out;
+  out.rounds = required_rounds(requirement);
+
+  if (config.search == SearchMode::kLinear) {
+    // Algorithm 1 probes depths 1..d+1, so E[slots] ~= E[d] + 1.
+    out.slots_per_round = static_cast<unsigned>(
+        std::ceil(asymptotic_mean_depth(expected_n) + 1.0));
+  } else {
+    out.slots_per_round = config.worst_case_slots_per_round();
+  }
+  out.total_slots = out.rounds * out.slots_per_round;
+  out.reader_bits =
+      out.rounds * (config.begin_bits() +
+                    static_cast<std::uint64_t>(out.slots_per_round) *
+                        config.query_bits());
+
+  if (config.tags_rehash) {
+    out.tag_memory_bits = 0;
+    out.tag_hash_ops = out.rounds;
+  } else {
+    out.tag_memory_bits = tags::preload_memory_bits(tags::ProtocolKind::kPet,
+                                                    out.rounds,
+                                                    config.tree_height);
+    out.tag_hash_ops = 0;
+  }
+  return out;
+}
+
+}  // namespace pet::core

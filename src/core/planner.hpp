@@ -1,0 +1,30 @@
+// Analytic cost planning for PET (Tables 3-5 rows before any simulation):
+// rounds from Eq. (20), slots per round from the search mode, downlink bits
+// from the command encoding.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimator.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::core {
+
+struct PetPlan {
+  std::uint64_t rounds = 0;             ///< Eq. (20)
+  unsigned slots_per_round = 0;         ///< worst case under the search mode
+  std::uint64_t total_slots = 0;        ///< rounds * slots_per_round
+  std::uint64_t reader_bits = 0;        ///< downlink bits incl. round begins
+  std::uint64_t tag_memory_bits = 0;    ///< passive-tag preload (Fig. 7)
+  std::uint64_t tag_hash_ops = 0;       ///< active-tag hashing across rounds
+};
+
+/// Predict the full protocol cost for the given configuration and accuracy
+/// contract.  For SearchMode::kLinear the per-round slot count depends on
+/// the (unknown) population, so `expected_n` supplies the planning point:
+/// slots/round ~= log2(phi * n) + 2.
+[[nodiscard]] PetPlan plan(const PetConfig& config,
+                           const stats::AccuracyRequirement& requirement,
+                           double expected_n = 50000.0);
+
+}  // namespace pet::core

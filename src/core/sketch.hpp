@@ -1,0 +1,86 @@
+// PetSketch: PET's per-round depth observations as a mergeable,
+// duplicate-insensitive cardinality sketch.
+//
+// A PET round is a max-statistic: the observed depth is the maximum
+// longest-common-prefix over all tags present.  Maxima compose under set
+// union, so two sketches taken with the SAME estimating paths (same sketch
+// seed) and the SAME preloaded code universe (same manufacturing seed)
+// merge by element-wise max into the sketch of the union — exactly the
+// property that makes the multi-reader controller of Section 4.6.3 correct,
+// lifted into a first-class value that can be shipped between controllers,
+// stored, and combined later:
+//
+//   |A u B|  : merge_union(sa, sb).estimate()
+//   |A n B|  : by inclusion-exclusion (estimate_intersection)
+//   growth   : sketches from different days compare without re-reading tags
+//
+// (FM-sketch users will recognize the construction; PET's tree probes give
+// the same algebra with the paper's phi and sigma constants.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "core/estimator.hpp"
+
+namespace pet::core {
+
+class PetSketch {
+ public:
+  /// Take a sketch of whatever tag set `channel` exposes: `rounds` rounds
+  /// with paths derived from `sketch_seed`.  Two sketches are mergeable iff
+  /// they used the same (sketch_seed, rounds, config.tree_height).
+  static PetSketch take(chan::PrefixChannel& channel, const PetConfig& config,
+                        std::uint64_t rounds, std::uint64_t sketch_seed);
+
+  /// Reconstruct from stored state (e.g. received from another controller).
+  PetSketch(std::uint64_t sketch_seed, unsigned tree_height,
+            std::vector<unsigned> depths);
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] unsigned tree_height() const noexcept { return tree_height_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return depths_.size();
+  }
+  [[nodiscard]] const std::vector<unsigned>& depths() const noexcept {
+    return depths_;
+  }
+
+  /// Cardinality estimate of the sketched set (Eq. 14).
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] bool mergeable_with(const PetSketch& other) const noexcept {
+    return seed_ == other.seed_ && tree_height_ == other.tree_height_ &&
+           depths_.size() == other.depths_.size();
+  }
+
+  /// Sketch of the union of the two underlying tag sets.
+  [[nodiscard]] static PetSketch merge_union(const PetSketch& a,
+                                             const PetSketch& b);
+
+  /// Inclusion-exclusion estimate of |A n B| (clamped at 0; the variance of
+  /// the difference grows with the set sizes, as with any IE-based sketch).
+  [[nodiscard]] static double estimate_intersection(const PetSketch& a,
+                                                    const PetSketch& b);
+
+  /// Serialized wire size in bits (depths are 6-bit values for H <= 64,
+  /// packed): what shipping the sketch between controllers costs.
+  [[nodiscard]] std::uint64_t wire_bits() const noexcept;
+
+  /// Wire format: 8-byte seed (LE), 1-byte tree height, 4-byte round count
+  /// (LE), then the depths bit-packed at ceil(log2(H + 1)) bits each.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Inverse of serialize(); throws ConfigError on malformed input.
+  [[nodiscard]] static PetSketch deserialize(
+      std::span<const std::uint8_t> bytes);
+
+ private:
+  std::uint64_t seed_;
+  unsigned tree_height_;
+  std::vector<unsigned> depths_;
+};
+
+}  // namespace pet::core

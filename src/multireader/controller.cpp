@@ -1,0 +1,50 @@
+#include "multireader/controller.hpp"
+
+#include "common/ensure.hpp"
+
+namespace pet::multi {
+
+MultiReaderController::MultiReaderController(
+    std::vector<std::unique_ptr<chan::PrefixChannel>> zones)
+    : zones_(std::move(zones)) {
+  expects(!zones_.empty(), "MultiReaderController needs at least one reader");
+  for (const auto& zone : zones_) {
+    expects(zone != nullptr, "MultiReaderController: null reader zone");
+  }
+}
+
+void MultiReaderController::begin_round(const chan::RoundConfig& round) {
+  for (const auto& zone : zones_) zone->begin_round(round);
+  ledger_.reader_bits += round.begin_bits;
+}
+
+bool MultiReaderController::query_prefix(unsigned len) {
+  // All readers issue the probe in the same time slot; the controller fuses
+  // their reports with a logical OR.
+  bool busy = false;
+  std::uint64_t heard_bits = 0;
+  unsigned query_bits = 0;
+  for (const auto& zone : zones_) {
+    const sim::SlotLedger before = zone->ledger();
+    busy = zone->query_prefix(len) || busy;
+    const sim::SlotLedger delta = zone->ledger() - before;
+    heard_bits += delta.tag_bits;
+    query_bits = static_cast<unsigned>(delta.reader_bits);
+  }
+  if (busy) {
+    ++ledger_.collision_slots;  // fused view: only presence is known
+  } else {
+    ++ledger_.idle_slots;
+  }
+  ledger_.reader_bits += query_bits;
+  ledger_.tag_bits += heard_bits;
+  return busy;
+}
+
+const sim::SlotLedger& MultiReaderController::zone_ledger(
+    std::size_t zone) const {
+  expects(zone < zones_.size(), "zone_ledger: index out of range");
+  return zones_[zone]->ledger();
+}
+
+}  // namespace pet::multi

@@ -1,0 +1,54 @@
+// Multi-reader coordination (Section 4.6.3).
+//
+// A back-end controller drives several readers with the *same* estimating
+// path and mask each slot; every reader reports whether it heard any reply,
+// and the controller takes the slot as idle only if no reader heard
+// anything.  Because PET replies are duplicate-insensitive (a tag audible
+// to two readers contributes the same "busy" either way), the fused channel
+// behaves exactly like a single reader covering the union of the zones —
+// which is what makes overlap and tag mobility harmless.
+//
+// MultiReaderController is itself a PrefixChannel, so the unmodified
+// PetEstimator runs on top of it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "sim/medium.hpp"
+
+namespace pet::multi {
+
+class MultiReaderController final : public chan::PrefixChannel {
+ public:
+  /// The controller coordinates but does not own reader lifetimes beyond
+  /// this container: pass one PrefixChannel per reader zone.
+  explicit MultiReaderController(
+      std::vector<std::unique_ptr<chan::PrefixChannel>> zones);
+
+  [[nodiscard]] std::size_t reader_count() const noexcept {
+    return zones_.size();
+  }
+
+  void begin_round(const chan::RoundConfig& round) override;
+  bool query_prefix(unsigned len) override;
+
+  /// The controller's fused ledger: one slot per query (all readers probe
+  /// in parallel in the same slot), downlink bits counted once (the
+  /// back-end network, not the air, fans the command out).
+  [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
+    return ledger_;
+  }
+  void reset_ledger() noexcept override { ledger_ = {}; }
+
+  /// Per-zone ledgers (each reader's own airtime) for energy accounting.
+  [[nodiscard]] const sim::SlotLedger& zone_ledger(std::size_t zone) const;
+
+ private:
+  std::vector<std::unique_ptr<chan::PrefixChannel>> zones_;
+  sim::SlotLedger ledger_;
+};
+
+}  // namespace pet::multi

@@ -1,0 +1,103 @@
+#include "protocols/ezb.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::proto {
+
+void EzbConfig::validate() const {
+  expects(frame_size >= 8, "EZB: frame must hold >= 8 slots");
+  expects(persistence_ladder >= 1 && persistence_ladder <= 40,
+          "EZB: ladder must have 1..40 rungs");
+  expects(min_idle_fraction > 0.0 && max_idle_fraction < 1.0 &&
+              min_idle_fraction < max_idle_fraction,
+          "EZB: idle-fraction band must be a proper subinterval of (0, 1)");
+}
+
+EzbEstimator::EzbEstimator(EzbConfig config,
+                           stats::AccuracyRequirement requirement)
+    : config_(config), requirement_(requirement) {
+  config_.validate();
+  requirement_.validate();
+  // At least one ladder rung lands near the variance-optimal load; treat
+  // each sweep like one near-optimal UPE frame (rel. deviation ~
+  // sqrt(e^rho - 1)/(rho sqrt(f)) at rho ~= 1.59) and repeat sweeps to
+  // reach the contract.
+  const double c = stats::two_sided_normal_constant(requirement_.delta);
+  const double rho = 1.59;
+  const double rel_sigma = std::sqrt(std::expm1(rho)) /
+                           (rho * std::sqrt(static_cast<double>(
+                                      config_.frame_size)));
+  const double m = c * rel_sigma / requirement_.epsilon;
+  planned_sweeps_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(m * m)));
+}
+
+core::EstimateResult EzbEstimator::estimate(chan::FrameChannel& channel,
+                                            std::uint64_t seed) const {
+  return estimate_with_sweeps(channel, planned_sweeps_, seed);
+}
+
+core::EstimateResult EzbEstimator::estimate_with_sweeps(
+    chan::FrameChannel& channel, std::uint64_t sweeps,
+    std::uint64_t seed) const {
+  expects(sweeps >= 1, "EZB: need at least one sweep");
+
+  const sim::SlotLedger before = channel.ledger();
+  core::EstimateResult result;
+
+  // Fuse informative frames: each contributes an estimate
+  // n̂_k = -(f / p_k) ln(idle_fraction_k), weighted by its Fisher
+  // information (inverse delta-method variance).
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  const double f = static_cast<double>(config_.frame_size);
+  bool any_tags_seen = false;
+
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    for (unsigned k = 0; k < config_.persistence_ladder; ++k) {
+      const double p = std::ldexp(1.0, -static_cast<int>(k));
+      const auto outcomes = channel.run_frame(chan::FrameConfig{
+          rng::derive_seed(seed, s * config_.persistence_ladder + k),
+          config_.frame_size, p, /*geometric=*/false, config_.begin_bits,
+          config_.poll_bits});
+      std::uint64_t idle = 0;
+      for (const SlotOutcome o : outcomes) {
+        if (o == SlotOutcome::kIdle) ++idle;
+      }
+      const double idle_fraction = static_cast<double>(idle) / f;
+      if (idle_fraction < 1.0) any_tags_seen = true;
+      if (idle_fraction < config_.min_idle_fraction ||
+          idle_fraction > config_.max_idle_fraction) {
+        continue;  // saturated or near-empty frame: uninformative
+      }
+      const double rho = -std::log(idle_fraction);
+      const double estimate = f * rho / p;
+      // Var(n̂) ~ f (e^rho - 1) / p^2  =>  weight = p^2 / (f (e^rho - 1)).
+      const double weight = p * p / (f * std::expm1(rho));
+      weighted_sum += weight * estimate;
+      weight_total += weight;
+    }
+  }
+
+  result.rounds = sweeps * config_.persistence_ladder;
+  if (weight_total > 0.0) {
+    result.n_hat = weighted_sum / weight_total;
+  } else {
+    // No informative frame: either the region is empty, or every frame
+    // saturated even at the smallest persistence (population beyond the
+    // ladder's reach).
+    result.n_hat = any_tags_seen
+                       ? f * std::ldexp(1.0, static_cast<int>(
+                                                 config_.persistence_ladder))
+                       : 0.0;
+  }
+  result.ledger = channel.ledger() - before;
+  return result;
+}
+
+}  // namespace pet::proto

@@ -1,0 +1,57 @@
+// EZB-style estimator — "Anonymous Tracking Using RFID Tags" (Kodialam,
+// Nandagopal & Lau, INFOCOM 2007): the Enhanced Zero-Based estimator of the
+// paper's related work, which the paper credits with anonymous estimation of
+// relatively larger tag sets.
+//
+// Like USE's zero estimator, but robust to an unknown magnitude: rounds
+// sweep the persistence probability over a geometric ladder p_k = 2^-k, and
+// the estimate fuses only the informative frames (those whose observed load
+// is in a trusted band) by maximum-likelihood matching of the expected idle
+// fraction.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/channel.hpp"
+#include "core/estimator.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::proto {
+
+struct EzbConfig {
+  std::uint64_t frame_size = 512;
+  unsigned persistence_ladder = 24;  ///< p_k = 2^-k, k = 0..ladder-1
+  /// A frame is informative if its idle fraction lies inside this band
+  /// (extreme frames carry almost no information about n).
+  double min_idle_fraction = 0.05;
+  double max_idle_fraction = 0.95;
+  unsigned begin_bits = 32;
+  unsigned poll_bits = 1;
+
+  void validate() const;
+};
+
+class EzbEstimator {
+ public:
+  EzbEstimator(EzbConfig config, stats::AccuracyRequirement requirement);
+
+  /// Repetitions of the full persistence ladder.
+  [[nodiscard]] std::uint64_t planned_sweeps() const noexcept {
+    return planned_sweeps_;
+  }
+
+  [[nodiscard]] const EzbConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] core::EstimateResult estimate(chan::FrameChannel& channel,
+                                              std::uint64_t seed) const;
+  [[nodiscard]] core::EstimateResult estimate_with_sweeps(
+      chan::FrameChannel& channel, std::uint64_t sweeps,
+      std::uint64_t seed) const;
+
+ private:
+  EzbConfig config_;
+  stats::AccuracyRequirement requirement_;
+  std::uint64_t planned_sweeps_;
+};
+
+}  // namespace pet::proto

@@ -1,0 +1,106 @@
+#include "protocols/fneb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::proto {
+
+void FnebConfig::validate() const {
+  expects(initial_frame_size >= 2, "FNEB: initial frame must hold >= 2 slots");
+  expects(min_frame_size >= 2 && min_frame_size <= initial_frame_size,
+          "FNEB: min frame size must be in [2, initial]");
+  expects(adaptive_headroom >= 1.0, "FNEB: headroom must be >= 1");
+}
+
+FnebEstimator::FnebEstimator(FnebConfig config,
+                             stats::AccuracyRequirement requirement)
+    : config_(config), requirement_(requirement) {
+  config_.validate();
+  requirement_.validate();
+  const double c = stats::two_sided_normal_constant(requirement_.delta);
+  const double m = (c / requirement_.epsilon) * (c / requirement_.epsilon);
+  planned_rounds_ = static_cast<std::uint64_t>(std::ceil(m));
+}
+
+std::uint64_t FnebEstimator::find_first_nonempty(
+    chan::RangeChannel& channel, std::uint64_t frame_size) const {
+  // The probe predicate busy(b) = "any slot <= b occupied" is monotone in b,
+  // so the first nonempty slot is the smallest b with busy(b).
+  if (!channel.query_range(frame_size)) {
+    return frame_size + 1;  // empty frame: no tags at all
+  }
+  std::uint64_t lo = 1;
+  std::uint64_t hi = frame_size;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (channel.query_range(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+core::EstimateResult FnebEstimator::estimate(chan::RangeChannel& channel,
+                                             std::uint64_t seed) const {
+  return estimate_with_rounds(channel, planned_rounds_, seed);
+}
+
+core::EstimateResult FnebEstimator::estimate_with_rounds(
+    chan::RangeChannel& channel, std::uint64_t rounds,
+    std::uint64_t seed) const {
+  expects(rounds >= 1, "FNEB: need at least one round");
+
+  const sim::SlotLedger before = channel.ledger();
+  core::EstimateResult result;
+  result.depths.reserve(rounds);
+
+  std::uint64_t frame = config_.initial_frame_size;
+  double normalized_sum = 0.0;   // sum of X_i / (f_i + 1), E = 1/(n+1)
+  std::uint64_t informative = 0;
+  std::uint64_t empty_rounds = 0;
+
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    channel.begin_range_frame(chan::RangeFrameConfig{
+        rng::derive_seed(seed, i), frame, config_.begin_bits,
+        config_.query_bits});
+    const std::uint64_t x = find_first_nonempty(channel, frame);
+    if (x > frame) {
+      ++empty_rounds;
+      continue;
+    }
+    normalized_sum +=
+        static_cast<double>(x) / (static_cast<double>(frame) + 1.0);
+    ++informative;
+    result.depths.push_back(static_cast<unsigned>(
+        std::min<std::uint64_t>(x, 0xffffffffULL)));
+
+    if (config_.adaptive && informative > 0) {
+      const double t_bar = normalized_sum / static_cast<double>(informative);
+      const double running_n = std::max(1.0, 1.0 / t_bar - 1.0);
+      const auto target = static_cast<std::uint64_t>(
+          std::ceil(config_.adaptive_headroom * running_n));
+      frame = std::clamp(target, config_.min_frame_size,
+                         config_.initial_frame_size);
+    }
+  }
+
+  result.rounds = rounds;
+  if (informative == 0) {
+    result.n_hat = 0.0;  // every frame certified empty
+  } else {
+    const double t_bar = normalized_sum / static_cast<double>(informative);
+    result.n_hat = std::max(0.0, 1.0 / t_bar - 1.0);
+    (void)empty_rounds;  // static populations cannot mix the two cases
+  }
+
+  result.ledger = channel.ledger() - before;
+  return result;
+}
+
+}  // namespace pet::proto

@@ -1,0 +1,68 @@
+// FNEB baseline — "Counting RFID Tags Efficiently and Anonymously"
+// (Han et al., INFOCOM 2010), the first of the two O(log n) estimators the
+// paper compares against (Section 5.3).
+//
+// Per round, every tag hashes itself to a uniform slot of a conceptual
+// frame of size f; the reader locates the *first nonempty slot* X by binary
+// search with "slot <= bound?" range probes (log2 f + 1 slots).  Since
+// E[X] = (f+1)/(n+1), averaging the normalized observations over m rounds
+// estimates n.  FNEB's adaptive-shrinking refinement (also modeled here)
+// lowers per-round cost by shrinking the frame toward the running estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/channel.hpp"
+#include "core/estimator.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::proto {
+
+struct FnebConfig {
+  /// Initial conceptual frame size; must upper-bound the population.  The
+  /// frame is never polled slot by slot, so a huge value costs only probe
+  /// count (log2 f).
+  std::uint64_t initial_frame_size = std::uint64_t{1} << 32;
+  /// Shrink the frame toward headroom * running-estimate after each round
+  /// (the paper's "adaptive shrinking" speed-up).
+  bool adaptive = true;
+  double adaptive_headroom = 16.0;
+  std::uint64_t min_frame_size = 64;
+  unsigned begin_bits = 32;
+  unsigned query_bits = 32;
+
+  void validate() const;
+};
+
+class FnebEstimator {
+ public:
+  FnebEstimator(FnebConfig config, stats::AccuracyRequirement requirement);
+
+  /// Rounds needed for the (epsilon, delta) contract.  The per-round
+  /// normalized observation has unit relative deviation (the minimum of n
+  /// uniforms is asymptotically exponential), giving m = ceil((c/eps)^2).
+  [[nodiscard]] std::uint64_t planned_rounds() const noexcept {
+    return planned_rounds_;
+  }
+
+  [[nodiscard]] const FnebConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] core::EstimateResult estimate(chan::RangeChannel& channel,
+                                              std::uint64_t seed) const;
+  [[nodiscard]] core::EstimateResult estimate_with_rounds(
+      chan::RangeChannel& channel, std::uint64_t rounds,
+      std::uint64_t seed) const;
+
+  /// One round on an already-begun frame: binary-search the first nonempty
+  /// slot.  Returns frame_size + 1 when the frame is entirely empty.
+  [[nodiscard]] std::uint64_t find_first_nonempty(
+      chan::RangeChannel& channel, std::uint64_t frame_size) const;
+
+ private:
+  FnebConfig config_;
+  stats::AccuracyRequirement requirement_;
+  std::uint64_t planned_rounds_;
+};
+
+}  // namespace pet::proto

@@ -1,0 +1,265 @@
+#include "protocols/identification.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "common/bitcode.hpp"
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "sim/devices.hpp"
+#include "sim/simulator.hpp"
+
+namespace pet::proto {
+
+namespace {
+
+std::uint64_t next_dfsa_frame(const DfsaConfig& config,
+                              std::uint64_t collisions) {
+  const auto target = static_cast<std::uint64_t>(
+      std::llround(config.frame_factor * static_cast<double>(collisions)));
+  return std::clamp(std::max<std::uint64_t>(target, 1),
+                    config.min_frame_size, config.max_frame_size);
+}
+
+}  // namespace
+
+IdentificationResult identify_dfsa(std::span<const TagId> tags,
+                                   const DfsaConfig& config,
+                                   std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::Medium medium;
+  std::vector<std::unique_ptr<sim::AlohaTagDevice>> devices;
+  devices.reserve(tags.size());
+  for (const TagId id : tags) {
+    devices.push_back(std::make_unique<sim::AlohaTagDevice>(
+        id, config.hash, /*transmit_id=*/true));
+    medium.attach(devices.back().get());
+  }
+
+  IdentificationResult result;
+  std::uint64_t frame = config.initial_frame_size;
+  std::uint64_t stalled = 0;
+  while (result.identified < tags.size() &&
+         result.frames < config.max_frames &&
+         stalled < config.max_stalled_frames) {
+    const std::uint64_t frame_seed = rng::derive_seed(seed, result.frames);
+    medium.broadcast(sim::FrameBeginCmd{frame_seed, frame, 1.0,
+                                        config.begin_bits},
+                     simulator);
+    std::uint64_t collisions = 0;
+    std::uint64_t found = 0;
+    for (std::uint64_t slot = 1; slot <= frame; ++slot) {
+      const auto obs = medium.run_slot(
+          sim::SlotPollCmd{slot, config.poll_bits}, simulator);
+      if (obs.outcome == SlotOutcome::kSingleton) {
+        invariant(obs.decoded.has_value(), "singleton without decode");
+        medium.broadcast(sim::AckCmd{obs.decoded->payload, config.ack_bits},
+                         simulator);
+        ++found;
+      } else if (obs.outcome == SlotOutcome::kCollision) {
+        ++collisions;
+      }
+    }
+    result.identified += found;
+    stalled = found == 0 ? stalled + 1 : 0;
+    ++result.frames;
+    frame = next_dfsa_frame(config, collisions);
+  }
+  result.ledger = medium.ledger();
+  return result;
+}
+
+IdentificationResult identify_dfsa_sampled(std::uint64_t n,
+                                           const DfsaConfig& config,
+                                           std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  IdentificationResult result;
+  std::uint64_t remaining = n;
+  std::uint64_t frame = config.initial_frame_size;
+  std::uint64_t stalled = 0;
+
+  while (remaining > 0 && result.frames < config.max_frames &&
+         stalled < config.max_stalled_frames) {
+    const std::uint64_t before = remaining;
+    // Exact multinomial occupancy by sequential binomial splitting.
+    std::uint64_t not_placed = remaining;
+    std::uint64_t collisions = 0;
+    for (std::uint64_t slot = 0; slot < frame; ++slot) {
+      std::uint64_t count = 0;
+      if (not_placed > 0) {
+        const double q = 1.0 / static_cast<double>(frame - slot);
+        std::binomial_distribution<std::uint64_t> draw(not_placed, q);
+        count = draw(gen);
+      }
+      not_placed -= count;
+      if (count == 0) {
+        ++result.ledger.idle_slots;
+      } else if (count == 1) {
+        ++result.ledger.singleton_slots;
+        ++result.identified;
+        --remaining;
+        result.ledger.reader_bits += config.ack_bits;
+      } else {
+        ++result.ledger.collision_slots;
+        ++collisions;
+      }
+      result.ledger.reader_bits += config.poll_bits;
+    }
+    result.ledger.reader_bits += config.begin_bits;
+    stalled = remaining == before ? stalled + 1 : 0;
+    ++result.frames;
+    frame = next_dfsa_frame(config, collisions);
+  }
+  return result;
+}
+
+IdentificationResult identify_splitting(std::span<const TagId> tags,
+                                        const SplittingConfig& config,
+                                        std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::Medium medium;
+  std::vector<std::unique_ptr<sim::SplittingTagDevice>> devices;
+  devices.reserve(tags.size());
+  for (const TagId id : tags) {
+    devices.push_back(
+        std::make_unique<sim::SplittingTagDevice>(id, config.hash));
+    medium.attach(devices.back().get());
+  }
+
+  IdentificationResult result;
+  // The reader mirrors the tags' implicit stack: `pending` unresolved
+  // groups remain; idle/success pops one, collision pushes one net.
+  std::uint64_t pending = 1;
+  std::uint64_t slots = 0;
+  while (pending > 0 && slots < config.max_slots) {
+    const auto obs = medium.run_slot(
+        sim::SplitQueryCmd{seed, config.query_bits}, simulator);
+    ++slots;
+    if (obs.outcome == SlotOutcome::kSingleton) {
+      invariant(obs.decoded.has_value(), "singleton without decode");
+      medium.broadcast(sim::AckCmd{obs.decoded->payload, config.ack_bits},
+                       simulator);
+      ++result.identified;
+    }
+    medium.broadcast(sim::SplitFeedbackCmd{obs.outcome, config.feedback_bits},
+                     simulator);
+    if (obs.outcome == SlotOutcome::kCollision) {
+      ++pending;
+    } else {
+      --pending;
+    }
+  }
+  result.ledger = medium.ledger();
+  return result;
+}
+
+IdentificationResult identify_splitting_sampled(std::uint64_t n,
+                                                const SplittingConfig& config,
+                                                std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  IdentificationResult result;
+
+  // Stack of unresolved group sizes; coin flips are fresh at every
+  // collision, so splits are Binomial(k, 1/2) without a depth cap.
+  std::vector<std::uint64_t> pending;
+  pending.push_back(n);
+  std::uint64_t slots = 0;
+  while (!pending.empty() && slots < config.max_slots) {
+    const std::uint64_t k = pending.back();
+    pending.pop_back();
+    ++slots;
+    result.ledger.reader_bits += config.query_bits + config.feedback_bits;
+    if (k == 0) {
+      ++result.ledger.idle_slots;
+    } else if (k == 1) {
+      ++result.ledger.singleton_slots;
+      ++result.identified;
+      result.ledger.reader_bits += config.ack_bits;
+    } else {
+      ++result.ledger.collision_slots;
+      std::binomial_distribution<std::uint64_t> split(k, 0.5);
+      const std::uint64_t heads = split(gen);
+      pending.push_back(k - heads);  // tails resolve after the heads group
+      pending.push_back(heads);
+    }
+  }
+  return result;
+}
+
+IdentificationResult identify_treewalk(std::span<const TagId> tags,
+                                       const TreeWalkConfig& config) {
+  sim::Simulator simulator;
+  sim::Medium medium;
+  std::vector<std::unique_ptr<sim::TreeWalkTagDevice>> devices;
+  devices.reserve(tags.size());
+  for (const TagId id : tags) {
+    devices.push_back(
+        std::make_unique<sim::TreeWalkTagDevice>(id, config.hash));
+    medium.attach(devices.back().get());
+  }
+
+  IdentificationResult result;
+  std::vector<BitCode> pending;
+  pending.push_back(BitCode{});  // root: every tag matches
+  while (!pending.empty()) {
+    const BitCode prefix = pending.back();
+    pending.pop_back();
+    const auto obs = medium.run_slot(
+        sim::IdPrefixQueryCmd{prefix, config.query_bits}, simulator);
+    if (obs.outcome == SlotOutcome::kSingleton) {
+      invariant(obs.decoded.has_value(), "singleton without decode");
+      medium.broadcast(sim::AckCmd{obs.decoded->payload, config.ack_bits},
+                       simulator);
+      ++result.identified;
+    } else if (obs.outcome == SlotOutcome::kCollision) {
+      invariant(prefix.width() < config.id_bits,
+                "collision below leaf level implies duplicate tag IDs");
+      pending.push_back(prefix.extended(false));
+      pending.push_back(prefix.extended(true));
+    }
+  }
+  result.ledger = medium.ledger();
+  return result;
+}
+
+IdentificationResult identify_treewalk_sampled(std::uint64_t n,
+                                               const TreeWalkConfig& config,
+                                               std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  IdentificationResult result;
+
+  // Each stack entry is the number of tags under a pending tree node (their
+  // identities are irrelevant: uniform IDs split Binomial(k, 1/2)).
+  struct Node {
+    std::uint64_t count;
+    unsigned depth;
+  };
+  std::vector<Node> pending;
+  pending.push_back({n, 0});
+  while (!pending.empty()) {
+    const Node node = pending.back();
+    pending.pop_back();
+    result.ledger.reader_bits += config.query_bits;
+    if (node.count == 0) {
+      ++result.ledger.idle_slots;
+    } else if (node.count == 1) {
+      ++result.ledger.singleton_slots;
+      ++result.identified;
+      result.ledger.reader_bits += config.ack_bits;
+    } else {
+      ++result.ledger.collision_slots;
+      invariant(node.depth < config.id_bits,
+                "collision below leaf level implies duplicate tag IDs");
+      std::binomial_distribution<std::uint64_t> split(node.count, 0.5);
+      const std::uint64_t left = split(gen);
+      pending.push_back({left, node.depth + 1});
+      pending.push_back({node.count - left, node.depth + 1});
+    }
+  }
+  return result;
+}
+
+}  // namespace pet::proto

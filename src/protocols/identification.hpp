@@ -1,0 +1,97 @@
+// Identification baselines: the exact-counting alternatives the paper's
+// introduction argues do not scale (Sections 1-2).
+//
+//  * Dynamic framed slotted ALOHA (DFSA) with Schoute frame adaptation —
+//    the EPC C1G2-style Aloha family [26], [28];
+//  * Binary tree walking (Capetanakis) — the tree-based anticollision
+//    family [3], [38].
+//
+// Both come in two fidelities: a device-level simulation (real tag state
+// machines over the Medium; O(n) per slot) for small populations, and a
+// sampled simulation (occupancy counts only; O(f) per frame / O(n) total)
+// that scales to millions of tags for the Theta(n)-vs-O(log log n) scaling
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "rng/hash_family.hpp"
+#include "sim/medium.hpp"
+
+namespace pet::proto {
+
+struct IdentificationResult {
+  std::uint64_t identified = 0;
+  std::uint64_t frames = 0;  ///< DFSA only
+  sim::SlotLedger ledger;
+};
+
+struct DfsaConfig {
+  std::uint64_t initial_frame_size = 128;
+  /// Schoute's estimate: next frame ~= 2.39 x collision slots.
+  double frame_factor = 2.39;
+  std::uint64_t min_frame_size = 16;
+  /// EPC C1G2 caps Q at 15 (32768 slots).  With populations far beyond the
+  /// cap the frame load explodes, singletons vanish, and identification
+  /// stalls — a real limitation of framed ALOHA that the stall guard below
+  /// surfaces instead of spinning.  Raise the cap to identify larger sets.
+  std::uint64_t max_frame_size = std::uint64_t{1} << 15;
+  std::uint64_t max_frames = 100000;
+  /// Abort after this many consecutive frames with zero identifications
+  /// (saturated regime); the result then reports identified < n.
+  std::uint64_t max_stalled_frames = 25;
+  rng::HashKind hash = rng::HashKind::kMix64;
+  unsigned begin_bits = 16;
+  unsigned poll_bits = 1;
+  unsigned ack_bits = 16;
+};
+
+/// Device-level DFSA identification of every tag in `tags`.
+[[nodiscard]] IdentificationResult identify_dfsa(std::span<const TagId> tags,
+                                                 const DfsaConfig& config,
+                                                 std::uint64_t seed);
+
+/// Occupancy-sampled DFSA: statistically identical slot counts, no per-tag
+/// state.
+[[nodiscard]] IdentificationResult identify_dfsa_sampled(
+    std::uint64_t n, const DfsaConfig& config, std::uint64_t seed);
+
+struct SplittingConfig {
+  rng::HashKind hash = rng::HashKind::kMix64;
+  std::uint64_t max_slots = 50000000;  ///< lossy-link safety stop
+  unsigned query_bits = 1;
+  unsigned feedback_bits = 2;
+  unsigned ack_bits = 16;
+};
+
+/// Device-level binary-splitting (Capetanakis) identification: the dynamic
+/// tree protocol of the paper's reference [3], driven by 1-bit contention
+/// slots and 2-bit outcome feedback.
+[[nodiscard]] IdentificationResult identify_splitting(
+    std::span<const TagId> tags, const SplittingConfig& config,
+    std::uint64_t seed);
+
+/// Sampled binary splitting: the contention tree with exact Binomial(k, 1/2)
+/// coin-flip splits, no per-tag state.
+[[nodiscard]] IdentificationResult identify_splitting_sampled(
+    std::uint64_t n, const SplittingConfig& config, std::uint64_t seed);
+
+struct TreeWalkConfig {
+  rng::HashKind hash = rng::HashKind::kMix64;
+  unsigned id_bits = 64;
+  unsigned query_bits = 64;  ///< worst-case prefix broadcast
+  unsigned ack_bits = 16;
+};
+
+/// Device-level binary tree walking identification.
+[[nodiscard]] IdentificationResult identify_treewalk(
+    std::span<const TagId> tags, const TreeWalkConfig& config);
+
+/// Sampled tree walking: splits the population with exact Binomial(k, 1/2)
+/// draws instead of real IDs.
+[[nodiscard]] IdentificationResult identify_treewalk_sampled(
+    std::uint64_t n, const TreeWalkConfig& config, std::uint64_t seed);
+
+}  // namespace pet::proto

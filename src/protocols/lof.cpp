@@ -1,0 +1,107 @@
+#include "protocols/lof.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::proto {
+
+void LofConfig::validate() const {
+  expects(frame_size >= 2 && frame_size <= 64,
+          "LoF: frame size must be in [2, 64]");
+}
+
+LofEstimator::LofEstimator(LofConfig config,
+                           stats::AccuracyRequirement requirement)
+    : config_(config), requirement_(requirement) {
+  config_.validate();
+  requirement_.validate();
+  const double c = stats::two_sided_normal_constant(requirement_.delta);
+  const double lo =
+      c * kFmSigma / std::abs(std::log2(1.0 - requirement_.epsilon));
+  const double hi = c * kFmSigma / std::log2(1.0 + requirement_.epsilon);
+  planned_rounds_ =
+      static_cast<std::uint64_t>(std::ceil(std::max(lo * lo, hi * hi)));
+}
+
+core::EstimateResult LofEstimator::estimate(chan::FrameChannel& channel,
+                                            std::uint64_t seed) const {
+  return estimate_with_rounds(channel, planned_rounds_, seed);
+}
+
+core::EstimateResult LofEstimator::estimate_with_rounds(
+    chan::FrameChannel& channel, std::uint64_t rounds,
+    std::uint64_t seed) const {
+  expects(rounds >= 1, "LoF: need at least one round");
+
+  const sim::SlotLedger before = channel.ledger();
+  core::EstimateResult result;
+  result.depths.reserve(rounds);
+
+  double zero_index_sum = 0.0;  // 0-based first-zero positions R_i
+  std::uint64_t informative = 0;
+
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const auto outcomes = channel.run_frame(chan::FrameConfig{
+        rng::derive_seed(seed, i), config_.frame_size, 1.0,
+        /*geometric=*/true, config_.begin_bits, config_.poll_bits});
+    // NOTE on early_stop: the FrameChannel interface polls whole frames;
+    // the early-stop ablation is accounted by crediting back the slots
+    // after the first idle one (their outcomes are provably unused).
+    unsigned first_zero = config_.frame_size;  // saturated frame
+    for (unsigned s = 0; s < outcomes.size(); ++s) {
+      if (outcomes[s] == SlotOutcome::kIdle) {
+        first_zero = s;
+        break;
+      }
+    }
+    if (first_zero == 0) {
+      // Slot 1 idle: with geometric levels half the tags land there, so an
+      // idle first slot certifies a (near-)empty region this round.
+      result.depths.push_back(0);
+      ++informative;
+      continue;
+    }
+    zero_index_sum += static_cast<double>(first_zero);
+    ++informative;
+    result.depths.push_back(first_zero);
+  }
+
+  result.rounds = rounds;
+  invariant(informative == rounds, "LoF rounds must all be informative");
+  const double r_bar = zero_index_sum / static_cast<double>(rounds);
+  result.mean_depth = r_bar;
+  result.n_hat = std::exp2(r_bar) / kFmPhi;
+
+  result.ledger = channel.ledger() - before;
+  if (config_.early_stop) {
+    // Credit back unobserved tail slots: an early-stopping reader leaves
+    // the frame after its first idle slot (R_i + 1 slots used).
+    std::uint64_t used = 0;
+    for (const unsigned r : result.depths) {
+      used += std::min<std::uint64_t>(r + 1, config_.frame_size);
+    }
+    const std::uint64_t polled =
+        static_cast<std::uint64_t>(config_.frame_size) * rounds;
+    const std::uint64_t credit = polled - used;
+    // All credited slots come after the first idle slot; their outcome mix
+    // is unknown to the early-stopping reader, so we only adjust totals by
+    // removing idle slots first (conservative for cost comparisons).
+    std::uint64_t remaining = credit;
+    const std::uint64_t idle_credit =
+        std::min(result.ledger.idle_slots, remaining);
+    result.ledger.idle_slots -= idle_credit;
+    remaining -= idle_credit;
+    const std::uint64_t coll_credit =
+        std::min(result.ledger.collision_slots, remaining);
+    result.ledger.collision_slots -= coll_credit;
+    remaining -= coll_credit;
+    result.ledger.singleton_slots -= remaining;
+  }
+  return result;
+}
+
+}  // namespace pet::proto

@@ -1,0 +1,63 @@
+// LoF baseline — "Cardinality Estimation for Large-Scale RFID Systems"
+// (Qian et al., PerCom 2008), the second comparison target of Section 5.3.
+//
+// Per round, every tag draws a geometric "lottery" level (P(level = i) =
+// 2^-i) and replies in that slot of an L-slot frame; the reader scans the
+// frame and records the position of the first idle slot, exactly the
+// Flajolet-Martin first-zero statistic.  Averaging over m rounds yields
+// n̂ = 2^(Zbar - 1) / 0.77351.  Each round costs the full frame (L slots,
+// L = 32 accommodates 2^32 tags), which is the O(log n) the paper cites.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/channel.hpp"
+#include "core/estimator.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::proto {
+
+/// Flajolet-Martin bias constant: E[first-zero index (0-based)] ~=
+/// log2(kFmPhi * n).
+inline constexpr double kFmPhi = 0.77351;
+
+/// Asymptotic per-round standard deviation of the first-zero statistic
+/// (Flajolet & Martin 1985).
+inline constexpr double kFmSigma = 1.12127;
+
+struct LofConfig {
+  unsigned frame_size = 32;   ///< lottery levels per frame
+  /// Stop polling a frame at its first idle slot instead of scanning all L
+  /// slots (an ablation; the published protocol scans the whole frame).
+  bool early_stop = false;
+  unsigned begin_bits = 32;
+  unsigned poll_bits = 1;
+
+  void validate() const;
+};
+
+class LofEstimator {
+ public:
+  LofEstimator(LofConfig config, stats::AccuracyRequirement requirement);
+
+  /// Eq. (20)-style round count with the FM deviation:
+  /// m = ceil((c * kFmSigma / log2(1 +/- eps))^2).
+  [[nodiscard]] std::uint64_t planned_rounds() const noexcept {
+    return planned_rounds_;
+  }
+
+  [[nodiscard]] const LofConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] core::EstimateResult estimate(chan::FrameChannel& channel,
+                                              std::uint64_t seed) const;
+  [[nodiscard]] core::EstimateResult estimate_with_rounds(
+      chan::FrameChannel& channel, std::uint64_t rounds,
+      std::uint64_t seed) const;
+
+ private:
+  LofConfig config_;
+  stats::AccuracyRequirement requirement_;
+  std::uint64_t planned_rounds_;
+};
+
+}  // namespace pet::proto

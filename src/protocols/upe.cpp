@@ -1,0 +1,119 @@
+#include "protocols/upe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::proto {
+
+void UpeConfig::validate() const {
+  expects(frame_size >= 8, "UPE: frame must hold >= 8 slots");
+  expects(expected_n >= 1.0, "UPE: expected_n must be >= 1");
+  expects(target_load > 0.0, "UPE: target load must be positive");
+}
+
+double UpeConfig::persistence() const noexcept {
+  const double p =
+      target_load * static_cast<double>(frame_size) / expected_n;
+  return std::clamp(p, 1e-9, 1.0);
+}
+
+UpeEstimator::UpeEstimator(UpeConfig config,
+                           stats::AccuracyRequirement requirement)
+    : config_(config), requirement_(requirement) {
+  config_.validate();
+  requirement_.validate();
+  const double c = stats::two_sided_normal_constant(requirement_.delta);
+  const double f = static_cast<double>(config_.frame_size);
+  const double rho =
+      config_.persistence() * config_.expected_n / f;
+  const double rel_sigma =
+      std::sqrt(std::expm1(rho)) / (rho * std::sqrt(f));
+  const double m = c * rel_sigma / requirement_.epsilon;
+  planned_rounds_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(m * m)));
+}
+
+double invert_collision_fraction(double fraction) {
+  expects(fraction >= 0.0 && fraction < 1.0,
+          "collision fraction must be in [0, 1)");
+  if (fraction == 0.0) return 0.0;
+  // c(rho) = 1 - e^-rho (1 + rho) is strictly increasing on [0, inf);
+  // Newton from a bracketing start, with bisection safeguarding.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (1.0 - std::exp(-hi) * (1.0 + hi) < fraction) hi *= 2.0;
+  double rho = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double c = 1.0 - std::exp(-rho) * (1.0 + rho);
+    const double dc = rho * std::exp(-rho);
+    if (c > fraction) {
+      hi = rho;
+    } else {
+      lo = rho;
+    }
+    double next = dc > 0.0 ? rho - (c - fraction) / dc : 0.5 * (lo + hi);
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::abs(next - rho) < 1e-12) return next;
+    rho = next;
+  }
+  return rho;
+}
+
+core::EstimateResult UpeEstimator::estimate(chan::FrameChannel& channel,
+                                            std::uint64_t seed) const {
+  return estimate_with_rounds(channel, planned_rounds_, seed);
+}
+
+core::EstimateResult UpeEstimator::estimate_with_rounds(
+    chan::FrameChannel& channel, std::uint64_t rounds,
+    std::uint64_t seed) const {
+  expects(rounds >= 1, "UPE: need at least one frame");
+
+  const sim::SlotLedger before = channel.ledger();
+  core::EstimateResult result;
+
+  const double p = config_.persistence();
+  std::uint64_t idle_total = 0;
+  std::uint64_t collision_total = 0;
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const auto outcomes = channel.run_frame(chan::FrameConfig{
+        rng::derive_seed(seed, i), config_.frame_size, p,
+        /*geometric=*/false, config_.begin_bits, config_.poll_bits});
+    for (const SlotOutcome o : outcomes) {
+      if (o == SlotOutcome::kIdle) ++idle_total;
+      if (o == SlotOutcome::kCollision) ++collision_total;
+    }
+  }
+
+  const double f = static_cast<double>(config_.frame_size);
+  const double slots = f * static_cast<double>(rounds);
+  // Clamp extreme observations: both estimators diverge at the edges (the
+  // prior-mismatch failure mode UPE documents).
+  const double idle_fraction =
+      std::max(0.5, static_cast<double>(idle_total)) / slots;
+  const double collision_fraction =
+      std::min(slots - 0.5, static_cast<double>(collision_total)) / slots;
+
+  const double n_zero = -f / p * std::log(idle_fraction);
+  const double n_coll = f / p * invert_collision_fraction(collision_fraction);
+  switch (config_.variant) {
+    case UpeVariant::kZeroEstimator:
+      result.n_hat = n_zero;
+      break;
+    case UpeVariant::kCollisionEstimator:
+      result.n_hat = n_coll;
+      break;
+    case UpeVariant::kCombined:
+      result.n_hat = 0.5 * (n_zero + n_coll);
+      break;
+  }
+  result.rounds = rounds;
+  result.ledger = channel.ledger() - before;
+  return result;
+}
+
+}  // namespace pet::proto

@@ -1,0 +1,73 @@
+// UPE/USE-style estimator — "Fast and Reliable Estimation Schemes in RFID
+// Systems" (Kodialam & Nandagopal, MobiCom 2006), the framed-slotted-ALOHA
+// estimators discussed in the paper's related work (Section 2).
+//
+// Tags participate in an f-slot frame with persistence probability p; the
+// reader counts idle slots.  With load rho = p*n/f the expected idle
+// fraction is e^-rho, so n̂ = -(f/p) * ln(idle_fraction).  This "zero
+// estimator" (the USE part; UPE additionally uses collision counts) needs a
+// rough prior of n to pick p — the drawback PET removes.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/channel.hpp"
+#include "core/estimator.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet::proto {
+
+/// Which of UPE's sub-estimators to use.  The zero estimator (USE) counts
+/// idle slots; the collision estimator inverts the expected collision
+/// fraction 1 - e^-rho (1 + rho); UPE proper combines both.
+enum class UpeVariant : std::uint8_t {
+  kZeroEstimator,
+  kCollisionEstimator,
+  kCombined,
+};
+
+struct UpeConfig {
+  std::uint64_t frame_size = 512;
+  /// Prior magnitude of n used to pick the persistence probability so that
+  /// the frame load is near the variance-optimal ~1.59 (UPE Sec. 4).
+  double expected_n = 50000.0;
+  double target_load = 1.59;
+  UpeVariant variant = UpeVariant::kZeroEstimator;
+  unsigned begin_bits = 32;
+  unsigned poll_bits = 1;
+
+  void validate() const;
+
+  [[nodiscard]] double persistence() const noexcept;
+};
+
+/// Invert the collision-fraction law c(rho) = 1 - e^-rho (1 + rho) for
+/// rho >= 0 (monotone; Newton with a bisection fallback).  Exposed for
+/// testing.
+[[nodiscard]] double invert_collision_fraction(double fraction);
+
+class UpeEstimator {
+ public:
+  UpeEstimator(UpeConfig config, stats::AccuracyRequirement requirement);
+
+  /// Frames needed for the accuracy contract, from the delta-method
+  /// per-frame relative deviation sqrt(e^rho - 1) / (rho * sqrt(f)).
+  [[nodiscard]] std::uint64_t planned_rounds() const noexcept {
+    return planned_rounds_;
+  }
+
+  [[nodiscard]] const UpeConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] core::EstimateResult estimate(chan::FrameChannel& channel,
+                                              std::uint64_t seed) const;
+  [[nodiscard]] core::EstimateResult estimate_with_rounds(
+      chan::FrameChannel& channel, std::uint64_t rounds,
+      std::uint64_t seed) const;
+
+ private:
+  UpeConfig config_;
+  stats::AccuracyRequirement requirement_;
+  std::uint64_t planned_rounds_;
+};
+
+}  // namespace pet::proto

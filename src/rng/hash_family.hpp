@@ -1,0 +1,70 @@
+// Keyed uniform hash families mapping (seed, tagID) -> bit codes.
+//
+// Every estimation protocol in this library consumes randomness through one
+// of these families:
+//   * PET       : uniform H-bit code per tag (per-round seeded, or a single
+//                 preloaded code derived from the tag ID alone);
+//   * FNEB      : uniform slot pick in [1, f];
+//   * LoF       : geometric "lottery" level with P(level = i) = 2^-i;
+//   * UPE / EZB : uniform slot pick + Bernoulli persistence.
+//
+// Three interchangeable implementations are provided, selected by HashKind:
+// truncated MD5, truncated SHA-1 (the two the paper names in Section 4.5),
+// and a fast SplitMix64-based mixer for large simulations.  All three are
+// deterministic functions of (seed, id).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bitcode.hpp"
+#include "common/types.hpp"
+
+namespace pet::rng {
+
+enum class HashKind : std::uint8_t {
+  kMix64,  ///< SplitMix64 finalizer; fastest, simulation default
+  kMd5,    ///< truncated MD5 digest (paper Section 4.5)
+  kSha1,   ///< truncated SHA-1 digest (paper Section 4.5)
+};
+
+[[nodiscard]] std::string_view to_string(HashKind kind) noexcept;
+
+/// Uniform 64-bit keyed hash of (seed, id) under the chosen family.
+[[nodiscard]] std::uint64_t uniform64(HashKind kind, std::uint64_t seed,
+                                      std::uint64_t id) noexcept;
+
+/// Uniform `width`-bit code (width in [1, 64]) of (seed, id).
+[[nodiscard]] BitCode uniform_code(HashKind kind, std::uint64_t seed,
+                                   std::uint64_t id, unsigned width);
+
+/// Uniform integer in [1, bound] (bound >= 1) of (seed, id); used for
+/// FNEB/UPE/EZB frame-slot picks.  Modulo reduction; the bias is below
+/// bound / 2^64 and irrelevant here.
+[[nodiscard]] std::uint64_t uniform_slot(HashKind kind, std::uint64_t seed,
+                                         std::uint64_t id, std::uint64_t bound);
+
+/// Geometric "lottery" level in [1, max_level]:
+/// P(level = i) = 2^-i for i < max_level, and the residual tail mass lands
+/// on max_level.  This is LoF's hash: the index of the first 1 bit of a
+/// uniform bit stream.
+[[nodiscard]] unsigned geometric_level(HashKind kind, std::uint64_t seed,
+                                       std::uint64_t id, unsigned max_level);
+
+/// Convenience wrappers keyed by TagId.
+[[nodiscard]] inline BitCode uniform_code(HashKind kind, std::uint64_t seed,
+                                          TagId id, unsigned width) {
+  return uniform_code(kind, seed, to_underlying(id), width);
+}
+
+[[nodiscard]] inline std::uint64_t uniform_slot(HashKind kind, std::uint64_t seed,
+                                                TagId id, std::uint64_t bound) {
+  return uniform_slot(kind, seed, to_underlying(id), bound);
+}
+
+[[nodiscard]] inline unsigned geometric_level(HashKind kind, std::uint64_t seed,
+                                              TagId id, unsigned max_level) {
+  return geometric_level(kind, seed, to_underlying(id), max_level);
+}
+
+}  // namespace pet::rng

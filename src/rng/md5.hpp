@@ -1,0 +1,50 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// The paper (Section 4.5) proposes generating the preloaded 32-bit PET
+// random codes at manufacturing time with an off-the-shelf uniform hash such
+// as MD5 or SHA-1 and truncating the digest.  MD5 is cryptographically
+// broken as a collision-resistant hash, but PET only needs uniformity of the
+// digest bits, for which it remains perfectly adequate.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pet::rng {
+
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Md5() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finalizes and returns the digest.  The object must be reset() before
+  /// reuse.
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// One-shot digest of a byte buffer.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(std::string_view text) noexcept;
+
+  /// Lowercase hex rendering, as printed by `md5sum`.
+  [[nodiscard]] static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace pet::rng

@@ -1,0 +1,110 @@
+// Deterministic, seedable pseudo-random generators used throughout the
+// simulator.  Both satisfy std::uniform_random_bit_generator, so they plug
+// into <random> distributions.
+//
+//  * SplitMix64  — tiny, stateless-friendly mixer; used for seeding and for
+//                  one-shot hashing of integers.
+//  * Xoshiro256ss — the simulator's workhorse generator (xoshiro256**,
+//                  Blackman & Vigna), 256-bit state, passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace pet::rng {
+
+/// One round of the SplitMix64 output function: a high-quality 64->64 bit
+/// mixer (Stafford variant 13).  Useful as a standalone integer hash.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64, per the authors'
+  /// recommendation; any 64-bit seed (including 0) is valid.
+  constexpr explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); used to give independent
+  /// streams to concurrently simulated entities.
+  constexpr void long_jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (const std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if ((word & (1ULL << b)) != 0) {
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        }
+        (void)(*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive an independent child seed from a parent seed and a stream index.
+/// Used to give every tag / round / run its own deterministic stream.
+constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                    std::uint64_t stream) noexcept {
+  return mix64(parent ^ mix64(stream + 0x517cc1b727220a95ULL));
+}
+
+}  // namespace pet::rng

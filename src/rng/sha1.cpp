@@ -1,0 +1,146 @@
+#include "rng/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pet::rng {
+
+namespace {
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::array<std::uint32_t, 80> w;
+  for (std::size_t i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
+  for (std::size_t i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (std::size_t i = 0; i < 80; ++i) {
+    std::uint32_t f = 0;
+    std::uint32_t k = 0;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view text) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1::Digest Sha1::finalize() noexcept {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span<const std::uint8_t>(&pad_byte, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+
+  std::array<std::uint8_t, 8> length_be;
+  for (int i = 0; i < 8; ++i) {
+    length_be[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((bit_len >> (8 * (7 - i))) & 0xff);
+  }
+  update(std::span<const std::uint8_t>(length_be.data(), length_be.size()));
+
+  Digest digest;
+  for (std::size_t i = 0; i < 5; ++i) store_be32(digest.data() + 4 * i, state_[i]);
+  return digest;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Sha1::Digest Sha1::hash(std::string_view text) noexcept {
+  Sha1 h;
+  h.update(text);
+  return h.finalize();
+}
+
+std::string Sha1::to_hex(const Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * digest.size());
+  for (const std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace pet::rng

@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// Second of the two digest functions the paper names (Section 4.5) for
+// manufacturing-time generation of preloaded PET codes.  As with MD5, only
+// bit uniformity matters here, not collision resistance.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pet::rng {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+  [[nodiscard]] Digest finalize() noexcept;
+
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(std::string_view text) noexcept;
+  [[nodiscard]] static std::string to_hex(const Digest& digest);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace pet::rng

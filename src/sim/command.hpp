@@ -1,0 +1,95 @@
+// Reader->tag command vocabulary for the device-level simulation.
+//
+// Every slot of every protocol in this library is one of these commands
+// followed by a reply window.  Tags are dumb state machines reacting to the
+// command stream; readers are the protocol drivers.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/bitcode.hpp"
+#include "common/types.hpp"
+
+namespace pet::sim {
+
+/// PET (Algorithms 1/3): "tags whose code starts with the first `len` bits
+/// of `path`, respond".  `advertised_bits` is how many downlink bits this
+/// command costs under the active CommandEncoding.
+struct PrefixQueryCmd {
+  BitCode path;
+  unsigned len = 0;
+  unsigned advertised_bits = 0;
+};
+
+/// Start of a PET estimation round: broadcast the estimating path (and the
+/// per-round hash seed when tags rehash each round, Algorithm 2).
+struct RoundBeginCmd {
+  BitCode path;
+  std::uint64_t seed = 0;
+  bool tags_rehash = false;
+  unsigned advertised_bits = 0;
+};
+
+/// FNEB range probe: "tags whose frame slot is <= bound, respond".
+struct RangeQueryCmd {
+  std::uint64_t bound = 0;
+  unsigned advertised_bits = 0;
+};
+
+/// Begin a frame for frame-based protocols (LoF/UPE/EZB/ALOHA): tags draw
+/// their slot (or lottery level) from (seed, own ID) and optionally apply a
+/// persistence probability.
+struct FrameBeginCmd {
+  std::uint64_t seed = 0;
+  std::uint64_t frame_size = 0;
+  double persistence = 1.0;
+  unsigned advertised_bits = 0;
+};
+
+/// Poll slot `slot` (1-based) of the current frame.
+struct SlotPollCmd {
+  std::uint64_t slot = 0;
+  unsigned advertised_bits = 0;
+};
+
+/// Identification protocols: acknowledge the singleton tag heard in the
+/// previous slot so it stops participating (EPC-style ACK).
+struct AckCmd {
+  std::uint64_t acked_id = 0;
+  unsigned advertised_bits = 0;
+};
+
+/// Tree-walking identification: "tags whose ID starts with `prefix`,
+/// respond with your ID".
+struct IdPrefixQueryCmd {
+  BitCode prefix;
+  unsigned advertised_bits = 0;
+};
+
+/// Binary-splitting (Capetanakis) identification: open one contention slot
+/// for the tags whose split counter is zero.
+struct SplitQueryCmd {
+  std::uint64_t session_seed = 0;  ///< seeds the tags' coin flips
+  unsigned advertised_bits = 0;
+};
+
+/// Binary-splitting feedback: the reader announces the previous slot's
+/// outcome; tags update their split counters (collision: the active group
+/// coin-flips, everyone else descends the stack; idle/success: the stack
+/// pops).
+struct SplitFeedbackCmd {
+  SlotOutcome previous = SlotOutcome::kIdle;
+  unsigned advertised_bits = 0;
+};
+
+using Command = std::variant<PrefixQueryCmd, RoundBeginCmd, RangeQueryCmd,
+                             FrameBeginCmd, SlotPollCmd, AckCmd,
+                             IdPrefixQueryCmd, SplitQueryCmd,
+                             SplitFeedbackCmd>;
+
+[[nodiscard]] constexpr unsigned advertised_bits(const Command& cmd) noexcept {
+  return std::visit([](const auto& c) { return c.advertised_bits; }, cmd);
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,186 @@
+#include "sim/devices.hpp"
+
+#include "common/ensure.hpp"
+
+namespace pet::sim {
+
+namespace {
+
+/// Deterministic Bernoulli(p) draw keyed by (seed, id): true with
+/// probability `p` under a uniform 64-bit hash.
+bool keyed_coin(rng::HashKind hash, std::uint64_t seed, TagId id, double p) {
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const std::uint64_t h =
+      rng::uniform64(hash, seed ^ 0xc01cc01cc01cc01cULL, to_underlying(id));
+  // Compare against p scaled to the 64-bit range (exact enough for any
+  // persistence the protocols use).
+  const auto threshold = static_cast<std::uint64_t>(
+      p * 18446744073709551615.0);
+  return h <= threshold;
+}
+
+}  // namespace
+
+PetTagDevice::PetTagDevice(TagId id, rng::HashKind hash, unsigned tree_height,
+                           CodeMode mode, std::uint64_t manufacturing_seed)
+    : TagDeviceBase(id, hash), tree_height_(tree_height), mode_(mode) {
+  expects(tree_height >= 1 && tree_height <= BitCode::kMaxWidth,
+          "PET tree height must be in [1, 64]");
+  if (mode_ == CodeMode::kPreloaded) {
+    // Factory-side hashing of the tag ID (Section 4.5); not charged to the
+    // tag's runtime cost ledger.
+    code_ = rng::uniform_code(hash_, manufacturing_seed, id_, tree_height_);
+  }
+}
+
+std::optional<Reply> PetTagDevice::react(const Command& cmd) {
+  if (const auto* begin = std::get_if<RoundBeginCmd>(&cmd)) {
+    note_command(cmd);
+    if (mode_ == CodeMode::kPerRound) {
+      expects(begin->tags_rehash,
+              "per-round PET tags require a rehash round begin");
+      code_ = rng::uniform_code(hash_, begin->seed, id_, tree_height_);
+      ++cost_.hash_evaluations;
+    }
+    return std::nullopt;
+  }
+  if (const auto* query = std::get_if<PrefixQueryCmd>(&cmd)) {
+    note_command(cmd);
+    ++cost_.prefix_compares;
+    if (code_.matches_prefix(query->path, query->len)) {
+      ++cost_.responses_sent;
+      return Reply{id_, 0, 1};
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;  // commands for other protocols: stay silent
+}
+
+std::optional<Reply> FnebTagDevice::react(const Command& cmd) {
+  if (const auto* begin = std::get_if<FrameBeginCmd>(&cmd)) {
+    note_command(cmd);
+    slot_ = rng::uniform_slot(hash_, begin->seed, id_, begin->frame_size);
+    ++cost_.hash_evaluations;
+    return std::nullopt;
+  }
+  if (const auto* range = std::get_if<RangeQueryCmd>(&cmd)) {
+    note_command(cmd);
+    ++cost_.prefix_compares;
+    if (slot_ <= range->bound) {
+      ++cost_.responses_sent;
+      return Reply{id_, 0, 1};
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> LofTagDevice::react(const Command& cmd) {
+  if (const auto* begin = std::get_if<FrameBeginCmd>(&cmd)) {
+    note_command(cmd);
+    level_ = rng::geometric_level(hash_, begin->seed, id_,
+                                  static_cast<unsigned>(begin->frame_size));
+    ++cost_.hash_evaluations;
+    return std::nullopt;
+  }
+  if (const auto* poll = std::get_if<SlotPollCmd>(&cmd)) {
+    note_command(cmd);
+    ++cost_.prefix_compares;
+    if (level_ == poll->slot) {
+      ++cost_.responses_sent;
+      return Reply{id_, 0, 1};
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> AlohaTagDevice::react(const Command& cmd) {
+  if (identified_) return std::nullopt;
+  if (const auto* begin = std::get_if<FrameBeginCmd>(&cmd)) {
+    note_command(cmd);
+    participating_ = keyed_coin(hash_, begin->seed, id_, begin->persistence);
+    if (participating_) {
+      slot_ = rng::uniform_slot(hash_, begin->seed, id_, begin->frame_size);
+    }
+    ++cost_.hash_evaluations;
+    return std::nullopt;
+  }
+  if (const auto* poll = std::get_if<SlotPollCmd>(&cmd)) {
+    note_command(cmd);
+    if (participating_ && slot_ == poll->slot) {
+      ++cost_.responses_sent;
+      const unsigned bits = transmit_id_ ? 64u : 1u;
+      return Reply{id_, to_underlying(id_), bits};
+    }
+    return std::nullopt;
+  }
+  if (const auto* ack = std::get_if<AckCmd>(&cmd)) {
+    note_command(cmd);
+    if (ack->acked_id == to_underlying(id_)) identified_ = true;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> SplittingTagDevice::react(const Command& cmd) {
+  if (identified_) return std::nullopt;
+  if (const auto* query = std::get_if<SplitQueryCmd>(&cmd)) {
+    note_command(cmd);
+    session_seed_ = query->session_seed;
+    transmitted_last_ = counter_ == 0;
+    if (transmitted_last_) {
+      ++cost_.responses_sent;
+      return Reply{id_, to_underlying(id_), 64};
+    }
+    return std::nullopt;
+  }
+  if (const auto* feedback = std::get_if<SplitFeedbackCmd>(&cmd)) {
+    note_command(cmd);
+    if (feedback->previous == SlotOutcome::kCollision) {
+      if (transmitted_last_) {
+        // The colliding group splits: heads stay in the front group (0),
+        // tails defer behind it (1).
+        const bool tails = keyed_coin(hash_, session_seed_ + flips_, id_, 0.5);
+        ++flips_;
+        counter_ = tails ? 1 : 0;
+      } else {
+        // Everyone queued behind the split descends one level.
+        ++counter_;
+      }
+    } else {
+      // Idle or success: the front group is resolved; the queue advances.
+      if (!transmitted_last_ && counter_ > 0) --counter_;
+    }
+    transmitted_last_ = false;
+    return std::nullopt;
+  }
+  if (const auto* ack = std::get_if<AckCmd>(&cmd)) {
+    note_command(cmd);
+    if (ack->acked_id == to_underlying(id_)) identified_ = true;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> TreeWalkTagDevice::react(const Command& cmd) {
+  if (identified_) return std::nullopt;
+  if (const auto* query = std::get_if<IdPrefixQueryCmd>(&cmd)) {
+    note_command(cmd);
+    ++cost_.prefix_compares;
+    if (id_code_.matches_prefix(query->prefix, query->prefix.width())) {
+      ++cost_.responses_sent;
+      return Reply{id_, to_underlying(id_), 64};
+    }
+    return std::nullopt;
+  }
+  if (const auto* ack = std::get_if<AckCmd>(&cmd)) {
+    note_command(cmd);
+    if (ack->acked_id == to_underlying(id_)) identified_ = true;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,141 @@
+// Tag-side device models: the per-protocol state machines a real tag chip
+// would implement.  Used by the DeviceChannel back end to run protocols at
+// full air-interface fidelity, and by the cost tests to verify the paper's
+// overhead claims (a preloaded-mode PET tag never hashes; baselines hash or
+// preload per round).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bitcode.hpp"
+#include "common/types.hpp"
+#include "rng/hash_family.hpp"
+#include "sim/medium.hpp"
+#include "tags/cost_model.hpp"
+
+namespace pet::sim {
+
+/// Common bookkeeping for all tag devices.
+class TagDeviceBase : public Responder {
+ public:
+  TagDeviceBase(TagId id, rng::HashKind hash) : id_(id), hash_(hash) {}
+
+  [[nodiscard]] TagId id() const noexcept { return id_; }
+  [[nodiscard]] const tags::TagCostLedger& cost() const noexcept {
+    return cost_;
+  }
+
+ protected:
+  void note_command(const Command& cmd) noexcept {
+    cost_.command_bits_heard += advertised_bits(cmd);
+  }
+
+  TagId id_;
+  rng::HashKind hash_;
+  tags::TagCostLedger cost_;
+};
+
+/// PET tag (Algorithms 2 and 4).
+class PetTagDevice final : public TagDeviceBase {
+ public:
+  enum class CodeMode : std::uint8_t {
+    kPreloaded,  ///< Alg. 4: one manufacturing-time code for all rounds
+    kPerRound,   ///< Alg. 2: rehash from the reader's per-round seed
+  };
+
+  PetTagDevice(TagId id, rng::HashKind hash, unsigned tree_height,
+               CodeMode mode, std::uint64_t manufacturing_seed = 0);
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+  [[nodiscard]] BitCode current_code() const noexcept { return code_; }
+
+ private:
+  unsigned tree_height_;
+  CodeMode mode_;
+  BitCode code_;
+};
+
+/// FNEB tag: hashes itself to a uniform frame slot each round and answers
+/// range probes "is your slot <= bound?".
+class FnebTagDevice final : public TagDeviceBase {
+ public:
+  FnebTagDevice(TagId id, rng::HashKind hash) : TagDeviceBase(id, hash) {}
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+ private:
+  std::uint64_t slot_ = 0;
+};
+
+/// LoF tag: draws a geometric lottery level each frame and replies in
+/// exactly that slot of the frame.
+class LofTagDevice final : public TagDeviceBase {
+ public:
+  LofTagDevice(TagId id, rng::HashKind hash) : TagDeviceBase(id, hash) {}
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+ private:
+  unsigned level_ = 0;
+};
+
+/// Framed-slotted-ALOHA tag (UPE/EZB estimation and DFSA identification):
+/// per frame, participates with the advertised persistence probability,
+/// picks a uniform slot, and — for identification — transmits its ID and
+/// retires once ACKed.
+class AlohaTagDevice final : public TagDeviceBase {
+ public:
+  AlohaTagDevice(TagId id, rng::HashKind hash, bool transmit_id = false)
+      : TagDeviceBase(id, hash), transmit_id_(transmit_id) {}
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+  [[nodiscard]] bool identified() const noexcept { return identified_; }
+
+ private:
+  bool transmit_id_;
+  bool identified_ = false;
+  bool participating_ = false;
+  std::uint64_t slot_ = 0;
+};
+
+/// Binary-splitting (Capetanakis) identification tag: contends whenever its
+/// split counter is zero, coin-flips on collisions, descends/ascends the
+/// implicit stack on the reader's feedback, and retires once ACKed.
+class SplittingTagDevice final : public TagDeviceBase {
+ public:
+  SplittingTagDevice(TagId id, rng::HashKind hash)
+      : TagDeviceBase(id, hash) {}
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+  [[nodiscard]] bool identified() const noexcept { return identified_; }
+  [[nodiscard]] std::uint32_t counter() const noexcept { return counter_; }
+
+ private:
+  bool identified_ = false;
+  bool transmitted_last_ = false;
+  std::uint32_t counter_ = 0;
+  std::uint64_t session_seed_ = 0;
+  std::uint64_t flips_ = 0;
+};
+
+/// Binary tree-walking identification tag: answers ID-prefix probes with its
+/// full ID and retires once ACKed.
+class TreeWalkTagDevice final : public TagDeviceBase {
+ public:
+  TreeWalkTagDevice(TagId id, rng::HashKind hash)
+      : TagDeviceBase(id, hash), id_code_(to_underlying(id), 64) {}
+
+  std::optional<Reply> react(const Command& cmd) override;
+
+  [[nodiscard]] bool identified() const noexcept { return identified_; }
+
+ private:
+  BitCode id_code_;
+  bool identified_ = false;
+};
+
+}  // namespace pet::sim

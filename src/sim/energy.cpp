@@ -1,0 +1,43 @@
+#include "sim/energy.hpp"
+
+namespace pet::sim {
+
+EnergyReport session_energy(const EnergyModel& model, const SlotLedger& slots,
+                            const tags::TagCostLedger& tag_cost,
+                            std::uint64_t tag_count, bool active_tags,
+                            SlotTiming timing) {
+  model.validate();
+  EnergyReport report;
+
+  // Reader: carrier for the whole airtime, receiver during reply windows.
+  const double airtime_s = static_cast<double>(slots.airtime_us) / 1e6;
+  const double reply_s = static_cast<double>(slots.total_slots()) *
+                         static_cast<double>(timing.reply_us) / 1e6;
+  report.reader_mj =
+      model.reader_tx_mw * airtime_s + model.reader_rx_mw * reply_s;
+
+  if (active_tags && tag_count > 0) {
+    // Receive: every tag decodes every command; approximate command airtime
+    // by the ledger's command share of the slot.
+    const double command_s = static_cast<double>(slots.total_slots()) *
+                             static_cast<double>(timing.command_us) / 1e6;
+    const double rx_mj =
+        model.tag_rx_mw * command_s * static_cast<double>(tag_count);
+    // Transmit: per recorded reply, one reply window.
+    const double tx_mj = model.tag_tx_mw *
+                         static_cast<double>(tag_cost.responses_sent) *
+                         static_cast<double>(timing.reply_us) / 1e6;
+    const double hash_mj =
+        model.tag_hash_uj * static_cast<double>(tag_cost.hash_evaluations) /
+        1000.0;
+    const double cmp_mj = model.tag_compare_nj *
+                          static_cast<double>(tag_cost.prefix_compares) /
+                          1e6;
+    report.tag_total_mj = rx_mj + tx_mj + hash_mj + cmp_mj;
+    report.tag_mean_uj =
+        report.tag_total_mj * 1000.0 / static_cast<double>(tag_count);
+  }
+  return report;
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,49 @@
+#include "sim/gen2_timing.hpp"
+
+#include <cmath>
+
+namespace pet::sim {
+
+double gen2_slot_us(const Gen2LinkConfig& link, unsigned command_bits,
+                    unsigned reply_bits) {
+  link.validate();
+  const double downlink = link.preamble_tari * link.tari_us +
+                          command_bits * link.reader_bit_us();
+  if (reply_bits == 0) {
+    // Idle slot: the reader waits T1 plus a short carrier-sense timeout
+    // (~3 T_pri) before declaring the reply window empty.
+    return downlink + link.t1_us() + 3.0 / link.blf_per_us();
+  }
+  // Busy slot: T1, the backscattered reply (with a ~6-symbol pilot tone
+  // folded into the bit count via +6), then T2 before the next command.
+  const double uplink = (reply_bits + 6) * link.tag_bit_us();
+  return downlink + link.t1_us() + uplink + link.t2_us();
+}
+
+SlotTiming gen2_slot_timing(const Gen2LinkConfig& link,
+                            unsigned command_bits) {
+  link.validate();
+  const double downlink = link.preamble_tari * link.tari_us +
+                          command_bits * link.reader_bit_us();
+  const double reply = link.t1_us() + 7.0 * link.tag_bit_us() + link.t2_us();
+  SlotTiming timing;
+  timing.command_us = static_cast<SimTime>(std::llround(downlink));
+  timing.reply_us = static_cast<SimTime>(std::llround(reply));
+  return timing;
+}
+
+double gen2_session_us(const Gen2LinkConfig& link, std::uint64_t busy_slots,
+                       std::uint64_t idle_slots, unsigned command_bits,
+                       unsigned reply_bits, std::uint64_t rounds,
+                       unsigned begin_bits) {
+  link.validate();
+  const double busy = gen2_slot_us(link, command_bits, reply_bits);
+  const double idle = gen2_slot_us(link, command_bits, 0);
+  const double begin = link.preamble_tari * link.tari_us +
+                       begin_bits * link.reader_bit_us();
+  return static_cast<double>(busy_slots) * busy +
+         static_cast<double>(idle_slots) * idle +
+         static_cast<double>(rounds) * begin;
+}
+
+}  // namespace pet::sim

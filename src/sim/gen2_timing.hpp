@@ -1,0 +1,102 @@
+// EPC Class-1 Generation-2 link timing (EPCglobal [1] in the paper's
+// references): derives realistic slot durations from PHY parameters instead
+// of the fixed defaults, so the harness can report estimation latency in
+// wall-clock terms a deployment engineer would recognize.
+//
+// Model (UHF air interface):
+//   * Reader->tag (R=>T) uses PIE encoding: data-0 takes 1 Tari, data-1
+//     takes between 1.5 and 2 Tari (we use the ratio configured);
+//     each command is framed by a preamble/frame-sync of ~12.5 Tari.
+//   * Tag->reader (T=>R) backscatter rate is BLF/M where BLF = DR/TRcal
+//     and M is the Miller factor (1 = FM0, 2/4/8 = Miller subcarrier).
+//   * T1 (reader-to-tag turnaround) ~= RTcal, T2 (tag-to-reader) ~= 3-20
+//     T_pri; we use the nominal values from the standard's Table 6.16.
+//
+// All durations are in microseconds.  The defaults correspond to a common
+// "fast" profile: Tari = 25 us would be slow; dense-reader deployments use
+// Tari = 6.25 us with DR = 64/3 and M = 4.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ensure.hpp"
+#include "sim/simulator.hpp"
+
+namespace pet::sim {
+
+struct Gen2LinkConfig {
+  double tari_us = 6.25;        ///< reference interval (6.25, 12.5 or 25)
+  double pie_ratio = 1.75;      ///< data-1 length in Tari (1.5 .. 2.0)
+  double divide_ratio = 64.0 / 3.0;  ///< DR: 8 or 64/3
+  double trcal_multiplier = 3.0;     ///< TRcal = multiplier * RTcal
+  unsigned miller = 4;          ///< M: 1 (FM0), 2, 4 or 8
+  double preamble_tari = 12.5;  ///< R=>T preamble + frame-sync length
+
+  void validate() const {
+    expects(tari_us >= 6.25 && tari_us <= 25.0,
+            "Gen2: Tari must be in [6.25, 25] us");
+    expects(pie_ratio >= 1.5 && pie_ratio <= 2.0,
+            "Gen2: PIE ratio must be in [1.5, 2]");
+    expects(miller == 1 || miller == 2 || miller == 4 || miller == 8,
+            "Gen2: Miller factor must be 1, 2, 4 or 8");
+    expects(divide_ratio > 0.0, "Gen2: divide ratio must be positive");
+    expects(trcal_multiplier >= 1.1 && trcal_multiplier <= 3.0,
+            "Gen2: TRcal is 1.1x .. 3x RTcal");
+  }
+
+  /// RTcal = data-0 + data-1 duration.
+  [[nodiscard]] double rtcal_us() const noexcept {
+    return tari_us * (1.0 + pie_ratio);
+  }
+
+  /// Backscatter link frequency in kHz-equivalent (1/us).
+  [[nodiscard]] double blf_per_us() const noexcept {
+    return divide_ratio / (trcal_multiplier * rtcal_us());
+  }
+
+  /// Average R=>T duration of one payload bit (PIE, equiprobable bits).
+  [[nodiscard]] double reader_bit_us() const noexcept {
+    return tari_us * (1.0 + pie_ratio) / 2.0;
+  }
+
+  /// T=>R duration of one payload bit.
+  [[nodiscard]] double tag_bit_us() const noexcept {
+    return static_cast<double>(miller) / blf_per_us();
+  }
+
+  /// T1: reader transmission to tag response turnaround (nominal).
+  [[nodiscard]] double t1_us() const noexcept {
+    // max(RTcal, 10/BLF) per the standard; nominal value.
+    const double ten_tpri = 10.0 / blf_per_us();
+    return rtcal_us() > ten_tpri ? rtcal_us() : ten_tpri;
+  }
+
+  /// T2: tag response to next reader command (nominal 10 T_pri).
+  [[nodiscard]] double t2_us() const noexcept { return 10.0 / blf_per_us(); }
+};
+
+/// Duration of one Reader-Talks-First slot that carries `command_bits`
+/// downlink and expects a reply of `reply_bits` (reply_bits == 0 models an
+/// idle slot, which still waits T1 for the absent response plus a detection
+/// timeout of ~3 T_pri).
+[[nodiscard]] double gen2_slot_us(const Gen2LinkConfig& link,
+                                  unsigned command_bits, unsigned reply_bits);
+
+/// A SlotTiming (the Medium's fixed-cost model) matched to the average cost
+/// of a PET query slot under this link: command of `command_bits` bits and
+/// a 1-bit presence reply.
+[[nodiscard]] SlotTiming gen2_slot_timing(const Gen2LinkConfig& link,
+                                          unsigned command_bits);
+
+/// End-to-end air time of a full estimation session (convenience for the
+/// latency tables): `busy_slots` carry a reply of `reply_bits`, idle slots
+/// do not, and every round begins with one `begin_bits` broadcast.
+[[nodiscard]] double gen2_session_us(const Gen2LinkConfig& link,
+                                     std::uint64_t busy_slots,
+                                     std::uint64_t idle_slots,
+                                     unsigned command_bits,
+                                     unsigned reply_bits,
+                                     std::uint64_t rounds,
+                                     unsigned begin_bits);
+
+}  // namespace pet::sim

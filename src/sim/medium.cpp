@@ -1,0 +1,91 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/ensure.hpp"
+
+namespace pet::sim {
+
+Medium::Medium(ChannelImpairments impairments, SlotTiming timing)
+    : impairments_(impairments), timing_(timing),
+      noise_(impairments.seed) {
+  expects(impairments.reply_loss_prob >= 0.0 &&
+              impairments.reply_loss_prob <= 1.0,
+          "reply_loss_prob must be a probability");
+  expects(impairments.false_busy_prob >= 0.0 &&
+              impairments.false_busy_prob <= 1.0,
+          "false_busy_prob must be a probability");
+}
+
+void Medium::attach(Responder* responder) {
+  expects(responder != nullptr, "Medium::attach: null responder");
+  responders_.push_back(responder);
+}
+
+void Medium::detach(Responder* responder) {
+  const auto it = std::find(responders_.begin(), responders_.end(), responder);
+  if (it != responders_.end()) {
+    *it = responders_.back();
+    responders_.pop_back();
+  }
+}
+
+void Medium::broadcast(const Command& cmd, Simulator& simulator) {
+  for (Responder* responder : responders_) {
+    const auto reply = responder->react(cmd);
+    invariant(!reply.has_value(),
+              "broadcast commands must not solicit replies");
+  }
+  ledger_.reader_bits += advertised_bits(cmd);
+  ledger_.airtime_us += timing_.command_us;
+  simulator.advance(timing_.command_us);
+}
+
+SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
+  SlotObservation obs;
+  std::optional<Reply> sole_reply;
+  std::size_t heard = 0;
+  unsigned uplink_bits = 0;
+
+  std::bernoulli_distribution lost(impairments_.reply_loss_prob);
+  for (Responder* responder : responders_) {
+    const auto reply = responder->react(cmd);
+    if (!reply.has_value()) continue;
+    ++obs.responders;
+    if (impairments_.reply_loss_prob > 0.0 && lost(noise_)) continue;
+    ++heard;
+    uplink_bits += reply->bits;
+    if (heard == 1) {
+      sole_reply = reply;
+    } else {
+      sole_reply.reset();
+    }
+  }
+
+  if (heard == 0) {
+    const bool noise_floor =
+        impairments_.false_busy_prob > 0.0 &&
+        std::bernoulli_distribution(impairments_.false_busy_prob)(noise_);
+    obs.outcome = noise_floor ? SlotOutcome::kCollision : SlotOutcome::kIdle;
+  } else if (heard == 1) {
+    obs.outcome = SlotOutcome::kSingleton;
+    obs.decoded = sole_reply;
+  } else {
+    obs.outcome = SlotOutcome::kCollision;
+  }
+
+  switch (obs.outcome) {
+    case SlotOutcome::kIdle: ++ledger_.idle_slots; break;
+    case SlotOutcome::kSingleton: ++ledger_.singleton_slots; break;
+    case SlotOutcome::kCollision: ++ledger_.collision_slots; break;
+  }
+  ledger_.reader_bits += advertised_bits(cmd);
+  ledger_.tag_bits += uplink_bits;
+  ledger_.airtime_us += timing_.slot_us();
+  simulator.advance(timing_.slot_us());
+  if (observer_) observer_(cmd, obs);
+  return obs;
+}
+
+}  // namespace pet::sim

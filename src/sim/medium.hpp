@@ -1,0 +1,134 @@
+// The shared wireless medium: aggregates tag replies within one slot into
+// the idle / singleton / collision trichotomy the reader's receiver can
+// distinguish (Section 5.1), with optional link impairments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rng/prng.hpp"
+#include "sim/command.hpp"
+#include "sim/simulator.hpp"
+
+namespace pet::sim {
+
+/// A tag's reply in one slot.  Estimation protocols only need presence;
+/// identification protocols decode `payload` (the tag ID) from singletons.
+struct Reply {
+  TagId id{};
+  std::uint64_t payload = 0;
+  unsigned bits = 1;  ///< uplink bits occupied by this reply
+};
+
+/// Anything that reacts to reader commands; implemented by the tag device
+/// models in sim/devices.hpp.
+class Responder {
+ public:
+  virtual ~Responder() = default;
+
+  /// Process a command; return a Reply to transmit in the reply window, or
+  /// nullopt to keep silent.
+  virtual std::optional<Reply> react(const Command& cmd) = 0;
+};
+
+/// Channel impairments.  The paper's evaluation assumes a lossless link with
+/// perfect idle detection (Section 5.1); the defaults reproduce that, and
+/// the robustness benches turn the knobs.
+struct ChannelImpairments {
+  double reply_loss_prob = 0.0;   ///< each reply independently erased
+  double false_busy_prob = 0.0;   ///< an idle slot read as busy (noise)
+  std::uint64_t seed = 0x10551055ULL;
+};
+
+/// What the reader observed in one slot.
+struct SlotObservation {
+  SlotOutcome outcome = SlotOutcome::kIdle;
+  std::size_t responders = 0;          ///< true transmitter count (pre-loss)
+  std::optional<Reply> decoded;        ///< set iff outcome == kSingleton
+};
+
+/// Running totals over a whole estimation/identification session.
+struct SlotLedger {
+  std::uint64_t idle_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t reader_bits = 0;  ///< downlink command bits
+  std::uint64_t tag_bits = 0;     ///< uplink reply bits
+  SimTime airtime_us = 0;
+
+  [[nodiscard]] std::uint64_t total_slots() const noexcept {
+    return idle_slots + singleton_slots + collision_slots;
+  }
+
+  /// Difference of two snapshots of the same ledger (later - earlier);
+  /// used to attribute slots to one estimation session.
+  [[nodiscard]] friend SlotLedger operator-(SlotLedger a,
+                                            const SlotLedger& b) noexcept {
+    a.idle_slots -= b.idle_slots;
+    a.singleton_slots -= b.singleton_slots;
+    a.collision_slots -= b.collision_slots;
+    a.reader_bits -= b.reader_bits;
+    a.tag_bits -= b.tag_bits;
+    a.airtime_us -= b.airtime_us;
+    return a;
+  }
+
+  SlotLedger& operator+=(const SlotLedger& o) noexcept {
+    idle_slots += o.idle_slots;
+    singleton_slots += o.singleton_slots;
+    collision_slots += o.collision_slots;
+    reader_bits += o.reader_bits;
+    tag_bits += o.tag_bits;
+    airtime_us += o.airtime_us;
+    return *this;
+  }
+};
+
+/// One reader's interrogation zone: a set of responders sharing one slotted
+/// channel.  (Multi-reader deployments build one Medium per zone and fuse
+/// observations at the controller; see src/multireader.)
+class Medium {
+ public:
+  explicit Medium(ChannelImpairments impairments = {},
+                  SlotTiming timing = {});
+
+  /// Attach / detach responders (tags entering or leaving the zone).
+  void attach(Responder* responder);
+  void detach(Responder* responder);
+  [[nodiscard]] std::size_t attached() const noexcept {
+    return responders_.size();
+  }
+
+  /// Execute one Reader-Talks-First slot: broadcast `cmd`, collect replies,
+  /// apply impairments, classify the outcome, and account slot costs.
+  SlotObservation run_slot(const Command& cmd, Simulator& simulator);
+
+  /// Downlink-only broadcast (e.g. a round-begin packet): delivers `cmd` to
+  /// every tag, charges command bits and command airtime, but opens no
+  /// reply window and counts no slot.  Matches the paper's accounting,
+  /// where Table 3 counts only the 5 query slots per round.
+  void broadcast(const Command& cmd, Simulator& simulator);
+
+  [[nodiscard]] const SlotLedger& ledger() const noexcept { return ledger_; }
+  void reset_ledger() noexcept { ledger_ = SlotLedger{}; }
+
+  /// Install an eavesdropper: called after every slot with the command and
+  /// the observable outcome.  Models an overhearing device for the
+  /// anonymity analysis of Section 4.6.4.
+  using Observer = std::function<void(const Command&, const SlotObservation&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ private:
+  Observer observer_;
+  std::vector<Responder*> responders_;
+  ChannelImpairments impairments_;
+  SlotTiming timing_;
+  rng::Xoshiro256ss noise_;
+  SlotLedger ledger_;
+};
+
+}  // namespace pet::sim

@@ -1,0 +1,25 @@
+#include "sim/simulator.hpp"
+
+namespace pet::sim {
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  expects(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
+  expects(static_cast<bool>(action), "Simulator::schedule_at: empty action");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+std::size_t Simulator::run(SimTime until) {
+  std::size_t dispatched = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; the entry must be copied out before
+    // pop.  Actions are cheap std::functions, so this is fine.
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.at;
+    entry.action(*this);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace pet::sim

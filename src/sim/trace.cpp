@@ -1,0 +1,90 @@
+#include "sim/trace.hpp"
+
+namespace pet::sim {
+
+namespace {
+
+struct NameVisitor {
+  std::string operator()(const PrefixQueryCmd&) const { return "prefix_query"; }
+  std::string operator()(const RoundBeginCmd&) const { return "round_begin"; }
+  std::string operator()(const RangeQueryCmd&) const { return "range_query"; }
+  std::string operator()(const FrameBeginCmd&) const { return "frame_begin"; }
+  std::string operator()(const SlotPollCmd&) const { return "slot_poll"; }
+  std::string operator()(const AckCmd&) const { return "ack"; }
+  std::string operator()(const IdPrefixQueryCmd&) const {
+    return "id_prefix_query";
+  }
+  std::string operator()(const SplitQueryCmd&) const { return "split_query"; }
+  std::string operator()(const SplitFeedbackCmd&) const {
+    return "split_feedback";
+  }
+};
+
+struct PayloadVisitor {
+  std::string operator()(const PrefixQueryCmd& c) const {
+    return c.path.prefix(c.len).to_string();
+  }
+  std::string operator()(const RoundBeginCmd& c) const {
+    return c.path.to_string();
+  }
+  std::string operator()(const RangeQueryCmd& c) const {
+    return std::to_string(c.bound);
+  }
+  std::string operator()(const FrameBeginCmd& c) const {
+    return "f=" + std::to_string(c.frame_size);
+  }
+  std::string operator()(const SlotPollCmd& c) const {
+    return std::to_string(c.slot);
+  }
+  std::string operator()(const AckCmd& c) const {
+    return std::to_string(c.acked_id);
+  }
+  std::string operator()(const IdPrefixQueryCmd& c) const {
+    return c.prefix.to_string();
+  }
+  std::string operator()(const SplitQueryCmd&) const { return ""; }
+  std::string operator()(const SplitFeedbackCmd& c) const {
+    switch (c.previous) {
+      case SlotOutcome::kIdle: return "idle";
+      case SlotOutcome::kSingleton: return "singleton";
+      case SlotOutcome::kCollision: return "collision";
+    }
+    return "?";
+  }
+};
+
+const char* outcome_name(SlotOutcome outcome) {
+  switch (outcome) {
+    case SlotOutcome::kIdle: return "idle";
+    case SlotOutcome::kSingleton: return "singleton";
+    case SlotOutcome::kCollision: return "collision";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string command_name(const Command& cmd) {
+  return std::visit(NameVisitor{}, cmd);
+}
+
+std::string command_payload(const Command& cmd) {
+  return std::visit(PayloadVisitor{}, cmd);
+}
+
+TraceSink::TraceSink(std::ostream& out, bool write_header) : out_(out) {
+  if (write_header) {
+    out_ << "slot,command,payload,outcome,responders,downlink_bits\n";
+  }
+}
+
+Medium::Observer TraceSink::observer() {
+  return [this](const Command& cmd, const SlotObservation& obs) {
+    out_ << rows_ << ',' << command_name(cmd) << ',' << command_payload(cmd)
+         << ',' << outcome_name(obs.outcome) << ',' << obs.responders << ','
+         << advertised_bits(cmd) << '\n';
+    ++rows_;
+  };
+}
+
+}  // namespace pet::sim

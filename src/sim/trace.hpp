@@ -1,0 +1,38 @@
+// Per-slot protocol tracing: a Medium observer that renders every command
+// and its observable outcome to a line-oriented stream (CSV), for protocol
+// debugging and for auditing what actually crossed the air.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/medium.hpp"
+
+namespace pet::sim {
+
+/// Human/CSV-friendly one-token name of a command.
+[[nodiscard]] std::string command_name(const Command& cmd);
+
+/// Render the command's protocol-relevant payload (path prefix, bound,
+/// frame slot, ...) as a short string.
+[[nodiscard]] std::string command_payload(const Command& cmd);
+
+/// Streams one CSV row per slot:
+///   slot_index,command,payload,outcome,responders,downlink_bits
+/// The stream must outlive the Medium observation.
+class TraceSink {
+ public:
+  explicit TraceSink(std::ostream& out, bool write_header = true);
+
+  /// Install with Medium::set_observer(sink.observer()).
+  [[nodiscard]] Medium::Observer observer();
+
+  [[nodiscard]] std::uint64_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace pet::sim

@@ -1,0 +1,96 @@
+// The (epsilon, delta) accuracy contract of Section 3 and the evaluation
+// metrics of Section 5.1.
+//
+// An estimator is (epsilon, delta)-accurate if
+//     Pr{ |n̂ - n| <= epsilon * n } >= 1 - delta.         (paper Section 3)
+// Evaluation metrics:
+//     Accuracy = n̂ / n                                   (Eq. 22)
+//     sigma    = sqrt(E[(n̂ - n)^2])                      (Eq. 23)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "stats/running_stat.hpp"
+
+namespace pet::stats {
+
+struct AccuracyRequirement {
+  double epsilon = 0.05;  ///< confidence interval half-width, relative
+  double delta = 0.01;    ///< error probability
+
+  void validate() const {
+    expects(epsilon > 0.0 && epsilon < 1.0,
+            "AccuracyRequirement: epsilon must be in (0, 1)");
+    expects(delta > 0.0 && delta < 1.0,
+            "AccuracyRequirement: delta must be in (0, 1)");
+  }
+
+  [[nodiscard]] double interval_lo(double n) const noexcept {
+    return (1.0 - epsilon) * n;
+  }
+  [[nodiscard]] double interval_hi(double n) const noexcept {
+    return (1.0 + epsilon) * n;
+  }
+};
+
+/// Aggregates repeated estimation trials of a known ground truth n and
+/// reports the paper's metrics.
+class TrialSummary {
+ public:
+  explicit TrialSummary(double true_n) : true_n_(true_n) {
+    expects(true_n > 0.0, "TrialSummary: true_n must be positive");
+  }
+
+  void add(double n_hat) {
+    estimates_.add(n_hat);
+    raw_.push_back(n_hat);
+  }
+
+  [[nodiscard]] double true_n() const noexcept { return true_n_; }
+  [[nodiscard]] std::uint64_t trials() const noexcept { return estimates_.count(); }
+
+  /// Eq. (22): mean of n̂ / n over trials.
+  [[nodiscard]] double accuracy() const noexcept {
+    return estimates_.mean() / true_n_;
+  }
+
+  /// Eq. (23): sqrt(E[(n̂ - n)^2]), deviation about the *true* count.
+  [[nodiscard]] double deviation() const noexcept {
+    return estimates_.rms_about(true_n_);
+  }
+
+  /// Eq. (23) normalized by n (the paper's Fig. 4c).
+  [[nodiscard]] double normalized_deviation() const noexcept {
+    return deviation() / true_n_;
+  }
+
+  /// Empirical Pr{ |n̂ - n| <= epsilon n }.
+  [[nodiscard]] double fraction_within(double epsilon) const noexcept {
+    if (raw_.empty()) return 0.0;
+    std::uint64_t inside = 0;
+    for (const double x : raw_) {
+      if (x >= (1.0 - epsilon) * true_n_ && x <= (1.0 + epsilon) * true_n_) {
+        ++inside;
+      }
+    }
+    return static_cast<double>(inside) / static_cast<double>(raw_.size());
+  }
+
+  /// True iff the empirical in-interval fraction meets 1 - delta.
+  [[nodiscard]] bool meets(const AccuracyRequirement& req) const noexcept {
+    return fraction_within(req.epsilon) >= 1.0 - req.delta;
+  }
+
+  [[nodiscard]] const std::vector<double>& raw_estimates() const noexcept {
+    return raw_;
+  }
+
+ private:
+  double true_n_;
+  RunningStat estimates_;
+  std::vector<double> raw_;
+};
+
+}  // namespace pet::stats

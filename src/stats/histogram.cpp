@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  expects(hi > lo, "Histogram: hi must exceed lo");
+  expects(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  samples_.push_back(x);
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  expects(bin < counts_.size(), "Histogram::count bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  expects(bin < counts_.size(), "Histogram::bin_center bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::fraction_within(double lo, double hi) const noexcept {
+  if (total_ == 0) return 0.0;
+  const auto inside = std::count_if(
+      samples_.begin(), samples_.end(),
+      [&](double x) { return x >= lo && x <= hi; });
+  return static_cast<double>(inside) / static_cast<double>(total_);
+}
+
+std::string Histogram::render_ascii(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[48];
+    std::snprintf(label, sizeof label, "%12.1f | ", bin_center(b));
+    out += label;
+    const auto width = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[b]) * static_cast<double>(max_width) /
+                     static_cast<double>(peak)));
+    out.append(width, '#');
+    char tail[32];
+    std::snprintf(tail, sizeof tail, " %llu\n",
+                  static_cast<unsigned long long>(counts_[b]));
+    out += tail;
+  }
+  return out;
+}
+
+}  // namespace pet::stats

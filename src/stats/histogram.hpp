@@ -1,0 +1,49 @@
+// Fixed-bin histogram used to render the Fig. 6 estimate distributions and
+// to compare empirical distributions in property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace pet::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); samples outside land in the under/overflow
+  /// counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Midpoint of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Fraction of all samples (including under/overflow) in [lo, hi].
+  [[nodiscard]] double fraction_within(double lo, double hi) const noexcept;
+
+  /// Multi-line ASCII bar rendering (one row per bin), for harness output.
+  [[nodiscard]] std::string render_ascii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> samples_;  // kept for exact fraction_within
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pet::stats

@@ -1,0 +1,43 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+
+namespace pet::stats {
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  expects(!a.empty() && !b.empty(), "ks_statistic: inputs must be nonempty");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double ks_critical_value(std::size_t n, std::size_t m, double alpha) {
+  expects(n > 0 && m > 0, "ks_critical_value: sample sizes must be positive");
+  expects(alpha > 0.0 && alpha < 1.0, "ks_critical_value: alpha in (0, 1)");
+  const double c = std::sqrt(-0.5 * std::log(alpha / 2.0));
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  return c * std::sqrt((nn + mm) / (nn * mm));
+}
+
+}  // namespace pet::stats

@@ -1,0 +1,20 @@
+// Two-sample Kolmogorov-Smirnov distance, used by the property-test suite
+// to certify that the sampled fast channels are distributionally identical
+// to the exact per-tag channels.
+#pragma once
+
+#include <span>
+
+namespace pet::stats {
+
+/// Two-sample KS statistic sup_x |F1(x) - F2(x)|.  Inputs need not be
+/// sorted; both must be nonempty.
+[[nodiscard]] double ks_statistic(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// Asymptotic critical value for the two-sample KS test at significance
+/// alpha: c(alpha) * sqrt((n+m)/(n*m)).
+[[nodiscard]] double ks_critical_value(std::size_t n, std::size_t m,
+                                       double alpha);
+
+}  // namespace pet::stats

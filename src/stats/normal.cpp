@@ -1,0 +1,76 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace pet::stats {
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+/// Acklam's rational approximation to the normal quantile (|err| < 1.15e-9),
+/// then one Halley refinement against the exact CDF.
+double normal_quantile_acklam(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace
+
+double normal_quantile(double p) {
+  expects(p > 0.0 && p < 1.0, "normal_quantile: p must be in (0, 1)");
+  double x = normal_quantile_acklam(p);
+  // One Halley step: u = (Phi(x) - p) / phi(x); x -= u / (1 + x u / 2).
+  const double e = normal_cdf(x) - p;
+  const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+  if (pdf > 0.0) {
+    const double u = e / pdf;
+    x -= u / (1.0 + 0.5 * x * u);
+  }
+  return x;
+}
+
+double erf_inv(double y) {
+  expects(y > -1.0 && y < 1.0, "erf_inv: y must be in (-1, 1)");
+  // erf(x) = 2 Phi(x sqrt(2)) - 1  =>  erf_inv(y) = Phi^-1((y+1)/2) / sqrt(2).
+  return normal_quantile(0.5 * (y + 1.0)) / std::sqrt(2.0);
+}
+
+double two_sided_normal_constant(double delta) {
+  expects(delta > 0.0 && delta < 1.0,
+          "two_sided_normal_constant: delta must be in (0, 1)");
+  return std::sqrt(2.0) * erf_inv(1.0 - delta);
+}
+
+}  // namespace pet::stats

@@ -1,0 +1,25 @@
+// Gaussian tail utilities used by the round-count planning math.
+//
+// Eq. (17) of the paper picks the constant c with 1 - delta = erf(c/sqrt(2)),
+// i.e. c is the standard-normal two-sided quantile.  We implement the
+// inverse with Acklam's rational approximation refined by one Halley step on
+// std::erf, giving ~1e-15 accuracy over the usable range.
+#pragma once
+
+namespace pet::stats {
+
+/// Standard normal CDF Phi(x).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF; p in (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+/// Inverse error function; y in (-1, 1).
+[[nodiscard]] double erf_inv(double y);
+
+/// The paper's Eq. (17) constant: c such that erf(c/sqrt(2)) = 1 - delta,
+/// i.e. a standard normal lies in [-c, c] with probability 1 - delta.
+/// delta in (0, 1).
+[[nodiscard]] double two_sided_normal_constant(double delta);
+
+}  // namespace pet::stats

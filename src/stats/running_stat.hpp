@@ -1,0 +1,75 @@
+// Numerically stable streaming moments (Welford's algorithm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/ensure.hpp"
+
+namespace pet::stats {
+
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Population variance (divide by N); matches the paper's Eq. (23),
+  /// which measures dispersion around the *true* count via E[(n̂-n)^2]
+  /// when centered externally.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Unbiased sample variance (divide by N-1).
+  [[nodiscard]] double sample_variance() const {
+    expects(count_ >= 2, "sample_variance needs at least two samples");
+    return m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Root mean squared deviation around an external center c:
+  /// sqrt(E[(x - c)^2]) = sqrt(var + (mean - c)^2).
+  [[nodiscard]] double rms_about(double center) const noexcept {
+    const double bias = mean_ - center;
+    return std::sqrt(variance() + bias * bias);
+  }
+
+  void merge(const RunningStat& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta *
+                           (static_cast<double>(count_) *
+                            static_cast<double>(other.count_) / total);
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pet::stats

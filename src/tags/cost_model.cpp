@@ -1,0 +1,67 @@
+#include "tags/cost_model.hpp"
+
+#include <bit>
+
+namespace pet::tags {
+
+std::string_view to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kPet: return "PET";
+    case ProtocolKind::kFneb: return "FNEB";
+    case ProtocolKind::kLof: return "LoF";
+    case ProtocolKind::kUpe: return "UPE";
+    case ProtocolKind::kEzb: return "EZB";
+  }
+  return "unknown";
+}
+
+std::uint64_t preload_memory_bits(ProtocolKind kind, std::uint64_t rounds,
+                                  unsigned word_bits) noexcept {
+  switch (kind) {
+    case ProtocolKind::kPet:
+      // A single code shared by all rounds (Algorithm 4): the reader's
+      // fresh estimating path supplies the per-round randomness.
+      return word_bits;
+    case ProtocolKind::kFneb:
+    case ProtocolKind::kLof:
+    case ProtocolKind::kUpe:
+    case ProtocolKind::kEzb:
+      // One fresh random value consumed per round.
+      return rounds * word_bits;
+  }
+  return 0;
+}
+
+std::uint64_t hash_ops(ProtocolKind kind, std::uint64_t rounds) noexcept {
+  switch (kind) {
+    case ProtocolKind::kPet:
+      // Preloaded mode: zero on-chip hashing.  (Per-round mode would cost
+      // `rounds`, matching the baselines; exposed via PET's CodeMode.)
+      return 0;
+    case ProtocolKind::kFneb:
+    case ProtocolKind::kLof:
+    case ProtocolKind::kUpe:
+    case ProtocolKind::kEzb:
+      return rounds;
+  }
+  return 0;
+}
+
+unsigned command_bits_per_query(CommandEncoding encoding,
+                                unsigned tree_height) noexcept {
+  switch (encoding) {
+    case CommandEncoding::kFullMask:
+      return tree_height;
+    case CommandEncoding::kMidIndex: {
+      // ceil(log2(tree_height + 1)) bits index every possible prefix length.
+      unsigned bits = 0;
+      while ((1u << bits) < tree_height + 1) ++bits;
+      return bits;
+    }
+    case CommandEncoding::kOneBitAck:
+      return 1;
+  }
+  return tree_height;
+}
+
+}  // namespace pet::tags

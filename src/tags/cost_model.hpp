@@ -1,0 +1,69 @@
+// Per-tag computation/memory cost accounting (Section 4.6.1 and Fig. 7).
+//
+// The paper's overhead comparison is about what a *passive* tag must carry
+// to participate in m rounds of estimation:
+//   * PET  : one preloaded 32-bit code, reused by every round (Alg. 4);
+//   * FNEB : a fresh uniform random number per round  -> m words preloaded;
+//   * LoF  : a fresh geometric random number per round -> m words preloaded.
+// Active tags instead pay per-round hash computations.  Both dimensions are
+// modeled here, plus the reader-side command overhead optimizations of
+// Section 4.6.2 (full 32-bit mask vs 5-bit mid vs 1-bit feedback).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pet::tags {
+
+/// Which estimation protocol a tag participates in.
+enum class ProtocolKind : std::uint8_t { kPet, kFneb, kLof, kUpe, kEzb };
+
+[[nodiscard]] std::string_view to_string(ProtocolKind kind) noexcept;
+
+/// How the tag obtains its per-round randomness.
+enum class TagEnergyClass : std::uint8_t {
+  kPassive,  ///< no on-chip hashing; randomness must be preloaded
+  kActive,   ///< can run a hash per round; no preload beyond the ID
+};
+
+/// Memory (bits) a passive tag must preload to support `rounds` rounds.
+/// `word_bits` is the size of one random value (32 in the paper's setup).
+[[nodiscard]] std::uint64_t preload_memory_bits(ProtocolKind kind,
+                                                std::uint64_t rounds,
+                                                unsigned word_bits = 32) noexcept;
+
+/// Hash evaluations an active tag performs across `rounds` rounds.
+[[nodiscard]] std::uint64_t hash_ops(ProtocolKind kind,
+                                     std::uint64_t rounds) noexcept;
+
+/// Runtime event counters accumulated by simulated tag devices; lets tests
+/// assert, e.g., that a preloaded-mode PET tag never hashes.
+struct TagCostLedger {
+  std::uint64_t hash_evaluations = 0;   ///< on-chip hash invocations
+  std::uint64_t prefix_compares = 0;    ///< bitwise mask comparisons
+  std::uint64_t responses_sent = 0;     ///< reply-slot transmissions
+  std::uint64_t command_bits_heard = 0; ///< downlink bits decoded
+
+  TagCostLedger& operator+=(const TagCostLedger& other) noexcept {
+    hash_evaluations += other.hash_evaluations;
+    prefix_compares += other.prefix_compares;
+    responses_sent += other.responses_sent;
+    command_bits_heard += other.command_bits_heard;
+    return *this;
+  }
+};
+
+/// Reader->tag command encoding for one PET query (Section 4.6.2).
+enum class CommandEncoding : std::uint8_t {
+  kFullMask,    ///< broadcast the full H-bit mask (baseline), H bits/slot
+  kMidIndex,    ///< broadcast only the 5-bit prefix length "mid"
+  kOneBitAck,   ///< broadcast 1 bit (previous slot empty/nonempty);
+                ///< tags track low/high locally
+};
+
+/// Downlink bits per query slot under the chosen encoding, for a tree of
+/// height `tree_height`.
+[[nodiscard]] unsigned command_bits_per_query(CommandEncoding encoding,
+                                              unsigned tree_height) noexcept;
+
+}  // namespace pet::tags

@@ -1,0 +1,68 @@
+#include "tags/mobility.hpp"
+
+#include <random>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+
+namespace pet::tags {
+
+ZoneMap::ZoneMap(std::size_t zone_count, std::uint64_t seed)
+    : zone_count_(zone_count), seed_(seed) {
+  expects(zone_count >= 1, "ZoneMap needs at least one zone");
+}
+
+void ZoneMap::scatter(const TagPopulation& pop) {
+  placements_.clear();
+  placements_.reserve(pop.size());
+  rng::Xoshiro256ss gen(rng::derive_seed(seed_, 0x5ca7));
+  for (const TagId id : pop.ids()) {
+    placements_.push_back(
+        {id, static_cast<std::size_t>(gen() % zone_count_), false});
+  }
+}
+
+void ZoneMap::add_overlap(double overlap_prob) {
+  expects(overlap_prob >= 0.0 && overlap_prob <= 1.0,
+          "overlap_prob must be a probability");
+  if (zone_count_ < 2) return;
+  rng::Xoshiro256ss gen(rng::derive_seed(seed_, 0x07e1));
+  std::bernoulli_distribution coin(overlap_prob);
+  for (auto& p : placements_) p.overlaps_next = coin(gen);
+}
+
+std::vector<TagId> ZoneMap::audible_in(std::size_t zone) const {
+  expects(zone < zone_count_, "audible_in: zone out of range");
+  std::vector<TagId> out;
+  for (const auto& p : placements_) {
+    const bool home = p.home == zone;
+    const bool overlap =
+        p.overlaps_next && ((p.home + 1) % zone_count_) == zone;
+    if (home || overlap) out.push_back(p.id);
+  }
+  return out;
+}
+
+std::size_t ZoneMap::step(double move_prob) {
+  expects(move_prob >= 0.0 && move_prob <= 1.0,
+          "move_prob must be a probability");
+  if (zone_count_ < 2) return 0;
+  rng::Xoshiro256ss gen(rng::derive_seed(seed_, 0xa100 + step_counter_));
+  ++step_counter_;
+  std::bernoulli_distribution coin(move_prob);
+  std::size_t moved = 0;
+  for (auto& p : placements_) {
+    if (!coin(gen)) continue;
+    std::size_t target = static_cast<std::size_t>(gen() % (zone_count_ - 1));
+    if (target >= p.home) ++target;  // uniform over zones != home
+    p.home = target;
+    ++moved;
+  }
+  return moved;
+}
+
+std::size_t ZoneMap::distinct_tags() const noexcept {
+  return placements_.size();
+}
+
+}  // namespace pet::tags

@@ -1,0 +1,56 @@
+// Zone assignment and mobility for the multi-reader scenarios of
+// Section 4.6.3: tags attached to mobile objects wander across the coverage
+// areas of several readers, and overlapping coverage means one tag may be
+// heard by more than one reader in the same slot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tags/population.hpp"
+
+namespace pet::tags {
+
+/// Maps every tag of a population to one *home* zone plus, optionally, extra
+/// zones whose readers also cover it (overlap).  Zones are dense indices
+/// [0, zone_count).
+class ZoneMap {
+ public:
+  ZoneMap(std::size_t zone_count, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t zone_count() const noexcept { return zone_count_; }
+
+  /// Uniformly scatter all tags of `pop` over the zones.
+  void scatter(const TagPopulation& pop);
+
+  /// Make each tag additionally audible in its neighbouring zone with
+  /// probability `overlap_prob` (models overlapping reader coverage).
+  void add_overlap(double overlap_prob);
+
+  /// Tags currently audible to the reader of `zone` (home + overlap).
+  [[nodiscard]] std::vector<TagId> audible_in(std::size_t zone) const;
+
+  /// Move each tag, independently with probability `move_prob`, to a
+  /// uniformly random other zone.  Returns how many moved.
+  std::size_t step(double move_prob);
+
+  /// Total number of *distinct* tags across all zones (ground truth the
+  /// multi-reader controller should recover despite duplicates).
+  [[nodiscard]] std::size_t distinct_tags() const noexcept;
+
+ private:
+  struct Placement {
+    TagId id{};
+    std::size_t home = 0;
+    bool overlaps_next = false;  ///< also audible in (home + 1) % zones
+  };
+
+  std::size_t zone_count_;
+  std::uint64_t seed_;
+  std::uint64_t step_counter_ = 0;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace pet::tags

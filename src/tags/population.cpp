@@ -1,0 +1,70 @@
+#include "tags/population.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+
+namespace pet::tags {
+
+TagPopulation TagPopulation::generate(std::size_t count, std::uint64_t seed) {
+  TagPopulation pop;
+  pop.ids_.reserve(count);
+  pop.index_.reserve(count * 2);
+  rng::Xoshiro256ss gen(seed);
+  while (pop.ids_.size() < count) {
+    const std::uint64_t candidate = gen();
+    if (pop.index_.insert(candidate).second) {
+      pop.ids_.push_back(TagId{candidate});
+    }
+  }
+  return pop;
+}
+
+bool TagPopulation::join(TagId id) {
+  if (!index_.insert(to_underlying(id)).second) return false;
+  ids_.push_back(id);
+  return true;
+}
+
+std::vector<TagId> TagPopulation::join_fresh(std::size_t count,
+                                             std::uint64_t seed) {
+  std::vector<TagId> fresh;
+  fresh.reserve(count);
+  rng::Xoshiro256ss gen(seed);
+  while (fresh.size() < count) {
+    const std::uint64_t candidate = gen();
+    if (index_.insert(candidate).second) {
+      ids_.push_back(TagId{candidate});
+      fresh.push_back(TagId{candidate});
+    }
+  }
+  return fresh;
+}
+
+bool TagPopulation::leave(TagId id) {
+  if (index_.erase(to_underlying(id)) == 0) return false;
+  const auto it = std::find(ids_.begin(), ids_.end(), id);
+  invariant(it != ids_.end(), "population index and list out of sync");
+  // Order is not meaningful; swap-remove keeps leave O(1) amortized.
+  *it = ids_.back();
+  ids_.pop_back();
+  return true;
+}
+
+std::size_t TagPopulation::leave_random(std::size_t count, std::uint64_t seed) {
+  rng::Xoshiro256ss gen(seed);
+  std::size_t removed = 0;
+  while (removed < count && !ids_.empty()) {
+    const std::size_t pick =
+        static_cast<std::size_t>(gen() % ids_.size());
+    const TagId victim = ids_[pick];
+    index_.erase(to_underlying(victim));
+    ids_[pick] = ids_.back();
+    ids_.pop_back();
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace pet::tags

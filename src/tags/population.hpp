@@ -1,0 +1,54 @@
+// TagPopulation: the set of physical tags present in the interrogation
+// region, with support for the dynamic scenarios of Section 4.6.3
+// (join/leave, movement across reader zones).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pet::tags {
+
+class TagPopulation {
+ public:
+  TagPopulation() = default;
+
+  /// Generate `count` tags with unique pseudo-random 64-bit IDs derived
+  /// deterministically from `seed` (IDs model factory-assigned EPCs).
+  static TagPopulation generate(std::size_t count, std::uint64_t seed);
+
+  /// Number of tags currently present.
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  /// Stable view of the current tag IDs.  Invalidated by join/leave.
+  [[nodiscard]] std::span<const TagId> ids() const noexcept { return ids_; }
+
+  [[nodiscard]] bool contains(TagId id) const noexcept {
+    return index_.contains(to_underlying(id));
+  }
+
+  /// Add a tag; returns false (and changes nothing) if already present.
+  bool join(TagId id);
+
+  /// Add `count` fresh tags with IDs derived from `seed`; returns the new
+  /// tags' IDs.
+  std::vector<TagId> join_fresh(std::size_t count, std::uint64_t seed);
+
+  /// Remove a tag; returns false if it was not present.
+  bool leave(TagId id);
+
+  /// Remove up to `count` tags chosen deterministically from `seed`;
+  /// returns how many actually left.
+  std::size_t leave_random(std::size_t count, std::uint64_t seed);
+
+ private:
+  std::vector<TagId> ids_;
+  std::unordered_set<std::uint64_t> index_;
+};
+
+}  // namespace pet::tags

@@ -1,0 +1,191 @@
+// Unit tests for src/common: BitCode semantics, strong types, contracts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bitcode.hpp"
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace pet {
+namespace {
+
+TEST(BitCode, DefaultIsEmpty) {
+  const BitCode code;
+  EXPECT_EQ(code.width(), 0u);
+  EXPECT_EQ(code.value(), 0u);
+  EXPECT_TRUE(code.empty());
+  EXPECT_EQ(code.to_string(), "");
+}
+
+TEST(BitCode, ConstructsWithWidthAndValue) {
+  const BitCode code(0b0011, 4);
+  EXPECT_EQ(code.width(), 4u);
+  EXPECT_EQ(code.value(), 0b0011u);
+  EXPECT_EQ(code.to_string(), "0011");
+}
+
+TEST(BitCode, RejectsValueWiderThanWidth) {
+  EXPECT_THROW(BitCode(0b10000, 4), PreconditionError);
+  EXPECT_THROW(BitCode(1, 0), PreconditionError);
+}
+
+TEST(BitCode, RejectsWidthBeyond64) {
+  EXPECT_THROW(BitCode(0, 65), PreconditionError);
+}
+
+TEST(BitCode, Accepts64BitFullWidth) {
+  const BitCode code(~std::uint64_t{0}, 64);
+  EXPECT_EQ(code.width(), 64u);
+  EXPECT_TRUE(code.bit(0));
+  EXPECT_TRUE(code.bit(63));
+}
+
+TEST(BitCode, BitIndexingIsMsbFirst) {
+  const BitCode code = BitCode::parse("1010");
+  EXPECT_TRUE(code.bit(0));
+  EXPECT_FALSE(code.bit(1));
+  EXPECT_TRUE(code.bit(2));
+  EXPECT_FALSE(code.bit(3));
+  EXPECT_THROW(code.bit(4), PreconditionError);
+}
+
+TEST(BitCode, ParseRoundTrips) {
+  for (const auto* text : {"0", "1", "0001", "0110", "1011", "1110",
+                           "000011", "11111111111111111111111111111111"}) {
+    EXPECT_EQ(BitCode::parse(text).to_string(), text);
+  }
+}
+
+TEST(BitCode, ParseRejectsNonBinary) {
+  EXPECT_THROW(BitCode::parse("01x1"), ConfigError);
+  EXPECT_THROW(BitCode::parse("2"), ConfigError);
+}
+
+TEST(BitCode, ParseRejectsOverlongLiteral) {
+  EXPECT_THROW(BitCode::parse(std::string(65, '0')), ConfigError);
+}
+
+TEST(BitCode, PrefixExtractsLeadingBits) {
+  const BitCode code = BitCode::parse("110101");
+  EXPECT_EQ(code.prefix(0), BitCode{});
+  EXPECT_EQ(code.prefix(3).to_string(), "110");
+  EXPECT_EQ(code.prefix(6), code);
+  EXPECT_THROW(code.prefix(7), PreconditionError);
+}
+
+TEST(BitCode, MatchesPrefixAgreesWithPaperExample) {
+  // Paper Fig. 1: tags 0001, 0110, 1011, 1110; estimating path 0011.
+  const BitCode path = BitCode::parse("0011");
+  EXPECT_TRUE(BitCode::parse("0001").matches_prefix(path, 1));
+  EXPECT_TRUE(BitCode::parse("0110").matches_prefix(path, 1));
+  EXPECT_FALSE(BitCode::parse("1011").matches_prefix(path, 1));
+  EXPECT_TRUE(BitCode::parse("0001").matches_prefix(path, 2));
+  EXPECT_FALSE(BitCode::parse("0110").matches_prefix(path, 2));
+  // No tag matches 001*: the paper's idle slot at prefix length 3.
+  for (const auto* tag : {"0001", "0110", "1011", "1110"}) {
+    EXPECT_FALSE(BitCode::parse(tag).matches_prefix(path, 3)) << tag;
+  }
+}
+
+TEST(BitCode, CommonPrefixLenMatchesManualCases) {
+  EXPECT_EQ(BitCode::parse("0011").common_prefix_len(BitCode::parse("0001")),
+            2u);
+  EXPECT_EQ(BitCode::parse("0011").common_prefix_len(BitCode::parse("0011")),
+            4u);
+  EXPECT_EQ(BitCode::parse("1011").common_prefix_len(BitCode::parse("0011")),
+            0u);
+  EXPECT_EQ(BitCode{}.common_prefix_len(BitCode{}), 0u);
+}
+
+TEST(BitCode, CommonPrefixLenRequiresEqualWidths) {
+  EXPECT_THROW(
+      BitCode::parse("01").common_prefix_len(BitCode::parse("011")),
+      PreconditionError);
+}
+
+TEST(BitCode, ExtendedAppendsBranchBits) {
+  BitCode code;
+  code = code.extended(true);
+  code = code.extended(false);
+  code = code.extended(true);
+  EXPECT_EQ(code.to_string(), "101");
+}
+
+TEST(BitCode, ExtendedRefusesToGrowPast64) {
+  BitCode code(~std::uint64_t{0}, 64);
+  EXPECT_THROW((void)code.extended(true), PreconditionError);
+}
+
+TEST(BitCode, SixtyFourBitPrefixOperations) {
+  const BitCode a(0x8000000000000000ULL, 64);
+  const BitCode b(0x8000000000000001ULL, 64);
+  EXPECT_EQ(a.common_prefix_len(b), 63u);
+  EXPECT_TRUE(a.matches_prefix(b, 63));
+  EXPECT_FALSE(a.matches_prefix(b, 64));
+}
+
+TEST(BitCode, OrderingIsByWidthThenValue) {
+  EXPECT_LT(BitCode::parse("1"), BitCode::parse("00"));
+  EXPECT_LT(BitCode::parse("01"), BitCode::parse("10"));
+}
+
+/// matches_prefix(other, len) must equal prefix(len) == other.prefix(len)
+/// for every length; exercised across widths.
+class BitCodePrefixProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(BitCodePrefixProperty, MatchesPrefixEqualsPrefixComparison) {
+  const auto [width, salt] = GetParam();
+  // Two deterministic codes of the given width.
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  const BitCode a((0x9e3779b97f4a7c15ULL * (salt + 1)) & mask, width);
+  const BitCode b((0xbf58476d1ce4e5b9ULL * (salt + 3)) & mask, width);
+  for (unsigned len = 0; len <= width; ++len) {
+    EXPECT_EQ(a.matches_prefix(b, len), a.prefix(len) == b.prefix(len))
+        << "width=" << width << " len=" << len;
+  }
+  // common_prefix_len is the largest matching length.
+  const unsigned lcp = a.common_prefix_len(b);
+  EXPECT_TRUE(a.matches_prefix(b, lcp));
+  if (lcp < width) EXPECT_FALSE(a.matches_prefix(b, lcp + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BitCodePrefixProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 16u, 32u, 63u, 64u),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u)));
+
+TEST(StrongTypes, DepthHeightConversionsRoundTrip) {
+  const unsigned h = 32;
+  for (unsigned d = 0; d <= h; ++d) {
+    const GrayHeight g = to_gray_height(PrefixDepth{d}, h);
+    EXPECT_EQ(g.value, h - d);
+    EXPECT_EQ(to_prefix_depth(g, h).value, d);
+  }
+  EXPECT_THROW(to_gray_height(PrefixDepth{33}, 32), PreconditionError);
+}
+
+TEST(StrongTypes, SlotOutcomeNonemptyClassification) {
+  EXPECT_FALSE(is_nonempty(SlotOutcome::kIdle));
+  EXPECT_TRUE(is_nonempty(SlotOutcome::kSingleton));
+  EXPECT_TRUE(is_nonempty(SlotOutcome::kCollision));
+}
+
+TEST(Ensure, ExpectsThrowsWithLocation) {
+  try {
+    expects(false, "boom");
+    FAIL() << "expects(false) must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test"), std::string::npos);
+  }
+}
+
+TEST(Ensure, ExpectsPassesSilently) {
+  EXPECT_NO_THROW(expects(true, "never"));
+}
+
+}  // namespace
+}  // namespace pet

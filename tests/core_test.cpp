@@ -1,0 +1,334 @@
+// Tests for src/core: the Section-4.2 theory, the round planner (Eq. 20),
+// the reader algorithms (Algorithms 1 and 3), and the estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/exact_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "common/ensure.hpp"
+#include "core/anonymity.hpp"
+#include "core/constants.hpp"
+#include "core/estimator.hpp"
+#include "core/planner.hpp"
+#include "core/theory.hpp"
+#include "rng/prng.hpp"
+#include "stats/accuracy.hpp"
+#include "stats/running_stat.hpp"
+#include "tags/population.hpp"
+
+namespace pet::core {
+namespace {
+
+std::vector<TagId> make_tags(std::size_t n, std::uint64_t seed) {
+  const auto pop = tags::TagPopulation::generate(n, seed);
+  return {pop.ids().begin(), pop.ids().end()};
+}
+
+TEST(Constants, MatchThePaperToFiveDecimals) {
+  EXPECT_NEAR(kPhi, 1.25941, 1e-5);      // Eq. (9)
+  EXPECT_NEAR(kSigmaH, 1.87271, 1e-5);   // Eq. (11)
+}
+
+TEST(DepthDistribution, PmfSumsToOne) {
+  for (const std::uint64_t n : {0ull, 1ull, 10ull, 1000ull, 1000000ull}) {
+    const DepthDistribution dist(n, 32);
+    double total = 0.0;
+    for (unsigned k = 0; k <= 32; ++k) total += dist.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(DepthDistribution, ZeroTagsConcentrateAtDepthZero) {
+  const DepthDistribution dist(0, 32);
+  EXPECT_DOUBLE_EQ(dist.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+}
+
+TEST(DepthDistribution, MeanTracksMellinAsymptotics) {
+  // Eq. (9): E(d) ~= log2(phi n); the periodic wobble is < 1e-5 and the
+  // O(1/sqrt n) term is tiny for these n.
+  for (const std::uint64_t n : {1000ull, 10000ull, 100000ull, 1000000ull}) {
+    const DepthDistribution dist(n, 48);
+    EXPECT_NEAR(dist.mean(), asymptotic_mean_depth(static_cast<double>(n)),
+                5e-3)
+        << "n=" << n;
+  }
+}
+
+TEST(DepthDistribution, StddevTracksEq11) {
+  for (const std::uint64_t n : {1000ull, 50000ull, 1000000ull}) {
+    const DepthDistribution dist(n, 48);
+    EXPECT_NEAR(dist.stddev(), kSigmaH, 5e-3) << "n=" << n;
+  }
+}
+
+TEST(DepthDistribution, TruncationShowsUpForSmallTrees) {
+  // With H = 8 and n = 10^6, every path saturates at depth 8: the p ~ 0
+  // regime of the paper's Section 4.2 (choose H large enough!).  The mass
+  // below depth 8 underflows to exactly zero.
+  const DepthDistribution dist(1000000, 8);
+  EXPECT_DOUBLE_EQ(dist.cdf(7), 0.0);
+  EXPECT_DOUBLE_EQ(dist.pmf(8), 1.0);
+  EXPECT_DOUBLE_EQ(dist.mean(), 8.0);
+}
+
+TEST(DepthDistribution, SampleMatchesMoments) {
+  const DepthDistribution dist(50000, 32);
+  rng::Xoshiro256ss gen(21);
+  stats::RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.add(static_cast<double>(dist.sample(gen)));
+  }
+  EXPECT_NEAR(stat.mean(), dist.mean(), 0.05);
+  EXPECT_NEAR(stat.stddev(), dist.stddev(), 0.05);
+}
+
+TEST(Estimation, EstimateFromMeanDepthInvertsAsymptoticMean) {
+  for (const double n : {100.0, 5e4, 1e6}) {
+    EXPECT_NEAR(estimate_from_mean_depth(asymptotic_mean_depth(n)), n,
+                n * 1e-12);
+  }
+}
+
+TEST(RequiredRounds, MatchesHandComputedEq20) {
+  // eps = 5%, delta = 1%: c = 2.57583, sigma = 1.87271.
+  // log2(1.05) = 0.070389; m = (c sigma / 0.070389)^2 = 4696.37 -> 4697.
+  EXPECT_EQ(required_rounds({0.05, 0.01}), 4697u);
+  // Looser eps shrinks m quadratically.
+  EXPECT_EQ(required_rounds({0.20, 0.01}),
+            static_cast<std::uint64_t>(
+                std::ceil(std::pow(2.575829304 * kSigmaH /
+                                       std::log2(1.2), 2))));
+  // The max() in Eq. (20) picks the log2(1+eps) branch (smaller divisor).
+  const double c = 2.575829304;
+  const double lo = std::pow(c * kSigmaH / std::log2(1.0 / 0.95), 2);
+  const double hi = std::pow(c * kSigmaH / std::log2(1.05), 2);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(RequiredRounds, MonotoneInBothParameters) {
+  EXPECT_GT(required_rounds({0.05, 0.01}), required_rounds({0.10, 0.01}));
+  EXPECT_GT(required_rounds({0.05, 0.01}), required_rounds({0.05, 0.05}));
+}
+
+TEST(PetConfig, SlotBudgetsPerSearchMode) {
+  PetConfig config;
+  config.tree_height = 32;
+  config.search = SearchMode::kBinaryPaper;
+  EXPECT_EQ(config.worst_case_slots_per_round(), 5u)
+      << "the paper's Table 3: five slots per round at H = 32";
+  config.search = SearchMode::kBinaryStrict;
+  EXPECT_EQ(config.worst_case_slots_per_round(), 7u);
+  config.search = SearchMode::kLinear;
+  EXPECT_EQ(config.worst_case_slots_per_round(), 33u);
+}
+
+TEST(PetConfig, BeginBitsCoverPathAndSeed) {
+  PetConfig config;
+  EXPECT_EQ(config.begin_bits(), 32u);
+  config.tags_rehash = true;
+  EXPECT_EQ(config.begin_bits(), 64u);
+}
+
+class SearchModeTest : public ::testing::TestWithParam<SearchMode> {};
+
+TEST_P(SearchModeTest, RecoversBruteForceDepth) {
+  const unsigned h = 32;
+  const auto tags = make_tags(300, 31);
+  chan::ExactChannel channel(tags);
+  PetConfig config;
+  config.search = GetParam();
+  const PetEstimator estimator(config, {0.2, 0.2});
+
+  chan::ExactChannelConfig cfg;
+  for (std::uint64_t r = 0; r < 40; ++r) {
+    const BitCode path =
+        rng::uniform_code(rng::HashKind::kMix64, r, 0x700dULL, h);
+    // Brute-force d = max lcp(code, path).
+    unsigned expected = 0;
+    for (const TagId id : tags) {
+      const BitCode code =
+          rng::uniform_code(cfg.hash, cfg.manufacturing_seed, id, h);
+      expected = std::max(expected, code.common_prefix_len(path));
+    }
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    const auto depth = estimator.run_round(channel);
+    ASSERT_TRUE(depth.has_value());
+    EXPECT_EQ(*depth, expected) << to_string(GetParam()) << " round " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SearchModeTest,
+                         ::testing::Values(SearchMode::kLinear,
+                                           SearchMode::kBinaryPaper,
+                                           SearchMode::kBinaryStrict),
+                         [](const auto& param_info) {
+                           std::string name(to_string(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PetEstimator, BinaryPaperUsesExactlyFiveSlotsPerRound) {
+  const auto tags = make_tags(5000, 32);
+  chan::SortedPetChannel channel(tags);
+  PetConfig config;  // kBinaryPaper
+  const PetEstimator estimator(config, {0.1, 0.05});
+  const auto result = estimator.estimate_with_rounds(channel, 100, 1);
+  EXPECT_EQ(result.ledger.total_slots(), 500u) << "5 slots x 100 rounds";
+}
+
+TEST(PetEstimator, LinearUsesDepthPlusOneSlots) {
+  const auto tags = make_tags(1000, 33);
+  chan::SortedPetChannel channel(tags);
+  PetConfig config;
+  config.search = SearchMode::kLinear;
+  const PetEstimator estimator(config, {0.1, 0.05});
+  const auto result = estimator.estimate_with_rounds(channel, 50, 2);
+  std::uint64_t expected_slots = 0;
+  for (const unsigned d : result.depths) expected_slots += d + 1;
+  EXPECT_EQ(result.ledger.total_slots(), expected_slots);
+}
+
+TEST(PetEstimator, StrictAndLinearAgreeOnDepths) {
+  const auto tags = make_tags(256, 34);
+  chan::SortedPetChannel a(tags);
+  chan::SortedPetChannel b(tags);
+  PetConfig linear;
+  linear.search = SearchMode::kLinear;
+  PetConfig strict;
+  strict.search = SearchMode::kBinaryStrict;
+  const auto ra =
+      PetEstimator(linear, {0.1, 0.05}).estimate_with_rounds(a, 200, 3);
+  const auto rb =
+      PetEstimator(strict, {0.1, 0.05}).estimate_with_rounds(b, 200, 3);
+  EXPECT_EQ(ra.depths, rb.depths);
+  EXPECT_DOUBLE_EQ(ra.n_hat, rb.n_hat);
+}
+
+TEST(PetEstimator, EstimatesWithinContractOnSampledChannel) {
+  // Statistical check of the full protocol at the Eq.-(20) round count:
+  // repeated estimates of 50000 tags must fall in [47500, 52500] nearly
+  // always (paper Section 3 example).
+  const stats::AccuracyRequirement req{0.05, 0.01};
+  const PetEstimator estimator(PetConfig{}, req);
+  chan::SampledChannel channel(50000, 77);
+  int inside = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result = estimator.estimate(channel, static_cast<std::uint64_t>(t));
+    if (result.n_hat >= 47500.0 && result.n_hat <= 52500.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1) << "expected >= 99% in-interval";
+}
+
+TEST(PetEstimator, PreloadedCodesStillMeetContract) {
+  // Algorithm 4: codes fixed, only the estimating path varies.  The paper's
+  // Section 4.5 argues the rounds stay near-independent; verify empirically
+  // on the bit-exact sorted channel.
+  const auto tags = make_tags(20000, 35);
+  const stats::AccuracyRequirement req{0.1, 0.05};
+  const PetEstimator estimator(PetConfig{}, req);
+  chan::SortedPetChannel channel(tags);
+  int inside = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result =
+        estimator.estimate(channel, 1000 + static_cast<std::uint64_t>(t));
+    if (std::abs(result.n_hat - 20000.0) <= 0.1 * 20000.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1);
+}
+
+TEST(PetEstimator, EmptyRegionEstimatesZeroInStrictMode) {
+  chan::ExactChannel channel(std::vector<TagId>{});
+  PetConfig config;
+  config.search = SearchMode::kBinaryStrict;
+  const auto result =
+      PetEstimator(config, {0.1, 0.05}).estimate_with_rounds(channel, 10, 4);
+  EXPECT_DOUBLE_EQ(result.n_hat, 0.0);
+}
+
+TEST(PetEstimator, PaperModeOverestimatesEmptyRegion) {
+  // The documented limitation of Algorithm 3 verbatim: it cannot represent
+  // d = 0, so an empty region reads as d = 1 -> n̂ = 2/phi.
+  chan::ExactChannel channel(std::vector<TagId>{});
+  const auto result = PetEstimator(PetConfig{}, {0.1, 0.05})
+                          .estimate_with_rounds(channel, 10, 4);
+  EXPECT_NEAR(result.n_hat, 2.0 / kPhi, 1e-9);
+}
+
+TEST(PetEstimator, SingleTagIsEstimatedToOrderOne) {
+  const auto tags = make_tags(1, 36);
+  chan::ExactChannel channel(tags);
+  PetConfig config;
+  config.search = SearchMode::kBinaryStrict;
+  const auto result = PetEstimator(config, {0.2, 0.2})
+                          .estimate_with_rounds(channel, 400, 5);
+  EXPECT_GT(result.n_hat, 0.2);
+  EXPECT_LT(result.n_hat, 5.0);
+}
+
+TEST(PetEstimator, ResultLedgerIsADelta) {
+  const auto tags = make_tags(100, 37);
+  chan::SortedPetChannel channel(tags);
+  const PetEstimator estimator(PetConfig{}, {0.1, 0.05});
+  const auto first = estimator.estimate_with_rounds(channel, 10, 6);
+  const auto second = estimator.estimate_with_rounds(channel, 10, 7);
+  EXPECT_EQ(first.ledger.total_slots(), second.ledger.total_slots())
+      << "each estimate reports only its own slots";
+}
+
+TEST(Planner, AgreesWithEstimatorAccounting) {
+  const stats::AccuracyRequirement req{0.05, 0.01};
+  PetConfig config;
+  const PetPlan p = plan(config, req);
+  EXPECT_EQ(p.rounds, 4697u);
+  EXPECT_EQ(p.slots_per_round, 5u);
+  EXPECT_EQ(p.total_slots, 23485u);
+  EXPECT_EQ(p.tag_memory_bits, 32u);
+  EXPECT_EQ(p.tag_hash_ops, 0u);
+
+  // The simulated protocol must consume exactly the planned slots.
+  chan::SampledChannel channel(50000, 1);
+  const auto result = PetEstimator(config, req).estimate(channel, 1);
+  EXPECT_EQ(result.ledger.total_slots(), p.total_slots);
+}
+
+TEST(Planner, RehashModeShiftsCostToHashing) {
+  PetConfig config;
+  config.tags_rehash = true;
+  const PetPlan p = plan(config, {0.05, 0.01});
+  EXPECT_EQ(p.tag_memory_bits, 0u);
+  EXPECT_EQ(p.tag_hash_ops, p.rounds);
+}
+
+TEST(Planner, LinearModePlansLogNSlots) {
+  PetConfig config;
+  config.search = SearchMode::kLinear;
+  const PetPlan p = plan(config, {0.05, 0.01}, 50000.0);
+  // log2(phi * 50000) + 1 ~= 16.9 -> 17.
+  EXPECT_EQ(p.slots_per_round, 17u);
+}
+
+TEST(TheoreticalPet, SamplerConcentratesAroundTruth) {
+  const TheoreticalPet model(50000, 32, 4696);
+  rng::Xoshiro256ss gen(5);
+  stats::RunningStat stat;
+  for (int i = 0; i < 50; ++i) stat.add(model.sample_estimate(gen));
+  EXPECT_NEAR(stat.mean(), 50000.0, 2000.0);
+  EXPECT_LT(stat.stddev(), 2500.0);
+}
+
+TEST(Anonymity, ReportStartsClean) {
+  AnonymityAuditor auditor;
+  EXPECT_TRUE(auditor.report().anonymous());
+  EXPECT_EQ(auditor.report().slots_observed, 0u);
+}
+
+}  // namespace
+}  // namespace pet::core

@@ -1,0 +1,125 @@
+// Tests for the Deployment façade and the Eq. (6) theory cross-check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "core/sketch.hpp"
+#include "core/theory.hpp"
+#include "multireader/deployment.hpp"
+
+namespace pet::multi {
+namespace {
+
+TEST(TheoryEq6, MatchesExactMeanViaHeightIdentity) {
+  // Eq. (6) computes E(h); the exact pmf computes E(d); h = H - d.
+  for (const std::uint64_t n : {1000ull, 50000ull, 1000000ull}) {
+    for (const unsigned h : {32u, 48u}) {
+      const core::DepthDistribution dist(n, h);
+      const double via_eq6 = core::expected_gray_height_eq6(n, h);
+      const double via_pmf = static_cast<double>(h) - dist.mean();
+      EXPECT_NEAR(via_eq6, via_pmf, 0.02) << "n=" << n << " H=" << h;
+    }
+  }
+}
+
+TEST(TheoryEq6, AgreesWithMellinAsymptotics) {
+  // Eq. (9): E(h) ~= H - log2(phi n).
+  const double eq6 = core::expected_gray_height_eq6(50000, 32);
+  const double eq9 = 32.0 - core::asymptotic_mean_depth(50000.0);
+  EXPECT_NEAR(eq6, eq9, 0.02);
+}
+
+TEST(TheoryEq8, PeriodicWobbleIsTiny) {
+  // Eq. (8)'s P(log2 n) term has amplitude ~1e-5; together with the
+  // O(1/sqrt n) remainder, E(d) - log2(phi n) stays far below a millibit
+  // over a decade of n.
+  for (std::uint64_t n = 100000; n <= 1000000; n += 90000) {
+    const core::DepthDistribution dist(n, 48);
+    const double wobble =
+        dist.mean() - core::asymptotic_mean_depth(static_cast<double>(n));
+    EXPECT_LT(std::abs(wobble), 5e-3) << "n=" << n;
+  }
+}
+
+TEST(Deployment, ValidatesConfig) {
+  DeploymentConfig config;
+  config.readers = 0;
+  EXPECT_THROW(Deployment(config, 10), PreconditionError);
+  config = DeploymentConfig{};
+  config.pet.tags_rehash = true;
+  EXPECT_THROW(Deployment(config, 10), PreconditionError);
+}
+
+TEST(Deployment, CensusMeetsItsContract) {
+  DeploymentConfig config;
+  config.readers = 4;
+  config.coverage_overlap = 0.25;
+  config.accuracy = {0.10, 0.05};
+  Deployment site(config, 15000);
+  const Census census = site.census();
+  EXPECT_NEAR(census.estimate, 15000.0, 0.12 * 15000.0);
+  EXPECT_TRUE(census.interval.contains(census.estimate));
+  EXPECT_GT(census.cost.total_slots(), 0u);
+  EXPECT_EQ(census.cost.total_slots(), census.rounds * 5);
+}
+
+TEST(Deployment, DynamicsAreReflectedInCensuses) {
+  DeploymentConfig config;
+  config.readers = 2;
+  config.accuracy = {0.10, 0.05};
+  Deployment site(config, 5000);
+
+  EXPECT_NEAR(site.census().estimate, 5000.0, 800.0);
+  site.add_tags(10000);
+  EXPECT_EQ(site.true_count(), 15000u);
+  EXPECT_NEAR(site.census().estimate, 15000.0, 2000.0);
+  EXPECT_EQ(site.remove_tags(12000), 12000u);
+  EXPECT_NEAR(site.census().estimate, 3000.0, 500.0);
+}
+
+TEST(Deployment, ShuffleKeepsCountStable) {
+  DeploymentConfig config;
+  config.readers = 6;
+  config.accuracy = {0.10, 0.05};
+  Deployment site(config, 9000);
+  const double before = site.census().estimate;
+  const std::size_t moved = site.shuffle_tags(0.5);
+  EXPECT_GT(moved, 3000u);
+  const double after = site.census().estimate;
+  EXPECT_NEAR(before, after, 0.15 * 9000.0);
+}
+
+TEST(Deployment, CheapCensusUsesTheRequestedBudget) {
+  DeploymentConfig config;
+  Deployment site(config, 2000);
+  const Census census = site.census_with_rounds(64);
+  EXPECT_EQ(census.rounds, 64u);
+  EXPECT_EQ(census.cost.total_slots(), 320u);
+  EXPECT_NEAR(census.estimate, 2000.0, 0.5 * 2000.0)
+      << "64 rounds gives a coarse but sane figure";
+}
+
+TEST(Deployment, CrossSiteSketchesMerge) {
+  // Two warehouses, same code universe, same sketch seed: headquarters
+  // merges their sketches into a fleet-wide distinct count.
+  // The sites hold different tags, but both use the default manufacturing
+  // scheme (same hash, same manufacturing seed) — the shared code universe
+  // that union-merging requires.
+  DeploymentConfig config;
+  config.seed = 42;
+  Deployment east(config, 8000);
+  DeploymentConfig west_config;
+  west_config.seed = 43;  // different tags
+  Deployment west(west_config, 5000);
+
+  const auto sa = east.sketch(1500, 7);
+  const auto sb = west.sketch(1500, 7);
+  ASSERT_TRUE(sa.mergeable_with(sb));
+  const auto fleet = core::PetSketch::merge_union(sa, sb);
+  // Disjoint populations: the union is the sum.
+  EXPECT_NEAR(fleet.estimate(), 13000.0, 0.15 * 13000.0);
+}
+
+}  // namespace
+}  // namespace pet::multi

@@ -1,0 +1,260 @@
+// Tests for the depth-fusion rules, the binary-splitting identification
+// protocol, sketch serialization, and device-level multi-reader fusion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "channel/device_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "common/ensure.hpp"
+#include "core/constants.hpp"
+#include "core/estimator.hpp"
+#include "core/fusion.hpp"
+#include "core/sketch.hpp"
+#include "multireader/controller.hpp"
+#include "protocols/identification.hpp"
+#include "stats/running_stat.hpp"
+#include "tags/population.hpp"
+
+namespace pet {
+namespace {
+
+std::vector<TagId> make_tags(std::size_t n, std::uint64_t seed) {
+  const auto pop = tags::TagPopulation::generate(n, seed);
+  return {pop.ids().begin(), pop.ids().end()};
+}
+
+// ------------------------------------------------------------------- fusion
+
+TEST(Fusion, GeometricMeanMatchesEq14) {
+  const std::vector<unsigned> depths = {14, 15, 16, 17};
+  const double expected = std::exp2(15.5) / core::kPhi;
+  EXPECT_NEAR(core::fuse_depths(depths, core::FusionRule::kGeometricMean),
+              expected, 1e-9);
+}
+
+TEST(Fusion, BiasFactorShrinksWithRounds) {
+  EXPECT_GT(core::geometric_mean_bias(8), core::geometric_mean_bias(64));
+  EXPECT_GT(core::geometric_mean_bias(64), core::geometric_mean_bias(4096));
+  EXPECT_NEAR(core::geometric_mean_bias(1000000), 1.0, 1e-5);
+  // Hand value at m = 64: exp((ln2 * 1.87271)^2 / 128) = exp(0.013166).
+  EXPECT_NEAR(core::geometric_mean_bias(64), std::exp(0.013166), 1e-4);
+}
+
+TEST(Fusion, BiasCorrectedDividesOutTheFactor) {
+  const std::vector<unsigned> depths(64, 16);
+  const double gm = core::fuse_depths(depths, core::FusionRule::kGeometricMean);
+  const double bc =
+      core::fuse_depths(depths, core::FusionRule::kBiasCorrected);
+  EXPECT_NEAR(bc, gm / core::geometric_mean_bias(64), 1e-9);
+}
+
+TEST(Fusion, BiasCorrectionCentersTheEstimator) {
+  // Over many independent 64-round estimates, the geometric mean shows its
+  // ~1.3% positive bias; the corrected rule removes most of it.
+  const std::uint64_t n = 50000;
+  chan::SampledChannel channel(n, 5);
+  core::PetConfig plain;
+  core::PetConfig corrected;
+  corrected.fusion = core::FusionRule::kBiasCorrected;
+  const stats::AccuracyRequirement req{0.2, 0.2};
+  stats::RunningStat plain_acc;
+  stats::RunningStat corrected_acc;
+  for (std::uint64_t t = 0; t < 400; ++t) {
+    plain_acc.add(core::PetEstimator(plain, req)
+                      .estimate_with_rounds(channel, 64, t)
+                      .n_hat /
+                  static_cast<double>(n));
+    corrected_acc.add(core::PetEstimator(corrected, req)
+                          .estimate_with_rounds(channel, 64, 1000 + t)
+                          .n_hat /
+                      static_cast<double>(n));
+  }
+  // SE of the mean over 400 trials ~ 0.162/20 = 0.008.
+  EXPECT_GT(plain_acc.mean(), 1.0) << "uncorrected bias is positive";
+  EXPECT_LT(std::abs(corrected_acc.mean() - 1.0),
+            std::abs(plain_acc.mean() - 1.0) + 0.005);
+}
+
+TEST(Fusion, MedianOfMeansIgnoresCorruptedRounds) {
+  // 64 sane depths around 16 plus 8 jammed rounds reading the maximum
+  // depth (e.g. a noise burst): the mean-based rules blow up, the
+  // median-of-means barely moves.
+  // The burst is contiguous (a jammer is on for a stretch of rounds), so
+  // it lands in 2 of the 16 median-of-means groups.
+  std::vector<unsigned> depths(64, 16);
+  std::vector<unsigned> corrupted = depths;
+  for (std::size_t i = 0; i < 8; ++i) corrupted[i] = 32;
+
+  const double clean =
+      core::fuse_depths(depths, core::FusionRule::kGeometricMean);
+  const double mean_hit =
+      core::fuse_depths(corrupted, core::FusionRule::kGeometricMean);
+  const double mom_hit =
+      core::fuse_depths(corrupted, core::FusionRule::kMedianOfMeans, 16);
+  EXPECT_GT(mean_hit / clean, 2.0) << "mean fusion inflates ~2^2";
+  EXPECT_LT(mom_hit / clean, 1.6) << "median-of-means absorbs the burst";
+}
+
+TEST(Fusion, MedianOfMeansHandlesDegenerateGroupCounts) {
+  const std::vector<unsigned> depths = {10, 12, 14};
+  // groups > size clamps; groups = 1 degenerates to the plain mean.
+  EXPECT_NO_THROW((void)core::fuse_depths(
+      depths, core::FusionRule::kMedianOfMeans, 100));
+  EXPECT_NEAR(core::fuse_depths(depths, core::FusionRule::kMedianOfMeans, 1),
+              core::fuse_depths(depths, core::FusionRule::kGeometricMean),
+              1e-9);
+}
+
+TEST(Fusion, RejectsEmptyInput) {
+  EXPECT_THROW((void)core::fuse_depths({}, core::FusionRule::kGeometricMean),
+               PreconditionError);
+}
+
+TEST(Fusion, EstimatorHonorsConfiguredRule) {
+  const auto tags = make_tags(5000, 6);
+  chan::SortedPetChannel a(tags);
+  chan::SortedPetChannel b(tags);
+  core::PetConfig plain;
+  core::PetConfig corrected;
+  corrected.fusion = core::FusionRule::kBiasCorrected;
+  const stats::AccuracyRequirement req{0.2, 0.2};
+  const auto ra =
+      core::PetEstimator(plain, req).estimate_with_rounds(a, 64, 7);
+  const auto rb =
+      core::PetEstimator(corrected, req).estimate_with_rounds(b, 64, 7);
+  EXPECT_EQ(ra.depths, rb.depths);
+  EXPECT_NEAR(rb.n_hat, ra.n_hat / core::geometric_mean_bias(64), 1e-9);
+}
+
+// ----------------------------------------------------------------- splitting
+
+TEST(Splitting, DeviceProtocolIdentifiesEveryTag) {
+  const auto tags = make_tags(400, 8);
+  const auto result = proto::identify_splitting(tags, proto::SplittingConfig{},
+                                                3);
+  EXPECT_EQ(result.identified, 400u);
+  // Contention-tree cost: ~2.89 slots/tag, loosely bounded here.
+  EXPECT_GT(result.ledger.total_slots(), 2 * 400u);
+  EXPECT_LT(result.ledger.total_slots(), 5 * 400u);
+}
+
+TEST(Splitting, SampledMatchesDeviceScaling) {
+  const auto tags = make_tags(400, 9);
+  const auto device =
+      proto::identify_splitting(tags, proto::SplittingConfig{}, 4);
+  const auto sampled =
+      proto::identify_splitting_sampled(400, proto::SplittingConfig{}, 5);
+  EXPECT_EQ(sampled.identified, 400u);
+  const double a = static_cast<double>(device.ledger.total_slots());
+  const double b = static_cast<double>(sampled.ledger.total_slots());
+  EXPECT_LT(std::abs(a - b) / a, 0.2);
+}
+
+TEST(Splitting, MatchesTreeWalkConstantAtScale) {
+  // Both contention trees visit ~2.885n nodes; splitting re-flips on empty
+  // splits so it runs slightly above tree walking.
+  const auto split =
+      proto::identify_splitting_sampled(50000, proto::SplittingConfig{}, 6);
+  const double per_tag =
+      static_cast<double>(split.ledger.total_slots()) / 50000.0;
+  EXPECT_NEAR(per_tag, 2.89, 0.25);
+}
+
+TEST(Splitting, HandlesTinyPopulations) {
+  for (const std::size_t n : {0u, 1u, 2u, 3u}) {
+    const auto tags = make_tags(n, 10 + n);
+    const auto result =
+        proto::identify_splitting(tags, proto::SplittingConfig{}, 7);
+    EXPECT_EQ(result.identified, n) << "n=" << n;
+  }
+}
+
+TEST(Splitting, SampledHandlesEmptyPopulation) {
+  const auto result =
+      proto::identify_splitting_sampled(0, proto::SplittingConfig{}, 8);
+  EXPECT_EQ(result.identified, 0u);
+  EXPECT_EQ(result.ledger.total_slots(), 1u);
+}
+
+// ---------------------------------------------------------- sketch wire form
+
+TEST(SketchWire, RoundTripsExactly) {
+  const auto tags = make_tags(3000, 11);
+  chan::SortedPetChannel channel(tags);
+  const auto original = core::PetSketch::take(channel, core::PetConfig{},
+                                              333, 12);
+  const auto bytes = original.serialize();
+  EXPECT_EQ(bytes.size(), 13u + (333u * 6 + 7) / 8);
+  const auto restored = core::PetSketch::deserialize(bytes);
+  EXPECT_EQ(restored.seed(), original.seed());
+  EXPECT_EQ(restored.tree_height(), original.tree_height());
+  EXPECT_EQ(restored.depths(), original.depths());
+  EXPECT_DOUBLE_EQ(restored.estimate(), original.estimate());
+}
+
+TEST(SketchWire, RejectsMalformedInput) {
+  const auto tags = make_tags(100, 13);
+  chan::SortedPetChannel channel(tags);
+  const auto sketch = core::PetSketch::take(channel, core::PetConfig{}, 40,
+                                            14);
+  auto bytes = sketch.serialize();
+
+  EXPECT_THROW((void)core::PetSketch::deserialize(
+                   std::span<const std::uint8_t>(bytes.data(), 5)),
+               ConfigError);
+
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_THROW((void)core::PetSketch::deserialize(truncated), ConfigError);
+
+  auto bad_height = bytes;
+  bad_height[8] = 1;
+  EXPECT_THROW((void)core::PetSketch::deserialize(bad_height), ConfigError);
+}
+
+TEST(SketchWire, MergedSketchSurvivesTheWire) {
+  const auto all = make_tags(6000, 15);
+  const std::vector<TagId> left(all.begin(), all.begin() + 4000);
+  const std::vector<TagId> right(all.begin() + 2000, all.end());
+  chan::SortedPetChannel ca(left);
+  chan::SortedPetChannel cb(right);
+  const auto sa = core::PetSketch::take(ca, core::PetConfig{}, 500, 16);
+  const auto sb = core::PetSketch::take(cb, core::PetConfig{}, 500, 16);
+  // Ship both across "the network" and merge on the far side.
+  const auto merged = core::PetSketch::merge_union(
+      core::PetSketch::deserialize(sa.serialize()),
+      core::PetSketch::deserialize(sb.serialize()));
+  EXPECT_NEAR(merged.estimate(), 6000.0, 0.15 * 6000.0);
+}
+
+// ----------------------------------------------- device-level multi-reader
+
+TEST(DeviceMultiReader, FusedDeviceChannelsEstimateCorrectly) {
+  // Full-fidelity zones (real tag devices, real media) under the fused
+  // controller: the whole stack composed together.
+  const auto all = make_tags(1200, 17);
+  const std::vector<TagId> zone_a(all.begin(), all.begin() + 500);
+  const std::vector<TagId> zone_b(all.begin() + 400, all.begin() + 900);
+  const std::vector<TagId> zone_c(all.begin() + 850, all.end());
+  // Distinct tags = 1200 despite the overlaps.
+
+  std::vector<std::unique_ptr<chan::PrefixChannel>> readers;
+  readers.push_back(std::make_unique<chan::DeviceChannel>(
+      zone_a, chan::DeviceKind::kPet));
+  readers.push_back(std::make_unique<chan::DeviceChannel>(
+      zone_b, chan::DeviceKind::kPet));
+  readers.push_back(std::make_unique<chan::DeviceChannel>(
+      zone_c, chan::DeviceKind::kPet));
+  multi::MultiReaderController controller(std::move(readers));
+
+  const core::PetEstimator estimator(core::PetConfig{}, {0.15, 0.1});
+  const auto result = estimator.estimate_with_rounds(controller, 500, 18);
+  EXPECT_NEAR(result.n_hat, 1200.0, 0.2 * 1200.0);
+}
+
+}  // namespace
+}  // namespace pet

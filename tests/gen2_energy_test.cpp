@@ -1,0 +1,162 @@
+// Tests for the EPC Gen2 link-timing model and the energy accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/device_channel.hpp"
+#include "common/ensure.hpp"
+#include "core/estimator.hpp"
+#include "sim/energy.hpp"
+#include "sim/gen2_timing.hpp"
+#include "tags/population.hpp"
+
+namespace pet::sim {
+namespace {
+
+TEST(Gen2Link, DefaultsValidate) {
+  Gen2LinkConfig link;
+  EXPECT_NO_THROW(link.validate());
+}
+
+TEST(Gen2Link, RejectsOutOfSpecParameters) {
+  Gen2LinkConfig link;
+  link.tari_us = 3.0;
+  EXPECT_THROW(link.validate(), PreconditionError);
+  link = Gen2LinkConfig{};
+  link.miller = 3;
+  EXPECT_THROW(link.validate(), PreconditionError);
+  link = Gen2LinkConfig{};
+  link.pie_ratio = 2.5;
+  EXPECT_THROW(link.validate(), PreconditionError);
+}
+
+TEST(Gen2Link, DerivedQuantitiesMatchHandComputation) {
+  Gen2LinkConfig link;
+  link.tari_us = 6.25;
+  link.pie_ratio = 1.75;
+  link.divide_ratio = 64.0 / 3.0;
+  link.trcal_multiplier = 3.0;
+  link.miller = 4;
+  // RTcal = 6.25 * 2.75 = 17.1875 us.
+  EXPECT_NEAR(link.rtcal_us(), 17.1875, 1e-9);
+  // BLF = (64/3) / (3 * 17.1875) = 0.41374 per us (~414 kHz).
+  EXPECT_NEAR(link.blf_per_us(), 64.0 / 3.0 / (3.0 * 17.1875), 1e-9);
+  // Average PIE bit = 6.25 * 2.75 / 2.
+  EXPECT_NEAR(link.reader_bit_us(), 8.59375, 1e-9);
+  // Miller-4 bit = 4 / BLF ~ 9.667 us.
+  EXPECT_NEAR(link.tag_bit_us(), 4.0 / link.blf_per_us(), 1e-9);
+}
+
+TEST(Gen2Link, SlowProfileIsSlower) {
+  Gen2LinkConfig fast;  // 6.25 us Tari
+  Gen2LinkConfig slow;
+  slow.tari_us = 25.0;
+  slow.divide_ratio = 8.0;
+  const double fast_slot = gen2_slot_us(fast, 32, 1);
+  const double slow_slot = gen2_slot_us(slow, 32, 1);
+  EXPECT_GT(slow_slot, 2.0 * fast_slot);
+}
+
+TEST(Gen2Link, IdleSlotsAreCheaperThanBusySlots) {
+  Gen2LinkConfig link;
+  EXPECT_LT(gen2_slot_us(link, 32, 0), gen2_slot_us(link, 32, 1));
+  EXPECT_LT(gen2_slot_us(link, 1, 1), gen2_slot_us(link, 32, 1))
+      << "shorter commands cost less airtime";
+}
+
+TEST(Gen2Link, SessionTimeDecomposes) {
+  Gen2LinkConfig link;
+  const double total = gen2_session_us(link, 100, 50, 32, 1, 30, 32);
+  const double busy = 100.0 * gen2_slot_us(link, 32, 1);
+  const double idle = 50.0 * gen2_slot_us(link, 32, 0);
+  EXPECT_GT(total, busy + idle);
+  EXPECT_NEAR(total, busy + idle +
+                         30.0 * (12.5 * link.tari_us +
+                                 32.0 * link.reader_bit_us()),
+              1e-6);
+}
+
+TEST(Gen2Link, SlotTimingRoundsToMicroseconds) {
+  const SlotTiming timing = gen2_slot_timing(Gen2LinkConfig{}, 32);
+  EXPECT_GT(timing.command_us, 0u);
+  EXPECT_GT(timing.reply_us, 0u);
+  EXPECT_LT(timing.slot_us(), 2000u) << "a fast-profile slot is < 2 ms";
+}
+
+TEST(Gen2Link, PetEstimateLatencyIsSeconds) {
+  // Sanity anchor for the latency claims in the examples: a full
+  // (5%, 1%) estimate (23485 slots) takes single-digit seconds on the fast
+  // profile — vs minutes for identifying 50k tags.
+  Gen2LinkConfig link;
+  const double est_s = gen2_session_us(link, 14000, 9485, 32, 1, 4697, 32) /
+                       1e6;
+  EXPECT_GT(est_s, 1.0);
+  EXPECT_LT(est_s, 20.0);
+}
+
+TEST(Energy, ValidatesModel) {
+  EnergyModel model;
+  model.reader_tx_mw = -1.0;
+  EXPECT_THROW(model.validate(), PreconditionError);
+}
+
+TEST(Energy, ReaderEnergyScalesWithAirtime) {
+  EnergyModel model;
+  SlotLedger short_session;
+  short_session.idle_slots = 100;
+  short_session.airtime_us = 100 * 400;
+  SlotLedger long_session = short_session;
+  long_session.airtime_us *= 10;
+  long_session.idle_slots *= 10;
+  const auto a =
+      session_energy(model, short_session, {}, 0, false);
+  const auto b = session_energy(model, long_session, {}, 0, false);
+  EXPECT_NEAR(b.reader_mj, 10.0 * a.reader_mj, 1e-9);
+  EXPECT_DOUBLE_EQ(a.tag_total_mj, 0.0) << "passive tags draw no budget";
+}
+
+TEST(Energy, ActiveTagsPayForHashing) {
+  EnergyModel model;
+  SlotLedger slots;
+  slots.collision_slots = 1000;
+  slots.airtime_us = 1000 * 400;
+  tags::TagCostLedger few_hashes{100, 100000, 5000, 0};
+  tags::TagCostLedger many_hashes{100000, 100000, 5000, 0};
+  const auto cheap = session_energy(model, slots, few_hashes, 1000, true);
+  const auto costly = session_energy(model, slots, many_hashes, 1000, true);
+  EXPECT_GT(costly.tag_total_mj, cheap.tag_total_mj);
+  EXPECT_NEAR(costly.tag_total_mj - cheap.tag_total_mj,
+              model.tag_hash_uj * (100000 - 100) / 1000.0, 1e-9);
+  EXPECT_GT(cheap.tag_mean_uj, 0.0);
+}
+
+TEST(Energy, EndToEndPreloadedVsRehash) {
+  // The Section 4.5 claim in energy terms: per-round rehashing costs active
+  // tags measurably more than preloaded codes for the same slot schedule.
+  const auto pop = tags::TagPopulation::generate(300, 1);
+  const stats::AccuracyRequirement req{0.2, 0.2};
+
+  chan::DeviceChannel preloaded(pop.ids(), chan::DeviceKind::kPet);
+  core::PetConfig preloaded_config;
+  (void)core::PetEstimator(preloaded_config, req)
+      .estimate_with_rounds(preloaded, 100, 2);
+
+  chan::DeviceChannelConfig rehash_device;
+  rehash_device.pet_mode = PetTagDevice::CodeMode::kPerRound;
+  chan::DeviceChannel rehash(pop.ids(), chan::DeviceKind::kPet,
+                             rehash_device);
+  core::PetConfig rehash_config;
+  rehash_config.tags_rehash = true;
+  (void)core::PetEstimator(rehash_config, req)
+      .estimate_with_rounds(rehash, 100, 2);
+
+  const EnergyModel model;
+  const auto ep = session_energy(model, preloaded.ledger(),
+                                 preloaded.total_tag_cost(), 300, true);
+  const auto er = session_energy(model, rehash.ledger(),
+                                 rehash.total_tag_cost(), 300, true);
+  EXPECT_GT(er.tag_mean_uj, ep.tag_mean_uj);
+}
+
+}  // namespace
+}  // namespace pet::sim

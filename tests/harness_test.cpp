@@ -1,0 +1,98 @@
+// Tests for the bench harness library: option parsing, table rendering and
+// the experiment drivers that every table/figure binary relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+namespace pet::bench {
+namespace {
+
+BenchOptions parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return BenchOptions::parse(static_cast<int>(argv.size()),
+                             const_cast<char**>(argv.data()), "test");
+}
+
+TEST(Options, Defaults) {
+  const auto options = parse({});
+  EXPECT_EQ(options.runs, 300u);
+  EXPECT_FALSE(options.csv);
+  EXPECT_EQ(options.seed, 1u);
+}
+
+TEST(Options, ParsesEveryFlag) {
+  const auto options = parse({"--runs=42", "--csv", "--seed=9"});
+  EXPECT_EQ(options.runs, 42u);
+  EXPECT_TRUE(options.csv);
+  EXPECT_EQ(options.seed, 9u);
+}
+
+TEST(Options, QuickShrinksRuns) {
+  EXPECT_EQ(parse({"--quick"}).runs, 30u);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::num(std::uint64_t{123456}), "123456");
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  TablePrinter table("t", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), PreconditionError);
+  EXPECT_NO_THROW(table.add_row({"1", "2"}));
+}
+
+TEST(Experiment, PetTrialSetMatchesPlan) {
+  const stats::AccuracyRequirement req{0.2, 0.2};
+  const core::PetEstimator planner(core::PetConfig{}, req);
+  const auto set = run_pet(5000, core::PetConfig{}, req, 0, 10, 1);
+  EXPECT_EQ(set.summary.trials(), 10u);
+  EXPECT_NEAR(set.mean_slots_per_estimate,
+              static_cast<double>(planner.planned_rounds() * 5), 1e-6);
+  EXPECT_NEAR(set.summary.accuracy(), 1.0, 0.25);
+}
+
+TEST(Experiment, RoundsOverrideIsHonored) {
+  const auto set = run_pet(5000, core::PetConfig{}, {0.2, 0.2}, 64, 10, 1);
+  EXPECT_NEAR(set.mean_slots_per_estimate, 320.0, 1e-6);
+}
+
+TEST(Experiment, RunsAreSeedDeterministic) {
+  const auto a = run_pet(3000, core::PetConfig{}, {0.2, 0.2}, 32, 5, 77);
+  const auto b = run_pet(3000, core::PetConfig{}, {0.2, 0.2}, 32, 5, 77);
+  const auto c = run_pet(3000, core::PetConfig{}, {0.2, 0.2}, 32, 5, 78);
+  EXPECT_EQ(a.summary.raw_estimates(), b.summary.raw_estimates());
+  EXPECT_NE(a.summary.raw_estimates(), c.summary.raw_estimates());
+}
+
+TEST(Experiment, BaselineDriversProduceSaneEstimates) {
+  const stats::AccuracyRequirement req{0.15, 0.1};
+  const auto fneb = run_fneb(8000, proto::FnebConfig{}, req, 0, 10, 2);
+  EXPECT_NEAR(fneb.summary.accuracy(), 1.0, 0.15);
+  const auto lof = run_lof(8000, proto::LofConfig{}, req, 0, 10, 3);
+  EXPECT_NEAR(lof.summary.accuracy(), 1.0, 0.15);
+  proto::UpeConfig upe_config;
+  upe_config.expected_n = 8000.0;
+  const auto upe = run_upe(8000, upe_config, req, 10, 4);
+  EXPECT_NEAR(upe.summary.accuracy(), 1.0, 0.15);
+  const auto ezb = run_ezb(8000, proto::EzbConfig{}, req, 10, 5);
+  EXPECT_NEAR(ezb.summary.accuracy(), 1.0, 0.2);
+}
+
+TEST(Experiment, SlotAccountingOrdersProtocolsLikeThePaper) {
+  const stats::AccuracyRequirement req{0.05, 0.01};
+  const auto pet = run_pet(20000, core::PetConfig{}, req, 0, 5, 6);
+  const auto fneb = run_fneb(20000, proto::FnebConfig{}, req, 0, 5, 7);
+  const auto lof = run_lof(20000, proto::LofConfig{}, req, 0, 5, 8);
+  EXPECT_LT(pet.mean_slots_per_estimate, 0.5 * fneb.mean_slots_per_estimate);
+  EXPECT_LT(pet.mean_slots_per_estimate, 0.5 * lof.mean_slots_per_estimate);
+}
+
+}  // namespace
+}  // namespace pet::bench

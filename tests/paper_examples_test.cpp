@@ -1,0 +1,154 @@
+// Paper-fidelity suite: the worked examples printed in the paper,
+// reconstructed bit for bit through the public API.
+//
+//  * Fig. 1 / Section 4.1: four tags coded 0001/0110/1011/1110, estimating
+//    path 0011, gray node at height 2 (prefix depth 2);
+//  * Fig. 3 / Section 4.4: sixteen tags on an H = 6 tree, path 000011 —
+//    the basic algorithm takes five slots, the binary search takes two;
+//  * Section 3: the (50 000, 5%, 1%) -> [47 500, 52 500] example;
+//  * Section 4.2 constants and Table-3 slot arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/exact_channel.hpp"
+#include "core/constants.hpp"
+#include "core/estimator.hpp"
+#include "core/planner.hpp"
+#include "rng/hash_family.hpp"
+#include "stats/accuracy.hpp"
+
+namespace pet {
+namespace {
+
+/// Find a TagId whose preloaded `width`-bit code equals `code` under the
+/// given channel configuration (brute force; codes are short).
+TagId tag_with_code(const chan::ExactChannelConfig& config, BitCode code) {
+  for (std::uint64_t id = 0;; ++id) {
+    if (rng::uniform_code(config.hash, config.manufacturing_seed, id,
+                          code.width()) == code) {
+      return TagId{id};
+    }
+  }
+}
+
+std::vector<TagId> tags_with_codes(const chan::ExactChannelConfig& config,
+                                   const std::vector<const char*>& codes) {
+  std::vector<TagId> out;
+  out.reserve(codes.size());
+  for (const char* text : codes) {
+    out.push_back(tag_with_code(config, BitCode::parse(text)));
+  }
+  return out;
+}
+
+TEST(PaperFig1, GrayNodeSitsAtHeightTwo) {
+  chan::ExactChannelConfig config;
+  config.tree_height = 4;
+  const auto tags =
+      tags_with_codes(config, {"0001", "0110", "1011", "1110"});
+  chan::ExactChannel channel(tags, config);
+
+  core::PetConfig pet;
+  pet.tree_height = 4;
+  pet.search = core::SearchMode::kLinear;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+
+  channel.begin_round(
+      chan::RoundConfig{BitCode::parse("0011"), 0, false, 4, 4});
+  const auto depth = estimator.run_round(channel);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(*depth, 2u) << "prefix depth d = 2";
+  EXPECT_EQ(to_gray_height(PrefixDepth{*depth}, 4).value, 2u)
+      << "the paper's gray node A has height 2";
+  // Algorithm 1 walked prefixes 0, 00, 001 -> 3 slots, last one idle.
+  EXPECT_EQ(channel.ledger().total_slots(), 3u);
+  EXPECT_EQ(channel.ledger().idle_slots, 1u);
+}
+
+/// The Fig. 3 population: 16 six-bit codes arranged so that exactly one
+/// tag matches prefix 0000 (and it extends as 00000x), four match 00, four
+/// match 01, eight start with 1.
+std::vector<TagId> fig3_tags(const chan::ExactChannelConfig& config) {
+  return tags_with_codes(
+      config, {"000001", "001010", "001101", "001110",   // 00 group
+               "010001", "010110", "011010", "011100",   // 01 group
+               "100001", "100110", "101010", "101101",   // 1 group
+               "110010", "110101", "111001", "111110"});
+}
+
+TEST(PaperFig3, BasicAlgorithmTakesFiveSlots) {
+  chan::ExactChannelConfig config;
+  config.tree_height = 6;
+  chan::ExactChannel channel(fig3_tags(config), config);
+
+  core::PetConfig pet;
+  pet.tree_height = 6;
+  pet.search = core::SearchMode::kLinear;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+
+  channel.begin_round(
+      chan::RoundConfig{BitCode::parse("000011"), 0, false, 6, 6});
+  const auto depth = estimator.run_round(channel);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(*depth, 4u) << "busy through 0000, idle at 00001";
+  EXPECT_EQ(channel.ledger().total_slots(), 5u)
+      << "the paper: 'The entire process contains five time slots.'";
+}
+
+TEST(PaperFig3, BinarySearchTakesTwoSlots) {
+  chan::ExactChannelConfig config;
+  config.tree_height = 6;
+  chan::ExactChannel channel(fig3_tags(config), config);
+
+  core::PetConfig pet;
+  pet.tree_height = 6;
+  pet.search = core::SearchMode::kBinaryPaper;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+
+  channel.begin_round(
+      chan::RoundConfig{BitCode::parse("000011"), 0, false, 6, 6});
+  const auto depth = estimator.run_round(channel);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(*depth, 4u);
+  // Paper: probe mid = ceil((1+6)/2) = 4 (busy, a singleton), then
+  // mid = ceil((4+6)/2) = 5 (idle) -> converged.  Two slots.
+  EXPECT_EQ(channel.ledger().total_slots(), 2u)
+      << "the paper: 'The entire process contains only two time slots.'";
+  EXPECT_EQ(channel.ledger().singleton_slots, 1u)
+      << "the 0000 probe hears exactly the one 000001 tag";
+  EXPECT_EQ(channel.ledger().idle_slots, 1u);
+}
+
+TEST(PaperSection3, AccuracyExampleNumbers) {
+  // "if the actual number ... is 50,000, and the accuracy requirement is
+  // eps = 5% and delta = 1%, an accurate estimation approach is expected
+  // to output ... within [47,500, 52,500] with more than 99% probability."
+  const stats::AccuracyRequirement req{0.05, 0.01};
+  EXPECT_DOUBLE_EQ(req.interval_lo(50000), 47500.0);
+  EXPECT_DOUBLE_EQ(req.interval_hi(50000), 52500.0);
+}
+
+TEST(PaperSection42, HeadlineConstants) {
+  EXPECT_NEAR(core::kPhi, 1.25941, 1e-5);
+  EXPECT_NEAR(core::kSigmaH, 1.87271, 1e-5);
+}
+
+TEST(PaperSection41, H32AccommodatesFortyMillionTags) {
+  // "H = 32 can accommodate n = 40,000,000 with p ~ 0.99": the white-leaf
+  // fraction p = (1 - 2^-32)^n.
+  const double p =
+      std::exp(40000000.0 * std::log1p(-std::ldexp(1.0, -32)));
+  EXPECT_GT(p, 0.99);
+}
+
+TEST(PaperTable3, FiveSlotsTimesRounds) {
+  core::PetConfig config;
+  const core::PetPlan p64 = core::plan(config, {0.2, 0.32});
+  // Whatever the round count, the slot arithmetic is 5m at H = 32.
+  EXPECT_EQ(p64.total_slots, p64.rounds * 5);
+}
+
+}  // namespace
+}  // namespace pet

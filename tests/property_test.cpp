@@ -1,0 +1,227 @@
+// Property-based suites: parameterized sweeps over population sizes, tree
+// heights, search modes, and hash families, checking the invariants that
+// make PET correct rather than specific outputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "channel/exact_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "core/constants.hpp"
+#include "core/estimator.hpp"
+#include "core/theory.hpp"
+#include "rng/hash_family.hpp"
+#include "stats/running_stat.hpp"
+#include "tags/population.hpp"
+
+namespace pet {
+namespace {
+
+std::vector<TagId> make_tags(std::size_t n, std::uint64_t seed) {
+  const auto pop = tags::TagPopulation::generate(n, seed);
+  return {pop.ids().begin(), pop.ids().end()};
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: the busy predicate along any estimating path is monotone and
+// its boundary equals the brute-force max-lcp, for every (n, H, hash).
+
+using ChannelCase = std::tuple<std::size_t, unsigned, rng::HashKind>;
+
+class ChannelInvariants : public ::testing::TestWithParam<ChannelCase> {};
+
+TEST_P(ChannelInvariants, BusyBoundaryEqualsMaxLcp) {
+  const auto [n, h, hash] = GetParam();
+  const auto tags = make_tags(n, 40 + n);
+  chan::ExactChannelConfig config;
+  config.tree_height = h;
+  config.hash = hash;
+  chan::ExactChannel channel(tags, config);
+
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    const BitCode path = rng::uniform_code(rng::HashKind::kMix64,
+                                           r * 1337 + h, 0x1ceULL, h);
+    unsigned expected = 0;
+    for (const TagId id : tags) {
+      expected = std::max(
+          expected, rng::uniform_code(hash, config.manufacturing_seed, id, h)
+                        .common_prefix_len(path));
+    }
+    channel.begin_round(chan::RoundConfig{path, 0, false, h, h});
+    bool previous = true;
+    for (unsigned len = 0; len <= h; ++len) {
+      const bool busy = channel.query_prefix(len);
+      EXPECT_LE(busy, previous) << "monotone violation at len " << len;
+      EXPECT_EQ(busy, n > 0 && len <= expected)
+          << "n=" << n << " H=" << h << " len=" << len;
+      previous = busy;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChannelInvariants,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 17, 256, 3000),
+                       ::testing::Values(8u, 16u, 32u, 48u),
+                       ::testing::Values(rng::HashKind::kMix64,
+                                         rng::HashKind::kMd5)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_H" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             std::string(rng::to_string(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Invariant 2: all three search modes observe the same depth on the same
+// channel state whenever d >= 1, for every population size.
+
+class SearchAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SearchAgreement, ModesAgreeRoundByRound) {
+  const std::size_t n = GetParam();
+  const auto tags = make_tags(n, 50 + n);
+  chan::SortedPetChannel a(tags);
+  chan::SortedPetChannel b(tags);
+  chan::SortedPetChannel c(tags);
+
+  core::PetConfig linear;
+  linear.search = core::SearchMode::kLinear;
+  core::PetConfig paper;
+  paper.search = core::SearchMode::kBinaryPaper;
+  core::PetConfig strict;
+  strict.search = core::SearchMode::kBinaryStrict;
+  const stats::AccuracyRequirement req{0.2, 0.2};
+  const core::PetEstimator el(linear, req);
+  const core::PetEstimator ep(paper, req);
+  const core::PetEstimator es(strict, req);
+
+  for (std::uint64_t r = 0; r < 60; ++r) {
+    const BitCode path =
+        rng::uniform_code(rng::HashKind::kMix64, r, 0x700dULL, 32);
+    const chan::RoundConfig round{path, 0, false, 32, 32};
+    a.begin_round(round);
+    b.begin_round(round);
+    c.begin_round(round);
+    const auto dl = el.run_round(a);
+    const auto dp = ep.run_round(b);
+    const auto ds = es.run_round(c);
+    EXPECT_EQ(dl, ds) << "linear and strict are exact for all d";
+    if (dl.has_value() && *dl >= 1) {
+      ASSERT_TRUE(dp.has_value());
+      EXPECT_EQ(*dp, *dl) << "paper mode exact whenever d >= 1";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SearchAgreement,
+                         ::testing::Values<std::size_t>(0, 1, 3, 10, 100,
+                                                        1000, 20000));
+
+// ---------------------------------------------------------------------------
+// Invariant 3: estimator consistency — over many runs the mean accuracy is
+// ~1 and the normalized deviation shrinks like 1/sqrt(m) (Eq. 13).
+
+class RoundScaling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundScaling, DeviationShrinksAsSqrtRounds) {
+  const std::uint64_t m = GetParam();
+  const std::uint64_t n = 10000;
+  chan::SampledChannel channel(n, 60 + m);
+  const core::PetEstimator estimator(core::PetConfig{}, {0.2, 0.2});
+
+  stats::RunningStat ratio;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto result =
+        estimator.estimate_with_rounds(channel, m, static_cast<std::uint64_t>(t));
+    ratio.add(result.n_hat / static_cast<double>(n));
+  }
+  // Predicted relative deviation: the delta method on n̂ = 2^dbar/phi gives
+  // sigma_rel ~= ln2 * sigma(h) / sqrt(m).
+  const double predicted = M_LN2 * core::kSigmaH / std::sqrt(static_cast<double>(m));
+  EXPECT_NEAR(ratio.mean(), 1.0, 4.0 * predicted / std::sqrt(kTrials) + 0.05);
+  EXPECT_NEAR(ratio.stddev(), predicted, 0.45 * predicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, RoundScaling,
+                         ::testing::Values<std::uint64_t>(16, 64, 256, 1024));
+
+// ---------------------------------------------------------------------------
+// Invariant 4: scale invariance — the normalized accuracy statistics do not
+// depend on n (Fig. 4 claim), across four decades.
+
+class ScaleInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScaleInvariance, NormalizedStatsAreScaleFree) {
+  const std::uint64_t n = GetParam();
+  chan::SampledChannel channel(n, 70);
+  const core::PetEstimator estimator(core::PetConfig{}, {0.2, 0.2});
+  stats::RunningStat ratio;
+  for (int t = 0; t < 50; ++t) {
+    ratio.add(estimator.estimate_with_rounds(channel, 64, static_cast<std::uint64_t>(t))
+                  .n_hat /
+              static_cast<double>(n));
+  }
+  // Fig. 4c: at m = 64 the normalized deviation is ~0.2 regardless of n.
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.12) << "n=" << n;
+  EXPECT_NEAR(ratio.stddev(), M_LN2 * core::kSigmaH / 8.0, 0.08) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Decades, ScaleInvariance,
+                         ::testing::Values<std::uint64_t>(1000, 10000, 100000,
+                                                          1000000));
+
+// ---------------------------------------------------------------------------
+// Invariant 5: the depth distribution is invariant to the estimating path
+// (any path is as good as any other) — exercised by comparing depth moments
+// across disjoint path seeds on the same population.
+
+TEST(PathInvariance, DepthMomentsAgreeAcrossPathFamilies) {
+  const auto tags = make_tags(5000, 80);
+  chan::SortedPetChannel channel(tags);
+  const core::PetEstimator estimator(core::PetConfig{}, {0.2, 0.2});
+
+  stats::RunningStat family_a;
+  stats::RunningStat family_b;
+  const auto ra = estimator.estimate_with_rounds(channel, 1500, 1);
+  const auto rb = estimator.estimate_with_rounds(channel, 1500, 999);
+  for (const unsigned d : ra.depths) family_a.add(d);
+  for (const unsigned d : rb.depths) family_b.add(d);
+  EXPECT_NEAR(family_a.mean(), family_b.mean(), 0.2);
+  EXPECT_NEAR(family_a.stddev(), family_b.stddev(), 0.2);
+  // And both match the theory for this n.
+  const core::DepthDistribution dist(5000, 32);
+  EXPECT_NEAR(family_a.mean(), dist.mean(), 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 6: hash-family independence — the estimator's statistics do not
+// depend on which uniform hash generates the codes.
+
+class HashInvariance : public ::testing::TestWithParam<rng::HashKind> {};
+
+TEST_P(HashInvariance, EstimateQualityIsHashAgnostic) {
+  const rng::HashKind hash = GetParam();
+  const auto tags = make_tags(8000, 90);
+  chan::SortedPetChannelConfig config;
+  config.hash = hash;
+  chan::SortedPetChannel channel(tags, config);
+  const core::PetEstimator estimator(core::PetConfig{}, {0.2, 0.2});
+  const auto result = estimator.estimate_with_rounds(channel, 1200, 2);
+  EXPECT_NEAR(result.n_hat, 8000.0, 0.1 * 8000.0)
+      << rng::to_string(hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashInvariance,
+                         ::testing::Values(rng::HashKind::kMix64,
+                                           rng::HashKind::kMd5,
+                                           rng::HashKind::kSha1),
+                         [](const auto& info) {
+                           return std::string(rng::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace pet

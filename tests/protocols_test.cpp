@@ -1,0 +1,300 @@
+// Tests for src/protocols: FNEB, LoF, UPE, EZB and the identification
+// baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "channel/exact_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "common/ensure.hpp"
+#include "protocols/ezb.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/identification.hpp"
+#include "protocols/lof.hpp"
+#include "protocols/upe.hpp"
+#include "tags/population.hpp"
+
+namespace pet::proto {
+namespace {
+
+std::vector<TagId> make_tags(std::size_t n, std::uint64_t seed) {
+  const auto pop = tags::TagPopulation::generate(n, seed);
+  return {pop.ids().begin(), pop.ids().end()};
+}
+
+// --------------------------------------------------------------------- FNEB
+
+TEST(Fneb, PlannedRoundsMatchClosedForm) {
+  // m = ceil((c / eps)^2): (2.5758 / 0.05)^2 = 2653.96 -> 2654.
+  const FnebEstimator est(FnebConfig{}, {0.05, 0.01});
+  EXPECT_EQ(est.planned_rounds(), 2654u);
+  const FnebEstimator loose(FnebConfig{}, {0.20, 0.01});
+  EXPECT_EQ(loose.planned_rounds(), 166u);
+}
+
+TEST(Fneb, FindsFirstNonemptySlotExactly) {
+  const auto tags = make_tags(64, 1);
+  chan::ExactChannel channel(tags);
+  const FnebEstimator est(FnebConfig{}, {0.1, 0.05});
+  const chan::RangeFrameConfig frame{42, 1 << 16, 32, 32};
+
+  std::uint64_t expected = frame.frame_size + 1;
+  for (const TagId id : tags) {
+    expected = std::min(expected,
+                        rng::uniform_slot(rng::HashKind::kMix64, frame.seed,
+                                          id, frame.frame_size));
+  }
+  channel.begin_range_frame(frame);
+  EXPECT_EQ(est.find_first_nonempty(channel, frame.frame_size), expected);
+}
+
+TEST(Fneb, FirstNonemptySearchCostsLogFSlots) {
+  const auto tags = make_tags(64, 2);
+  chan::ExactChannel channel(tags);
+  const FnebEstimator est(FnebConfig{}, {0.1, 0.05});
+  channel.begin_range_frame(chan::RangeFrameConfig{7, 1 << 16, 32, 32});
+  (void)est.find_first_nonempty(channel, 1 << 16);
+  EXPECT_LE(channel.ledger().total_slots(), 17u) << "log2(2^16) + 1";
+}
+
+TEST(Fneb, EmptyRegionEstimatesZero) {
+  chan::ExactChannel channel(std::vector<TagId>{});
+  const FnebEstimator est(FnebConfig{}, {0.1, 0.05});
+  const auto result = est.estimate_with_rounds(channel, 5, 1);
+  EXPECT_DOUBLE_EQ(result.n_hat, 0.0);
+  EXPECT_EQ(result.ledger.total_slots(), 5u)
+      << "one probe certifies each empty frame";
+}
+
+TEST(Fneb, EstimatesWithinContractOnSampledChannel) {
+  const stats::AccuracyRequirement req{0.1, 0.05};
+  const FnebEstimator est(FnebConfig{}, req);
+  chan::SampledChannel channel(50000, 3);
+  int inside = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = est.estimate(channel, static_cast<std::uint64_t>(t));
+    if (std::abs(r.n_hat - 50000.0) <= 0.1 * 50000.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1);
+}
+
+TEST(Fneb, AdaptiveShrinkingReducesSlots) {
+  chan::SampledChannel adaptive_channel(50000, 4);
+  chan::SampledChannel fixed_channel(50000, 4);
+  FnebConfig adaptive;  // default on
+  FnebConfig fixed;
+  fixed.adaptive = false;
+  const auto ra = FnebEstimator(adaptive, {0.1, 0.05})
+                      .estimate_with_rounds(adaptive_channel, 200, 5);
+  const auto rf = FnebEstimator(fixed, {0.1, 0.05})
+                      .estimate_with_rounds(fixed_channel, 200, 5);
+  EXPECT_LT(ra.ledger.total_slots(), rf.ledger.total_slots());
+}
+
+// ---------------------------------------------------------------------- LoF
+
+TEST(Lof, PlannedRoundsUseTheFmDeviation) {
+  const LofEstimator est(LofConfig{}, {0.05, 0.01});
+  // (c * 1.12127 / log2(1.05))^2 = 1683.5... -> within a couple of rounds.
+  EXPECT_NEAR(static_cast<double>(est.planned_rounds()), 1684.0, 3.0);
+}
+
+TEST(Lof, EstimatesWithinContractOnSampledChannel) {
+  const stats::AccuracyRequirement req{0.1, 0.05};
+  const LofEstimator est(LofConfig{}, req);
+  chan::SampledChannel channel(50000, 6);
+  int inside = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = est.estimate(channel, static_cast<std::uint64_t>(t));
+    if (std::abs(r.n_hat - 50000.0) <= 0.1 * 50000.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1);
+}
+
+TEST(Lof, FullFrameCostsFrameSizeSlotsPerRound) {
+  chan::SampledChannel channel(1000, 7);
+  const LofEstimator est(LofConfig{}, {0.1, 0.05});
+  const auto r = est.estimate_with_rounds(channel, 10, 1);
+  EXPECT_EQ(r.ledger.total_slots(), 320u) << "32 slots x 10 rounds";
+}
+
+TEST(Lof, EarlyStopCreditsUnusedTail) {
+  chan::SampledChannel channel(1000, 8);
+  LofConfig config;
+  config.early_stop = true;
+  const auto r =
+      LofEstimator(config, {0.1, 0.05}).estimate_with_rounds(channel, 10, 1);
+  // First zero for n = 1000 sits near log2(0.77 * 1000) ~ 9.6, so the
+  // early-stopping reader uses far fewer than 320 slots.
+  EXPECT_LT(r.ledger.total_slots(), 200u);
+  EXPECT_GT(r.ledger.total_slots(), 50u);
+}
+
+TEST(Lof, EmptyRegionEstimatesNearZero) {
+  chan::ExactChannel channel(std::vector<TagId>{});
+  const auto r = LofEstimator(LofConfig{}, {0.1, 0.05})
+                     .estimate_with_rounds(channel, 10, 1);
+  EXPECT_NEAR(r.n_hat, 1.0 / kFmPhi, 0.5) << "R = 0 reads as n ~ 1.3";
+}
+
+// ---------------------------------------------------------------------- UPE
+
+TEST(Upe, EstimatesWithCorrectPrior) {
+  UpeConfig config;
+  config.expected_n = 50000.0;
+  const UpeEstimator est(config, {0.1, 0.05});
+  chan::SampledChannel channel(50000, 9);
+  int inside = 0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = est.estimate(channel, static_cast<std::uint64_t>(t));
+    // The contract band is 10%; test at 15% to keep the statistical margin
+    // comfortable (the per-trial miss probability at 10% is a few percent).
+    if (std::abs(r.n_hat - 50000.0) <= 0.15 * 50000.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1);
+}
+
+TEST(Upe, BadlyWrongPriorDegrades) {
+  // The documented UPE weakness PET removes: a 100x-off prior saturates the
+  // frame and the zero estimator collapses.
+  UpeConfig config;
+  config.expected_n = 500.0;  // true n = 50000
+  const UpeEstimator est(config, {0.1, 0.05});
+  chan::SampledChannel channel(50000, 10);
+  const auto r = est.estimate(channel, 1);
+  EXPECT_GT(std::abs(r.n_hat - 50000.0), 0.2 * 50000.0);
+}
+
+TEST(Upe, CollisionFractionInversionRoundTrips) {
+  for (const double rho : {0.1, 0.5, 1.0, 1.59, 3.0, 8.0}) {
+    const double fraction = 1.0 - std::exp(-rho) * (1.0 + rho);
+    EXPECT_NEAR(invert_collision_fraction(fraction), rho, 1e-9)
+        << "rho=" << rho;
+  }
+  EXPECT_DOUBLE_EQ(invert_collision_fraction(0.0), 0.0);
+  EXPECT_THROW((void)invert_collision_fraction(1.0), PreconditionError);
+}
+
+TEST(Upe, CollisionEstimatorAlsoWorks) {
+  UpeConfig config;
+  config.expected_n = 50000.0;
+  config.variant = UpeVariant::kCollisionEstimator;
+  const UpeEstimator est(config, {0.1, 0.05});
+  chan::SampledChannel channel(50000, 19);
+  int inside = 0;
+  constexpr int kTrials = 15;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto r = est.estimate(channel, static_cast<std::uint64_t>(t));
+    if (std::abs(r.n_hat - 50000.0) <= 0.15 * 50000.0) ++inside;
+  }
+  EXPECT_GE(inside, kTrials - 1);
+}
+
+TEST(Upe, CombinedEstimatorBlendsBoth) {
+  UpeConfig zero;
+  zero.expected_n = 50000.0;
+  UpeConfig coll = zero;
+  coll.variant = UpeVariant::kCollisionEstimator;
+  UpeConfig both = zero;
+  both.variant = UpeVariant::kCombined;
+  chan::SampledChannel c1(50000, 20);
+  chan::SampledChannel c2(50000, 20);
+  chan::SampledChannel c3(50000, 20);
+  const stats::AccuracyRequirement req{0.1, 0.05};
+  const double nz = UpeEstimator(zero, req).estimate(c1, 1).n_hat;
+  const double nc = UpeEstimator(coll, req).estimate(c2, 1).n_hat;
+  const double nb = UpeEstimator(both, req).estimate(c3, 1).n_hat;
+  // Same channel seed -> same frames -> the combined value is the average.
+  EXPECT_NEAR(nb, 0.5 * (nz + nc), 1e-9);
+}
+
+TEST(Upe, PersistenceIsClampedToProbabilityRange) {
+  UpeConfig config;
+  config.frame_size = 512;
+  config.expected_n = 10.0;  // would give p > 1
+  EXPECT_DOUBLE_EQ(config.persistence(), 1.0);
+}
+
+// ---------------------------------------------------------------------- EZB
+
+TEST(Ezb, EstimatesWithoutAnyPrior) {
+  const EzbEstimator est(EzbConfig{}, {0.1, 0.05});
+  for (const std::uint64_t n : {500ull, 50000ull, 2000000ull}) {
+    chan::SampledChannel channel(n, n);
+    const auto r = est.estimate(channel, 1);
+    EXPECT_NEAR(r.n_hat, static_cast<double>(n), 0.15 * static_cast<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Ezb, EmptyRegionEstimatesZero) {
+  chan::ExactChannel channel(std::vector<TagId>{});
+  const auto r = EzbEstimator(EzbConfig{}, {0.1, 0.05}).estimate(channel, 1);
+  EXPECT_DOUBLE_EQ(r.n_hat, 0.0);
+}
+
+// ------------------------------------------------------------ identification
+
+TEST(Dfsa, IdentifiesEveryTag) {
+  const auto tags = make_tags(500, 11);
+  const auto result = identify_dfsa(tags, DfsaConfig{}, 1);
+  EXPECT_EQ(result.identified, 500u);
+  EXPECT_GT(result.ledger.total_slots(), 500u)
+      << "identification needs > 1 slot per tag";
+}
+
+TEST(Dfsa, SampledMatchesDeviceScaling) {
+  const auto tags = make_tags(500, 12);
+  const auto device = identify_dfsa(tags, DfsaConfig{}, 1);
+  const auto sampled = identify_dfsa_sampled(500, DfsaConfig{}, 2);
+  EXPECT_EQ(sampled.identified, 500u);
+  // Same protocol, same adaptation rule: slot totals within 25%.
+  const double a = static_cast<double>(device.ledger.total_slots());
+  const double b = static_cast<double>(sampled.ledger.total_slots());
+  EXPECT_LT(std::abs(a - b) / a, 0.25);
+}
+
+TEST(Dfsa, SlotsGrowLinearlyInN) {
+  const auto small = identify_dfsa_sampled(10000, DfsaConfig{}, 3);
+  const auto large = identify_dfsa_sampled(40000, DfsaConfig{}, 3);
+  const double ratio = static_cast<double>(large.ledger.total_slots()) /
+                       static_cast<double>(small.ledger.total_slots());
+  EXPECT_NEAR(ratio, 4.0, 0.8) << "Theta(n) identification cost";
+}
+
+TEST(TreeWalk, IdentifiesEveryTag) {
+  const auto tags = make_tags(300, 13);
+  const auto result = identify_treewalk(tags, TreeWalkConfig{});
+  EXPECT_EQ(result.identified, 300u);
+}
+
+TEST(TreeWalk, SampledMatchesDeviceSlotCounts) {
+  const auto tags = make_tags(400, 14);
+  const auto device = identify_treewalk(tags, TreeWalkConfig{});
+  const auto sampled = identify_treewalk_sampled(400, TreeWalkConfig{}, 5);
+  EXPECT_EQ(sampled.identified, 400u);
+  const double a = static_cast<double>(device.ledger.total_slots());
+  const double b = static_cast<double>(sampled.ledger.total_slots());
+  EXPECT_LT(std::abs(a - b) / a, 0.2);
+}
+
+TEST(TreeWalk, SlotsMatchTheoreticalConstant) {
+  // Binary tree walking visits ~2.885 n nodes for large n.
+  const auto result = identify_treewalk_sampled(50000, TreeWalkConfig{}, 6);
+  const double per_tag =
+      static_cast<double>(result.ledger.total_slots()) / 50000.0;
+  EXPECT_NEAR(per_tag, 2.885, 0.15);
+}
+
+TEST(TreeWalk, EmptyPopulationCostsOneProbe) {
+  const auto result = identify_treewalk_sampled(0, TreeWalkConfig{}, 7);
+  EXPECT_EQ(result.identified, 0u);
+  EXPECT_EQ(result.ledger.total_slots(), 1u);
+}
+
+}  // namespace
+}  // namespace pet::proto

@@ -1,0 +1,176 @@
+// Randomized consistency suite: a seeded mini-quickcheck that draws random
+// scenario configurations (population size, tree height, search mode, hash
+// family, back end) and checks the library's cross-cutting invariants on
+// each.  Failures print the scenario seed for exact replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "channel/device_channel.hpp"
+#include "channel/exact_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "core/confidence.hpp"
+#include "core/estimator.hpp"
+#include "core/theory.hpp"
+#include "rng/prng.hpp"
+#include "tags/population.hpp"
+
+namespace pet {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  std::size_t n = 0;
+  unsigned tree_height = 32;
+  core::SearchMode search = core::SearchMode::kBinaryStrict;
+  rng::HashKind hash = rng::HashKind::kMix64;
+  std::uint64_t rounds = 0;
+
+  static Scenario draw(std::uint64_t scenario_seed) {
+    rng::Xoshiro256ss gen(scenario_seed);
+    Scenario s;
+    s.seed = scenario_seed;
+    // Population: log-uniform in [1, ~8000].
+    const double u = static_cast<double>(gen() >> 11) * 0x1.0p-53;
+    s.n = static_cast<std::size_t>(std::exp(u * std::log(8000.0))) + 0;
+    s.tree_height = 24 + static_cast<unsigned>(gen() % 41);  // 24..64
+    s.search = static_cast<core::SearchMode>(gen() % 3);
+    s.hash = static_cast<rng::HashKind>(gen() % 3);
+    s.rounds = 20 + gen() % 200;
+    return s;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return "scenario seed=" + std::to_string(seed) + " n=" +
+           std::to_string(n) + " H=" + std::to_string(tree_height) +
+           " search=" + std::string(core::to_string(search)) + " hash=" +
+           std::string(rng::to_string(hash)) + " rounds=" +
+           std::to_string(rounds);
+  }
+};
+
+class RandomScenario : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomScenario, CrossBackendAndCrossModeConsistency) {
+  const Scenario s = Scenario::draw(GetParam() * 1315423911ULL + 17);
+  SCOPED_TRACE(s.describe());
+
+  const auto pop = tags::TagPopulation::generate(s.n, s.seed);
+  const std::vector<TagId> tags(pop.ids().begin(), pop.ids().end());
+
+  chan::ExactChannelConfig exact_config;
+  exact_config.tree_height = s.tree_height;
+  exact_config.hash = s.hash;
+  chan::ExactChannelConfig exact_config2 = exact_config;
+  chan::SortedPetChannelConfig sorted_config;
+  sorted_config.tree_height = s.tree_height;
+  sorted_config.hash = s.hash;
+
+  chan::ExactChannel exact(tags, exact_config);
+  chan::ExactChannel exact_again(tags, exact_config2);
+  chan::SortedPetChannel sorted(tags, sorted_config);
+
+  core::PetConfig pet;
+  pet.tree_height = s.tree_height;
+  pet.search = s.search;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+
+  // Invariant A: bit-identical depths across Exact and Sorted back ends,
+  // and full determinism in the run seed.
+  const auto r1 = estimator.estimate_with_rounds(exact, s.rounds, s.seed);
+  const auto r2 =
+      estimator.estimate_with_rounds(exact_again, s.rounds, s.seed);
+  const auto r3 = estimator.estimate_with_rounds(sorted, s.rounds, s.seed);
+  EXPECT_EQ(r1.depths, r2.depths);
+  EXPECT_EQ(r1.depths, r3.depths);
+  EXPECT_DOUBLE_EQ(r1.n_hat, r3.n_hat);
+
+  // Invariant B: every depth is within [0, H].
+  for (const unsigned d : r1.depths) EXPECT_LE(d, s.tree_height);
+
+  // Invariant C: ledger accounting adds up (every slot classified once).
+  const auto& ledger = sorted.ledger();
+  EXPECT_EQ(ledger.total_slots(),
+            ledger.idle_slots + ledger.singleton_slots +
+                ledger.collision_slots);
+
+  // Invariant D: slot budget respects the search-mode worst case.
+  EXPECT_LE(r1.ledger.total_slots(),
+            r1.rounds * pet.worst_case_slots_per_round());
+
+  // Invariant E: the estimate is positive iff tags exist (strict/linear
+  // modes certify emptiness; paper mode reports its documented floor).
+  if (s.n == 0 && s.search != core::SearchMode::kBinaryPaper) {
+    EXPECT_DOUBLE_EQ(r1.n_hat, 0.0);
+  }
+  if (s.n > 0) {
+    EXPECT_GT(r1.n_hat, 0.0);
+    // Invariant F: a (30%, 30%) interval from the observed depths contains
+    // the point estimate and has positive width.
+    const auto ci = core::confidence_interval(r1, 0.3);
+    EXPECT_LE(ci.lo, ci.point);
+    EXPECT_GE(ci.hi, ci.point);
+  }
+}
+
+TEST_P(RandomScenario, DeviceBackendMatchesWhenAffordable) {
+  const Scenario s = Scenario::draw(GetParam() * 2654435761ULL + 3);
+  SCOPED_TRACE(s.describe());
+  if (s.n > 1500) GTEST_SKIP() << "device fidelity reserved for small n";
+
+  const auto pop = tags::TagPopulation::generate(s.n, s.seed);
+  const std::vector<TagId> tags(pop.ids().begin(), pop.ids().end());
+
+  chan::SortedPetChannelConfig sorted_config;
+  sorted_config.tree_height = s.tree_height;
+  sorted_config.hash = s.hash;
+  chan::DeviceChannelConfig device_config;
+  device_config.tree_height = s.tree_height;
+  device_config.hash = s.hash;
+
+  chan::SortedPetChannel sorted(tags, sorted_config);
+  chan::DeviceChannel device(tags, chan::DeviceKind::kPet, device_config);
+
+  core::PetConfig pet;
+  pet.tree_height = s.tree_height;
+  pet.search = s.search;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+  const auto rs = estimator.estimate_with_rounds(sorted, s.rounds, s.seed);
+  const auto rd = estimator.estimate_with_rounds(device, s.rounds, s.seed);
+  EXPECT_EQ(rs.depths, rd.depths);
+}
+
+TEST_P(RandomScenario, TheoryMomentsMatchSimulationAtScale) {
+  const Scenario s = Scenario::draw(GetParam() * 40503ULL + 99);
+  SCOPED_TRACE(s.describe());
+  if (s.n < 64) GTEST_SKIP() << "moment comparison needs a real population";
+
+  // Collect many depth observations and compare against the exact law.
+  const auto pop = tags::TagPopulation::generate(s.n, s.seed);
+  const std::vector<TagId> tags(pop.ids().begin(), pop.ids().end());
+  chan::SortedPetChannelConfig config;
+  config.tree_height = s.tree_height;
+  config.hash = s.hash;
+  chan::SortedPetChannel channel(tags, config);
+  core::PetConfig pet;
+  pet.tree_height = s.tree_height;
+  const core::PetEstimator estimator(pet, {0.3, 0.3});
+  const auto result = estimator.estimate_with_rounds(channel, 1500, s.seed);
+
+  double sum = 0.0;
+  for (const unsigned d : result.depths) sum += d;
+  const double mean = sum / static_cast<double>(result.depths.size());
+  const core::DepthDistribution dist(s.n, s.tree_height);
+  // 1500 rounds: SE ~ 1.87/sqrt(1500) ~ 0.05; allow 6 SE plus the
+  // shared-code correlation slack.
+  EXPECT_NEAR(mean, dist.mean(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenario,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace pet

@@ -1,0 +1,225 @@
+// Unit tests for src/rng: PRNG streams, MD5/SHA-1 against published test
+// vectors, and statistical sanity of the hash families.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/hash_family.hpp"
+#include "rng/md5.hpp"
+#include "rng/prng.hpp"
+#include "rng/sha1.hpp"
+
+namespace pet::rng {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, KnownReferenceStream) {
+  // Reference values for seed 1234567 from the public-domain splitmix64.c.
+  SplitMix64 gen(1234567);
+  EXPECT_EQ(gen(), 6457827717110365317ULL);
+  EXPECT_EQ(gen(), 3203168211198807973ULL);
+  EXPECT_EQ(gen(), 9817491932198370423ULL);
+}
+
+TEST(Xoshiro256, DistinctSeedsDiverge) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, LongJumpDecorrelatesStreams) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, BitsLookUniform) {
+  Xoshiro256ss gen(99);
+  std::array<int, 64> ones{};
+  constexpr int kSamples = 4096;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = gen();
+    for (int b = 0; b < 64; ++b) {
+      if ((v >> b) & 1) ++ones[static_cast<std::size_t>(b)];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    // ~5.5 sigma band around the binomial mean.
+    EXPECT_NEAR(ones[static_cast<std::size_t>(b)], kSamples / 2, 180)
+        << "bit " << b;
+  }
+}
+
+TEST(DeriveSeed, IsDeterministicAndSpreads) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Md5, Rfc1321TestVectors) {
+  EXPECT_EQ(Md5::to_hex(Md5::hash("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::to_hex(Md5::hash("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::to_hex(Md5::hash("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::to_hex(Md5::hash("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::to_hex(Md5::hash("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::to_hex(Md5::hash(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456"
+                "789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::to_hex(Md5::hash(
+                "123456789012345678901234567890123456789012345678901234567890"
+                "12345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot) {
+  Md5 incremental;
+  incremental.update("mess");
+  incremental.update("age ");
+  incremental.update("digest");
+  EXPECT_EQ(Md5::to_hex(incremental.finalize()),
+            Md5::to_hex(Md5::hash("message digest")));
+}
+
+TEST(Md5, CrossesBlockBoundaries) {
+  // 63-, 64- and 65-byte messages exercise the padding edge cases.
+  const std::string base(130, 'x');
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 127u, 128u}) {
+    Md5 split;
+    const std::string msg = base.substr(0, len);
+    split.update(msg.substr(0, len / 2));
+    split.update(msg.substr(len / 2));
+    EXPECT_EQ(Md5::to_hex(split.finalize()), Md5::to_hex(Md5::hash(msg)))
+        << "len=" << len;
+  }
+}
+
+TEST(Sha1, Fips180TestVectors) {
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(Sha1::to_hex(Sha1::hash("The quick brown fox jumps over the lazy "
+                                    "dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha1::to_hex(h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+class HashFamilyTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashFamilyTest, IsDeterministic) {
+  const HashKind kind = GetParam();
+  EXPECT_EQ(uniform64(kind, 1, 2), uniform64(kind, 1, 2));
+  EXPECT_NE(uniform64(kind, 1, 2), uniform64(kind, 1, 3));
+  EXPECT_NE(uniform64(kind, 1, 2), uniform64(kind, 2, 2));
+}
+
+TEST_P(HashFamilyTest, UniformCodeRespectsWidth) {
+  const HashKind kind = GetParam();
+  for (const unsigned width : {1u, 8u, 32u, 63u, 64u}) {
+    const BitCode code = uniform_code(kind, 77, 12345, width);
+    EXPECT_EQ(code.width(), width);
+  }
+  EXPECT_THROW(uniform_code(kind, 0, 0, 0), PreconditionError);
+  EXPECT_THROW(uniform_code(kind, 0, 0, 65), PreconditionError);
+}
+
+TEST_P(HashFamilyTest, UniformSlotStaysInBounds) {
+  const HashKind kind = GetParam();
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    const std::uint64_t slot = uniform_slot(kind, 5, id, 37);
+    EXPECT_GE(slot, 1u);
+    EXPECT_LE(slot, 37u);
+  }
+  EXPECT_THROW(uniform_slot(kind, 0, 0, 0), PreconditionError);
+}
+
+TEST_P(HashFamilyTest, UniformSlotLooksUniform) {
+  const HashKind kind = GetParam();
+  constexpr std::uint64_t kBound = 8;
+  constexpr int kSamples = 8000;
+  std::array<int, kBound> counts{};
+  for (int id = 0; id < kSamples; ++id) {
+    ++counts[uniform_slot(kind, 99, static_cast<std::uint64_t>(id), kBound) -
+             1];
+  }
+  // chi^2 with 7 dof; 99.9th percentile ~ 24.3.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kSamples) / kBound;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 24.3) << "hash " << to_string(kind);
+}
+
+TEST_P(HashFamilyTest, GeometricLevelMatchesHalvingLaw) {
+  const HashKind kind = GetParam();
+  constexpr int kSamples = 20000;
+  std::array<int, 8> counts{};
+  for (int id = 0; id < kSamples; ++id) {
+    const unsigned level =
+        geometric_level(kind, 7, static_cast<std::uint64_t>(id), 32);
+    if (level <= counts.size()) ++counts[level - 1];
+  }
+  for (unsigned i = 1; i <= 4; ++i) {
+    const double expected = kSamples * std::ldexp(1.0, -static_cast<int>(i));
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(counts[i - 1], expected, 5.0 * sigma)
+        << "level " << i << " hash " << to_string(kind);
+  }
+}
+
+TEST_P(HashFamilyTest, GeometricLevelRespectsCap) {
+  const HashKind kind = GetParam();
+  for (std::uint64_t id = 0; id < 2000; ++id) {
+    EXPECT_LE(geometric_level(kind, 3, id, 4), 4u);
+    EXPECT_GE(geometric_level(kind, 3, id, 4), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashFamilyTest,
+                         ::testing::Values(HashKind::kMix64, HashKind::kMd5,
+                                           HashKind::kSha1),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(HashFamily, KindsProduceDifferentStreams) {
+  EXPECT_NE(uniform64(HashKind::kMix64, 1, 2),
+            uniform64(HashKind::kMd5, 1, 2));
+  EXPECT_NE(uniform64(HashKind::kMd5, 1, 2),
+            uniform64(HashKind::kSha1, 1, 2));
+}
+
+}  // namespace
+}  // namespace pet::rng

@@ -1,0 +1,266 @@
+// Unit tests for src/sim: the DES kernel, the slotted medium, and the tag
+// device state machines.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "sim/devices.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace pet::sim {
+namespace {
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(30, [&](Simulator&) { order.push_back(3); });
+  simulator.schedule_at(10, [&](Simulator&) { order.push_back(1); });
+  simulator.schedule_at(20, [&](Simulator&) { order.push_back(2); });
+  EXPECT_EQ(simulator.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30u);
+}
+
+TEST(Simulator, EqualTimestampsRunFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule_at(7, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(1, [&](Simulator& s) {
+    ++fired;
+    s.schedule_in(5, [&](Simulator&) { ++fired; });
+  });
+  EXPECT_EQ(simulator.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 6u);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(10, [&](Simulator&) { ++fired; });
+  simulator.schedule_at(20, [&](Simulator&) { ++fired; });
+  EXPECT_EQ(simulator.run(15), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.pending(), 1u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator simulator;
+  simulator.advance(100);
+  EXPECT_THROW(simulator.schedule_at(50, [](Simulator&) {}),
+               PreconditionError);
+}
+
+/// A scripted responder for direct medium tests.
+class ScriptedTag final : public Responder {
+ public:
+  explicit ScriptedTag(bool responds, TagId id = TagId{1})
+      : responds_(responds), id_(id) {}
+  std::optional<Reply> react(const Command&) override {
+    if (!responds_) return std::nullopt;
+    return Reply{id_, to_underlying(id_), 1};
+  }
+
+ private:
+  bool responds_;
+  TagId id_;
+};
+
+Command probe() { return PrefixQueryCmd{BitCode::parse("0"), 0, 8}; }
+
+TEST(Medium, ClassifiesIdleSingletonCollision) {
+  Simulator simulator;
+  Medium medium;
+  ScriptedTag silent(false);
+  ScriptedTag loud1(true, TagId{1});
+  ScriptedTag loud2(true, TagId{2});
+
+  medium.attach(&silent);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome, SlotOutcome::kIdle);
+
+  medium.attach(&loud1);
+  const auto single = medium.run_slot(probe(), simulator);
+  EXPECT_EQ(single.outcome, SlotOutcome::kSingleton);
+  ASSERT_TRUE(single.decoded.has_value());
+  EXPECT_EQ(single.decoded->id, TagId{1});
+
+  medium.attach(&loud2);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome,
+            SlotOutcome::kCollision);
+
+  const auto& ledger = medium.ledger();
+  EXPECT_EQ(ledger.idle_slots, 1u);
+  EXPECT_EQ(ledger.singleton_slots, 1u);
+  EXPECT_EQ(ledger.collision_slots, 1u);
+  EXPECT_EQ(ledger.total_slots(), 3u);
+  EXPECT_EQ(ledger.reader_bits, 24u);
+  EXPECT_EQ(ledger.tag_bits, 3u);  // 1 + 2 presence bits heard
+}
+
+TEST(Medium, DetachSilencesTag) {
+  Simulator simulator;
+  Medium medium;
+  ScriptedTag tag(true);
+  medium.attach(&tag);
+  EXPECT_EQ(medium.attached(), 1u);
+  medium.detach(&tag);
+  EXPECT_EQ(medium.attached(), 0u);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome, SlotOutcome::kIdle);
+}
+
+TEST(Medium, AdvancesSimulationClockPerSlot) {
+  Simulator simulator;
+  Medium medium(ChannelImpairments{}, SlotTiming{250, 150});
+  medium.run_slot(probe(), simulator);
+  medium.run_slot(probe(), simulator);
+  EXPECT_EQ(simulator.now(), 800u);
+  EXPECT_EQ(medium.ledger().airtime_us, 800u);
+}
+
+TEST(Medium, ReplyLossCanEraseEverything) {
+  Simulator simulator;
+  Medium medium(ChannelImpairments{1.0, 0.0, 1});
+  ScriptedTag tag(true);
+  medium.attach(&tag);
+  const auto obs = medium.run_slot(probe(), simulator);
+  EXPECT_EQ(obs.outcome, SlotOutcome::kIdle) << "total loss yields idle";
+  EXPECT_EQ(obs.responders, 1u) << "true transmitter count is still known";
+}
+
+TEST(Medium, FalseBusyNoiseFloorsIdleSlots) {
+  Simulator simulator;
+  Medium medium(ChannelImpairments{0.0, 1.0, 1});
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome,
+            SlotOutcome::kCollision);
+}
+
+TEST(Medium, ObserverSeesEverySlot) {
+  Simulator simulator;
+  Medium medium;
+  int observed = 0;
+  medium.set_observer(
+      [&](const Command&, const SlotObservation&) { ++observed; });
+  medium.run_slot(probe(), simulator);
+  medium.run_slot(probe(), simulator);
+  EXPECT_EQ(observed, 2);
+}
+
+TEST(PetTagDevice, PreloadedRespondsExactlyOnPrefixMatch) {
+  PetTagDevice tag(TagId{42}, rng::HashKind::kMix64, 32,
+                   PetTagDevice::CodeMode::kPreloaded, 1);
+  const BitCode code = tag.current_code();
+  ASSERT_EQ(code.width(), 32u);
+
+  // Matching prefix of every length must respond; flipping the last bit of
+  // the prefix must silence it.
+  for (unsigned len = 1; len <= 32; ++len) {
+    const auto yes =
+        tag.react(PrefixQueryCmd{code, len, 32});
+    EXPECT_TRUE(yes.has_value()) << "len=" << len;
+    const BitCode flipped(code.value() ^ (std::uint64_t{1} << (32 - len)), 32);
+    const auto no = tag.react(PrefixQueryCmd{flipped, len, 32});
+    EXPECT_FALSE(no.has_value()) << "len=" << len;
+  }
+}
+
+TEST(PetTagDevice, PreloadedNeverHashesAtRuntime) {
+  PetTagDevice tag(TagId{42}, rng::HashKind::kMix64, 32,
+                   PetTagDevice::CodeMode::kPreloaded, 1);
+  (void)tag.react(RoundBeginCmd{BitCode(0, 32), 7, false, 32});
+  (void)tag.react(PrefixQueryCmd{BitCode(0, 32), 4, 32});
+  EXPECT_EQ(tag.cost().hash_evaluations, 0u);
+  EXPECT_EQ(tag.cost().prefix_compares, 1u);
+}
+
+TEST(PetTagDevice, PerRoundModeRehashesEachRound) {
+  PetTagDevice tag(TagId{42}, rng::HashKind::kMix64, 32,
+                   PetTagDevice::CodeMode::kPerRound);
+  (void)tag.react(RoundBeginCmd{BitCode(0, 32), 7, true, 32});
+  const BitCode first = tag.current_code();
+  (void)tag.react(RoundBeginCmd{BitCode(0, 32), 8, true, 32});
+  const BitCode second = tag.current_code();
+  EXPECT_FALSE(first == second) << "new seed must yield a new code";
+  EXPECT_EQ(tag.cost().hash_evaluations, 2u);
+}
+
+TEST(PetTagDevice, PerRoundModeRejectsPreloadedRounds) {
+  PetTagDevice tag(TagId{42}, rng::HashKind::kMix64, 32,
+                   PetTagDevice::CodeMode::kPerRound);
+  EXPECT_THROW((void)tag.react(RoundBeginCmd{BitCode(0, 32), 7, false, 32}),
+               PreconditionError);
+}
+
+TEST(PetTagDevice, IgnoresForeignCommands) {
+  PetTagDevice tag(TagId{42}, rng::HashKind::kMix64, 32,
+                   PetTagDevice::CodeMode::kPreloaded, 1);
+  EXPECT_FALSE(tag.react(RangeQueryCmd{100, 32}).has_value());
+  EXPECT_FALSE(tag.react(SlotPollCmd{1, 1}).has_value());
+}
+
+TEST(FnebTagDevice, RespondsIffSlotWithinBound) {
+  FnebTagDevice tag(TagId{42}, rng::HashKind::kMix64);
+  (void)tag.react(FrameBeginCmd{9, 1000, 1.0, 32});
+  const std::uint64_t slot =
+      rng::uniform_slot(rng::HashKind::kMix64, 9, TagId{42}, 1000);
+  EXPECT_TRUE(tag.react(RangeQueryCmd{slot, 32}).has_value());
+  EXPECT_TRUE(tag.react(RangeQueryCmd{1000, 32}).has_value());
+  if (slot > 1) {
+    EXPECT_FALSE(tag.react(RangeQueryCmd{slot - 1, 32}).has_value());
+  }
+}
+
+TEST(LofTagDevice, RespondsExactlyAtItsLevel) {
+  LofTagDevice tag(TagId{7}, rng::HashKind::kMix64);
+  (void)tag.react(FrameBeginCmd{3, 32, 1.0, 32});
+  const unsigned level =
+      rng::geometric_level(rng::HashKind::kMix64, 3, TagId{7}, 32);
+  for (std::uint64_t slot = 1; slot <= 32; ++slot) {
+    EXPECT_EQ(tag.react(SlotPollCmd{slot, 1}).has_value(), slot == level);
+  }
+}
+
+TEST(AlohaTagDevice, RetiresAfterAck) {
+  AlohaTagDevice tag(TagId{5}, rng::HashKind::kMix64, /*transmit_id=*/true);
+  (void)tag.react(FrameBeginCmd{1, 4, 1.0, 16});
+  const std::uint64_t slot =
+      rng::uniform_slot(rng::HashKind::kMix64, 1, TagId{5}, 4);
+  const auto reply = tag.react(SlotPollCmd{slot, 1});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->payload, 5u);
+  EXPECT_EQ(reply->bits, 64u);
+  (void)tag.react(AckCmd{5, 16});
+  EXPECT_TRUE(tag.identified());
+  (void)tag.react(FrameBeginCmd{2, 4, 1.0, 16});
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    EXPECT_FALSE(tag.react(SlotPollCmd{s, 1}).has_value())
+        << "identified tags stay silent";
+  }
+}
+
+TEST(TreeWalkTagDevice, AnswersMatchingIdPrefixes) {
+  const TagId id{0b1010'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000'0000ULL};
+  TreeWalkTagDevice tag(id, rng::HashKind::kMix64);
+  EXPECT_TRUE(tag.react(IdPrefixQueryCmd{BitCode{}, 64}).has_value());
+  EXPECT_TRUE(tag.react(IdPrefixQueryCmd{BitCode::parse("1"), 64}).has_value());
+  EXPECT_TRUE(
+      tag.react(IdPrefixQueryCmd{BitCode::parse("10"), 64}).has_value());
+  EXPECT_FALSE(
+      tag.react(IdPrefixQueryCmd{BitCode::parse("11"), 64}).has_value());
+  (void)tag.react(AckCmd{to_underlying(id), 16});
+  EXPECT_FALSE(tag.react(IdPrefixQueryCmd{BitCode{}, 64}).has_value());
+}
+
+}  // namespace
+}  // namespace pet::sim

@@ -1,0 +1,193 @@
+// Unit tests for src/stats: streaming moments, Gaussian quantiles, the
+// accuracy-contract helpers, histograms, and the KS machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "stats/accuracy.hpp"
+#include "stats/histogram.hpp"
+#include "stats/ks.hpp"
+#include "stats/normal.hpp"
+#include "stats/running_stat.hpp"
+
+namespace pet::stats {
+namespace {
+
+TEST(RunningStat, MatchesClosedFormMoments) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // classic population example
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_NEAR(stat.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, SampleVarianceNeedsTwoSamples) {
+  RunningStat stat;
+  stat.add(1.0);
+  EXPECT_THROW(stat.sample_variance(), PreconditionError);
+}
+
+TEST(RunningStat, RmsAboutExternalCenter) {
+  RunningStat stat;
+  stat.add(9.0);
+  stat.add(11.0);
+  // var = 1, bias to center 8 is 2 -> rms = sqrt(1 + 4).
+  EXPECT_NEAR(stat.rms_about(8.0), std::sqrt(5.0), 1e-12);
+}
+
+TEST(RunningStat, MergeEqualsBulk) {
+  rng::Xoshiro256ss gen(5);
+  RunningStat bulk;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(gen() >> 40);
+    bulk.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-6 * std::abs(bulk.mean()));
+  EXPECT_NEAR(left.variance(), bulk.variance(),
+              1e-6 * std::abs(bulk.variance()));
+  EXPECT_DOUBLE_EQ(left.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(left.max(), bulk.max());
+}
+
+TEST(Normal, CdfKnownPoints) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655253931, 1e-9);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                         0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+  EXPECT_THROW(normal_quantile(0.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), PreconditionError);
+}
+
+TEST(Normal, QuantileKnownPoints) {
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829304, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+}
+
+TEST(Normal, ErfInvRoundTrips) {
+  for (const double y : {-0.9, -0.5, -0.1, 0.0 + 1e-12, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(std::erf(erf_inv(y)), y, 1e-12) << "y=" << y;
+  }
+}
+
+TEST(Normal, TwoSidedConstantMatchesTextbookValues) {
+  // delta = 1% -> 2.5758; 5% -> 1.9600; 10% -> 1.6449 (Eq. 17 constants).
+  EXPECT_NEAR(two_sided_normal_constant(0.01), 2.575829304, 1e-7);
+  EXPECT_NEAR(two_sided_normal_constant(0.05), 1.959963985, 1e-7);
+  EXPECT_NEAR(two_sided_normal_constant(0.10), 1.644853627, 1e-7);
+}
+
+TEST(Accuracy, RequirementValidation) {
+  AccuracyRequirement ok{0.05, 0.01};
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_THROW((AccuracyRequirement{0.0, 0.01}).validate(),
+               PreconditionError);
+  EXPECT_THROW((AccuracyRequirement{0.05, 1.0}).validate(),
+               PreconditionError);
+}
+
+TEST(Accuracy, IntervalMatchesPaperExample) {
+  // Paper Section 3: n = 50000, eps = 5% -> [47500, 52500].
+  const AccuracyRequirement req{0.05, 0.01};
+  EXPECT_DOUBLE_EQ(req.interval_lo(50000), 47500.0);
+  EXPECT_DOUBLE_EQ(req.interval_hi(50000), 52500.0);
+}
+
+TEST(TrialSummary, ComputesPaperMetrics) {
+  TrialSummary summary(100.0);
+  for (const double x : {90.0, 100.0, 110.0}) summary.add(x);
+  EXPECT_DOUBLE_EQ(summary.accuracy(), 1.0);            // Eq. (22)
+  EXPECT_NEAR(summary.deviation(), std::sqrt(200.0 / 3.0), 1e-12);  // Eq. (23)
+  EXPECT_NEAR(summary.normalized_deviation(), summary.deviation() / 100.0,
+              1e-15);
+  EXPECT_DOUBLE_EQ(summary.fraction_within(0.10), 1.0);
+  EXPECT_NEAR(summary.fraction_within(0.05), 1.0 / 3.0, 1e-12);
+  EXPECT_TRUE(summary.meets(AccuracyRequirement{0.10, 0.05}));
+  EXPECT_FALSE(summary.meets(AccuracyRequirement{0.05, 0.05}));
+}
+
+TEST(Histogram, BinsAndOverflows) {
+  Histogram h(0.0, 10.0, 5);
+  for (const double x : {-1.0, 0.0, 1.9, 2.0, 9.9, 10.0, 42.0}) h.add(x);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.0, 1.9
+  EXPECT_EQ(h.count(1), 1u);  // 2.0
+  EXPECT_EQ(h.count(4), 1u);  // 9.9
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_THROW(h.count(5), PreconditionError);
+}
+
+TEST(Histogram, FractionWithinUsesExactSamples) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.fraction_within(25.0, 75.0), 0.51, 1e-12);
+}
+
+TEST(Histogram, AsciiRenderingIsWellFormed) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.render_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Ks, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(Ks, DisjointSamplesHaveUnitDistance) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(Ks, SameDistributionPassesAtCriticalValue) {
+  rng::Xoshiro256ss gen(11);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 4000; ++i) {
+    a.push_back(static_cast<double>(gen() >> 11) * 0x1.0p-53);
+    b.push_back(static_cast<double>(gen() >> 11) * 0x1.0p-53);
+  }
+  EXPECT_LT(ks_statistic(a, b), ks_critical_value(a.size(), b.size(), 0.001));
+}
+
+TEST(Ks, ShiftedDistributionFailsAtCriticalValue) {
+  rng::Xoshiro256ss gen(12);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = static_cast<double>(gen() >> 11) * 0x1.0p-53;
+    a.push_back(u);
+    b.push_back(u + 0.1);
+  }
+  EXPECT_GT(ks_statistic(a, b), ks_critical_value(a.size(), b.size(), 0.001));
+}
+
+}  // namespace
+}  // namespace pet::stats

@@ -1,0 +1,153 @@
+// Unit tests for src/tags: populations, join/leave dynamics, zone mobility,
+// and the Fig.-7 cost model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/ensure.hpp"
+#include "tags/cost_model.hpp"
+#include "tags/mobility.hpp"
+#include "tags/population.hpp"
+
+namespace pet::tags {
+namespace {
+
+TEST(Population, GeneratesRequestedUniqueIds) {
+  const auto pop = TagPopulation::generate(5000, 1);
+  EXPECT_EQ(pop.size(), 5000u);
+  std::unordered_set<std::uint64_t> seen;
+  for (const TagId id : pop.ids()) seen.insert(to_underlying(id));
+  EXPECT_EQ(seen.size(), 5000u);
+}
+
+TEST(Population, GenerationIsDeterministicInSeed) {
+  const auto a = TagPopulation::generate(100, 7);
+  const auto b = TagPopulation::generate(100, 7);
+  const auto c = TagPopulation::generate(100, 8);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    all_equal = all_equal && (a.ids()[i] == b.ids()[i]);
+    differs_from_c = differs_from_c || !(a.ids()[i] == c.ids()[i]);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Population, JoinAndLeave) {
+  TagPopulation pop;
+  EXPECT_TRUE(pop.empty());
+  EXPECT_TRUE(pop.join(TagId{5}));
+  EXPECT_FALSE(pop.join(TagId{5})) << "duplicate join must be rejected";
+  EXPECT_TRUE(pop.contains(TagId{5}));
+  EXPECT_EQ(pop.size(), 1u);
+  EXPECT_TRUE(pop.leave(TagId{5}));
+  EXPECT_FALSE(pop.leave(TagId{5})) << "double leave must be rejected";
+  EXPECT_TRUE(pop.empty());
+}
+
+TEST(Population, JoinFreshAvoidsCollisions) {
+  auto pop = TagPopulation::generate(1000, 3);
+  const auto fresh = pop.join_fresh(500, 4);
+  EXPECT_EQ(fresh.size(), 500u);
+  EXPECT_EQ(pop.size(), 1500u);
+  for (const TagId id : fresh) EXPECT_TRUE(pop.contains(id));
+}
+
+TEST(Population, LeaveRandomRemovesExactCount) {
+  auto pop = TagPopulation::generate(1000, 3);
+  EXPECT_EQ(pop.leave_random(400, 9), 400u);
+  EXPECT_EQ(pop.size(), 600u);
+  // Removing more than remain drains the population.
+  EXPECT_EQ(pop.leave_random(10000, 10), 600u);
+  EXPECT_TRUE(pop.empty());
+}
+
+TEST(ZoneMap, ScatterCoversAllZones) {
+  const auto pop = TagPopulation::generate(2000, 5);
+  ZoneMap zones(4, 11);
+  zones.scatter(pop);
+  EXPECT_EQ(zones.distinct_tags(), 2000u);
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  for (std::size_t z = 0; z < 4; ++z) {
+    const auto audible = zones.audible_in(z);
+    total += audible.size();
+    if (!audible.empty()) ++covered;
+  }
+  EXPECT_EQ(covered, 4u);
+  EXPECT_EQ(total, 2000u) << "no overlap yet: zone lists partition the tags";
+}
+
+TEST(ZoneMap, OverlapDuplicatesSomeTags) {
+  const auto pop = TagPopulation::generate(2000, 5);
+  ZoneMap zones(4, 11);
+  zones.scatter(pop);
+  zones.add_overlap(0.25);
+  std::size_t total = 0;
+  for (std::size_t z = 0; z < 4; ++z) total += zones.audible_in(z).size();
+  EXPECT_GT(total, 2000u);
+  EXPECT_LT(total, 2000u + 2000u / 2);  // ~25% duplicated
+  EXPECT_EQ(zones.distinct_tags(), 2000u)
+      << "overlap must not change the distinct count";
+}
+
+TEST(ZoneMap, StepMovesRoughlyTheRequestedFraction) {
+  const auto pop = TagPopulation::generate(4000, 6);
+  ZoneMap zones(8, 13);
+  zones.scatter(pop);
+  const std::size_t moved = zones.step(0.3);
+  EXPECT_NEAR(static_cast<double>(moved), 1200.0, 150.0);
+  std::size_t total = 0;
+  for (std::size_t z = 0; z < 8; ++z) total += zones.audible_in(z).size();
+  EXPECT_EQ(total, 4000u) << "mobility conserves tags";
+}
+
+TEST(ZoneMap, SingleZoneNeverMoves) {
+  const auto pop = TagPopulation::generate(100, 6);
+  ZoneMap zones(1, 13);
+  zones.scatter(pop);
+  EXPECT_EQ(zones.step(1.0), 0u);
+  EXPECT_EQ(zones.audible_in(0).size(), 100u);
+}
+
+TEST(CostModel, PetPreloadIsOneWordRegardlessOfRounds) {
+  EXPECT_EQ(preload_memory_bits(ProtocolKind::kPet, 1), 32u);
+  EXPECT_EQ(preload_memory_bits(ProtocolKind::kPet, 10000), 32u);
+}
+
+TEST(CostModel, BaselinesPreloadPerRound) {
+  // Fig. 7: FNEB/LoF per-tag memory grows linearly in the round count.
+  EXPECT_EQ(preload_memory_bits(ProtocolKind::kFneb, 100), 3200u);
+  EXPECT_EQ(preload_memory_bits(ProtocolKind::kLof, 100), 3200u);
+  EXPECT_EQ(preload_memory_bits(ProtocolKind::kFneb, 1000, 16), 16000u);
+}
+
+TEST(CostModel, ActiveTagHashOps) {
+  EXPECT_EQ(hash_ops(ProtocolKind::kPet, 500), 0u);
+  EXPECT_EQ(hash_ops(ProtocolKind::kFneb, 500), 500u);
+  EXPECT_EQ(hash_ops(ProtocolKind::kLof, 500), 500u);
+}
+
+TEST(CostModel, CommandBitsPerEncoding) {
+  // Section 4.6.2: 32-bit mask vs 5-bit mid vs 1-bit ack for H = 32.
+  EXPECT_EQ(command_bits_per_query(CommandEncoding::kFullMask, 32), 32u);
+  EXPECT_EQ(command_bits_per_query(CommandEncoding::kMidIndex, 32), 6u);
+  EXPECT_EQ(command_bits_per_query(CommandEncoding::kMidIndex, 31), 5u);
+  EXPECT_EQ(command_bits_per_query(CommandEncoding::kOneBitAck, 32), 1u);
+}
+
+TEST(CostModel, LedgerAccumulates) {
+  TagCostLedger a{1, 2, 3, 4};
+  const TagCostLedger b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.hash_evaluations, 11u);
+  EXPECT_EQ(a.prefix_compares, 22u);
+  EXPECT_EQ(a.responses_sent, 33u);
+  EXPECT_EQ(a.command_bits_heard, 44u);
+}
+
+}  // namespace
+}  // namespace pet::tags

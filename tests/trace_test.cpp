@@ -1,0 +1,122 @@
+// Tests for the slot tracing facility and the Deployment missing-tag
+// screening.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/device_channel.hpp"
+#include "core/estimator.hpp"
+#include "multireader/deployment.hpp"
+#include "sim/devices.hpp"
+#include "sim/medium.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "tags/population.hpp"
+
+namespace pet {
+namespace {
+
+TEST(Trace, CommandNamesCoverEveryVariant) {
+  using namespace sim;
+  EXPECT_EQ(command_name(PrefixQueryCmd{BitCode::parse("01"), 2, 32}),
+            "prefix_query");
+  EXPECT_EQ(command_name(RoundBeginCmd{}), "round_begin");
+  EXPECT_EQ(command_name(RangeQueryCmd{5, 32}), "range_query");
+  EXPECT_EQ(command_name(FrameBeginCmd{}), "frame_begin");
+  EXPECT_EQ(command_name(SlotPollCmd{3, 1}), "slot_poll");
+  EXPECT_EQ(command_name(AckCmd{9, 16}), "ack");
+  EXPECT_EQ(command_name(IdPrefixQueryCmd{BitCode::parse("1"), 64}),
+            "id_prefix_query");
+  EXPECT_EQ(command_name(SplitQueryCmd{}), "split_query");
+  EXPECT_EQ(command_name(SplitFeedbackCmd{SlotOutcome::kIdle, 2}),
+            "split_feedback");
+}
+
+TEST(Trace, PayloadsAreReadable) {
+  using namespace sim;
+  EXPECT_EQ(command_payload(PrefixQueryCmd{BitCode::parse("0110"), 2, 32}),
+            "01");
+  EXPECT_EQ(command_payload(RangeQueryCmd{42, 32}), "42");
+  EXPECT_EQ(command_payload(FrameBeginCmd{0, 128, 1.0, 32}), "f=128");
+  EXPECT_EQ(command_payload(SplitFeedbackCmd{SlotOutcome::kCollision, 2}),
+            "collision");
+}
+
+TEST(Trace, SinkWritesOneRowPerSlot) {
+  const auto pop = tags::TagPopulation::generate(100, 1);
+  sim::Simulator simulator;
+  sim::Medium medium;
+  std::ostringstream out;
+  sim::TraceSink sink(out);
+  medium.set_observer(sink.observer());
+
+  std::vector<std::unique_ptr<sim::PetTagDevice>> devices;
+  for (const TagId id : pop.ids()) {
+    devices.push_back(std::make_unique<sim::PetTagDevice>(
+        id, rng::HashKind::kMix64, 32,
+        sim::PetTagDevice::CodeMode::kPreloaded, 0x9a9a5eedULL));
+    medium.attach(devices.back().get());
+  }
+  const BitCode path = rng::uniform_code(rng::HashKind::kMix64, 1, 2, 32);
+  for (unsigned len = 1; len <= 4; ++len) {
+    (void)medium.run_slot(sim::PrefixQueryCmd{path, len, 32}, simulator);
+  }
+
+  EXPECT_EQ(sink.rows_written(), 4u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("slot,command,payload,outcome"), std::string::npos);
+  EXPECT_NE(text.find("prefix_query"), std::string::npos);
+  // 100 tags: the 1-bit prefix probe must be a collision.
+  EXPECT_NE(text.find("collision"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5)
+      << "header + 4 rows";
+}
+
+TEST(MissingTags, CleanInventoryReportsNearZeroMissing) {
+  multi::DeploymentConfig config;
+  config.accuracy = {0.05, 0.05};
+  multi::Deployment site(config, 20000);
+  const auto missing = site.estimate_missing(20000);
+  EXPECT_LT(missing.estimate, 0.05 * 20000.0);
+  EXPECT_LE(missing.interval.lo, missing.estimate);
+}
+
+TEST(MissingTags, DetectsABulkLoss) {
+  multi::DeploymentConfig config;
+  config.accuracy = {0.05, 0.05};
+  multi::Deployment site(config, 20000);
+  site.remove_tags(5000);  // 25% of the manifest walks away
+  const auto missing = site.estimate_missing(20000);
+  EXPECT_NEAR(missing.estimate, 5000.0, 1500.0);
+  EXPECT_GT(missing.interval.lo, 2500.0);
+  EXPECT_LT(missing.interval.hi, 7500.0);
+}
+
+TEST(MissingTags, AuditAccuracyOverrideTightensTheInterval) {
+  multi::DeploymentConfig config;
+  config.accuracy = {0.10, 0.10};
+  multi::Deployment site(config, 30000);
+  site.remove_tags(3000);
+  const auto loose = site.estimate_missing(30000);
+  const auto tight = site.estimate_missing(
+      30000, stats::AccuracyRequirement{0.02, 0.05});
+  EXPECT_LT(tight.interval.hi - tight.interval.lo,
+            loose.interval.hi - loose.interval.lo);
+  EXPECT_GT(tight.rounds, loose.rounds);
+  EXPECT_NEAR(tight.estimate, 3000.0, 800.0);
+}
+
+TEST(MissingTags, SurplusClampsAtZero) {
+  multi::DeploymentConfig config;
+  config.accuracy = {0.10, 0.10};
+  multi::Deployment site(config, 10000);
+  site.add_tags(3000);  // more present than the manifest expects
+  const auto missing = site.estimate_missing(10000);
+  EXPECT_DOUBLE_EQ(missing.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(missing.interval.lo, 0.0);
+}
+
+}  // namespace
+}  // namespace pet

@@ -1,0 +1,357 @@
+// petsim — command-line front end to the PET RFID estimation library.
+//
+//   petsim plan     --eps=0.05 --delta=0.01
+//   petsim estimate --protocol=pet --n=50000 --eps=0.05 --delta=0.01
+//                   [--search=binary|strict|linear] [--loss=0.1]
+//                   [--readers=4 --overlap=0.3] [--seed=1]
+//   petsim identify --protocol=dfsa|treewalk --n=20000 [--seed=1]
+//   petsim monitor  --n=10000 --steps=40 [--seed=1]
+//
+// Everything is simulated on the slotted-MAC substrate; see README.md.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel/device_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "core/confidence.hpp"
+#include "core/estimator.hpp"
+#include "core/monitor.hpp"
+#include "core/planner.hpp"
+#include "core/sketch.hpp"
+#include "multireader/controller.hpp"
+#include "protocols/ezb.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/identification.hpp"
+#include "protocols/lof.hpp"
+#include "protocols/upe.hpp"
+#include "sim/gen2_timing.hpp"
+#include "sim/trace.hpp"
+#include "tags/mobility.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+using namespace pet;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] double get(const std::string& key, double fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback
+                          : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const char* fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "petsim: bad argument '%s'\n", arg);
+      std::exit(2);
+    }
+    const char* eq = std::strchr(arg, '=');
+    if (eq == nullptr) {
+      args.kv[arg + 2] = "1";
+    } else {
+      args.kv[std::string(arg + 2, eq)] = eq + 1;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  petsim plan     --eps=E --delta=D [--n=N]\n"
+      "  petsim estimate --protocol=pet|fneb|lof|upe|ezb --n=N --eps=E "
+      "--delta=D\n"
+      "                  [--search=binary|strict|linear]\n"
+      "                  [--fusion=paper|bias-corrected|median-of-means]\n"
+      "                  [--loss=P]\n"
+      "                  [--readers=K --overlap=P] [--trace=FILE] [--seed=S]\n"
+      "  petsim identify --protocol=dfsa|treewalk --n=N [--seed=S]\n"
+      "  petsim monitor  --n=N --steps=T [--seed=S]\n"
+      "  petsim sketch   --n-a=N --n-b=M --shared=K [--rounds=R]\n");
+  return 2;
+}
+
+double gen2_seconds(const sim::SlotLedger& ledger, std::uint64_t rounds) {
+  const sim::Gen2LinkConfig link;
+  return sim::gen2_session_us(link, ledger.singleton_slots +
+                                        ledger.collision_slots,
+                              ledger.idle_slots, 32, 1, rounds, 32) /
+         1e6;
+}
+
+int cmd_plan(const Args& args) {
+  const stats::AccuracyRequirement req{args.get("eps", 0.05),
+                                       args.get("delta", 0.01)};
+  const double n = args.get("n", 50000.0);
+  const core::PetPlan pet = core::plan(core::PetConfig{}, req, n);
+  const proto::FnebEstimator fneb(proto::FnebConfig{}, req);
+  const proto::LofEstimator lof(proto::LofConfig{}, req);
+
+  std::printf("accuracy contract: |nhat - n| <= %.1f%% n with probability "
+              ">= %.1f%%\n\n",
+              req.epsilon * 100, (1 - req.delta) * 100);
+  std::printf("%-8s %10s %14s %14s %16s\n", "protocol", "rounds",
+              "slots/round", "total slots", "tag memory bits");
+  std::printf("%-8s %10llu %14u %14llu %16llu\n", "PET",
+              static_cast<unsigned long long>(pet.rounds),
+              pet.slots_per_round,
+              static_cast<unsigned long long>(pet.total_slots),
+              static_cast<unsigned long long>(pet.tag_memory_bits));
+  const std::uint64_t fneb_spr =
+      static_cast<std::uint64_t>(std::log2(16.0 * n)) + 1;
+  std::printf("%-8s %10llu %14llu %14llu %16llu\n", "FNEB",
+              static_cast<unsigned long long>(fneb.planned_rounds()),
+              static_cast<unsigned long long>(fneb_spr),
+              static_cast<unsigned long long>(fneb.planned_rounds() *
+                                              fneb_spr),
+              static_cast<unsigned long long>(32 * fneb.planned_rounds()));
+  std::printf("%-8s %10llu %14u %14llu %16llu\n", "LoF",
+              static_cast<unsigned long long>(lof.planned_rounds()), 32u,
+              static_cast<unsigned long long>(32 * lof.planned_rounds()),
+              static_cast<unsigned long long>(32 * lof.planned_rounds()));
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  const std::string protocol = args.get("protocol", "pet");
+  const std::uint64_t n = args.get("n", std::uint64_t{50000});
+  const stats::AccuracyRequirement req{args.get("eps", 0.05),
+                                       args.get("delta", 0.01)};
+  const std::uint64_t seed = args.get("seed", std::uint64_t{1});
+
+  core::EstimateResult result;
+  std::uint64_t rounds = 0;
+
+  if (protocol == "pet") {
+    core::PetConfig config;
+    const std::string search = args.get("search", "binary");
+    if (search == "strict") config.search = core::SearchMode::kBinaryStrict;
+    if (search == "linear") config.search = core::SearchMode::kLinear;
+    const std::string fusion = args.get("fusion", "paper");
+    if (fusion == "bias-corrected") {
+      config.fusion = core::FusionRule::kBiasCorrected;
+    } else if (fusion == "median-of-means") {
+      config.fusion = core::FusionRule::kMedianOfMeans;
+    }
+    const core::PetEstimator estimator(config, req);
+    rounds = estimator.planned_rounds();
+
+    const double loss = args.get("loss", 0.0);
+    const auto readers = args.get("readers", std::uint64_t{1});
+    const std::string trace_path = args.get("trace", "");
+    const auto pop = tags::TagPopulation::generate(n, seed);
+
+    if (loss > 0.0 || !trace_path.empty()) {
+      // Lossy links and per-slot tracing need the device-level channel.
+      chan::DeviceChannelConfig device;
+      device.impairments.reply_loss_prob = loss;
+      chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet, device);
+      std::ofstream trace_file;
+      std::unique_ptr<sim::TraceSink> sink;
+      if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file) {
+          std::fprintf(stderr, "petsim: cannot open trace file '%s'\n",
+                       trace_path.c_str());
+          return 2;
+        }
+        sink = std::make_unique<sim::TraceSink>(trace_file);
+        channel.set_observer(sink->observer());
+      }
+      result = estimator.estimate(channel, seed);
+      if (sink) {
+        std::printf("trace        : %llu slots written to %s\n",
+                    static_cast<unsigned long long>(sink->rows_written()),
+                    trace_path.c_str());
+      }
+    } else if (readers > 1) {
+      tags::ZoneMap zones(readers, seed);
+      zones.scatter(pop);
+      zones.add_overlap(args.get("overlap", 0.0));
+      std::vector<std::unique_ptr<chan::PrefixChannel>> zone_channels;
+      for (std::size_t z = 0; z < readers; ++z) {
+        zone_channels.push_back(std::make_unique<chan::SortedPetChannel>(
+            zones.audible_in(z)));
+      }
+      multi::MultiReaderController controller(std::move(zone_channels));
+      result = estimator.estimate(controller, seed);
+    } else {
+      chan::SortedPetChannel channel({pop.ids().begin(), pop.ids().end()});
+      result = estimator.estimate(channel, seed);
+    }
+    const auto ci = core::confidence_interval(result, req.delta);
+    std::printf("PET estimate : %.0f   (true %llu)\n", result.n_hat,
+                static_cast<unsigned long long>(n));
+    std::printf("%.0f%% interval: [%.0f, %.0f]\n", (1 - req.delta) * 100,
+                ci.lo, ci.hi);
+  } else {
+    chan::SampledChannel channel(n, seed);
+    if (protocol == "fneb") {
+      const proto::FnebEstimator estimator(proto::FnebConfig{}, req);
+      rounds = estimator.planned_rounds();
+      result = estimator.estimate(channel, seed);
+    } else if (protocol == "lof") {
+      const proto::LofEstimator estimator(proto::LofConfig{}, req);
+      rounds = estimator.planned_rounds();
+      result = estimator.estimate(channel, seed);
+    } else if (protocol == "upe") {
+      proto::UpeConfig config;
+      config.expected_n = static_cast<double>(n);
+      const proto::UpeEstimator estimator(config, req);
+      rounds = estimator.planned_rounds();
+      result = estimator.estimate(channel, seed);
+    } else if (protocol == "ezb") {
+      const proto::EzbEstimator estimator(proto::EzbConfig{}, req);
+      result = estimator.estimate(channel, seed);
+      rounds = result.rounds;
+    } else {
+      return usage();
+    }
+    std::printf("%s estimate : %.0f   (true %llu)\n", protocol.c_str(),
+                result.n_hat, static_cast<unsigned long long>(n));
+  }
+
+  std::printf("cost         : %llu slots over %llu rounds "
+              "(%llu idle / %llu busy)\n",
+              static_cast<unsigned long long>(result.ledger.total_slots()),
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(result.ledger.idle_slots),
+              static_cast<unsigned long long>(
+                  result.ledger.singleton_slots +
+                  result.ledger.collision_slots));
+  std::printf("gen2 airtime : %.2f s (Tari 6.25 us, Miller-4)\n",
+              gen2_seconds(result.ledger, rounds));
+  return 0;
+}
+
+int cmd_identify(const Args& args) {
+  const std::string protocol = args.get("protocol", "dfsa");
+  const std::uint64_t n = args.get("n", std::uint64_t{20000});
+  const std::uint64_t seed = args.get("seed", std::uint64_t{1});
+
+  proto::IdentificationResult result;
+  if (protocol == "dfsa") {
+    proto::DfsaConfig config;
+    config.max_frame_size =
+        std::max<std::uint64_t>(config.max_frame_size, 2 * n);
+    result = proto::identify_dfsa_sampled(n, config, seed);
+  } else if (protocol == "treewalk") {
+    result = proto::identify_treewalk_sampled(n, proto::TreeWalkConfig{},
+                                              seed);
+  } else {
+    return usage();
+  }
+  std::printf("%s identified %llu / %llu tags in %llu slots\n",
+              protocol.c_str(),
+              static_cast<unsigned long long>(result.identified),
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(result.ledger.total_slots()));
+  return 0;
+}
+
+int cmd_sketch(const Args& args) {
+  // Two sites with --n-a and --n-b tags of which --shared are stocked at
+  // both (transfers in flight, say); headquarters merges the sketches.
+  const std::uint64_t n_a = args.get("n-a", std::uint64_t{20000});
+  const std::uint64_t n_b = args.get("n-b", std::uint64_t{15000});
+  const std::uint64_t shared = args.get("shared", std::uint64_t{5000});
+  const std::uint64_t rounds = args.get("rounds", std::uint64_t{2000});
+  const std::uint64_t seed = args.get("seed", std::uint64_t{1});
+
+  const auto universe =
+      tags::TagPopulation::generate(n_a + n_b - shared, seed);
+  const auto ids = universe.ids();
+  const std::vector<TagId> site_a(ids.begin(), ids.begin() +
+                                                   static_cast<std::ptrdiff_t>(n_a));
+  const std::vector<TagId> site_b(ids.begin() +
+                                      static_cast<std::ptrdiff_t>(n_a - shared),
+                                  ids.end());
+
+  const core::PetConfig config;
+  chan::SortedPetChannel ca(site_a);
+  chan::SortedPetChannel cb(site_b);
+  const auto sa = core::PetSketch::take(ca, config, rounds, seed + 7);
+  const auto sb = core::PetSketch::take(cb, config, rounds, seed + 7);
+  const auto fleet = core::PetSketch::merge_union(sa, sb);
+
+  std::printf("site A       : %.0f  (true %llu)\n", sa.estimate(),
+              static_cast<unsigned long long>(n_a));
+  std::printf("site B       : %.0f  (true %llu)\n", sb.estimate(),
+              static_cast<unsigned long long>(n_b));
+  std::printf("union        : %.0f  (true %llu)\n", fleet.estimate(),
+              static_cast<unsigned long long>(n_a + n_b - shared));
+  std::printf("intersection : %.0f  (true %llu)\n",
+              core::PetSketch::estimate_intersection(sa, sb),
+              static_cast<unsigned long long>(shared));
+  std::printf("wire size    : %llu bytes per sketch\n",
+              static_cast<unsigned long long>(sa.serialize().size()));
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  const std::uint64_t n0 = args.get("n", std::uint64_t{10000});
+  const std::uint64_t steps = args.get("steps", std::uint64_t{40});
+  const std::uint64_t seed = args.get("seed", std::uint64_t{1});
+
+  auto pop = tags::TagPopulation::generate(n0, seed);
+  core::StreamingMonitor monitor(core::MonitorConfig{}, seed);
+
+  std::printf("%6s %8s %10s %s\n", "tick", "truth", "estimate", "event");
+  for (std::uint64_t t = 0; t < steps; ++t) {
+    // A population step every 10 ticks: +30% joins, then a 40% departure.
+    if (t == steps / 3) pop.join_fresh(n0 * 3 / 10, seed + t);
+    if (t == 2 * steps / 3) pop.leave_random(pop.size() * 2 / 5, seed + t);
+
+    chan::SortedPetChannel channel({pop.ids().begin(), pop.ids().end()});
+    bool changed = false;
+    for (int burst = 0; burst < 16; ++burst) {
+      changed = monitor.tick(channel) || changed;
+    }
+    const auto estimate = monitor.estimate();
+    std::printf("%6llu %8zu %10.0f %s\n",
+                static_cast<unsigned long long>(t), pop.size(),
+                estimate.value_or(0.0), changed ? "CHANGE DETECTED" : "");
+  }
+  std::printf("changes detected: %llu\n",
+              static_cast<unsigned long long>(monitor.changes_detected()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  if (command == "plan") return cmd_plan(args);
+  if (command == "estimate") return cmd_estimate(args);
+  if (command == "identify") return cmd_identify(args);
+  if (command == "monitor") return cmd_monitor(args);
+  if (command == "sketch") return cmd_sketch(args);
+  return usage();
+}
