@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_bench.dir/bench/energy_bench.cpp.o"
+  "CMakeFiles/energy_bench.dir/bench/energy_bench.cpp.o.d"
+  "bench/energy_bench"
+  "bench/energy_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pet_rounds.dir/bench/fig4_pet_rounds.cpp.o"
+  "CMakeFiles/fig4_pet_rounds.dir/bench/fig4_pet_rounds.cpp.o.d"
+  "bench/fig4_pet_rounds"
+  "bench/fig4_pet_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pet_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

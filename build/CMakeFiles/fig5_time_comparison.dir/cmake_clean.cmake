@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_time_comparison.dir/bench/fig5_time_comparison.cpp.o"
+  "CMakeFiles/fig5_time_comparison.dir/bench/fig5_time_comparison.cpp.o.d"
+  "bench/fig5_time_comparison"
+  "bench/fig5_time_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_time_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_memory.dir/bench/fig7_memory.cpp.o"
+  "CMakeFiles/fig7_memory.dir/bench/fig7_memory.cpp.o.d"
+  "bench/fig7_memory"
+  "bench/fig7_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

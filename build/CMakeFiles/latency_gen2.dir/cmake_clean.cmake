@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_gen2.dir/bench/latency_gen2.cpp.o"
+  "CMakeFiles/latency_gen2.dir/bench/latency_gen2.cpp.o.d"
+  "bench/latency_gen2"
+  "bench/latency_gen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_gen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

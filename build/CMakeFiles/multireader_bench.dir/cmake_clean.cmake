@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multireader_bench.dir/bench/multireader_bench.cpp.o"
+  "CMakeFiles/multireader_bench.dir/bench/multireader_bench.cpp.o.d"
+  "bench/multireader_bench"
+  "bench/multireader_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multireader_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

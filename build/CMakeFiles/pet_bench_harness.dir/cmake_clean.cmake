@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/experiment.cpp.o"
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/experiment.cpp.o.d"
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/options.cpp.o"
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/options.cpp.o.d"
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/table.cpp.o"
+  "CMakeFiles/pet_bench_harness.dir/bench/harness/table.cpp.o.d"
+  "libpet_bench_harness.a"
+  "libpet_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_estimators.dir/bench/related_estimators.cpp.o"
+  "CMakeFiles/related_estimators.dir/bench/related_estimators.cpp.o.d"
+  "bench/related_estimators"
+  "bench/related_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_bench.dir/bench/robustness_bench.cpp.o"
+  "CMakeFiles/robustness_bench.dir/bench/robustness_bench.cpp.o.d"
+  "bench/robustness_bench"
+  "bench/robustness_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pet_slots.dir/bench/table3_pet_slots.cpp.o"
+  "CMakeFiles/table3_pet_slots.dir/bench/table3_pet_slots.cpp.o.d"
+  "bench/table3_pet_slots"
+  "bench/table3_pet_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pet_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

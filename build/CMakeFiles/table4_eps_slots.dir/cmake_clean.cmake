@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_eps_slots.dir/bench/table4_eps_slots.cpp.o"
+  "CMakeFiles/table4_eps_slots.dir/bench/table4_eps_slots.cpp.o.d"
+  "bench/table4_eps_slots"
+  "bench/table4_eps_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_eps_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

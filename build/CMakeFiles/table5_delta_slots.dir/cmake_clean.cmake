@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_delta_slots.dir/bench/table5_delta_slots.cpp.o"
+  "CMakeFiles/table5_delta_slots.dir/bench/table5_delta_slots.cpp.o.d"
+  "bench/table5_delta_slots"
+  "bench/table5_delta_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_delta_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_attendance.dir/conference_attendance.cpp.o"
+  "CMakeFiles/conference_attendance.dir/conference_attendance.cpp.o.d"
+  "conference_attendance"
+  "conference_attendance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_attendance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_site_analytics.dir/cross_site_analytics.cpp.o"
+  "CMakeFiles/cross_site_analytics.dir/cross_site_analytics.cpp.o.d"
+  "cross_site_analytics"
+  "cross_site_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_site_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

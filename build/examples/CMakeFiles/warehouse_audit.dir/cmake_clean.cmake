@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_audit.dir/warehouse_audit.cpp.o"
+  "CMakeFiles/warehouse_audit.dir/warehouse_audit.cpp.o.d"
+  "warehouse_audit"
+  "warehouse_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/device_channel.cpp" "src/channel/CMakeFiles/pet_channel.dir/device_channel.cpp.o" "gcc" "src/channel/CMakeFiles/pet_channel.dir/device_channel.cpp.o.d"
+  "/root/repo/src/channel/exact_channel.cpp" "src/channel/CMakeFiles/pet_channel.dir/exact_channel.cpp.o" "gcc" "src/channel/CMakeFiles/pet_channel.dir/exact_channel.cpp.o.d"
+  "/root/repo/src/channel/sampled_channel.cpp" "src/channel/CMakeFiles/pet_channel.dir/sampled_channel.cpp.o" "gcc" "src/channel/CMakeFiles/pet_channel.dir/sampled_channel.cpp.o.d"
+  "/root/repo/src/channel/sorted_pet_channel.cpp" "src/channel/CMakeFiles/pet_channel.dir/sorted_pet_channel.cpp.o" "gcc" "src/channel/CMakeFiles/pet_channel.dir/sorted_pet_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/pet_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_channel.dir/device_channel.cpp.o"
+  "CMakeFiles/pet_channel.dir/device_channel.cpp.o.d"
+  "CMakeFiles/pet_channel.dir/exact_channel.cpp.o"
+  "CMakeFiles/pet_channel.dir/exact_channel.cpp.o.d"
+  "CMakeFiles/pet_channel.dir/sampled_channel.cpp.o"
+  "CMakeFiles/pet_channel.dir/sampled_channel.cpp.o.d"
+  "CMakeFiles/pet_channel.dir/sorted_pet_channel.cpp.o"
+  "CMakeFiles/pet_channel.dir/sorted_pet_channel.cpp.o.d"
+  "libpet_channel.a"
+  "libpet_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

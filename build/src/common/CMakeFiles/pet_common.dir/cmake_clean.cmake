@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_common.dir/bitcode.cpp.o"
+  "CMakeFiles/pet_common.dir/bitcode.cpp.o.d"
+  "CMakeFiles/pet_common.dir/ensure.cpp.o"
+  "CMakeFiles/pet_common.dir/ensure.cpp.o.d"
+  "libpet_common.a"
+  "libpet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymity.cpp" "src/core/CMakeFiles/pet_core.dir/anonymity.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/anonymity.cpp.o.d"
+  "/root/repo/src/core/confidence.cpp" "src/core/CMakeFiles/pet_core.dir/confidence.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/confidence.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/pet_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/fusion.cpp" "src/core/CMakeFiles/pet_core.dir/fusion.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/fusion.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/pet_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/pet_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/sketch.cpp" "src/core/CMakeFiles/pet_core.dir/sketch.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/sketch.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/pet_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/pet_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/pet_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

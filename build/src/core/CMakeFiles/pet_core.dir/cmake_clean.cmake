@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_core.dir/anonymity.cpp.o"
+  "CMakeFiles/pet_core.dir/anonymity.cpp.o.d"
+  "CMakeFiles/pet_core.dir/confidence.cpp.o"
+  "CMakeFiles/pet_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/pet_core.dir/estimator.cpp.o"
+  "CMakeFiles/pet_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/pet_core.dir/fusion.cpp.o"
+  "CMakeFiles/pet_core.dir/fusion.cpp.o.d"
+  "CMakeFiles/pet_core.dir/monitor.cpp.o"
+  "CMakeFiles/pet_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/pet_core.dir/planner.cpp.o"
+  "CMakeFiles/pet_core.dir/planner.cpp.o.d"
+  "CMakeFiles/pet_core.dir/sketch.cpp.o"
+  "CMakeFiles/pet_core.dir/sketch.cpp.o.d"
+  "CMakeFiles/pet_core.dir/theory.cpp.o"
+  "CMakeFiles/pet_core.dir/theory.cpp.o.d"
+  "libpet_core.a"
+  "libpet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_multireader.dir/controller.cpp.o"
+  "CMakeFiles/pet_multireader.dir/controller.cpp.o.d"
+  "CMakeFiles/pet_multireader.dir/deployment.cpp.o"
+  "CMakeFiles/pet_multireader.dir/deployment.cpp.o.d"
+  "libpet_multireader.a"
+  "libpet_multireader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_multireader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

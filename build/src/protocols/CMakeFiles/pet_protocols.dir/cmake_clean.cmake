@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_protocols.dir/ezb.cpp.o"
+  "CMakeFiles/pet_protocols.dir/ezb.cpp.o.d"
+  "CMakeFiles/pet_protocols.dir/fneb.cpp.o"
+  "CMakeFiles/pet_protocols.dir/fneb.cpp.o.d"
+  "CMakeFiles/pet_protocols.dir/identification.cpp.o"
+  "CMakeFiles/pet_protocols.dir/identification.cpp.o.d"
+  "CMakeFiles/pet_protocols.dir/lof.cpp.o"
+  "CMakeFiles/pet_protocols.dir/lof.cpp.o.d"
+  "CMakeFiles/pet_protocols.dir/upe.cpp.o"
+  "CMakeFiles/pet_protocols.dir/upe.cpp.o.d"
+  "libpet_protocols.a"
+  "libpet_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/hash_family.cpp" "src/rng/CMakeFiles/pet_rng.dir/hash_family.cpp.o" "gcc" "src/rng/CMakeFiles/pet_rng.dir/hash_family.cpp.o.d"
+  "/root/repo/src/rng/md5.cpp" "src/rng/CMakeFiles/pet_rng.dir/md5.cpp.o" "gcc" "src/rng/CMakeFiles/pet_rng.dir/md5.cpp.o.d"
+  "/root/repo/src/rng/sha1.cpp" "src/rng/CMakeFiles/pet_rng.dir/sha1.cpp.o" "gcc" "src/rng/CMakeFiles/pet_rng.dir/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_rng.dir/hash_family.cpp.o"
+  "CMakeFiles/pet_rng.dir/hash_family.cpp.o.d"
+  "CMakeFiles/pet_rng.dir/md5.cpp.o"
+  "CMakeFiles/pet_rng.dir/md5.cpp.o.d"
+  "CMakeFiles/pet_rng.dir/sha1.cpp.o"
+  "CMakeFiles/pet_rng.dir/sha1.cpp.o.d"
+  "libpet_rng.a"
+  "libpet_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/devices.cpp" "src/sim/CMakeFiles/pet_sim.dir/devices.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/devices.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/pet_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/gen2_timing.cpp" "src/sim/CMakeFiles/pet_sim.dir/gen2_timing.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/gen2_timing.cpp.o.d"
+  "/root/repo/src/sim/medium.cpp" "src/sim/CMakeFiles/pet_sim.dir/medium.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/medium.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/pet_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/pet_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/pet_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/pet_tags.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

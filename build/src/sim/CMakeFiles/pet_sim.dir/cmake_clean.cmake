@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_sim.dir/devices.cpp.o"
+  "CMakeFiles/pet_sim.dir/devices.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/energy.cpp.o"
+  "CMakeFiles/pet_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/gen2_timing.cpp.o"
+  "CMakeFiles/pet_sim.dir/gen2_timing.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/medium.cpp.o"
+  "CMakeFiles/pet_sim.dir/medium.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pet_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/trace.cpp.o"
+  "CMakeFiles/pet_sim.dir/trace.cpp.o.d"
+  "libpet_sim.a"
+  "libpet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_stats.dir/histogram.cpp.o"
+  "CMakeFiles/pet_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/pet_stats.dir/ks.cpp.o"
+  "CMakeFiles/pet_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/pet_stats.dir/normal.cpp.o"
+  "CMakeFiles/pet_stats.dir/normal.cpp.o.d"
+  "libpet_stats.a"
+  "libpet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tags/cost_model.cpp" "src/tags/CMakeFiles/pet_tags.dir/cost_model.cpp.o" "gcc" "src/tags/CMakeFiles/pet_tags.dir/cost_model.cpp.o.d"
+  "/root/repo/src/tags/mobility.cpp" "src/tags/CMakeFiles/pet_tags.dir/mobility.cpp.o" "gcc" "src/tags/CMakeFiles/pet_tags.dir/mobility.cpp.o.d"
+  "/root/repo/src/tags/population.cpp" "src/tags/CMakeFiles/pet_tags.dir/population.cpp.o" "gcc" "src/tags/CMakeFiles/pet_tags.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pet_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

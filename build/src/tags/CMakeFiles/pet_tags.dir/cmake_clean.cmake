@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_tags.dir/cost_model.cpp.o"
+  "CMakeFiles/pet_tags.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pet_tags.dir/mobility.cpp.o"
+  "CMakeFiles/pet_tags.dir/mobility.cpp.o.d"
+  "CMakeFiles/pet_tags.dir/population.cpp.o"
+  "CMakeFiles/pet_tags.dir/population.cpp.o.d"
+  "libpet_tags.a"
+  "libpet_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

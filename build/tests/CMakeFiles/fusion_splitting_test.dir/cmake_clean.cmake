@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_splitting_test.dir/fusion_splitting_test.cpp.o"
+  "CMakeFiles/fusion_splitting_test.dir/fusion_splitting_test.cpp.o.d"
+  "fusion_splitting_test"
+  "fusion_splitting_test.pdb"
+  "fusion_splitting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_splitting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

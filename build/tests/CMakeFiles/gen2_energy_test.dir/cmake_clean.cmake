@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen2_energy_test.dir/gen2_energy_test.cpp.o"
+  "CMakeFiles/gen2_energy_test.dir/gen2_energy_test.cpp.o.d"
+  "gen2_energy_test"
+  "gen2_energy_test.pdb"
+  "gen2_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen2_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/pet_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/multireader/CMakeFiles/pet_multireader.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/pet_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tags/CMakeFiles/pet_tags.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/pet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

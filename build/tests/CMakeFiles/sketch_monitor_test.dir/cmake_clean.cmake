@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_monitor_test.dir/sketch_monitor_test.cpp.o"
+  "CMakeFiles/sketch_monitor_test.dir/sketch_monitor_test.cpp.o.d"
+  "sketch_monitor_test"
+  "sketch_monitor_test.pdb"
+  "sketch_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tags_test.dir/tags_test.cpp.o"
+  "CMakeFiles/tags_test.dir/tags_test.cpp.o.d"
+  "tags_test"
+  "tags_test.pdb"
+  "tags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petsim.dir/petsim.cpp.o"
+  "CMakeFiles/petsim.dir/petsim.cpp.o.d"
+  "petsim"
+  "petsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(petsim_plan "/root/repo/build/tools/petsim" "plan" "--eps=0.1" "--delta=0.05")
+set_tests_properties(petsim_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_estimate_pet "/root/repo/build/tools/petsim" "estimate" "--protocol=pet" "--n=5000" "--eps=0.1" "--delta=0.05")
+set_tests_properties(petsim_estimate_pet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_estimate_multireader "/root/repo/build/tools/petsim" "estimate" "--protocol=pet" "--n=5000" "--eps=0.1" "--delta=0.05" "--readers=3" "--overlap=0.2")
+set_tests_properties(petsim_estimate_multireader PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_estimate_lof "/root/repo/build/tools/petsim" "estimate" "--protocol=lof" "--n=5000" "--eps=0.1" "--delta=0.05")
+set_tests_properties(petsim_estimate_lof PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_identify "/root/repo/build/tools/petsim" "identify" "--protocol=treewalk" "--n=2000")
+set_tests_properties(petsim_identify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_monitor "/root/repo/build/tools/petsim" "monitor" "--n=2000" "--steps=6")
+set_tests_properties(petsim_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(petsim_sketch "/root/repo/build/tools/petsim" "sketch" "--n-a=4000" "--n-b=3000" "--shared=1000" "--rounds=500")
+set_tests_properties(petsim_sketch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
