@@ -51,6 +51,12 @@ class PrefixChannel {
   /// (len == 0 is the "anyone there?" probe every tag answers).
   virtual bool query_prefix(unsigned len) = 0;
 
+  /// Tag `slots` of the already-counted probe slots as re-reads in the
+  /// ledger's retry accounting (SlotLedger::retry_slots).  Robust
+  /// estimators call this after each voting re-read so the extra slot cost
+  /// stays attributable; the default keeps plain estimators unaffected.
+  virtual void note_retries(std::uint64_t slots) noexcept { (void)slots; }
+
   [[nodiscard]] virtual const sim::SlotLedger& ledger() const noexcept = 0;
   virtual void reset_ledger() noexcept = 0;
 };

@@ -60,6 +60,9 @@ class DeviceChannel final : public PrefixChannel,
     return medium_.ledger();
   }
   void reset_ledger() noexcept override { medium_.reset_ledger(); }
+  void note_retries(std::uint64_t slots) noexcept override {
+    medium_.note_retries(slots);
+  }
 
   /// Aggregate on-chip cost across all tags (hashes, compares, replies).
   [[nodiscard]] tags::TagCostLedger total_tag_cost() const noexcept;

@@ -44,6 +44,9 @@ class ExactChannel final : public PrefixChannel,
     return ledger_;
   }
   void reset_ledger() noexcept override { ledger_ = {}; }
+  void note_retries(std::uint64_t slots) noexcept override {
+    ledger_.retry_slots += slots;
+  }
 
   /// Update the tag set (dynamic populations); takes effect next round.
   void set_tags(std::vector<TagId> tags);

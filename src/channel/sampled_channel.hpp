@@ -61,6 +61,9 @@ class SampledChannel final : public PrefixChannel,
     return ledger_;
   }
   void reset_ledger() noexcept override { ledger_ = {}; }
+  void note_retries(std::uint64_t slots) noexcept override {
+    ledger_.retry_slots += slots;
+  }
 
  private:
   void account_slot(bool busy, unsigned downlink_bits,

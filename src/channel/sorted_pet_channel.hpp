@@ -41,6 +41,9 @@ class SortedPetChannel final : public PrefixChannel {
     return ledger_;
   }
   void reset_ledger() noexcept override { ledger_ = {}; }
+  void note_retries(std::uint64_t slots) noexcept override {
+    ledger_.retry_slots += slots;
+  }
 
  private:
   SortedPetChannelConfig config_;

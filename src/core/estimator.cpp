@@ -21,6 +21,8 @@ std::string_view to_string(SearchMode mode) noexcept {
 void PetConfig::validate() const {
   expects(tree_height >= 2 && tree_height <= 64,
           "PetConfig: tree height must be in [2, 64]");
+  expects(fusion_trim >= 0.0 && fusion_trim <= 0.5,
+          "PetConfig: fusion_trim must be in [0, 0.5]");
 }
 
 unsigned PetConfig::worst_case_slots_per_round() const noexcept {
@@ -145,8 +147,9 @@ EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
     result.mean_depth = 0.0;
   } else {
     result.mean_depth = depth_sum / static_cast<double>(rounds);
-    result.n_hat =
-        fuse_depths(result.depths, config_.fusion, config_.fusion_groups);
+    result.n_hat = fuse_depths(result.depths, config_.fusion,
+                               config_.fusion_groups, config_.fusion_trim,
+                               config_.tree_height);
   }
 
   result.ledger = channel.ledger() - before;

@@ -38,7 +38,8 @@ struct PetConfig {
   /// How the per-round depths fuse into n̂ (Eq. (14) by default; the
   /// bias-corrected and median-of-means extensions are this library's).
   FusionRule fusion = FusionRule::kGeometricMean;
-  unsigned fusion_groups = 16;  ///< kMedianOfMeans only
+  unsigned fusion_groups = 16;   ///< kMedianOfMeans only
+  double fusion_trim = 0.1;      ///< kTrimmedMean only, per-tail fraction
 
   void validate() const;
 

@@ -10,6 +10,11 @@
 //    take the median.  Sub-Gaussian concentration even under heavy-tailed
 //    contamination (e.g. bursts of false-busy slots inflating a few
 //    depths); the robust choice for impaired channels.
+//  * kTrimmedMean   — drop the ceil(f*m) smallest and largest depths, mean
+//    the rest in the exponent.  At f = 0.5 this degenerates to the median
+//    depth.  Bounded sensitivity to any single corrupted round (a reader
+//    outage reading d = 0, a noise burst reading d = H), at a small
+//    efficiency cost on clean channels; the RobustPetEstimator default.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +27,7 @@ enum class FusionRule : std::uint8_t {
   kGeometricMean,  ///< paper Eq. (14)
   kBiasCorrected,
   kMedianOfMeans,
+  kTrimmedMean,
 };
 
 [[nodiscard]] std::string_view to_string(FusionRule rule) noexcept;
@@ -31,8 +37,13 @@ enum class FusionRule : std::uint8_t {
 [[nodiscard]] double geometric_mean_bias(std::uint64_t rounds);
 
 /// Fuse depth observations into a cardinality estimate.  `groups` is used
-/// by kMedianOfMeans only (clamped to [1, depths.size()]).
+/// by kMedianOfMeans only (clamped to [1, depths.size()]); `trim_fraction`
+/// by kTrimmedMean only (per-tail fraction, in [0, 0.5]).  `tree_height`
+/// parameterises the exact depth law kTrimmedMean inverts to undo the
+/// skew-induced trim offset; the other rules ignore it.
 [[nodiscard]] double fuse_depths(std::span<const unsigned> depths,
-                                 FusionRule rule, unsigned groups = 16);
+                                 FusionRule rule, unsigned groups = 16,
+                                 double trim_fraction = 0.1,
+                                 unsigned tree_height = 32);
 
 }  // namespace pet::core

@@ -1,0 +1,188 @@
+#include "core/robust_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/ensure.hpp"
+#include "core/constants.hpp"
+#include "core/theory.hpp"
+#include "rng/prng.hpp"
+#include "stats/ks.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::core {
+
+void RobustPetConfig::validate() const {
+  base.validate();
+  expects(vote_reads >= 1 && vote_reads <= 15,
+          "RobustPetConfig: vote_reads must be in [1, 15]");
+  expects(vote_quorum >= 1 && vote_quorum <= vote_reads,
+          "RobustPetConfig: vote_quorum must be in [1, vote_reads]");
+  expects(health_alpha > 0.0 && health_alpha < 1.0,
+          "RobustPetConfig: health_alpha must be in (0, 1)");
+  expects(health_reference_draws >= 16,
+          "RobustPetConfig: health_reference_draws must be >= 16");
+}
+
+std::string_view to_string(ChannelHealth health) noexcept {
+  switch (health) {
+    case ChannelHealth::kHealthy: return "healthy";
+    case ChannelHealth::kDegraded: return "degraded";
+    case ChannelHealth::kContractAtRisk: return "contract-at-risk";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// PrefixChannel adapter that turns every probe into an adaptive k-of-m
+/// vote.  Reads stop as soon as the verdict is decided: busy once
+/// `vote_quorum` busy reads are in, idle once the quorum has become
+/// unreachable.  Every read after the first is a re-read charged to the
+/// inner channel's retry ledger; when the retry budget runs dry the probe
+/// degrades to its first (single) read.
+class VotingChannel final : public chan::PrefixChannel {
+ public:
+  VotingChannel(chan::PrefixChannel& inner, const RobustPetConfig& config)
+      : inner_(inner), config_(config),
+        retry_budget_left_(config.retry_budget_slots) {}
+
+  void begin_round(const chan::RoundConfig& round) override {
+    inner_.begin_round(round);
+  }
+
+  bool query_prefix(unsigned len) override {
+    const unsigned m = config_.vote_reads;
+    const unsigned k = config_.vote_quorum;
+    const bool first_read = inner_.query_prefix(len);
+    if (m <= 1) return first_read;
+
+    unsigned busy = first_read ? 1 : 0;
+    unsigned reads = 1;
+    while (busy < k && reads - busy <= m - k) {
+      if (retry_budget_left_ == 0) {
+        // Budget dry mid-vote: fall back to the single-read verdict.
+        budget_exhausted_ = true;
+        return first_read;
+      }
+      --retry_budget_left_;
+      inner_.note_retries(1);
+      ++reread_slots_;
+      if (inner_.query_prefix(len)) ++busy;
+      ++reads;
+    }
+    const bool verdict = busy >= k;
+    if (verdict != first_read) ++overturned_probes_;
+    return verdict;
+  }
+
+  void note_retries(std::uint64_t slots) noexcept override {
+    inner_.note_retries(slots);
+  }
+  [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
+    return inner_.ledger();
+  }
+  void reset_ledger() noexcept override { inner_.reset_ledger(); }
+
+  [[nodiscard]] std::uint64_t reread_slots() const noexcept {
+    return reread_slots_;
+  }
+  [[nodiscard]] std::uint64_t overturned_probes() const noexcept {
+    return overturned_probes_;
+  }
+  [[nodiscard]] bool budget_exhausted() const noexcept {
+    return budget_exhausted_;
+  }
+
+ private:
+  chan::PrefixChannel& inner_;
+  const RobustPetConfig& config_;
+  std::uint64_t retry_budget_left_;
+  std::uint64_t reread_slots_ = 0;
+  std::uint64_t overturned_probes_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+/// The inner estimator must not fuse with a plain (or merely
+/// bias-corrected) mean — a single corrupted round would swing it.  Robust
+/// fusion rules pass through; the others are upgraded to the trimmed mean.
+PetConfig robustified(PetConfig base) {
+  if (base.fusion == FusionRule::kGeometricMean ||
+      base.fusion == FusionRule::kBiasCorrected) {
+    base.fusion = FusionRule::kTrimmedMean;
+  }
+  return base;
+}
+
+}  // namespace
+
+RobustPetEstimator::RobustPetEstimator(RobustPetConfig config,
+                                       stats::AccuracyRequirement requirement)
+    : config_(std::move(config)), requirement_(requirement),
+      inner_(robustified(config_.base), requirement) {
+  config_.validate();
+  config_.base = inner_.config();  // reflect the fusion upgrade
+}
+
+RobustEstimateResult RobustPetEstimator::estimate(chan::PrefixChannel& channel,
+                                                  std::uint64_t seed) const {
+  return estimate_with_rounds(channel, inner_.planned_rounds(), seed);
+}
+
+RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
+    chan::PrefixChannel& channel, std::uint64_t rounds,
+    std::uint64_t seed) const {
+  VotingChannel voting(channel, config_);
+  RobustEstimateResult result;
+  result.base = inner_.estimate_with_rounds(voting, rounds, seed);
+  result.reread_slots = voting.reread_slots();
+  result.overturned_probes = voting.overturned_probes();
+  result.retry_budget_exhausted = voting.budget_exhausted();
+
+  // --- Channel-health diagnostic -----------------------------------------
+  ChannelDiagnostic& diag = result.diagnostic;
+  if (result.base.depths.empty() || result.base.n_hat <= 0.0) {
+    // Every round certified emptiness: nothing to test, nothing to widen.
+    result.interval = ConfidenceInterval{0.0, 0.0, 0.0};
+    return result;
+  }
+
+  // Reference sample from the theoretical geometric mixture at n = n̂.  The
+  // fixed seed makes the diagnostic — like everything else here — replay
+  // bit-for-bit.
+  const auto n_ref = static_cast<std::uint64_t>(
+      std::max<long long>(1, std::llround(result.base.n_hat)));
+  const DepthDistribution theory(n_ref, config_.base.tree_height);
+  rng::Xoshiro256ss gen(config_.health_seed);
+  std::vector<double> reference(config_.health_reference_draws);
+  for (double& draw : reference) {
+    draw = static_cast<double>(theory.sample(gen));
+  }
+  std::vector<double> observed(result.base.depths.begin(),
+                               result.base.depths.end());
+  diag.ks_distance = stats::ks_statistic(observed, reference);
+  diag.ks_threshold = stats::ks_critical_value(
+      observed.size(), reference.size(), config_.health_alpha);
+  diag.widening = std::max(1.0, diag.ks_distance / diag.ks_threshold);
+  diag.health = diag.widening > 1.0 ? ChannelHealth::kDegraded
+                                    : ChannelHealth::kHealthy;
+
+  // (1 - δ) interval centered on the *robust* point estimate, widened by
+  // the diagnostic.  Work in the depth domain where dbar is normal.
+  const double m = static_cast<double>(result.base.depths.size());
+  const double c = stats::two_sided_normal_constant(requirement_.delta);
+  const double half_width = diag.widening * c * kSigmaH / std::sqrt(m);
+  const double center = std::log2(kPhi * result.base.n_hat);
+  result.interval.point = result.base.n_hat;
+  result.interval.lo = estimate_from_mean_depth(center - half_width);
+  result.interval.hi = estimate_from_mean_depth(center + half_width);
+
+  if (diag.widening > 1.0 &&
+      result.interval.relative_half_width() > requirement_.epsilon) {
+    diag.health = ChannelHealth::kContractAtRisk;
+  }
+  return result;
+}
+
+}  // namespace pet::core

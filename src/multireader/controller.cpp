@@ -41,6 +41,11 @@ bool MultiReaderController::query_prefix(unsigned len) {
   return busy;
 }
 
+void MultiReaderController::note_retries(std::uint64_t slots) noexcept {
+  ledger_.retry_slots += slots;
+  for (const auto& zone : zones_) zone->note_retries(slots);
+}
+
 const sim::SlotLedger& MultiReaderController::zone_ledger(
     std::size_t zone) const {
   expects(zone < zones_.size(), "zone_ledger: index out of range");

@@ -35,6 +35,11 @@ class MultiReaderController final : public chan::PrefixChannel {
   void begin_round(const chan::RoundConfig& round) override;
   bool query_prefix(unsigned len) override;
 
+  /// Retry accounting for the robust estimation path: a voting re-read is
+  /// one fused slot, but every reader burned it, so the charge fans out to
+  /// each zone ledger as well as the fused one.
+  void note_retries(std::uint64_t slots) noexcept override;
+
   /// The controller's fused ledger: one slot per query (all readers probe
   /// in parallel in the same slot), downlink bits counted once (the
   /// back-end network, not the air, fans the command out).

@@ -1,0 +1,149 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "common/ensure.hpp"
+
+namespace pet::sim {
+
+namespace {
+
+void expect_probability(double p, std::string_view what) {
+  // NaN fails both comparisons, so it is rejected too.
+  expects(p >= 0.0 && p <= 1.0, what);
+}
+
+}  // namespace
+
+double GilbertElliottParams::stationary_bad_fraction() const noexcept {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return start_bad ? 1.0 : 0.0;
+  return p_good_to_bad / denom;
+}
+
+double GilbertElliottParams::stationary_loss() const noexcept {
+  const double f = stationary_bad_fraction();
+  return (1.0 - f) * loss_good + f * loss_bad;
+}
+
+void GilbertElliottParams::validate() const {
+  expect_probability(p_good_to_bad,
+                     "GilbertElliottParams: p_good_to_bad must be in [0, 1]");
+  expect_probability(p_bad_to_good,
+                     "GilbertElliottParams: p_bad_to_good must be in [0, 1]");
+  expect_probability(loss_good,
+                     "GilbertElliottParams: loss_good must be in [0, 1]");
+  expect_probability(loss_bad,
+                     "GilbertElliottParams: loss_bad must be in [0, 1]");
+}
+
+void NoiseTransientParams::validate() const {
+  expect_probability(p_start, "NoiseTransientParams: p_start must be in [0, 1]");
+  expect_probability(p_stop, "NoiseTransientParams: p_stop must be in [0, 1]");
+  expect_probability(
+      noisy_false_busy_prob,
+      "NoiseTransientParams: noisy_false_busy_prob must be in [0, 1]");
+}
+
+void FaultScript::validate() const {
+  for (const ReaderOutage& outage : outages) {
+    expects(outage.duration_slots > 0,
+            "FaultScript: outage duration must be positive");
+    expects(outage.begin_slot + outage.duration_slots > outage.begin_slot,
+            "FaultScript: outage window overflows");
+  }
+  for (const ChurnEvent& event : churn) {
+    expects(event.departures > 0 || event.arrivals > 0,
+            "FaultScript: churn event must move at least one tag");
+  }
+}
+
+void ChannelImpairments::validate() const {
+  expect_probability(reply_loss_prob,
+                     "ChannelImpairments: reply_loss_prob must be in [0, 1]");
+  expect_probability(false_busy_prob,
+                     "ChannelImpairments: false_busy_prob must be in [0, 1]");
+  burst.validate();
+  noise_transient.validate();
+  script.validate();
+}
+
+FaultModel::FaultModel(const ChannelImpairments& impairments)
+    : impairments_(impairments),
+      churn_queue_(impairments.script.churn),
+      burst_bad_(impairments.burst.start_bad),
+      noisy_(impairments.noise_transient.start_noisy),
+      loss_rng_(rng::derive_seed(impairments.seed, 0)),
+      chain_rng_(rng::derive_seed(impairments.seed, 1)),
+      noise_rng_(rng::derive_seed(impairments.seed, 2)),
+      churn_rng_(rng::derive_seed(impairments.seed, 3)) {
+  impairments_.validate();
+  std::stable_sort(churn_queue_.begin(), churn_queue_.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) {
+                     return a.at_slot < b.at_slot;
+                   });
+}
+
+std::uint64_t FaultModel::begin_slot() {
+  // The chains advance unconditionally so that enabling or disabling one
+  // fault source never shifts another's random stream.
+  if (impairments_.burst.enabled()) {
+    const double p = burst_bad_ ? impairments_.burst.p_bad_to_good
+                                : impairments_.burst.p_good_to_bad;
+    if (std::bernoulli_distribution(p)(chain_rng_)) burst_bad_ = !burst_bad_;
+  }
+  if (impairments_.noise_transient.enabled()) {
+    const double p = noisy_ ? impairments_.noise_transient.p_stop
+                            : impairments_.noise_transient.p_start;
+    if (std::bernoulli_distribution(p)(chain_rng_)) noisy_ = !noisy_;
+  }
+  return slot_++;
+}
+
+bool FaultModel::erases_reply() {
+  const double iid = impairments_.reply_loss_prob;
+  if (iid > 0.0 && std::bernoulli_distribution(iid)(loss_rng_)) return true;
+  if (impairments_.burst.enabled()) {
+    const double p = burst_bad_ ? impairments_.burst.loss_bad
+                                : impairments_.burst.loss_good;
+    if (p > 0.0 && std::bernoulli_distribution(p)(loss_rng_)) return true;
+  }
+  return false;
+}
+
+bool FaultModel::raises_noise_floor() {
+  const double base = impairments_.false_busy_prob;
+  if (base > 0.0 && std::bernoulli_distribution(base)(noise_rng_)) return true;
+  if (noisy_) {
+    const double p = impairments_.noise_transient.noisy_false_busy_prob;
+    if (p > 0.0 && std::bernoulli_distribution(p)(noise_rng_)) return true;
+  }
+  return false;
+}
+
+bool FaultModel::reader_down() const noexcept {
+  return slot_ > 0 && reader_down_at(slot_ - 1);
+}
+
+bool FaultModel::reader_down_at(std::uint64_t slot) const noexcept {
+  for (const ReaderOutage& outage : impairments_.script.outages) {
+    if (slot >= outage.begin_slot &&
+        slot - outage.begin_slot < outage.duration_slots) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const ChurnEvent* FaultModel::consume_due_churn() {
+  if (slot_ == 0) return nullptr;
+  const std::uint64_t current = slot_ - 1;
+  if (next_churn_ < churn_queue_.size() &&
+      churn_queue_[next_churn_].at_slot <= current) {
+    return &churn_queue_[next_churn_++];
+  }
+  return nullptr;
+}
+
+}  // namespace pet::sim

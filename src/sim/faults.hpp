@@ -1,0 +1,168 @@
+// Fault injection for the simulated air interface.
+//
+// The paper's evaluation assumes a lossless link with perfect idle detection
+// (Section 5.1).  Real Gen2 deployments see bursty fading, noise transients,
+// reader restarts, and tag churn; this module models all four so protocols
+// can be exercised — and hardened — against them:
+//
+//   * i.i.d. reply loss / false-busy noise (the original knobs, kept);
+//   * GilbertElliottParams — a two-state (good/bad) Markov loss chain whose
+//     bad state erases replies in bursts, the classic model for correlated
+//     fading;
+//   * NoiseTransientParams — a two-state (quiet/noisy) chain that raises the
+//     receiver's noise floor for stretches of slots, flooring idle slots to
+//     busy;
+//   * FaultScript — scripted, replayable deployment faults: reader outages
+//     (crash/restart windows during which nothing is transmitted or heard)
+//     and tag churn (seeded random departures/arrivals at fixed slots).
+//
+// Everything is driven by seeded deterministic PRNG streams: the same
+// ChannelImpairments value replays bit-for-bit, which is what makes fault
+// scenarios regression-testable (see tests/robustness_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/prng.hpp"
+
+namespace pet::sim {
+
+/// Gilbert–Elliott bursty-loss chain.  Each reply-window slot the chain
+/// transitions (good -> bad with p_good_to_bad, bad -> good with
+/// p_bad_to_good) and every reply in the slot is independently erased with
+/// the loss probability of the state the chain is in.  Defaults are inert.
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.0;  ///< per-slot transition into the burst state
+  double p_bad_to_good = 1.0;  ///< per-slot recovery; 1/p is the mean burst
+  double loss_good = 0.0;      ///< reply-erasure probability, good state
+  double loss_bad = 1.0;       ///< reply-erasure probability, bad state
+  bool start_bad = false;      ///< chain state before the first slot
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return p_good_to_bad > 0.0 || start_bad;
+  }
+  /// Long-run fraction of slots spent in the bad state.
+  [[nodiscard]] double stationary_bad_fraction() const noexcept;
+  /// Long-run per-reply loss probability (for picking comparable i.i.d.
+  /// settings in benches).
+  [[nodiscard]] double stationary_loss() const noexcept;
+  void validate() const;
+};
+
+/// Transient noise-floor chain: quiet -> noisy with p_start, noisy -> quiet
+/// with p_stop.  While noisy, idle slots are additionally floored to busy
+/// with noisy_false_busy_prob (on top of the baseline false_busy_prob).
+struct NoiseTransientParams {
+  double p_start = 0.0;
+  double p_stop = 1.0;
+  double noisy_false_busy_prob = 0.0;
+  bool start_noisy = false;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return (p_start > 0.0 || start_noisy) && noisy_false_busy_prob > 0.0;
+  }
+  void validate() const;
+};
+
+/// Reader crash/restart: for reply-window slots [begin_slot, begin_slot +
+/// duration_slots) the reader transmits nothing and hears nothing.  The
+/// protocol driver still burns the slot (it cannot know the radio died) and
+/// reads it as idle; tags never hear the command.
+struct ReaderOutage {
+  std::uint64_t begin_slot = 0;
+  std::uint64_t duration_slots = 0;
+};
+
+/// Tag churn at a fixed slot: `departures` currently attached responders
+/// (picked by the seeded churn stream) leave the zone; `arrivals` previously
+/// departed responders re-enter.  Arrivals beyond the departed pool are
+/// ignored (there is nobody to re-admit).
+struct ChurnEvent {
+  std::uint64_t at_slot = 0;
+  std::uint32_t departures = 0;
+  std::uint32_t arrivals = 0;
+};
+
+/// A replayable scripted fault scenario.
+struct FaultScript {
+  std::vector<ReaderOutage> outages;
+  std::vector<ChurnEvent> churn;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return outages.empty() && churn.empty();
+  }
+  void validate() const;
+};
+
+/// Channel impairments.  The defaults reproduce the paper's lossless link;
+/// the robustness benches and fault tests turn the knobs.  Field order keeps
+/// `{loss, noise, seed}` aggregate initialization working.
+struct ChannelImpairments {
+  double reply_loss_prob = 0.0;  ///< each reply independently erased
+  double false_busy_prob = 0.0;  ///< an idle slot read as busy (noise)
+  std::uint64_t seed = 0x10551055ULL;
+  GilbertElliottParams burst{};        ///< bursty loss (inert by default)
+  NoiseTransientParams noise_transient{};  ///< noise episodes (inert)
+  FaultScript script{};                ///< scripted outages / churn
+
+  /// Rejects probabilities outside [0, 1] and malformed scripts.  Called at
+  /// Medium construction; throws PreconditionError.
+  void validate() const;
+};
+
+/// The per-Medium runtime of the fault models above: owns one independent
+/// seeded PRNG stream per fault source so adding or removing one source
+/// never perturbs another's draws (replay stability).
+class FaultModel {
+ public:
+  explicit FaultModel(const ChannelImpairments& impairments);
+
+  /// Advance the per-slot chains; call exactly once at the top of every
+  /// reply-window slot.  Returns the (0-based) index of the slot begun.
+  std::uint64_t begin_slot();
+
+  /// Slots begun so far.
+  [[nodiscard]] std::uint64_t slots_begun() const noexcept { return slot_; }
+
+  /// Sample whether one reply is erased in the current slot (i.i.d. loss
+  /// OR'ed with the burst chain's state loss).
+  [[nodiscard]] bool erases_reply();
+
+  /// Sample whether an idle slot is floored to busy in the current slot.
+  [[nodiscard]] bool raises_noise_floor();
+
+  /// True while a scripted outage covers the current slot.
+  [[nodiscard]] bool reader_down() const noexcept;
+
+  /// True if a scripted outage covers reply-window slot index `slot`; used
+  /// for downlink-only broadcasts, which air "between" slots and are lost
+  /// when the reader is down for the upcoming slot.
+  [[nodiscard]] bool reader_down_at(std::uint64_t slot) const noexcept;
+
+  /// Burst-chain state (for tests and tracing).
+  [[nodiscard]] bool in_burst() const noexcept { return burst_bad_; }
+  /// Noise-chain state (for tests and tracing).
+  [[nodiscard]] bool in_noise_episode() const noexcept { return noisy_; }
+
+  /// The next unconsumed churn event due at or before the current slot, or
+  /// nullptr.  Each event is returned exactly once.
+  [[nodiscard]] const ChurnEvent* consume_due_churn();
+
+  /// Seeded stream reserved for churn victim selection.
+  [[nodiscard]] rng::Xoshiro256ss& churn_rng() noexcept { return churn_rng_; }
+
+ private:
+  ChannelImpairments impairments_;
+  std::vector<ChurnEvent> churn_queue_;  ///< sorted by at_slot, ascending
+  std::size_t next_churn_ = 0;
+  std::uint64_t slot_ = 0;   ///< slots begun; current slot index is slot_ - 1
+  bool burst_bad_ = false;
+  bool noisy_ = false;
+  rng::Xoshiro256ss loss_rng_;
+  rng::Xoshiro256ss chain_rng_;
+  rng::Xoshiro256ss noise_rng_;
+  rng::Xoshiro256ss churn_rng_;
+};
+
+}  // namespace pet::sim

@@ -1,21 +1,16 @@
 #include "sim/medium.hpp"
 
 #include <algorithm>
-#include <random>
 
 #include "common/ensure.hpp"
 
 namespace pet::sim {
 
 Medium::Medium(ChannelImpairments impairments, SlotTiming timing)
-    : impairments_(impairments), timing_(timing),
-      noise_(impairments.seed) {
-  expects(impairments.reply_loss_prob >= 0.0 &&
-              impairments.reply_loss_prob <= 1.0,
-          "reply_loss_prob must be a probability");
-  expects(impairments.false_busy_prob >= 0.0 &&
-              impairments.false_busy_prob <= 1.0,
-          "false_busy_prob must be a probability");
+    : timing_(timing), faults_(impairments) {
+  // FaultModel validates the impairments (probabilities in [0, 1], sane
+  // fault script) via common/ensure; invalid configs throw here rather
+  // than silently producing nonsense observations.
 }
 
 void Medium::attach(Responder* responder) {
@@ -28,51 +23,106 @@ void Medium::detach(Responder* responder) {
   if (it != responders_.end()) {
     *it = responders_.back();
     responders_.pop_back();
+    return;
+  }
+  // The responder may have been churned out of the zone; scrub it from the
+  // departed pool so scripted arrivals cannot resurrect a dangling pointer.
+  const auto parked =
+      std::find(departed_.begin(), departed_.end(), responder);
+  if (parked != departed_.end()) {
+    *parked = departed_.back();
+    departed_.pop_back();
+  }
+}
+
+void Medium::apply_due_churn() {
+  while (const ChurnEvent* event = faults_.consume_due_churn()) {
+    auto& gen = faults_.churn_rng();
+    for (std::uint32_t i = 0; i < event->departures && !responders_.empty();
+         ++i) {
+      const std::size_t victim =
+          static_cast<std::size_t>(gen() % responders_.size());
+      departed_.push_back(responders_[victim]);
+      responders_[victim] = responders_.back();
+      responders_.pop_back();
+    }
+    for (std::uint32_t i = 0; i < event->arrivals && !departed_.empty();
+         ++i) {
+      responders_.push_back(departed_.back());
+      departed_.pop_back();
+    }
   }
 }
 
 void Medium::broadcast(const Command& cmd, Simulator& simulator) {
-  for (Responder* responder : responders_) {
-    const auto reply = responder->react(cmd);
-    invariant(!reply.has_value(),
-              "broadcast commands must not solicit replies");
+  // A downlink-only broadcast airs between reply-window slots; if the
+  // upcoming slot falls in a scripted outage the reader is down and nothing
+  // is transmitted (tags never hear the command), but the driver still
+  // burns the airtime.
+  const bool down = faults_.reader_down_at(faults_.slots_begun());
+  if (!down) {
+    for (Responder* responder : responders_) {
+      const auto reply = responder->react(cmd);
+      invariant(!reply.has_value(),
+                "broadcast commands must not solicit replies");
+    }
+    ledger_.reader_bits += advertised_bits(cmd);
   }
-  ledger_.reader_bits += advertised_bits(cmd);
   ledger_.airtime_us += timing_.command_us;
   simulator.advance(timing_.command_us);
 }
 
 SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
+  faults_.begin_slot();
+  apply_due_churn();
+
   SlotObservation obs;
-  std::optional<Reply> sole_reply;
-  std::size_t heard = 0;
-  unsigned uplink_bits = 0;
+  obs.during_outage = faults_.reader_down();
 
-  std::bernoulli_distribution lost(impairments_.reply_loss_prob);
-  for (Responder* responder : responders_) {
-    const auto reply = responder->react(cmd);
-    if (!reply.has_value()) continue;
-    ++obs.responders;
-    if (impairments_.reply_loss_prob > 0.0 && lost(noise_)) continue;
-    ++heard;
-    uplink_bits += reply->bits;
-    if (heard == 1) {
-      sole_reply = reply;
-    } else {
-      sole_reply.reset();
-    }
-  }
-
-  if (heard == 0) {
-    const bool noise_floor =
-        impairments_.false_busy_prob > 0.0 &&
-        std::bernoulli_distribution(impairments_.false_busy_prob)(noise_);
-    obs.outcome = noise_floor ? SlotOutcome::kCollision : SlotOutcome::kIdle;
-  } else if (heard == 1) {
-    obs.outcome = SlotOutcome::kSingleton;
-    obs.decoded = sole_reply;
+  if (obs.during_outage) {
+    // Reader crash window: the command never airs, tags neither hear nor
+    // reply, and the receiver reports silence.  The protocol driver cannot
+    // tell this from a genuinely idle slot.
+    obs.outcome = SlotOutcome::kIdle;
+    ++ledger_.outage_slots;
   } else {
-    obs.outcome = SlotOutcome::kCollision;
+    std::optional<Reply> sole_reply;
+    std::size_t heard = 0;
+    unsigned uplink_bits = 0;
+
+    for (Responder* responder : responders_) {
+      const auto reply = responder->react(cmd);
+      if (!reply.has_value()) continue;
+      ++obs.responders;
+      if (faults_.erases_reply()) {
+        ++obs.erased_replies;
+        continue;
+      }
+      ++heard;
+      uplink_bits += reply->bits;
+      if (heard == 1) {
+        sole_reply = reply;
+      } else {
+        sole_reply.reset();
+      }
+    }
+    ledger_.erased_replies += obs.erased_replies;
+
+    if (heard == 0) {
+      if (faults_.raises_noise_floor()) {
+        obs.outcome = SlotOutcome::kCollision;
+        ++ledger_.noise_busy_slots;
+      } else {
+        obs.outcome = SlotOutcome::kIdle;
+      }
+    } else if (heard == 1) {
+      obs.outcome = SlotOutcome::kSingleton;
+      obs.decoded = sole_reply;
+    } else {
+      obs.outcome = SlotOutcome::kCollision;
+    }
+    ledger_.reader_bits += advertised_bits(cmd);
+    ledger_.tag_bits += uplink_bits;
   }
 
   switch (obs.outcome) {
@@ -80,8 +130,6 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
     case SlotOutcome::kSingleton: ++ledger_.singleton_slots; break;
     case SlotOutcome::kCollision: ++ledger_.collision_slots; break;
   }
-  ledger_.reader_bits += advertised_bits(cmd);
-  ledger_.tag_bits += uplink_bits;
   ledger_.airtime_us += timing_.slot_us();
   simulator.advance(timing_.slot_us());
   if (observer_) observer_(cmd, obs);

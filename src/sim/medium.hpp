@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "rng/prng.hpp"
 #include "sim/command.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace pet::sim {
@@ -35,19 +36,15 @@ class Responder {
   virtual std::optional<Reply> react(const Command& cmd) = 0;
 };
 
-/// Channel impairments.  The paper's evaluation assumes a lossless link with
-/// perfect idle detection (Section 5.1); the defaults reproduce that, and
-/// the robustness benches turn the knobs.
-struct ChannelImpairments {
-  double reply_loss_prob = 0.0;   ///< each reply independently erased
-  double false_busy_prob = 0.0;   ///< an idle slot read as busy (noise)
-  std::uint64_t seed = 0x10551055ULL;
-};
+// ChannelImpairments (plus the burst/noise/script fault models it now
+// carries) lives in sim/faults.hpp and is re-exported via this include.
 
 /// What the reader observed in one slot.
 struct SlotObservation {
   SlotOutcome outcome = SlotOutcome::kIdle;
   std::size_t responders = 0;          ///< true transmitter count (pre-loss)
+  std::size_t erased_replies = 0;      ///< replies lost to the channel
+  bool during_outage = false;          ///< slot fell inside a reader outage
   std::optional<Reply> decoded;        ///< set iff outcome == kSingleton
 };
 
@@ -59,10 +56,20 @@ struct SlotLedger {
   std::uint64_t reader_bits = 0;  ///< downlink command bits
   std::uint64_t tag_bits = 0;     ///< uplink reply bits
   SimTime airtime_us = 0;
+  // Fault / retry accounting.  retry_slots tags how many of the counted
+  // slots were re-reads charged by a robust estimator (core::RobustPet-
+  // Estimator); the other three are channel-side diagnostics.
+  std::uint64_t retry_slots = 0;      ///< slots spent on voting re-reads
+  std::uint64_t erased_replies = 0;   ///< replies erased by loss/bursts
+  std::uint64_t noise_busy_slots = 0; ///< idle slots floored to busy
+  std::uint64_t outage_slots = 0;     ///< slots burned while the reader was down
 
   [[nodiscard]] std::uint64_t total_slots() const noexcept {
     return idle_slots + singleton_slots + collision_slots;
   }
+
+  [[nodiscard]] friend bool operator==(const SlotLedger&,
+                                       const SlotLedger&) noexcept = default;
 
   /// Difference of two snapshots of the same ledger (later - earlier);
   /// used to attribute slots to one estimation session.
@@ -74,6 +81,10 @@ struct SlotLedger {
     a.reader_bits -= b.reader_bits;
     a.tag_bits -= b.tag_bits;
     a.airtime_us -= b.airtime_us;
+    a.retry_slots -= b.retry_slots;
+    a.erased_replies -= b.erased_replies;
+    a.noise_busy_slots -= b.noise_busy_slots;
+    a.outage_slots -= b.outage_slots;
     return a;
   }
 
@@ -84,6 +95,10 @@ struct SlotLedger {
     reader_bits += o.reader_bits;
     tag_bits += o.tag_bits;
     airtime_us += o.airtime_us;
+    retry_slots += o.retry_slots;
+    erased_replies += o.erased_replies;
+    noise_busy_slots += o.noise_busy_slots;
+    outage_slots += o.outage_slots;
     return *this;
   }
 };
@@ -116,6 +131,21 @@ class Medium {
   [[nodiscard]] const SlotLedger& ledger() const noexcept { return ledger_; }
   void reset_ledger() noexcept { ledger_ = SlotLedger{}; }
 
+  /// Charge `slots` of the already-counted slots to the retry sub-ledger
+  /// (robust estimators' voting re-reads; see core::RobustPetEstimator).
+  void note_retries(std::uint64_t slots) noexcept {
+    ledger_.retry_slots += slots;
+  }
+
+  /// The fault-model runtime (burst/noise chain state, slot index) for
+  /// tests and tracing.
+  [[nodiscard]] const FaultModel& faults() const noexcept { return faults_; }
+
+  /// Responders currently parked outside the zone by scripted churn.
+  [[nodiscard]] std::size_t departed() const noexcept {
+    return departed_.size();
+  }
+
   /// Install an eavesdropper: called after every slot with the command and
   /// the observable outcome.  Models an overhearing device for the
   /// anonymity analysis of Section 4.6.4.
@@ -123,11 +153,13 @@ class Medium {
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
  private:
+  void apply_due_churn();
+
   Observer observer_;
   std::vector<Responder*> responders_;
-  ChannelImpairments impairments_;
+  std::vector<Responder*> departed_;  ///< churned out, may churn back in
   SlotTiming timing_;
-  rng::Xoshiro256ss noise_;
+  FaultModel faults_;
   SlotLedger ledger_;
 };
 

@@ -146,6 +146,175 @@ TEST(Medium, FalseBusyNoiseFloorsIdleSlots) {
             SlotOutcome::kCollision);
 }
 
+TEST(Medium, TotalReplyLossTurnsEveryBusySlotIdle) {
+  Simulator simulator;
+  Medium medium(ChannelImpairments{1.0, 0.0, 7});
+  ScriptedTag a(true, TagId{1});
+  ScriptedTag b(true, TagId{2});
+  ScriptedTag c(true, TagId{3});
+  medium.attach(&a);
+  medium.attach(&b);
+  medium.attach(&c);
+  for (int slot = 0; slot < 5; ++slot) {
+    const auto obs = medium.run_slot(probe(), simulator);
+    EXPECT_EQ(obs.outcome, SlotOutcome::kIdle) << "slot " << slot;
+    EXPECT_EQ(obs.responders, 3u);
+    EXPECT_EQ(obs.erased_replies, 3u);
+  }
+  EXPECT_EQ(medium.ledger().idle_slots, 5u);
+  EXPECT_EQ(medium.ledger().erased_replies, 15u);
+}
+
+TEST(Medium, CertainFalseBusyTurnsEveryIdleSlotBusy) {
+  Simulator simulator;
+  Medium medium(ChannelImpairments{0.0, 1.0, 7});
+  ScriptedTag silent(false);
+  medium.attach(&silent);
+  for (int slot = 0; slot < 5; ++slot) {
+    EXPECT_EQ(medium.run_slot(probe(), simulator).outcome,
+              SlotOutcome::kCollision)
+        << "slot " << slot;
+  }
+  EXPECT_EQ(medium.ledger().collision_slots, 5u);
+  EXPECT_EQ(medium.ledger().noise_busy_slots, 5u);
+}
+
+TEST(Medium, RejectsOutOfRangeImpairments) {
+  ChannelImpairments loss;
+  loss.reply_loss_prob = 1.5;
+  EXPECT_THROW(Medium{loss}, PreconditionError);
+
+  ChannelImpairments noise;
+  noise.false_busy_prob = -0.1;
+  EXPECT_THROW(Medium{noise}, PreconditionError);
+
+  ChannelImpairments burst;
+  burst.burst.p_good_to_bad = 2.0;
+  EXPECT_THROW(Medium{burst}, PreconditionError);
+
+  ChannelImpairments transient;
+  transient.noise_transient.noisy_false_busy_prob = 1.01;
+  EXPECT_THROW(Medium{transient}, PreconditionError);
+
+  ChannelImpairments script;
+  script.script.outages.push_back(ReaderOutage{0, 0});
+  EXPECT_THROW(Medium{script}, PreconditionError);
+}
+
+TEST(Medium, SameSeedReplaysIdentically) {
+  ChannelImpairments impairments;
+  impairments.reply_loss_prob = 0.3;
+  impairments.false_busy_prob = 0.1;
+  impairments.burst = GilbertElliottParams{0.05, 0.25, 0.0, 1.0, false};
+  impairments.noise_transient = NoiseTransientParams{0.05, 0.5, 0.8, false};
+  impairments.script.outages.push_back(ReaderOutage{40, 10});
+  impairments.script.churn.push_back(ChurnEvent{60, 2, 0});
+  impairments.script.churn.push_back(ChurnEvent{120, 0, 2});
+  impairments.seed = 99;
+
+  auto run = [&impairments] {
+    Simulator simulator;
+    Medium medium(impairments);
+    ScriptedTag a(true, TagId{1});
+    ScriptedTag b(true, TagId{2});
+    ScriptedTag c(true, TagId{3});
+    ScriptedTag silent(false);
+    medium.attach(&a);
+    medium.attach(&b);
+    medium.attach(&c);
+    medium.attach(&silent);
+    std::vector<SlotOutcome> outcomes;
+    for (int slot = 0; slot < 200; ++slot) {
+      outcomes.push_back(medium.run_slot(probe(), simulator).outcome);
+    }
+    return std::make_pair(outcomes, medium.ledger());
+  };
+
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first) << "same seed, same outcome sequence";
+  EXPECT_EQ(first.second, second.second) << "same seed, same ledger";
+  // The scenario actually exercised the fault paths.
+  EXPECT_GT(first.second.erased_replies, 0u);
+  EXPECT_EQ(first.second.outage_slots, 10u);
+}
+
+TEST(Medium, GilbertElliottBadStateErasesBursts) {
+  Simulator simulator;
+  ChannelImpairments impairments;
+  // Chain pinned in the bad state: starts bad, never recovers, loses all.
+  impairments.burst = GilbertElliottParams{0.0, 0.0, 0.0, 1.0, true};
+  impairments.seed = 3;
+  Medium medium(impairments);
+  ScriptedTag tag(true);
+  medium.attach(&tag);
+  for (int slot = 0; slot < 4; ++slot) {
+    const auto obs = medium.run_slot(probe(), simulator);
+    EXPECT_EQ(obs.outcome, SlotOutcome::kIdle);
+    EXPECT_EQ(obs.erased_replies, 1u);
+  }
+  EXPECT_TRUE(medium.faults().in_burst());
+  EXPECT_EQ(medium.ledger().erased_replies, 4u);
+}
+
+TEST(Medium, ScriptedOutageSilencesReaderThenRecovers) {
+  Simulator simulator;
+  ChannelImpairments impairments;
+  impairments.script.outages.push_back(ReaderOutage{2, 2});
+  Medium medium(impairments);
+  ScriptedTag tag(true);
+  medium.attach(&tag);
+
+  const SlotOutcome expected[] = {SlotOutcome::kSingleton,
+                                  SlotOutcome::kSingleton, SlotOutcome::kIdle,
+                                  SlotOutcome::kIdle, SlotOutcome::kSingleton};
+  for (int slot = 0; slot < 5; ++slot) {
+    const auto obs = medium.run_slot(probe(), simulator);
+    EXPECT_EQ(obs.outcome, expected[slot]) << "slot " << slot;
+    EXPECT_EQ(obs.during_outage, slot == 2 || slot == 3);
+  }
+  EXPECT_EQ(medium.ledger().outage_slots, 2u);
+  // The reader transmitted nothing during the outage: only 3 commands aired.
+  EXPECT_EQ(medium.ledger().reader_bits, 3u * 8u);
+}
+
+TEST(Medium, ScriptedChurnDepartsAndReadmitsTags) {
+  Simulator simulator;
+  ChannelImpairments impairments;
+  impairments.script.churn.push_back(ChurnEvent{1, 3, 0});
+  impairments.script.churn.push_back(ChurnEvent{3, 0, 2});
+  Medium medium(impairments);
+  ScriptedTag a(true, TagId{1});
+  ScriptedTag b(true, TagId{2});
+  ScriptedTag c(true, TagId{3});
+  medium.attach(&a);
+  medium.attach(&b);
+  medium.attach(&c);
+
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome,
+            SlotOutcome::kCollision);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome, SlotOutcome::kIdle)
+      << "all three tags churned out at slot 1";
+  EXPECT_EQ(medium.attached(), 0u);
+  EXPECT_EQ(medium.departed(), 3u);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome, SlotOutcome::kIdle);
+  EXPECT_EQ(medium.run_slot(probe(), simulator).outcome,
+            SlotOutcome::kCollision)
+      << "two tags re-admitted at slot 3";
+  EXPECT_EQ(medium.attached(), 2u);
+  EXPECT_EQ(medium.departed(), 1u);
+}
+
+TEST(Medium, RetryAccountingTagsSlots) {
+  Simulator simulator;
+  Medium medium;
+  medium.run_slot(probe(), simulator);
+  medium.run_slot(probe(), simulator);
+  medium.note_retries(1);
+  EXPECT_EQ(medium.ledger().retry_slots, 1u);
+  EXPECT_EQ(medium.ledger().total_slots(), 2u);
+}
+
 TEST(Medium, ObserverSeesEverySlot) {
   Simulator simulator;
   Medium medium;
