@@ -15,7 +15,10 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
+#include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "tags/cost_model.hpp"
 
 int main(int argc, char** argv) {
@@ -23,6 +26,7 @@ int main(int argc, char** argv) {
   const auto options = bench::BenchOptions::parse(
       argc, argv, "Design ablations: search mode, code mode, command "
                   "encoding, tree height, LoF early stop.");
+  bench::BenchSession session(options, "ablation_design");
 
   const std::uint64_t n = 50000;
   const stats::AccuracyRequirement req{0.05, 0.01};
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Ablation 1: search mode (n = 50000, Eq.-20 rounds)",
         {"mode", "slots/estimate", "accuracy", "in-interval"}, options.csv);
+    table.bind(&session.report());
     for (const auto mode : {core::SearchMode::kBinaryPaper,
                             core::SearchMode::kBinaryStrict,
                             core::SearchMode::kLinear}) {
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
         {"mode", "accuracy", "in-interval", "tag hash ops",
          "tag memory bits"},
         options.csv);
+    table.bind(&session.report());
     const core::PetEstimator planner(core::PetConfig{}, req);
     const std::uint64_t m = planner.planned_rounds();
 
@@ -62,10 +68,14 @@ int main(int argc, char** argv) {
         bench::run_pet(n, core::PetConfig{}, req, 0, options.runs,
                        options.seed);
     stats::TrialSummary rehash(static_cast<double>(n));
-    for (std::uint64_t run = 0; run < options.runs; ++run) {
-      chan::SampledChannel channel(n, options.seed + 31 * run);
-      rehash.add(planner.estimate_with_rounds(channel, m, run).n_hat);
-    }
+    runtime::global_runner().run<double>(
+        options.runs,
+        [&](std::uint64_t run) {
+          chan::SampledChannel channel(n, options.seed + 31 * run);
+          return planner.estimate_with_rounds(channel, m, run).n_hat;
+        },
+        [&](std::uint64_t, double&& n_hat) { rehash.add(n_hat); },
+        "PET rehash");
     table.add_row({"preloaded (Alg. 4, passive tags)",
                    bench::TablePrinter::num(preloaded.summary.accuracy(), 4),
                    bench::TablePrinter::num(
@@ -86,6 +96,7 @@ int main(int argc, char** argv) {
         "Ablation 3: command encoding (Section 4.6.2), Eq.-20 rounds",
         {"encoding", "slots/estimate", "downlink bits/estimate"},
         options.csv);
+    table.bind(&session.report());
     for (const auto encoding : {tags::CommandEncoding::kFullMask,
                                 tags::CommandEncoding::kMidIndex,
                                 tags::CommandEncoding::kOneBitAck}) {
@@ -109,6 +120,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Ablation 4: tree height H (n = 50000, Eq.-20 rounds)",
         {"H", "slots/estimate", "accuracy", "in-interval"}, options.csv);
+    table.bind(&session.report());
     for (const unsigned h : {16u, 20u, 24u, 32u, 48u, 64u}) {
       core::PetConfig config;
       config.tree_height = h;
@@ -130,6 +142,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Ablation 5: depth-fusion rule (n = 50000, m = 64 rounds)",
         {"fusion", "accuracy", "normalized sigma"}, options.csv);
+    table.bind(&session.report());
     for (const auto rule : {core::FusionRule::kGeometricMean,
                             core::FusionRule::kBiasCorrected,
                             core::FusionRule::kMedianOfMeans}) {
@@ -149,6 +162,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Ablation 6: LoF frame scan vs early stop (Eq.-20 rounds)",
         {"variant", "slots/estimate", "accuracy"}, options.csv);
+    table.bind(&session.report());
     proto::LofConfig full;
     proto::LofConfig early;
     early.early_stop = true;

@@ -12,8 +12,19 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "protocols/identification.hpp"
+#include "runtime/trial_runner.hpp"
+
+namespace {
+
+struct IdentifySlots {
+  double dfsa = 0;
+  double tree = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pet;
@@ -21,6 +32,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Scaling ablation: slots vs population size for PET (binary/linear) "
       "and the identification baselines.");
+  bench::BenchSession session(options, "ablation_scaling");
   // Identification at n = 10^6 is slow-ish; a handful of runs suffices for
   // Theta(n) numbers.
   const std::uint64_t id_runs = std::min<std::uint64_t>(options.runs, 10);
@@ -35,6 +47,7 @@ int main(int argc, char** argv) {
       {"n", "PET binary (Alg.3)", "PET linear (Alg.1)", "DFSA identify",
        "TreeWalk identify"},
       options.csv);
+  table.bind(&session.report());
 
   for (const std::uint64_t n : {100ull, 1000ull, 10000ull, 100000ull,
                                 1000000ull}) {
@@ -57,16 +70,25 @@ int main(int argc, char** argv) {
 
     double dfsa_slots = 0;
     double tree_slots = 0;
-    for (std::uint64_t r = 0; r < id_runs; ++r) {
-      dfsa_slots += static_cast<double>(
-          proto::identify_dfsa_sampled(n, dfsa_config,
-                                       options.seed + 100 + r)
-              .ledger.total_slots());
-      tree_slots += static_cast<double>(
-          proto::identify_treewalk_sampled(n, proto::TreeWalkConfig{},
-                                           options.seed + 200 + r)
-              .ledger.total_slots());
-    }
+    runtime::global_runner().run<IdentifySlots>(
+        id_runs,
+        [&](std::uint64_t r) {
+          IdentifySlots slots;
+          slots.dfsa = static_cast<double>(
+              proto::identify_dfsa_sampled(n, dfsa_config,
+                                           options.seed + 100 + r)
+                  .ledger.total_slots());
+          slots.tree = static_cast<double>(
+              proto::identify_treewalk_sampled(n, proto::TreeWalkConfig{},
+                                               options.seed + 200 + r)
+                  .ledger.total_slots());
+          return slots;
+        },
+        [&](std::uint64_t, IdentifySlots&& slots) {
+          dfsa_slots += slots.dfsa;
+          tree_slots += slots.tree;
+        },
+        "identification");
     dfsa_slots /= static_cast<double>(id_runs);
     tree_slots /= static_cast<double>(id_runs);
 

@@ -9,6 +9,7 @@
 #include "channel/device_channel.hpp"
 #include "core/estimator.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "protocols/fneb.hpp"
 #include "protocols/lof.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Energy per estimate (device-level simulation, n = 2000, "
       "(10%, 5%) contract).");
+  bench::BenchSession session(options, "energy_bench");
 
   const std::uint64_t n = 2000;
   const stats::AccuracyRequirement req{0.10, 0.05};
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
       {"protocol", "slots", "reader mJ", "tag mean uJ (active)",
        "tag hash ops"},
       options.csv);
+  table.bind(&session.report());
 
   auto add_row = [&](const char* name, const sim::SlotLedger& ledger,
                      const tags::TagCostLedger& cost) {

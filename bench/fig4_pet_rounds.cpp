@@ -12,6 +12,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
       "Fig. 4: PET accuracy (a), standard deviation (b) and normalized "
       "standard deviation (c) vs estimation rounds, for four population "
       "sizes.");
+  bench::BenchSession session(options, "fig4_pet_rounds");
 
   const std::vector<std::uint64_t> populations = {5000, 10000, 50000, 100000};
   const std::vector<std::uint64_t> round_counts = {8,  16,  32,  64,
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
                                              : "normalized standard deviation";
     bench::TablePrinter table("Fig. 4" + std::string(1, series) + ": " + what,
                               columns, options.csv);
+    table.bind(&session.report());
 
     for (const std::uint64_t m : round_counts) {
       std::vector<std::string> row = {bench::TablePrinter::num(m)};

@@ -11,6 +11,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Fig. 5: estimating time (slots) of PET / FNEB / LoF vs eps (a) and "
       "vs delta (b), n = 50000.");
+  bench::BenchSession session(options, "fig5_time_comparison");
 
   const std::uint64_t n = 50000;
 
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Fig. 5a: slots vs confidence interval eps (delta = 1%)",
         {"eps", "PET", "FNEB", "LoF"}, options.csv);
+    table.bind(&session.report());
     for (const double eps : {0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
       const stats::AccuracyRequirement req{eps, 0.01};
       const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Fig. 5b: slots vs error probability delta (eps = 5%)",
         {"delta", "PET", "FNEB", "LoF"}, options.csv);
+    table.bind(&session.report());
     for (const double delta : {0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20}) {
       const stats::AccuracyRequirement req{0.05, delta};
       const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0,

@@ -15,8 +15,10 @@
 #include "core/theory.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "stats/histogram.hpp"
 
 namespace {
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
       "Fig. 6: distribution of estimates for 50000 tags at eps = 5%, "
       "delta = 1%; PET theory/simulation and FNEB/LoF at PET's slot "
       "budget.");
+  bench::BenchSession session(options, "fig6_distribution");
 
   const std::uint64_t n = 50000;
   const stats::AccuracyRequirement req{0.05, 0.01};
@@ -54,14 +57,20 @@ int main(int argc, char** argv) {
   const std::uint64_t pet_slot_budget =
       pet_rounds * pet_config.worst_case_slots_per_round();
 
-  // (a) theoretical PET: m independent draws from the exact depth law.
+  // (a) theoretical PET: m independent draws from the exact depth law,
+  // one counter-seeded generator per trial (the runtime seeding contract;
+  // scheduling-independent, unlike one shared sequential stream).
   std::vector<double> theory;
   {
     const core::TheoreticalPet model(n, pet_config.tree_height, pet_rounds);
-    rng::Xoshiro256ss gen(options.seed);
-    for (std::uint64_t t = 0; t < options.runs; ++t) {
-      theory.push_back(model.sample_estimate(gen));
-    }
+    runtime::global_runner().run<double>(
+        options.runs,
+        [&](std::uint64_t t) {
+          rng::Xoshiro256ss gen(rng::derive_seed(options.seed, t));
+          return model.sample_estimate(gen);
+        },
+        [&](std::uint64_t, double&& estimate) { theory.push_back(estimate); },
+        "PET theory");
   }
   // Simulated PET: the full preloaded-code protocol.
   const auto pet_set = bench::run_pet(n, pet_config, req, pet_rounds,
@@ -89,6 +98,7 @@ int main(int argc, char** argv) {
       {"series", "rounds", "slots/estimate", "mean nhat",
        "in-interval fraction"},
       options.csv);
+  table.bind(&session.report());
   auto add = [&](const char* name, std::uint64_t rounds, double slots,
                  const stats::TrialSummary& summary) {
     table.add_row({name, bench::TablePrinter::num(rounds),

@@ -11,6 +11,7 @@
 
 #include "core/planner.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "protocols/fneb.hpp"
 #include "protocols/lof.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Fig. 7: per-tag memory (bits) for preloaded random codes, PET vs "
       "FNEB vs LoF.");
+  bench::BenchSession session(options, "fig7_memory");
 
   auto memory_rows = [&](bench::TablePrinter& table, double x_value,
                          double eps, double delta) {
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
         {"eps", "PET bits", "FNEB bits", "LoF bits", "log10 FNEB",
          "log10 LoF"},
         options.csv);
+    table.bind(&session.report());
     for (const double eps : {0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}) {
       memory_rows(table, eps, eps, 0.01);
     }
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
         {"delta", "PET bits", "FNEB bits", "LoF bits", "log10 FNEB",
          "log10 LoF"},
         options.csv);
+    table.bind(&session.report());
     for (const double delta : {0.01, 0.025, 0.05, 0.075, 0.10, 0.15}) {
       memory_rows(table, delta, 0.05, delta);
     }

@@ -3,6 +3,7 @@
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
 #include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "tags/population.hpp"
 
 namespace pet::bench {
@@ -18,12 +19,50 @@ void absorb(TrialSet& set, double n_hat, const sim::SlotLedger& ledger,
       static_cast<double>(ledger.reader_bits) / static_cast<double>(runs);
 }
 
+/// Shard `runs` independent trials across the global runner and fold them
+/// in trial order — bit-identical to the serial loop this replaced, for
+/// any thread count (docs/runtime.md).
+template <typename Trial>
+TrialSet aggregate(std::uint64_t n, std::uint64_t runs, const char* label,
+                   Trial&& trial) {
+  TrialSet set(static_cast<double>(n));
+  runtime::global_runner().run<core::EstimateResult>(
+      runs, std::forward<Trial>(trial),
+      [&](std::uint64_t, core::EstimateResult&& result) {
+        absorb(set, result.n_hat, result.ledger, runs);
+      },
+      label);
+  return set;
+}
+
+/// One driver for every rehash-per-round baseline: they differ only in the
+/// estimator type, the seed stride (kept from the historical serial code so
+/// published numbers do not move) and whether a round override exists.
+template <typename Estimator>
+TrialSet run_sampled(std::uint64_t n, const Estimator& estimator,
+                     std::uint64_t rounds, std::uint64_t runs,
+                     std::uint64_t seed, std::uint64_t stride,
+                     const char* label) {
+  return aggregate(n, runs, label, [&estimator, n, rounds, seed,
+                                    stride](std::uint64_t run) {
+    chan::SampledChannel channel(n, rng::derive_seed(seed, stride * run));
+    const std::uint64_t est_seed = rng::derive_seed(seed, stride * run + 1);
+    if constexpr (requires {
+                    estimator.estimate_with_rounds(channel, rounds, est_seed);
+                  }) {
+      if (rounds != 0) {
+        return estimator.estimate_with_rounds(channel, rounds, est_seed);
+      }
+    }
+    return estimator.estimate(channel, est_seed);
+  });
+}
+
 }  // namespace
 
 TrialSet run_pet(std::uint64_t n, const core::PetConfig& config,
                  const stats::AccuracyRequirement& req, std::uint64_t rounds,
                  std::uint64_t runs, std::uint64_t seed) {
-  TrialSet set(static_cast<double>(n));
   const core::PetEstimator estimator(config, req);
   const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
 
@@ -32,74 +71,45 @@ TrialSet run_pet(std::uint64_t n, const core::PetConfig& config,
   const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
   const std::vector<TagId> ids(pop.ids().begin(), pop.ids().end());
 
-  for (std::uint64_t run = 0; run < runs; ++run) {
+  return aggregate(n, runs, "PET", [&estimator, &ids, &config, m,
+                                    seed](std::uint64_t run) {
     chan::SortedPetChannelConfig channel_config;
     channel_config.tree_height = config.tree_height;
     channel_config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
     chan::SortedPetChannel channel(ids, channel_config);
-    const auto result = estimator.estimate_with_rounds(
-        channel, m, rng::derive_seed(seed, 2 * run + 1));
-    absorb(set, result.n_hat, result.ledger, runs);
-  }
-  return set;
+    return estimator.estimate_with_rounds(channel, m,
+                                          rng::derive_seed(seed, 2 * run + 1));
+  });
 }
 
 TrialSet run_fneb(std::uint64_t n, const proto::FnebConfig& config,
                   const stats::AccuracyRequirement& req, std::uint64_t rounds,
                   std::uint64_t runs, std::uint64_t seed) {
-  TrialSet set(static_cast<double>(n));
   const proto::FnebEstimator estimator(config, req);
   const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
-  for (std::uint64_t run = 0; run < runs; ++run) {
-    chan::SampledChannel channel(n, rng::derive_seed(seed, 3 * run));
-    const auto result = estimator.estimate_with_rounds(
-        channel, m, rng::derive_seed(seed, 3 * run + 1));
-    absorb(set, result.n_hat, result.ledger, runs);
-  }
-  return set;
+  return run_sampled(n, estimator, m, runs, seed, 3, "FNEB");
 }
 
 TrialSet run_lof(std::uint64_t n, const proto::LofConfig& config,
                  const stats::AccuracyRequirement& req, std::uint64_t rounds,
                  std::uint64_t runs, std::uint64_t seed) {
-  TrialSet set(static_cast<double>(n));
   const proto::LofEstimator estimator(config, req);
   const std::uint64_t m = rounds == 0 ? estimator.planned_rounds() : rounds;
-  for (std::uint64_t run = 0; run < runs; ++run) {
-    chan::SampledChannel channel(n, rng::derive_seed(seed, 5 * run));
-    const auto result = estimator.estimate_with_rounds(
-        channel, m, rng::derive_seed(seed, 5 * run + 1));
-    absorb(set, result.n_hat, result.ledger, runs);
-  }
-  return set;
+  return run_sampled(n, estimator, m, runs, seed, 5, "LoF");
 }
 
 TrialSet run_upe(std::uint64_t n, const proto::UpeConfig& config,
                  const stats::AccuracyRequirement& req, std::uint64_t runs,
                  std::uint64_t seed) {
-  TrialSet set(static_cast<double>(n));
   const proto::UpeEstimator estimator(config, req);
-  for (std::uint64_t run = 0; run < runs; ++run) {
-    chan::SampledChannel channel(n, rng::derive_seed(seed, 7 * run));
-    const auto result =
-        estimator.estimate(channel, rng::derive_seed(seed, 7 * run + 1));
-    absorb(set, result.n_hat, result.ledger, runs);
-  }
-  return set;
+  return run_sampled(n, estimator, 0, runs, seed, 7, "UPE");
 }
 
 TrialSet run_ezb(std::uint64_t n, const proto::EzbConfig& config,
                  const stats::AccuracyRequirement& req, std::uint64_t runs,
                  std::uint64_t seed) {
-  TrialSet set(static_cast<double>(n));
   const proto::EzbEstimator estimator(config, req);
-  for (std::uint64_t run = 0; run < runs; ++run) {
-    chan::SampledChannel channel(n, rng::derive_seed(seed, 11 * run));
-    const auto result =
-        estimator.estimate(channel, rng::derive_seed(seed, 11 * run + 1));
-    absorb(set, result.n_hat, result.ledger, runs);
-  }
-  return set;
+  return run_sampled(n, estimator, 0, runs, seed, 11, "EZB");
 }
 
 }  // namespace pet::bench

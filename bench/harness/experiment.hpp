@@ -1,6 +1,10 @@
 // Shared experiment drivers: run repeated estimation trials of a known
 // ground truth under each protocol and aggregate the paper's metrics.
 //
+// Trials execute on runtime::global_runner() — sharded across worker
+// threads, folded in trial order, so every TrialSet is bit-identical to
+// the serial loop regardless of --threads (docs/runtime.md).
+//
 // Fidelity choices (see DESIGN.md "scalability ladder"):
 //  * PET runs on SortedPetChannel — the bit-exact preloaded-code protocol
 //    (Algorithm 4), fresh manufacturing codes per run;

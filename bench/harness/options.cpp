@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "runtime/trial_runner.hpp"
+
 namespace pet::bench {
 
 BenchOptions BenchOptions::parse(int argc, char** argv,
@@ -13,16 +15,24 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("%s\n\n", description.c_str());
-      std::printf("options:\n"
-                  "  --runs=N   repetitions per data point (default 300)\n"
-                  "  --quick    use 30 runs (smoke test)\n"
-                  "  --csv      CSV output\n"
-                  "  --seed=S   master seed (default 1)\n");
+      std::printf(
+          "options:\n"
+          "  --runs=N     repetitions per data point (default 300)\n"
+          "  --quick      use 30 runs (smoke test)\n"
+          "  --csv        CSV output\n"
+          "  --seed=S     master seed (default 1)\n"
+          "  --threads=T  trial-runner threads (default: hardware "
+          "concurrency)\n"
+          "  --quiet      no stderr progress meter\n"
+          "  --json=PATH  result artifact path (default "
+          "BENCH_<target>.json)\n");
       std::exit(0);
     } else if (arg == "--quick") {
       options.runs = 30;
     } else if (arg == "--csv") {
       options.csv = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
     } else if (arg.rfind("--runs=", 0) == 0) {
       options.runs = std::strtoull(argv[i] + 7, nullptr, 10);
       if (options.runs == 0) {
@@ -31,11 +41,21 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       }
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads =
+          static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json = std::string(arg.substr(7));
+      if (options.json.empty()) {
+        std::fprintf(stderr, "--json needs a path\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
       std::exit(2);
     }
   }
+  runtime::global_runner().configure(options.threads, !options.quiet);
   return options;
 }
 

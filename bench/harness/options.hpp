@@ -5,6 +5,12 @@
 //   --quick      shrink runs to 30 for smoke testing
 //   --csv        machine-readable output instead of aligned tables
 //   --seed=S     master seed (default 1)
+//   --threads=T  worker threads for the trial runner (default: hardware
+//                concurrency; --threads=1 reproduces the serial behaviour —
+//                results are bit-identical either way, see docs/runtime.md)
+//   --quiet      suppress the stderr progress meter
+//   --json=PATH  where to write the BENCH_<target>.json result artifact
+//                (default: BENCH_<target>.json in the working directory)
 //   --help       usage
 #pragma once
 
@@ -18,9 +24,14 @@ struct BenchOptions {
   std::uint64_t runs = 300;
   bool csv = false;
   std::uint64_t seed = 1;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  bool quiet = false;
+  std::string json;  ///< empty = default BENCH_<target>.json
 
   /// Parse argv; prints usage and exits(0) on --help, exits(2) on unknown
-  /// arguments.
+  /// arguments.  Also configures runtime::global_runner() with the chosen
+  /// thread count and progress setting — the one call every bench makes
+  /// before running trials.
   static BenchOptions parse(int argc, char** argv,
                             const std::string& description);
 };

@@ -1,0 +1,36 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <exception>
+
+#include "runtime/trial_runner.hpp"
+
+namespace pet::bench {
+
+BenchSession::BenchSession(const BenchOptions& options, std::string target)
+    : report_(target, runtime::global_runner().thread_count()),
+      path_(options.json.empty() ? "BENCH_" + target + ".json"
+                                 : options.json),
+      quiet_(options.quiet),
+      start_(std::chrono::steady_clock::now()) {}
+
+BenchSession::~BenchSession() { finish(); }
+
+void BenchSession::finish() noexcept {
+  if (finished_) return;
+  finished_ = true;
+  report_.set_wall_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count());
+  try {
+    report_.write(path_);
+    if (!quiet_) {
+      std::fprintf(stderr, "wrote %s (%zu rows)\n", path_.c_str(),
+                   report_.row_count());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "BENCH json not written: %s\n", error.what());
+  }
+}
+
+}  // namespace pet::bench

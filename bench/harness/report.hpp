@@ -1,0 +1,40 @@
+// BenchSession — owns the BENCH_<target>.json artifact of one harness run.
+//
+// Construct it right after BenchOptions::parse, bind() the tables you want
+// mirrored, and the session writes the artifact (wall time included) when
+// finish() runs — at destruction at the latest.  The schema and its
+// stability guarantees are documented in docs/runtime.md.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "harness/options.hpp"
+#include "runtime/json.hpp"
+
+namespace pet::bench {
+
+class BenchSession {
+ public:
+  BenchSession(const BenchOptions& options, std::string target);
+  ~BenchSession();
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  [[nodiscard]] runtime::BenchReport& report() noexcept { return report_; }
+
+  /// Stamp the wall time and write the artifact; idempotent.  Failures are
+  /// reported on stderr, not thrown — a missing artifact must not zero out
+  /// an hour-long sweep's stdout tables.
+  void finish() noexcept;
+
+ private:
+  runtime::BenchReport report_;
+  std::string path_;
+  bool quiet_;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pet::bench

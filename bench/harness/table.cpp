@@ -16,6 +16,7 @@ TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns,
 void TablePrinter::add_row(std::vector<std::string> cells) {
   expects(cells.size() == columns_.size(),
           "TablePrinter row width must match the header");
+  if (report_ != nullptr) report_->add_row(title_, columns_, cells);
   rows_.push_back(std::move(cells));
 }
 

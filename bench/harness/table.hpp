@@ -1,10 +1,14 @@
 // Aligned-table / CSV printer for the harness binaries: every bench prints
-// the same rows the paper's tables and figures report.
+// the same rows the paper's tables and figures report.  A table can also
+// be bound to a runtime::BenchReport, in which case every row is mirrored
+// into the BENCH_<target>.json artifact.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "runtime/json.hpp"
 
 namespace pet::bench {
 
@@ -12,6 +16,10 @@ class TablePrinter {
  public:
   TablePrinter(std::string title, std::vector<std::string> columns,
                bool csv = false);
+
+  /// Mirror every subsequent add_row into `report` (rows already added are
+  /// not replayed).  The report must outlive this printer.
+  void bind(runtime::BenchReport* report) noexcept { report_ = report; }
 
   void add_row(std::vector<std::string> cells);
 
@@ -27,6 +35,7 @@ class TablePrinter {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
   bool csv_;
+  runtime::BenchReport* report_ = nullptr;
 };
 
 }  // namespace pet::bench

@@ -10,6 +10,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "protocols/identification.hpp"
 #include "sim/gen2_timing.hpp"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Gen2 wall-clock latency of one (eps, delta) = (5%, 1%) estimate of "
       "50000 tags, two PHY profiles.");
+  bench::BenchSession session(options, "latency_gen2");
   options.runs = std::min<std::uint64_t>(options.runs, 50);
 
   const std::uint64_t n = 50000;
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
       "(fast: Tari 6.25us Miller-4; slow: Tari 25us FM0)",
       {"protocol", "slots", "fast profile (s)", "slow profile (s)"},
       options.csv);
+  table.bind(&session.report());
 
   // Rebuild representative ledgers from one run each (slot mixes barely
   // vary across runs).

@@ -9,9 +9,11 @@
 #include "channel/sorted_pet_channel.hpp"
 #include "core/estimator.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "multireader/controller.hpp"
 #include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "stats/accuracy.hpp"
 #include "tags/mobility.hpp"
 #include "tags/population.hpp"
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   // The exact per-zone channels make runs O(n) per round; scale the default
   // repetition count down accordingly.
   options.runs = std::min<std::uint64_t>(options.runs, 40);
+  bench::BenchSession session(options, "multireader_bench");
 
   const std::uint64_t n = 20000;
   const stats::AccuracyRequirement req{0.10, 0.05};
@@ -52,21 +55,27 @@ int main(int argc, char** argv) {
         "Readers sweep (n = 20000, overlap 30%, Eq.-20 rounds)",
         {"readers", "accuracy", "in-interval", "controller slots"},
         options.csv);
+    table.bind(&session.report());
     for (const std::size_t readers : {1u, 2u, 4u, 8u, 16u}) {
       stats::TrialSummary summary(static_cast<double>(n));
       double slots = 0.0;
-      for (std::uint64_t run = 0; run < options.runs; ++run) {
-        const auto pop = tags::TagPopulation::generate(n, 999);
-        tags::ZoneMap zones(readers, rng::derive_seed(options.seed, run));
-        zones.scatter(pop);
-        zones.add_overlap(0.3);
-        auto controller = make_controller(zones);
-        const auto result = estimator.estimate(
-            controller, rng::derive_seed(options.seed, 1000 + run));
-        summary.add(result.n_hat);
-        slots += static_cast<double>(result.ledger.total_slots()) /
-                 static_cast<double>(options.runs);
-      }
+      runtime::global_runner().run<core::EstimateResult>(
+          options.runs,
+          [&](std::uint64_t run) {
+            const auto pop = tags::TagPopulation::generate(n, 999);
+            tags::ZoneMap zones(readers, rng::derive_seed(options.seed, run));
+            zones.scatter(pop);
+            zones.add_overlap(0.3);
+            auto controller = make_controller(zones);
+            return estimator.estimate(
+                controller, rng::derive_seed(options.seed, 1000 + run));
+          },
+          [&](std::uint64_t, core::EstimateResult&& result) {
+            summary.add(result.n_hat);
+            slots += static_cast<double>(result.ledger.total_slots()) /
+                     static_cast<double>(options.runs);
+          },
+          "readers sweep");
       table.add_row({bench::TablePrinter::num(
                          static_cast<std::uint64_t>(readers)),
                      bench::TablePrinter::num(summary.accuracy(), 4),
@@ -83,26 +92,39 @@ int main(int argc, char** argv) {
         {"overlap prob", "duplicated tags (avg)", "accuracy",
          "in-interval"},
         options.csv);
+    table.bind(&session.report());
     for (const double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       stats::TrialSummary summary(static_cast<double>(n));
       double duplicated = 0.0;
-      for (std::uint64_t run = 0; run < options.runs; ++run) {
-        const auto pop = tags::TagPopulation::generate(n, 999);
-        tags::ZoneMap zones(4, rng::derive_seed(options.seed, 50 + run));
-        zones.scatter(pop);
-        zones.add_overlap(overlap);
-        std::size_t audible_total = 0;
-        for (std::size_t z = 0; z < 4; ++z) {
-          audible_total += zones.audible_in(z).size();
-        }
-        duplicated += static_cast<double>(audible_total - n) /
-                      static_cast<double>(options.runs);
-        auto controller = make_controller(zones);
-        summary.add(estimator
-                        .estimate(controller,
-                                  rng::derive_seed(options.seed, 2000 + run))
-                        .n_hat);
-      }
+      struct OverlapTrial {
+        double n_hat;
+        std::size_t audible_total;
+      };
+      runtime::global_runner().run<OverlapTrial>(
+          options.runs,
+          [&](std::uint64_t run) {
+            const auto pop = tags::TagPopulation::generate(n, 999);
+            tags::ZoneMap zones(4, rng::derive_seed(options.seed, 50 + run));
+            zones.scatter(pop);
+            zones.add_overlap(overlap);
+            std::size_t audible_total = 0;
+            for (std::size_t z = 0; z < 4; ++z) {
+              audible_total += zones.audible_in(z).size();
+            }
+            auto controller = make_controller(zones);
+            const double n_hat =
+                estimator
+                    .estimate(controller,
+                              rng::derive_seed(options.seed, 2000 + run))
+                    .n_hat;
+            return OverlapTrial{n_hat, audible_total};
+          },
+          [&](std::uint64_t, OverlapTrial&& trial) {
+            duplicated += static_cast<double>(trial.audible_total - n) /
+                          static_cast<double>(options.runs);
+            summary.add(trial.n_hat);
+          },
+          "overlap sweep");
       table.add_row({bench::TablePrinter::num(overlap, 2),
                      bench::TablePrinter::num(duplicated, 0),
                      bench::TablePrinter::num(summary.accuracy(), 4),
@@ -117,6 +139,9 @@ int main(int argc, char** argv) {
         "Mobility sweep (n = 20000, 8 readers, tags move between "
         "estimates)",
         {"move prob/step", "accuracy", "in-interval"}, options.csv);
+    table.bind(&session.report());
+    // Stays serial: zones.step() carries the walk state from one estimate
+    // to the next, so the trials are not independent.
     for (const double move : {0.0, 0.2, 0.5, 0.9}) {
       stats::TrialSummary summary(static_cast<double>(n));
       const auto pop = tags::TagPopulation::generate(n, 999);

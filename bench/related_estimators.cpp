@@ -8,6 +8,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Related-work estimators (UPE zero/collision, EZB) vs PET at "
       "n = 50000, (10%, 5%).");
+  bench::BenchSession session(options, "related_estimators");
 
   const std::uint64_t n = 50000;
   const stats::AccuracyRequirement req{0.10, 0.05};
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
       "Related estimators at n = 50000, contract (10%, 5%)",
       {"estimator", "prior n", "slots/estimate", "accuracy", "in-interval"},
       options.csv);
+  table.bind(&session.report());
 
   const auto pet = bench::run_pet(n, core::PetConfig{}, req, 0, options.runs,
                                   options.seed);

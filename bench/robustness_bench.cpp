@@ -17,10 +17,25 @@
 #include "core/estimator.hpp"
 #include "core/robust_estimator.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "stats/accuracy.hpp"
 #include "tags/population.hpp"
+
+namespace {
+
+/// Everything one impaired trial produces; folded in trial order by the
+/// runner, so the sweep is bit-identical for any --threads.
+struct ImpairedTrial {
+  double vanilla_n_hat = 0.0;
+  double robust_n_hat = 0.0;
+  std::uint64_t rereads = 0;
+  bool at_risk = false;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pet;
@@ -29,6 +44,7 @@ int main(int argc, char** argv) {
       "PET robustness to link impairments: vanilla vs RobustPetEstimator "
       "(device-level, n = 2000, (10%, 5%) contract).");
   options.runs = std::min<std::uint64_t>(options.runs, 10);
+  bench::BenchSession session(options, "robustness_bench");
 
   const std::uint64_t n = 2000;
   const stats::AccuracyRequirement req{0.10, 0.05};
@@ -52,27 +68,39 @@ int main(int argc, char** argv) {
       stats::TrialSummary robust_summary(static_cast<double>(n));
       std::uint64_t rereads = 0;
       std::uint64_t at_risk = 0;
-      for (std::uint64_t run = 0; run < options.runs; ++run) {
-        chan::DeviceChannelConfig device;
-        device.manufacturing_seed = rng::derive_seed(options.seed, run);
-        device.impairments.seed = rng::derive_seed(options.seed, 500 + run);
-        apply(device.impairments, level);
-        const std::uint64_t est_seed = rng::derive_seed(options.seed,
-                                                        1000 + run);
-        {
-          chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet,
-                                      device);
-          vanilla_summary.add(vanilla.estimate(channel, est_seed).n_hat);
-        }
-        {
-          chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet,
-                                      device);
-          const auto result = robust.estimate(channel, est_seed);
-          robust_summary.add(result.n_hat());
-          rereads += result.reread_slots;
-          if (result.diagnostic.contract_at_risk()) ++at_risk;
-        }
-      }
+      runtime::global_runner().run<ImpairedTrial>(
+          options.runs,
+          [&](std::uint64_t run) {
+            chan::DeviceChannelConfig device;
+            device.manufacturing_seed = rng::derive_seed(options.seed, run);
+            device.impairments.seed =
+                rng::derive_seed(options.seed, 500 + run);
+            apply(device.impairments, level);
+            const std::uint64_t est_seed =
+                rng::derive_seed(options.seed, 1000 + run);
+            ImpairedTrial trial;
+            {
+              chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet,
+                                          device);
+              trial.vanilla_n_hat = vanilla.estimate(channel, est_seed).n_hat;
+            }
+            {
+              chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet,
+                                          device);
+              const auto result = robust.estimate(channel, est_seed);
+              trial.robust_n_hat = result.n_hat();
+              trial.rereads = result.reread_slots;
+              trial.at_risk = result.diagnostic.contract_at_risk();
+            }
+            return trial;
+          },
+          [&](std::uint64_t, ImpairedTrial&& trial) {
+            vanilla_summary.add(trial.vanilla_n_hat);
+            robust_summary.add(trial.robust_n_hat);
+            rereads += trial.rereads;
+            if (trial.at_risk) ++at_risk;
+          },
+          "robustness");
       const double runs = static_cast<double>(options.runs);
       table.add_row(
           {bench::TablePrinter::num(level, 2),
@@ -97,6 +125,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Robustness (a): iid reply loss -> vanilla biased low",
         columns, options.csv);
+    table.bind(&session.report());
     sweep(table, config, [](sim::ChannelImpairments& imp, double level) {
       imp.reply_loss_prob = level;
     });
@@ -110,6 +139,7 @@ int main(int argc, char** argv) {
     bench::TablePrinter table(
         "Robustness (b): false-busy noise -> vanilla biased high",
         columns, options.csv);
+    table.bind(&session.report());
     sweep(table, config, [](sim::ChannelImpairments& imp, double level) {
       imp.false_busy_prob = level;
     });
@@ -125,6 +155,7 @@ int main(int argc, char** argv) {
         "Robustness (c): Gilbert-Elliott bursts (level = bad-state "
         "fraction) -> depth mixture",
         columns, options.csv);
+    table.bind(&session.report());
     sweep(table, config, [](sim::ChannelImpairments& imp, double level) {
       if (level <= 0.0) return;
       const double p_bad_to_good = 0.2;

@@ -9,6 +9,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Table 3: PET total time slots as a function of the round count m "
       "(H = 32, 5 slots/round).");
+  bench::BenchSession session(options, "table3_pet_slots");
 
   const std::uint64_t n = 50000;
   const stats::AccuracyRequirement req{0.05, 0.01};
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
       {"rounds m", "slots (analytic 5m)", "slots (measured)",
        "accuracy nhat/n", "normalized sigma"},
       options.csv);
+  table.bind(&session.report());
 
   for (const std::uint64_t m : {8ull, 16ull, 32ull, 64ull, 128ull, 256ull,
                                 512ull, 1024ull}) {

@@ -10,6 +10,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Table 4: slots to meet Pr{|nhat-n| <= eps*n} >= 99% for "
       "eps in {5,10,15,20}%, PET vs FNEB vs LoF (n = 50000).");
+  bench::BenchSession session(options, "table4_eps_slots");
 
   const std::uint64_t n = 50000;
   bench::TablePrinter table(
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
       {"eps", "PET slots", "FNEB slots", "LoF slots", "PET/FNEB", "PET/LoF",
        "PET in-interval", "FNEB in-interval", "LoF in-interval"},
       options.csv);
+  table.bind(&session.report());
 
   for (const double eps : {0.05, 0.10, 0.15, 0.20}) {
     const stats::AccuracyRequirement req{eps, 0.01};

@@ -6,6 +6,7 @@
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/report.hpp"
 #include "harness/table.hpp"
 
 int main(int argc, char** argv) {
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
       argc, argv,
       "Table 5: slots to meet Pr{|nhat-n| <= 0.05n} >= 1-delta for "
       "delta in {1,5,10,20}%, PET vs FNEB vs LoF (n = 50000).");
+  bench::BenchSession session(options, "table5_delta_slots");
 
   const std::uint64_t n = 50000;
   bench::TablePrinter table(
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
       {"delta", "PET slots", "FNEB slots", "LoF slots", "PET/FNEB",
        "PET/LoF", "PET in-interval", "FNEB in-interval", "LoF in-interval"},
       options.csv);
+  table.bind(&session.report());
 
   for (const double delta : {0.01, 0.05, 0.10, 0.20}) {
     const stats::AccuracyRequirement req{0.05, delta};

@@ -7,6 +7,7 @@ set(PET_BENCH_DIR ${CMAKE_CURRENT_SOURCE_DIR}/bench)
 add_library(pet_bench_harness STATIC
   ${PET_BENCH_DIR}/harness/options.cpp
   ${PET_BENCH_DIR}/harness/table.cpp
+  ${PET_BENCH_DIR}/harness/report.cpp
   ${PET_BENCH_DIR}/harness/experiment.cpp
 )
 target_include_directories(pet_bench_harness PUBLIC ${PET_BENCH_DIR})

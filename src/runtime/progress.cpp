@@ -1,0 +1,62 @@
+#include "runtime/progress.hpp"
+
+#include <cstdio>
+
+namespace pet::runtime {
+
+namespace {
+// Keep the meter out of the first second: most table cells finish faster
+// and a flickering status line would be pure noise.
+constexpr auto kFirstPaint = std::chrono::milliseconds(1000);
+constexpr auto kRepaint = std::chrono::milliseconds(250);
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::uint64_t total, std::string label,
+                             bool enabled)
+    : total_(total),
+      label_(std::move(label)),
+      enabled_(enabled && total > 0),
+      start_(std::chrono::steady_clock::now()) {
+  if (enabled_) reporter_ = std::thread([this] { loop(); });
+}
+
+ProgressMeter::~ProgressMeter() {
+  if (!enabled_) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  reporter_.join();
+  if (painted_) {
+    // Erase the status line so the next stdout/stderr write starts clean.
+    std::fprintf(stderr, "\r\033[2K");
+    std::fflush(stderr);
+  }
+}
+
+void ProgressMeter::paint() {
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+  std::fprintf(stderr, "\r\033[2K%s: %llu/%llu trials, %.1f trials/s, ETA %.1fs",
+               label_.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(total_), rate, eta);
+  std::fflush(stderr);
+  painted_ = true;
+}
+
+void ProgressMeter::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (cv_.wait_for(lock, kFirstPaint, [this] { return stop_; })) return;
+  for (;;) {
+    paint();
+    if (cv_.wait_for(lock, kRepaint, [this] { return stop_; })) return;
+  }
+}
+
+}  // namespace pet::runtime

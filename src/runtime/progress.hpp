@@ -1,0 +1,50 @@
+// Stderr progress meter for long trial sweeps: "<label>: 123/500 trials,
+// 240.1 trials/s, ETA 1.6s".  Workers call tick() (an atomic increment);
+// a reporter thread repaints every ~250 ms, but only once a sweep has been
+// running for a second — short sweeps stay silent, and --quiet disables
+// the meter entirely.  Progress output never touches stdout, so tables
+// and CSV remain pipeline-clean.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pet::runtime {
+
+class ProgressMeter {
+ public:
+  ProgressMeter(std::uint64_t total, std::string label, bool enabled);
+  ~ProgressMeter();  // stops the reporter and erases the status line
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  void tick() noexcept { done_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void paint();
+
+  std::uint64_t total_;
+  std::string label_;
+  bool enabled_;
+  std::atomic<std::uint64_t> done_{0};
+  std::chrono::steady_clock::time_point start_;
+  bool painted_ = false;  ///< reporter-thread / destructor only
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread reporter_;
+};
+
+}  // namespace pet::runtime

@@ -1,0 +1,23 @@
+#include "runtime/trial_runner.hpp"
+
+namespace pet::runtime {
+
+TrialRunner::TrialRunner(unsigned threads, bool progress)
+    : pool_(std::make_unique<ThreadPool>(threads)), progress_(progress) {}
+
+void TrialRunner::configure(unsigned threads, bool progress) {
+  const unsigned want = threads == 0 ? ThreadPool::hardware_threads() : threads;
+  if (want != pool_->thread_count()) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  progress_ = progress;
+}
+
+unsigned TrialRunner::thread_count() const { return pool_->thread_count(); }
+
+TrialRunner& global_runner() {
+  static TrialRunner runner;  // hardware threads, progress off
+  return runner;
+}
+
+}  // namespace pet::runtime

@@ -1,0 +1,215 @@
+// Tests for the pet::runtime trial-execution engine: thread-pool shutdown
+// and exception semantics, the trial runner's ordered deterministic fold
+// (bit-identical aggregates for 1/2/8 threads, the acceptance criterion of
+// the runtime subsystem), and the BENCH_*.json report schema.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "harness/experiment.hpp"
+#include "runtime/json.hpp"
+#include "runtime/progress.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/trial_runner.hpp"
+
+namespace pet::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEveryPendingTaskOnShutdown) {
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        executed.fetch_add(1);
+      }));
+    }
+    // Destructor drains: everything already queued still runs.
+  }
+  EXPECT_EQ(executed.load(), 64);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task and keeps executing.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ExecutesAcrossAllQueues) {
+  // Round-robin submission lands tasks on every worker queue; with more
+  // tasks than workers everything still completes exactly once.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(TrialRunner, FoldsInAscendingTrialOrder) {
+  TrialRunner runner(8);
+  std::vector<std::uint64_t> order;
+  runner.run<std::uint64_t>(
+      100, [](std::uint64_t i) { return i * i; },
+      [&](std::uint64_t i, std::uint64_t&& value) {
+        EXPECT_EQ(value, i * i);
+        order.push_back(i);
+      });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::uint64_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TrialRunner, FloatAggregateBitIdenticalAcrossThreadCounts) {
+  // The fold performs the serial loop's floating-point additions in the
+  // serial order, so even a non-associative reduction is bit-stable.
+  auto reduce = [](unsigned threads) {
+    TrialRunner runner(threads);
+    double acc = 0.0;
+    runner.run<double>(
+        1000,
+        [](std::uint64_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+        [&](std::uint64_t, double&& term) { acc += term; });
+    return acc;
+  };
+  const double serial = reduce(1);
+  EXPECT_EQ(serial, reduce(2));
+  EXPECT_EQ(serial, reduce(8));
+}
+
+TEST(TrialRunner, PropagatesTrialExceptionAfterSweepCompletes) {
+  TrialRunner runner(4);
+  std::atomic<int> completed{0};
+  const auto sweep = [&] {
+    runner.run<int>(
+        50,
+        [&](std::uint64_t i) {
+          if (i == 17) throw std::invalid_argument("trial 17 failed");
+          completed.fetch_add(1);
+          return 0;
+        },
+        [](std::uint64_t, int&&) {});
+  };
+  EXPECT_THROW(sweep(), std::invalid_argument);
+  // Every other trial still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(TrialRunner, ZeroTrialsIsANoOp) {
+  TrialRunner runner(2);
+  runner.run<int>(
+      0, [](std::uint64_t) { return 1; },
+      [](std::uint64_t, int&&) { FAIL() << "fold must not run"; });
+}
+
+TEST(TrialRunner, ConfigureRebuildsThePool) {
+  TrialRunner runner(2);
+  EXPECT_EQ(runner.thread_count(), 2u);
+  runner.configure(5, false);
+  EXPECT_EQ(runner.thread_count(), 5u);
+  EXPECT_FALSE(runner.progress_enabled());
+  runner.configure(5, true);
+  EXPECT_TRUE(runner.progress_enabled());
+}
+
+// The acceptance criterion: the same master seed produces byte-identical
+// BENCH_*.json rows for 1 and 8 threads.  Reproduces a fig5-style cell
+// through the real experiment driver and the real report serializer.
+TEST(TrialRunner, BenchRowsByteIdenticalFor1And8Threads) {
+  const stats::AccuracyRequirement req{0.2, 0.2};
+  auto rows_at = [&](unsigned threads) {
+    runtime::global_runner().configure(threads, false);
+    BenchReport report("runtime_test", threads);
+    const auto pet =
+        bench::run_pet(3000, core::PetConfig{}, req, 32, 24, 77);
+    const auto lof =
+        bench::run_lof(3000, proto::LofConfig{}, req, 16, 24, 78);
+    report.add_row(
+        "cell", {"pet slots", "pet acc", "lof slots", "lof acc"},
+        {std::to_string(pet.mean_slots_per_estimate),
+         std::to_string(pet.summary.accuracy()),
+         std::to_string(lof.mean_slots_per_estimate),
+         std::to_string(lof.summary.accuracy())});
+    return report.rows_json();
+  };
+  const std::string serial = rows_at(1);
+  EXPECT_EQ(serial, rows_at(2));
+  EXPECT_EQ(serial, rows_at(8));
+  runtime::global_runner().configure(0, false);
+}
+
+TEST(TrialRunner, RawEstimatesIdenticalAcrossThreadCounts) {
+  auto estimates_at = [](unsigned threads) {
+    runtime::global_runner().configure(threads, false);
+    return bench::run_pet(2000, core::PetConfig{}, {0.2, 0.2}, 16, 20, 5)
+        .summary.raw_estimates();
+  };
+  const auto serial = estimates_at(1);
+  EXPECT_EQ(serial, estimates_at(8));
+  runtime::global_runner().configure(0, false);
+}
+
+TEST(Progress, CountsTicksWithoutAReporterThread) {
+  ProgressMeter meter(10, "test", /*enabled=*/false);
+  for (int i = 0; i < 7; ++i) meter.tick();
+  EXPECT_EQ(meter.done(), 7u);
+}
+
+TEST(Progress, EnabledMeterStartsAndStopsCleanly) {
+  ProgressMeter meter(4, "test sweep", /*enabled=*/true);
+  for (int i = 0; i < 4; ++i) meter.tick();
+  // Destructor joins the reporter; nothing painted inside the 1 s grace.
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, BenchReportSchemaIsStable) {
+  BenchReport report("demo_target", 8);
+  report.set_wall_seconds(1.25);
+  report.add_row("t1", {"eps", "slots"}, {"0.05", "1234"});
+  report.add_row("t2", {"delta"}, {"0.01"});
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"target\": \"demo_target\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.250"), std::string::npos);
+  EXPECT_NE(json.find("{\"table\": \"t1\", \"eps\": \"0.05\", "
+                      "\"slots\": \"1234\"}"),
+            std::string::npos);
+  EXPECT_EQ(report.row_count(), 2u);
+  // rows_json is exactly the thread-invariant portion.
+  EXPECT_NE(json.find(report.rows_json()), std::string::npos);
+}
+
+TEST(Json, BenchReportRejectsMismatchedRow) {
+  BenchReport report("x", 1);
+  EXPECT_THROW(report.add_row("t", {"a", "b"}, {"only"}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pet::runtime

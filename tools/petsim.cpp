@@ -4,10 +4,16 @@
 //   petsim estimate --protocol=pet --n=50000 --eps=0.05 --delta=0.01
 //                   [--search=binary|strict|linear] [--loss=0.1]
 //                   [--readers=4 --overlap=0.3] [--seed=1]
+//                   [--runs=500 --threads=8 --quiet]
 //   petsim identify --protocol=dfsa|treewalk --n=20000 [--seed=1]
 //   petsim monitor  --n=10000 --steps=40 [--seed=1]
 //
-// Everything is simulated on the slotted-MAC substrate; see README.md.
+// --runs > 1 replays that many independent trials on the pet::runtime
+// parallel trial engine (--threads workers, default hardware concurrency)
+// and reports the aggregate; results are bit-identical for any --threads
+// (docs/runtime.md).  Everything is simulated on the slotted-MAC
+// substrate; see README.md.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,8 +38,11 @@
 #include "protocols/identification.hpp"
 #include "protocols/lof.hpp"
 #include "protocols/upe.hpp"
+#include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
 #include "sim/gen2_timing.hpp"
 #include "sim/trace.hpp"
+#include "stats/accuracy.hpp"
 #include "tags/mobility.hpp"
 #include "tags/population.hpp"
 
@@ -90,6 +99,7 @@ int usage() {
       "                  [--fusion=paper|bias-corrected|median-of-means]\n"
       "                  [--loss=P]\n"
       "                  [--readers=K --overlap=P] [--trace=FILE] [--seed=S]\n"
+      "                  [--runs=R --threads=T --quiet]\n"
       "  petsim identify --protocol=dfsa|treewalk --n=N [--seed=S]\n"
       "  petsim monitor  --n=N --steps=T [--seed=S]\n"
       "  petsim sketch   --n-a=N --n-b=M --shared=K [--rounds=R]\n");
@@ -137,12 +147,99 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+/// --runs=R > 1: replay R independent trials of the plain single-reader
+/// protocol on the parallel trial engine and report the aggregate.  Seed
+/// streams mirror bench/harness/experiment.cpp, so a petsim sweep and the
+/// bench harness agree estimate-for-estimate.
+int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
+                      const stats::AccuracyRequirement& req,
+                      const core::PetConfig& pet_config, std::uint64_t runs,
+                      std::uint64_t seed) {
+  stats::TrialSummary summary(static_cast<double>(n));
+  double mean_slots = 0.0;
+
+  const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
+  const std::vector<TagId> ids(pop.ids().begin(), pop.ids().end());
+  const auto start = std::chrono::steady_clock::now();
+  auto& runner = runtime::global_runner();
+
+  auto fold = [&](std::uint64_t, core::EstimateResult&& result) {
+    summary.add(result.n_hat);
+    mean_slots += static_cast<double>(result.ledger.total_slots()) /
+                  static_cast<double>(runs);
+  };
+
+  if (protocol == "pet") {
+    const core::PetEstimator estimator(pet_config, req);
+    const std::uint64_t m = estimator.planned_rounds();
+    runner.run<core::EstimateResult>(
+        runs,
+        [&](std::uint64_t run) {
+          chan::SortedPetChannelConfig channel_config;
+          channel_config.tree_height = pet_config.tree_height;
+          channel_config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
+          chan::SortedPetChannel channel(ids, channel_config);
+          return estimator.estimate_with_rounds(
+              channel, m, rng::derive_seed(seed, 2 * run + 1));
+        },
+        fold, "PET trials");
+  } else {
+    // The rehash-per-round baselines all run on the sampled channel; only
+    // the estimator (and its historical seed stride) differs.
+    auto sweep = [&](std::uint64_t stride, const auto& estimator) {
+      runner.run<core::EstimateResult>(
+          runs,
+          [&](std::uint64_t run) {
+            chan::SampledChannel channel(n,
+                                         rng::derive_seed(seed, stride * run));
+            return estimator.estimate(
+                channel, rng::derive_seed(seed, stride * run + 1));
+          },
+          fold, protocol + " trials");
+    };
+    if (protocol == "fneb") {
+      sweep(3, proto::FnebEstimator(proto::FnebConfig{}, req));
+    } else if (protocol == "lof") {
+      sweep(5, proto::LofEstimator(proto::LofConfig{}, req));
+    } else if (protocol == "upe") {
+      proto::UpeConfig config;
+      config.expected_n = static_cast<double>(n);
+      sweep(7, proto::UpeEstimator(config, req));
+    } else if (protocol == "ezb") {
+      sweep(11, proto::EzbEstimator(proto::EzbConfig{}, req));
+    } else {
+      return usage();
+    }
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("%s sweep    : %llu trials, %u threads\n", protocol.c_str(),
+              static_cast<unsigned long long>(runs), runner.thread_count());
+  std::printf("mean nhat    : %.0f   (true %llu, accuracy %.4f)\n",
+              summary.accuracy() * static_cast<double>(n),
+              static_cast<unsigned long long>(n), summary.accuracy());
+  std::printf("normalized sigma: %.4f\n", summary.normalized_deviation());
+  std::printf("within eps   : %.3f (contract needs >= %.3f)\n",
+              summary.fraction_within(req.epsilon), 1.0 - req.delta);
+  std::printf("mean slots   : %.1f per estimate\n", mean_slots);
+  std::printf("wall time    : %.3f s (%.1f trials/s)\n", wall,
+              static_cast<double>(runs) / wall);
+  return 0;
+}
+
 int cmd_estimate(const Args& args) {
   const std::string protocol = args.get("protocol", "pet");
   const std::uint64_t n = args.get("n", std::uint64_t{50000});
   const stats::AccuracyRequirement req{args.get("eps", 0.05),
                                        args.get("delta", 0.01)};
   const std::uint64_t seed = args.get("seed", std::uint64_t{1});
+  const std::uint64_t runs = args.get("runs", std::uint64_t{1});
+  const auto threads =
+      static_cast<unsigned>(args.get("threads", std::uint64_t{0}));
+  const bool quiet = args.kv.count("quiet") != 0;
+  runtime::global_runner().configure(threads, !quiet && runs > 1);
 
   core::EstimateResult result;
   std::uint64_t rounds = 0;
@@ -157,6 +254,17 @@ int cmd_estimate(const Args& args) {
       config.fusion = core::FusionRule::kBiasCorrected;
     } else if (fusion == "median-of-means") {
       config.fusion = core::FusionRule::kMedianOfMeans;
+    }
+    if (runs > 1) {
+      if (args.get("loss", 0.0) > 0.0 ||
+          args.get("readers", std::uint64_t{1}) > 1 ||
+          !args.get("trace", "").empty()) {
+        std::fprintf(stderr,
+                     "petsim: --runs > 1 supports only the plain "
+                     "single-reader channel\n");
+        return 2;
+      }
+      return cmd_estimate_many(protocol, n, req, config, runs, seed);
     }
     const core::PetEstimator estimator(config, req);
     rounds = estimator.planned_rounds();
@@ -210,6 +318,10 @@ int cmd_estimate(const Args& args) {
     std::printf("%.0f%% interval: [%.0f, %.0f]\n", (1 - req.delta) * 100,
                 ci.lo, ci.hi);
   } else {
+    if (runs > 1) {
+      return cmd_estimate_many(protocol, n, req, core::PetConfig{}, runs,
+                               seed);
+    }
     chan::SampledChannel channel(n, seed);
     if (protocol == "fneb") {
       const proto::FnebEstimator estimator(proto::FnebConfig{}, req);
