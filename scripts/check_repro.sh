@@ -8,16 +8,20 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 BENCH="$BUILD_DIR/bench"
+BENCHDIFF="$BUILD_DIR/tools/benchdiff"
+GOLDEN_DIR="$(cd "$(dirname "$0")/.." && pwd)/bench/golden"
 fail() { echo "REPRO CHECK FAILED: $*" >&2; exit 1; }
 
 command -v python3 >/dev/null || fail "python3 required"
 [ -x "$BENCH/table4_eps_slots" ] || fail "benches not built in $BUILD_DIR"
+[ -x "$BENCHDIFF" ] || fail "benchdiff not built in $BUILD_DIR"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
 echo "== claim 1: PET uses < half the slots of FNEB and LoF (Table 4) =="
-"$BENCH/table4_eps_slots" --quick --csv > "$WORK/table4.csv"
+"$BENCH/table4_eps_slots" --quick --csv \
+    --json="$WORK/BENCH_table4_eps_slots.json" > "$WORK/table4.csv"
 python3 - "$WORK/table4.csv" <<'EOF'
 import csv, sys
 with open(sys.argv[1]) as f:
@@ -34,7 +38,8 @@ print("ok: PET < 0.5x baselines at every eps, contract held")
 EOF
 
 echo "== claim 2: Table 3 slot arithmetic is exactly 5m =="
-"$BENCH/table3_pet_slots" --quick --csv > "$WORK/table3.csv"
+"$BENCH/table3_pet_slots" --quick --csv \
+    --json="$WORK/BENCH_table3_pet_slots.json" > "$WORK/table3.csv"
 python3 - "$WORK/table3.csv" <<'EOF'
 import csv, sys
 with open(sys.argv[1]) as f:
@@ -46,7 +51,8 @@ print("ok: slots == 5m for every m")
 EOF
 
 echo "== claim 3: normalized sigma ~0.2 at m = 64, independent of n (Fig 4c) =="
-"$BENCH/fig4_pet_rounds" --quick --csv > "$WORK/fig4.csv"
+"$BENCH/fig4_pet_rounds" --quick --csv \
+    --json="$WORK/BENCH_fig4_pet_rounds.json" > "$WORK/fig4.csv"
 python3 - "$WORK/fig4.csv" <<'EOF'
 import sys
 with open(sys.argv[1]) as f:
@@ -71,7 +77,7 @@ print("ok: normalized sigma at m=64 =", [round(v, 3) for v in values])
 EOF
 
 echo "== claim 4: PET tag memory flat at 32 bits; baselines 10^3..10^5 (Fig 7) =="
-"$BENCH/fig7_memory" --csv > "$WORK/fig7.csv"
+"$BENCH/fig7_memory" --csv --json="$WORK/BENCH_fig7_memory.json" > "$WORK/fig7.csv"
 python3 - "$WORK/fig7.csv" <<'EOF'
 import csv, sys
 with open(sys.argv[1]) as f:
@@ -84,6 +90,13 @@ for row in rows:
     assert 1000 <= fneb <= 100000 and 1000 <= lof <= 100000, row
 print("ok: PET 32 bits everywhere; baselines in the paper's band")
 EOF
+
+echo "== claim 5: BENCH artifacts match the checked-in goldens (no silent drift) =="
+for target in table3_pet_slots table4_eps_slots fig4_pet_rounds fig7_memory; do
+    "$BENCHDIFF" "$GOLDEN_DIR/BENCH_$target.json" "$WORK/BENCH_$target.json" \
+        || fail "$target drifted from bench/golden (regenerate deliberately if intended)"
+done
+echo "ok: all four artifacts within tolerance of bench/golden/"
 
 echo
 echo "ALL REPRODUCTION CLAIMS HOLD"

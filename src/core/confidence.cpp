@@ -15,9 +15,12 @@ namespace {
 ConfidenceInterval interval_from_depth_sigma(const EstimateResult& result,
                                              double delta,
                                              double depth_sigma) {
-  expects(!result.depths.empty(),
-          "confidence interval needs at least one depth observation");
   expects(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  if (result.depths.empty()) {
+    // Every round certified emptiness (strict/linear search, n̂ = 0): the
+    // estimate is exact and the interval degenerates to a point at zero.
+    return ConfidenceInterval{0.0, 0.0, 0.0};
+  }
 
   const double m = static_cast<double>(result.depths.size());
   const double c = stats::two_sided_normal_constant(delta);
@@ -39,6 +42,8 @@ ConfidenceInterval confidence_interval(const EstimateResult& result,
 
 ConfidenceInterval empirical_confidence_interval(const EstimateResult& result,
                                                  double delta) {
+  expects(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  if (result.depths.empty()) return ConfidenceInterval{0.0, 0.0, 0.0};
   expects(result.depths.size() >= 2,
           "empirical interval needs at least two depth observations");
   stats::RunningStat stat;

@@ -173,7 +173,10 @@ RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
   const double m = static_cast<double>(result.base.depths.size());
   const double c = stats::two_sided_normal_constant(requirement_.delta);
   const double half_width = diag.widening * c * kSigmaH / std::sqrt(m);
-  const double center = std::log2(kPhi * result.base.n_hat);
+  // kPhi scaled by the test-only mutation hook so the recentring inverts
+  // exactly what estimate_from_mean_depth applied (identity in production).
+  const double center =
+      std::log2(kPhi * testing::phi_bias_for_tests() * result.base.n_hat);
   result.interval.point = result.base.n_hat;
   result.interval.lo = estimate_from_mean_depth(center - half_width);
   result.interval.hi = estimate_from_mean_depth(center + half_width);

@@ -1,6 +1,7 @@
 #include "core/theory.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/ensure.hpp"
@@ -75,8 +76,26 @@ double expected_gray_height_eq6(std::uint64_t n, unsigned tree_height) {
   return -static_cast<double>(tree_height) * p_pow_2h + sum;
 }
 
+namespace testing {
+
+namespace {
+// Relaxed atomic: armed once in a test main before any trial threads spawn,
+// read-only afterwards, so trial code stays data-race-free under TSan.
+std::atomic<double> g_phi_bias{1.0};
+}  // namespace
+
+void set_phi_bias_for_tests(double multiplier) noexcept {
+  g_phi_bias.store(multiplier, std::memory_order_relaxed);
+}
+
+double phi_bias_for_tests() noexcept {
+  return g_phi_bias.load(std::memory_order_relaxed);
+}
+
+}  // namespace testing
+
 double estimate_from_mean_depth(double mean_depth) {
-  return std::exp2(mean_depth) / kPhi;
+  return std::exp2(mean_depth) / (kPhi * testing::phi_bias_for_tests());
 }
 
 std::uint64_t required_rounds(const stats::AccuracyRequirement& req) {

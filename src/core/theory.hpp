@@ -56,6 +56,32 @@ class DepthDistribution {
 /// The depth -> cardinality estimator of Eq. (14): n̂ = 2^dbar / phi.
 [[nodiscard]] double estimate_from_mean_depth(double mean_depth);
 
+namespace testing {
+
+/// Test-only mutation hook for the conformance harness (tools/petverify
+/// --inject-phi-bias): multiplies the phi used by the *estimator* read-out
+/// path (estimate_from_mean_depth and the robust interval recentring) by
+/// `multiplier`, deliberately mis-biasing every estimate while leaving the
+/// DepthDistribution oracle untouched.  The mutation smoke test proves the
+/// calibration checks detect such a real bias rather than passing on noise.
+/// Never call from production code; 1.0 restores correctness.
+void set_phi_bias_for_tests(double multiplier) noexcept;
+[[nodiscard]] double phi_bias_for_tests() noexcept;
+
+/// RAII guard used by unit tests so a failing assertion cannot leak the
+/// mutation into later tests.
+class ScopedPhiBias {
+ public:
+  explicit ScopedPhiBias(double multiplier) noexcept {
+    set_phi_bias_for_tests(multiplier);
+  }
+  ~ScopedPhiBias() { set_phi_bias_for_tests(1.0); }
+  ScopedPhiBias(const ScopedPhiBias&) = delete;
+  ScopedPhiBias& operator=(const ScopedPhiBias&) = delete;
+};
+
+}  // namespace testing
+
 /// Rounds required by Eq. (20) for the (epsilon, delta) contract, using the
 /// asymptotic sigma(h).
 [[nodiscard]] std::uint64_t required_rounds(

@@ -1,5 +1,6 @@
 #include "runtime/json.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -30,6 +31,13 @@ std::string json_escape(std::string_view text) {
     }
   }
   return out;
+}
+
+std::string json_number(double value, int precision) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
 }
 
 BenchReport::BenchReport(std::string target, unsigned threads)
@@ -66,12 +74,10 @@ std::string BenchReport::rows_json() const {
 }
 
 std::string BenchReport::to_json() const {
-  char wall[32];
-  std::snprintf(wall, sizeof(wall), "%.3f", wall_seconds_);
   std::string out = "{\n";
   out += "  \"target\": \"" + json_escape(target_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
-  out += "  \"wall_seconds\": " + std::string(wall) + ",\n";
+  out += "  \"wall_seconds\": " + json_number(wall_seconds_) + ",\n";
   out += "  \"rows\": " + rows_json() + "\n";
   out += "}\n";
   return out;

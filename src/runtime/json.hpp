@@ -26,6 +26,12 @@ namespace pet::runtime {
 /// JSON string escaping: quote, backslash and control characters.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
+/// Render a double as a JSON value token.  JSON has no NaN/Infinity, so
+/// non-finite inputs emit "null" (snprintf's "nan"/"inf" would corrupt the
+/// whole artifact); finite values use the fixed precision given (matching
+/// the historical %.*f rendering of wall_seconds).
+[[nodiscard]] std::string json_number(double value, int precision = 3);
+
 class BenchReport {
  public:
   BenchReport(std::string target, unsigned threads);

@@ -1,0 +1,289 @@
+#include "verify/benchjson.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pet::verify {
+
+namespace {
+
+/// Minimal recursive-descent reader for the JSON subset BENCH artifacts
+/// use.  Every error carries the byte offset so a corrupt golden is easy
+/// to localise.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] BenchArtifact parse() {
+    BenchArtifact artifact;
+    bool saw_target = false;
+    bool saw_rows = false;
+    skip_ws();
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') { ++pos_; break; }
+      if (!first) { expect(','); skip_ws(); }
+      first = false;
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "target") {
+        artifact.target = parse_string();
+        saw_target = true;
+      } else if (key == "threads") {
+        artifact.threads = static_cast<std::uint64_t>(parse_number());
+      } else if (key == "wall_seconds") {
+        artifact.wall_seconds = parse_number_or_null();
+      } else if (key == "rows") {
+        artifact.rows = parse_rows();
+        saw_rows = true;
+      } else {
+        fail("unknown top-level key '" + key + "'");
+      }
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after artifact");
+    if (!saw_target) fail("artifact missing 'target'");
+    if (!saw_rows) fail("artifact missing 'rows'");
+    return artifact;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bench json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" +
+                          text_[pos_] + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          pos_ += 4;
+          // Artifacts only escape control bytes; anything wider is a
+          // schema violation, not a parser gap.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("expected a number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      fail("malformed number '" + token + "'");
+    }
+    return value;
+  }
+
+  [[nodiscard]] double parse_number_or_null() {
+    if (peek() == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+      pos_ += 4;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return parse_number();
+  }
+
+  [[nodiscard]] std::vector<BenchRow> parse_rows() {
+    std::vector<BenchRow> rows;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return rows; }
+    while (true) {
+      skip_ws();
+      rows.push_back(parse_row());
+      skip_ws();
+      if (peek() == ']') { ++pos_; return rows; }
+      expect(',');
+    }
+  }
+
+  [[nodiscard]] BenchRow parse_row() {
+    BenchRow row;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return row; }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      std::string value = parse_string();
+      row.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (peek() == '}') { ++pos_; return row; }
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Cells are strings; the comparator treats a cell as numeric only when
+/// the whole string parses as one finite double.
+bool parse_cell_number(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (errno != 0 || end != cell.c_str() + cell.size()) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+std::string row_label(const BenchArtifact& artifact, std::size_t index) {
+  std::string label = "row " + std::to_string(index);
+  for (const auto& [key, value] : artifact.rows[index]) {
+    if (key == "table") return label + " (" + value + ")";
+  }
+  return label;
+}
+
+}  // namespace
+
+BenchArtifact parse_bench_json(const std::string& text) {
+  return Parser(text).parse();
+}
+
+BenchArtifact load_bench_json(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("bench json: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_bench_json(buffer.str());
+}
+
+BenchDiff diff_bench(const BenchArtifact& golden,
+                     const BenchArtifact& candidate,
+                     const BenchDiffOptions& options) {
+  BenchDiff diff;
+  auto mismatch = [&](std::string what) {
+    diff.mismatches.push_back(std::move(what));
+  };
+
+  if (golden.target != candidate.target) {
+    mismatch("target: golden '" + golden.target + "' vs candidate '" +
+             candidate.target + "'");
+  }
+  if (golden.rows.size() != candidate.rows.size()) {
+    mismatch("row count: golden " + std::to_string(golden.rows.size()) +
+             " vs candidate " + std::to_string(candidate.rows.size()));
+    return diff;  // index-matched comparison is meaningless past this point
+  }
+
+  for (std::size_t r = 0; r < golden.rows.size(); ++r) {
+    const BenchRow& grow = golden.rows[r];
+    const BenchRow& crow = candidate.rows[r];
+    const std::string label = row_label(golden, r);
+    if (grow.size() != crow.size()) {
+      mismatch(label + ": cell count " + std::to_string(grow.size()) +
+               " vs " + std::to_string(crow.size()));
+      continue;
+    }
+    for (std::size_t f = 0; f < grow.size(); ++f) {
+      if (grow[f].first != crow[f].first) {
+        mismatch(label + ": column '" + grow[f].first + "' vs '" +
+                 crow[f].first + "'");
+        continue;
+      }
+      const std::string& gcell = grow[f].second;
+      const std::string& ccell = crow[f].second;
+      double gvalue = 0.0;
+      double cvalue = 0.0;
+      if (parse_cell_number(gcell, gvalue) &&
+          parse_cell_number(ccell, cvalue)) {
+        const double bound =
+            options.atol + options.rtol * std::fabs(gvalue);
+        if (std::fabs(cvalue - gvalue) > bound) {
+          mismatch(label + ", " + grow[f].first + ": golden " + gcell +
+                   " vs candidate " + ccell + " (tolerance " +
+                   std::to_string(bound) + ")");
+        }
+      } else if (gcell != ccell) {
+        mismatch(label + ", " + grow[f].first + ": golden '" + gcell +
+                 "' vs candidate '" + ccell + "'");
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace pet::verify

@@ -1,0 +1,59 @@
+// Parser + tolerance-aware comparator for BENCH_<target>.json artifacts
+// (the schema BenchReport::to_json emits, documented in docs/runtime.md).
+//
+// The parser is a deliberately small recursive-descent JSON reader: it
+// accepts exactly the value forms the artifacts use (objects, arrays,
+// escaped strings, numbers, null, booleans) and rejects everything else
+// loudly.  It exists so the repro gate can diff artifacts without adding a
+// JSON dependency the container does not have.
+//
+// diff_bench compares a candidate artifact against a golden one:
+//   * `target` and row count must match exactly;
+//   * `threads` and `wall_seconds` are ignored — the determinism contract
+//     makes rows thread-invariant but wall time is machine noise;
+//   * rows are matched by index; cells by key.  Cells that parse as
+//     numbers on both sides compare within atol + rtol * |golden|;
+//     anything else must match byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pet::verify {
+
+/// One BENCH row: ordered (key, value) cells, all values as strings
+/// (BenchReport serialises every cell as a JSON string).
+using BenchRow = std::vector<std::pair<std::string, std::string>>;
+
+struct BenchArtifact {
+  std::string target;
+  std::uint64_t threads = 0;
+  double wall_seconds = 0.0;  ///< NaN when serialised as null
+  std::vector<BenchRow> rows;
+};
+
+/// Parse a BENCH artifact from JSON text.  Throws std::runtime_error with a
+/// byte-offset diagnostic on malformed input or schema violations.
+[[nodiscard]] BenchArtifact parse_bench_json(const std::string& text);
+
+/// Read and parse a BENCH artifact file.  Throws std::runtime_error.
+[[nodiscard]] BenchArtifact load_bench_json(const std::string& path);
+
+struct BenchDiffOptions {
+  double rtol = 0.05;   ///< relative tolerance for numeric cells
+  double atol = 1e-9;   ///< absolute tolerance for numeric cells
+};
+
+struct BenchDiff {
+  /// Human-readable mismatch descriptions; empty means artifacts agree.
+  std::vector<std::string> mismatches;
+  [[nodiscard]] bool ok() const noexcept { return mismatches.empty(); }
+};
+
+[[nodiscard]] BenchDiff diff_bench(const BenchArtifact& golden,
+                                   const BenchArtifact& candidate,
+                                   const BenchDiffOptions& options = {});
+
+}  // namespace pet::verify

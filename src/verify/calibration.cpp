@@ -1,0 +1,241 @@
+#include "verify/calibration.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "channel/sampled_channel.hpp"
+#include "common/ensure.hpp"
+#include "core/confidence.hpp"
+#include "core/estimator.hpp"
+#include "core/robust_estimator.hpp"
+#include "core/theory.hpp"
+#include "protocols/ezb.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/lof.hpp"
+#include "protocols/upe.hpp"
+#include "rng/prng.hpp"
+#include "stats/running_stat.hpp"
+
+namespace pet::verify {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+chan::SampledChannel make_channel(const CalibrationSpec& spec,
+                                  std::uint64_t trial, unsigned tree_height) {
+  chan::SampledChannelConfig config;
+  config.tree_height = tree_height;
+  return chan::SampledChannel(
+      spec.n, rng::derive_seed(rng::derive_seed(spec.seed, trial), 0), config);
+}
+
+std::uint64_t estimator_seed(const CalibrationSpec& spec, std::uint64_t trial) {
+  return rng::derive_seed(rng::derive_seed(spec.seed, trial), 1);
+}
+
+/// Shared fold state for the estimator sweeps.  Counters are exact; the
+/// running means fold in ascending trial order (TrialRunner contract), so
+/// every aggregate is bit-identical at any thread count.
+struct Tally {
+  std::uint64_t covered = 0;
+  std::uint64_t covered_empirical = 0;
+  std::uint64_t within = 0;
+  std::uint64_t healthy = 0;
+  stats::RunningStat accuracy;
+  stats::RunningStat depths;
+
+  [[nodiscard]] CalibrationResult finish(const CalibrationSpec& spec,
+                                         double oracle_variance) const {
+    const double t = static_cast<double>(accuracy.count());
+    CalibrationResult result;
+    result.trials = accuracy.count();
+    result.coverage = static_cast<double>(covered) / t;
+    result.empirical_coverage = static_cast<double>(covered_empirical) / t;
+    result.accuracy = accuracy.mean();
+    result.within_fraction = static_cast<double>(within) / t;
+    result.variance_ratio = oracle_variance > 0.0 && depths.count() >= 2
+                                ? depths.sample_variance() / oracle_variance
+                                : kNaN;
+    result.healthy_fraction = static_cast<double>(healthy) / t;
+    (void)spec;
+    return result;
+  }
+};
+
+bool within_contract(double n_hat, const CalibrationSpec& spec) {
+  const double n = static_cast<double>(spec.n);
+  return n_hat >= (1.0 - spec.epsilon) * n && n_hat <= (1.0 + spec.epsilon) * n;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_pet(const CalibrationSpec& spec,
+                                runtime::TrialRunner& runner) {
+  expects(spec.trials >= 2, "calibrate_pet: need at least two trials");
+  const core::PetConfig config;  // paper defaults: H = 32, Alg. 3 search
+  const core::PetEstimator estimator(config, {spec.epsilon, spec.delta});
+  const double n_double = static_cast<double>(spec.n);
+
+  struct Trial {
+    double n_hat;
+    bool covered;
+    bool covered_empirical;
+    std::vector<unsigned> depths;
+  };
+
+  Tally tally;
+  runner.run<Trial>(
+      spec.trials,
+      [&](std::uint64_t trial) {
+        auto channel = make_channel(spec, trial, config.tree_height);
+        const auto result = estimator.estimate_with_rounds(
+            channel, spec.rounds, estimator_seed(spec, trial));
+        Trial out;
+        out.n_hat = result.n_hat;
+        out.covered =
+            core::confidence_interval(result, spec.delta).contains(n_double);
+        out.covered_empirical =
+            core::empirical_confidence_interval(result, spec.delta)
+                .contains(n_double);
+        out.depths = result.depths;
+        return out;
+      },
+      [&](std::uint64_t, Trial trial) {
+        tally.covered += trial.covered ? 1u : 0u;
+        tally.covered_empirical += trial.covered_empirical ? 1u : 0u;
+        tally.within += within_contract(trial.n_hat, spec) ? 1u : 0u;
+        tally.accuracy.add(trial.n_hat / n_double);
+        for (const unsigned d : trial.depths) {
+          tally.depths.add(static_cast<double>(d));
+        }
+      },
+      "calibrate:pet");
+
+  const core::DepthDistribution oracle(spec.n, config.tree_height);
+  auto result = tally.finish(spec, oracle.stddev() * oracle.stddev());
+  result.healthy_fraction = kNaN;
+  return result;
+}
+
+CalibrationResult calibrate_robust_pet(const CalibrationSpec& spec,
+                                       runtime::TrialRunner& runner) {
+  expects(spec.trials >= 2, "calibrate_robust_pet: need at least two trials");
+  core::RobustPetConfig config;  // trimmed-mean fusion, 2-of-3 voting
+  const core::RobustPetEstimator estimator(config,
+                                           {spec.epsilon, spec.delta});
+  const double n_double = static_cast<double>(spec.n);
+
+  struct Trial {
+    double n_hat;
+    bool covered;
+    bool healthy;
+  };
+
+  Tally tally;
+  runner.run<Trial>(
+      spec.trials,
+      [&](std::uint64_t trial) {
+        auto channel = make_channel(spec, trial, config.base.tree_height);
+        const auto result = estimator.estimate_with_rounds(
+            channel, spec.rounds, estimator_seed(spec, trial));
+        return Trial{result.n_hat(), result.interval.contains(n_double),
+                     result.diagnostic.health == core::ChannelHealth::kHealthy};
+      },
+      [&](std::uint64_t, Trial trial) {
+        tally.covered += trial.covered ? 1u : 0u;
+        tally.healthy += trial.healthy ? 1u : 0u;
+        tally.within += within_contract(trial.n_hat, spec) ? 1u : 0u;
+        tally.accuracy.add(trial.n_hat / n_double);
+      },
+      "calibrate:robust-pet");
+
+  auto result = tally.finish(spec, 0.0);
+  result.empirical_coverage = kNaN;
+  return result;
+}
+
+namespace {
+
+/// Baselines share one sweep shape: planned-round estimates on the sampled
+/// channel, contract + accuracy aggregates, no confidence intervals.
+template <typename Estimate>
+CalibrationResult calibrate_baseline(const CalibrationSpec& spec,
+                                     runtime::TrialRunner& runner,
+                                     const std::string& label,
+                                     Estimate&& estimate) {
+  expects(spec.trials >= 2, "calibrate baseline: need at least two trials");
+  const double n_double = static_cast<double>(spec.n);
+
+  Tally tally;
+  runner.run<double>(
+      spec.trials,
+      [&](std::uint64_t trial) {
+        auto channel = make_channel(spec, trial, 32);
+        return estimate(channel, estimator_seed(spec, trial));
+      },
+      [&](std::uint64_t, double n_hat) {
+        tally.within += within_contract(n_hat, spec) ? 1u : 0u;
+        tally.accuracy.add(n_hat / n_double);
+      },
+      label);
+
+  auto result = tally.finish(spec, 0.0);
+  result.coverage = kNaN;
+  result.empirical_coverage = kNaN;
+  result.healthy_fraction = kNaN;
+  return result;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_fneb(const CalibrationSpec& spec,
+                                 runtime::TrialRunner& runner) {
+  const proto::FnebEstimator estimator(proto::FnebConfig{},
+                                       {spec.epsilon, spec.delta});
+  return calibrate_baseline(
+      spec, runner, "calibrate:fneb",
+      [&](chan::SampledChannel& channel, std::uint64_t seed) {
+        return estimator.estimate(channel, seed).n_hat;
+      });
+}
+
+CalibrationResult calibrate_lof(const CalibrationSpec& spec,
+                                runtime::TrialRunner& runner) {
+  const proto::LofEstimator estimator(proto::LofConfig{},
+                                      {spec.epsilon, spec.delta});
+  return calibrate_baseline(
+      spec, runner, "calibrate:lof",
+      [&](chan::SampledChannel& channel, std::uint64_t seed) {
+        return estimator.estimate(channel, seed).n_hat;
+      });
+}
+
+CalibrationResult calibrate_upe(const CalibrationSpec& spec,
+                                runtime::TrialRunner& runner) {
+  proto::UpeConfig config;
+  // UPE needs a magnitude prior to pick its persistence (the drawback PET
+  // removes); calibration grants it the true value, as its authors assume.
+  config.expected_n = static_cast<double>(spec.n);
+  const proto::UpeEstimator estimator(config, {spec.epsilon, spec.delta});
+  return calibrate_baseline(
+      spec, runner, "calibrate:upe",
+      [&](chan::SampledChannel& channel, std::uint64_t seed) {
+        return estimator.estimate(channel, seed).n_hat;
+      });
+}
+
+CalibrationResult calibrate_ezb(const CalibrationSpec& spec,
+                                runtime::TrialRunner& runner) {
+  const proto::EzbEstimator estimator(proto::EzbConfig{},
+                                      {spec.epsilon, spec.delta});
+  return calibrate_baseline(
+      spec, runner, "calibrate:ezb",
+      [&](chan::SampledChannel& channel, std::uint64_t seed) {
+        return estimator.estimate(channel, seed).n_hat;
+      });
+}
+
+}  // namespace pet::verify

@@ -1,0 +1,63 @@
+// Estimator-calibration trials: does the library's statistical machinery
+// keep the promises the paper's analysis makes?
+//
+//   * PET — the (1 - delta) confidence intervals from core/confidence must
+//     cover the true n at the nominal rate, the per-round depth variance
+//     must track sigma(h) (Eq. 11), and mean accuracy (Eq. 22) must sit at
+//     1 up to the documented geometric-mean bias;
+//   * RobustPetEstimator — its (possibly widened) interval must cover at
+//     least as often, and a clean channel must be diagnosed healthy;
+//   * FNEB / LoF / UPE / EZB — at their planned round counts the empirical
+//     (epsilon, delta) contract and mean accuracy must hold.
+//
+// Every trial runs on a SampledChannel (distribution-exact, itself
+// GoF-certified against the per-tag backends by the conformance suite) with
+// trial-indexed seeds, so results are thread-count invariant.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/trial_runner.hpp"
+
+namespace pet::verify {
+
+struct CalibrationSpec {
+  std::uint64_t n = 20000;        ///< true population size
+  std::uint64_t trials = 400;     ///< independent estimates
+  std::uint64_t rounds = 64;      ///< rounds per estimate (PET family only)
+  double epsilon = 0.1;           ///< contract half-width (baselines)
+  double delta = 0.05;            ///< contract / interval error probability
+  std::uint64_t seed = 1;
+};
+
+/// Aggregates of one calibration sweep; NaN marks fields a given estimator
+/// does not produce.
+struct CalibrationResult {
+  std::uint64_t trials = 0;
+  double coverage = 0.0;          ///< CI contains true n (PET family)
+  double empirical_coverage = 0.0;///< same, sample-deviation interval (PET)
+  double accuracy = 0.0;          ///< mean n̂ / n (Eq. 22)
+  double within_fraction = 0.0;   ///< |n̂ - n| <= eps n
+  double variance_ratio = 0.0;    ///< pooled depth var / oracle var (PET)
+  double healthy_fraction = 0.0;  ///< robust only: diagnosed kHealthy
+};
+
+[[nodiscard]] CalibrationResult calibrate_pet(const CalibrationSpec& spec,
+                                              runtime::TrialRunner& runner);
+
+[[nodiscard]] CalibrationResult calibrate_robust_pet(
+    const CalibrationSpec& spec, runtime::TrialRunner& runner);
+
+[[nodiscard]] CalibrationResult calibrate_fneb(const CalibrationSpec& spec,
+                                               runtime::TrialRunner& runner);
+
+[[nodiscard]] CalibrationResult calibrate_lof(const CalibrationSpec& spec,
+                                              runtime::TrialRunner& runner);
+
+[[nodiscard]] CalibrationResult calibrate_upe(const CalibrationSpec& spec,
+                                              runtime::TrialRunner& runner);
+
+[[nodiscard]] CalibrationResult calibrate_ezb(const CalibrationSpec& spec,
+                                              runtime::TrialRunner& runner);
+
+}  // namespace pet::verify

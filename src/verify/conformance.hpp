@@ -1,0 +1,67 @@
+// The conformance check registry: every statistical promise the library
+// makes, phrased as a named pass/fail check that tools/petverify runs.
+//
+// Three families (docs/testing.md has the full methodology):
+//   * theory/*      — closed-form self-consistency of core/theory;
+//   * gof/*         — empirical prefix-depth samples from every channel
+//                     back end versus the DepthDistribution oracle, both
+//                     clean (must match) and fault-injected where theory
+//                     predicts the clean law breaks (must mismatch);
+//   * calibration/* — estimator sweeps on runtime::TrialRunner checking
+//                     CI coverage, accuracy, and depth-variance tracking.
+//
+// All checks run at fixed seeds and report booleans with a diagnostic
+// string; thresholds are Bonferroni-adjusted across the whole GoF family
+// so the suite's family-wise false-alarm rate is bounded by
+// ConformanceOptions::family_alpha.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/trial_runner.hpp"
+
+namespace pet::verify {
+
+struct ConformanceOptions {
+  std::uint64_t seed = 1;
+  bool quick = false;        ///< reduced sample sizes for CI budgets
+  double family_alpha = 0.01;///< family-wise GoF false-alarm bound
+  std::string filter;        ///< substring filter on check names; "" = all
+};
+
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;  ///< statistics / thresholds, for the report
+};
+
+struct ConformanceReport {
+  std::vector<CheckResult> checks;
+
+  [[nodiscard]] bool all_passed() const noexcept {
+    for (const auto& check : checks) {
+      if (!check.passed) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t failures() const noexcept {
+    std::size_t count = 0;
+    for (const auto& check : checks) {
+      if (!check.passed) ++count;
+    }
+    return count;
+  }
+};
+
+/// Names of every registered check, in execution order.
+[[nodiscard]] std::vector<std::string> conformance_check_names();
+
+/// Run the (filtered) registry on `runner`.  A check that throws is
+/// reported as failed with the exception text; the function itself only
+/// throws on harness bugs.
+[[nodiscard]] ConformanceReport run_conformance(const ConformanceOptions& options,
+                                                runtime::TrialRunner& runner);
+
+}  // namespace pet::verify

@@ -1,0 +1,126 @@
+#include "verify/depth_sampling.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "channel/device_channel.hpp"
+#include "channel/exact_channel.hpp"
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+#include "common/ensure.hpp"
+#include "core/estimator.hpp"
+#include "rng/prng.hpp"
+#include "tags/population.hpp"
+
+namespace pet::verify {
+
+const char* to_string(DepthBackend backend) noexcept {
+  switch (backend) {
+    case DepthBackend::kSampled: return "sampled";
+    case DepthBackend::kExactRehash: return "exact-rehash";
+    case DepthBackend::kExactPreloaded: return "exact-preloaded";
+    case DepthBackend::kSortedPreloaded: return "sorted-preloaded";
+    case DepthBackend::kDeviceRehash: return "device-rehash";
+    case DepthBackend::kDevicePreloaded: return "device-preloaded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool is_preloaded(DepthBackend backend) noexcept {
+  return backend == DepthBackend::kExactPreloaded ||
+         backend == DepthBackend::kSortedPreloaded ||
+         backend == DepthBackend::kDevicePreloaded;
+}
+
+std::unique_ptr<chan::PrefixChannel> make_channel(
+    const DepthSampleSpec& spec, const std::vector<TagId>& tags,
+    std::uint64_t trial_seed) {
+  const std::uint64_t manufacturing = rng::derive_seed(trial_seed, 0);
+  switch (spec.backend) {
+    case DepthBackend::kSampled: {
+      chan::SampledChannelConfig config;
+      config.tree_height = spec.tree_height;
+      return std::make_unique<chan::SampledChannel>(spec.n, manufacturing,
+                                                    config);
+    }
+    case DepthBackend::kExactRehash:
+    case DepthBackend::kExactPreloaded: {
+      chan::ExactChannelConfig config;
+      config.tree_height = spec.tree_height;
+      config.preloaded_codes = spec.backend == DepthBackend::kExactPreloaded;
+      config.manufacturing_seed = manufacturing;
+      return std::make_unique<chan::ExactChannel>(tags, config);
+    }
+    case DepthBackend::kSortedPreloaded: {
+      chan::SortedPetChannelConfig config;
+      config.tree_height = spec.tree_height;
+      config.manufacturing_seed = manufacturing;
+      return std::make_unique<chan::SortedPetChannel>(tags, config);
+    }
+    case DepthBackend::kDeviceRehash:
+    case DepthBackend::kDevicePreloaded: {
+      chan::DeviceChannelConfig config;
+      config.tree_height = spec.tree_height;
+      config.pet_mode = spec.backend == DepthBackend::kDevicePreloaded
+                            ? sim::PetTagDevice::CodeMode::kPreloaded
+                            : sim::PetTagDevice::CodeMode::kPerRound;
+      config.manufacturing_seed = manufacturing;
+      config.impairments = spec.impairments;
+      // Fault replay must be trial-indexed: each trial owns an independent
+      // impairment stream derived from its trial seed alone.
+      config.impairments.seed = rng::derive_seed(trial_seed, 2);
+      return std::make_unique<chan::DeviceChannel>(tags, chan::DeviceKind::kPet,
+                                                   config);
+    }
+  }
+  invariant(false, "collect_depths: unhandled backend");
+  return nullptr;
+}
+
+}  // namespace
+
+DepthCounts collect_depths(const DepthSampleSpec& spec,
+                           runtime::TrialRunner& runner) {
+  expects(spec.trials >= 1, "collect_depths: need at least one trial");
+  expects(spec.rounds_per_trial >= 1,
+          "collect_depths: need at least one round per trial");
+  expects(!is_preloaded(spec.backend) || spec.rounds_per_trial == 1,
+          "collect_depths: preloaded backends share codes across rounds — "
+          "use rounds_per_trial = 1 for independent samples");
+
+  core::PetConfig pet_config;
+  pet_config.tree_height = spec.tree_height;
+  pet_config.search = core::SearchMode::kBinaryStrict;
+  pet_config.tags_rehash = !is_preloaded(spec.backend);
+  // Requirement is irrelevant (explicit round counts below); any valid one.
+  const core::PetEstimator estimator(pet_config, {0.5, 0.5});
+
+  std::vector<TagId> tags;
+  if (spec.backend != DepthBackend::kSampled) {
+    const auto population = tags::TagPopulation::generate(
+        spec.n, rng::derive_seed(spec.seed, 0xdecaf));
+    tags.assign(population.ids().begin(), population.ids().end());
+  }
+
+  DepthCounts pooled(spec.tree_height + 1, 0);
+  runner.run<DepthCounts>(
+      spec.trials,
+      [&](std::uint64_t trial) {
+        const std::uint64_t trial_seed = rng::derive_seed(spec.seed, trial);
+        const auto channel = make_channel(spec, tags, trial_seed);
+        const auto result = estimator.estimate_with_rounds(
+            *channel, spec.rounds_per_trial, rng::derive_seed(trial_seed, 1));
+        DepthCounts counts(spec.tree_height + 1, 0);
+        for (const unsigned d : result.depths) ++counts[d];
+        return counts;
+      },
+      [&](std::uint64_t, DepthCounts counts) {
+        for (std::size_t k = 0; k < pooled.size(); ++k) pooled[k] += counts[k];
+      },
+      std::string("depths:") + to_string(spec.backend));
+  return pooled;
+}
+
+}  // namespace pet::verify

@@ -1,0 +1,56 @@
+// Empirical prefix-depth collection for the conformance harness: drive the
+// real PET reader (binary-strict search, so the full support [0, H] is
+// observable) over any channel back end and histogram the observed depths.
+//
+// Sampling obeys the repo-wide determinism contract (docs/runtime.md):
+// every trial derives all of its randomness — manufacturing codes, round
+// seeds, fault streams — from rng::derive_seed(seed, trial), so the
+// histogram is bit-identical for any thread count.
+//
+// Independence, which the GoF tests assume, is arranged per backend:
+//   * rehashing backends (kSampled, kExactRehash, kDeviceRehash) draw
+//     i.i.d. rounds, so one trial may contribute many rounds;
+//   * preloaded backends (kExactPreloaded, kSortedPreloaded,
+//     kDevicePreloaded) share one code array across rounds of a trial, so
+//     independent samples require fresh manufacturing seeds — use
+//     rounds_per_trial = 1 and many trials.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/trial_runner.hpp"
+#include "sim/faults.hpp"
+#include "verify/gof.hpp"
+
+namespace pet::verify {
+
+enum class DepthBackend : std::uint8_t {
+  kSampled,          ///< SampledChannel (closed-form inverse transform)
+  kExactRehash,      ///< ExactChannel, Algorithm 2 per-round rehash
+  kExactPreloaded,   ///< ExactChannel, Algorithm 4 manufacturing codes
+  kSortedPreloaded,  ///< SortedPetChannel (always preloaded)
+  kDeviceRehash,     ///< DeviceChannel, per-round codes, full simulator
+  kDevicePreloaded,  ///< DeviceChannel, preloaded codes, full simulator
+};
+
+[[nodiscard]] const char* to_string(DepthBackend backend) noexcept;
+
+struct DepthSampleSpec {
+  DepthBackend backend = DepthBackend::kSampled;
+  std::uint64_t n = 1000;     ///< true population size
+  unsigned tree_height = 32;  ///< H
+  std::uint64_t trials = 64;  ///< independent channel constructions
+  std::uint64_t rounds_per_trial = 1;
+  std::uint64_t seed = 1;
+  /// Device backends only: link impairments.  The per-trial fault stream
+  /// seed is re-derived from (seed, trial), never from this field, so fault
+  /// replay is trial-indexed (thread-count invariant).
+  sim::ChannelImpairments impairments{};
+};
+
+/// Run the spec on `runner` and return the pooled depth histogram
+/// (length tree_height + 1).
+[[nodiscard]] DepthCounts collect_depths(const DepthSampleSpec& spec,
+                                         runtime::TrialRunner& runner);
+
+}  // namespace pet::verify

@@ -1,0 +1,116 @@
+#include "verify/gof.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/ensure.hpp"
+#include "stats/normal.hpp"
+
+namespace pet::verify {
+
+double chi_square_critical(unsigned dof, double alpha) {
+  expects(dof >= 1, "chi_square_critical: dof must be >= 1");
+  expects(alpha > 0.0 && alpha < 1.0,
+          "chi_square_critical: alpha must be in (0, 1)");
+  const double d = dof;
+  const double z = stats::normal_quantile(1.0 - alpha);
+  const double t = 1.0 - 2.0 / (9.0 * d) + z * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+double ks_one_sample_critical(std::uint64_t samples, double alpha) {
+  expects(samples >= 1, "ks_one_sample_critical: need at least one sample");
+  expects(alpha > 0.0 && alpha < 1.0,
+          "ks_one_sample_critical: alpha must be in (0, 1)");
+  return std::sqrt(std::log(2.0 / alpha) /
+                   (2.0 * static_cast<double>(samples)));
+}
+
+double bonferroni_alpha(double family_alpha, std::size_t checks) {
+  expects(family_alpha > 0.0 && family_alpha < 1.0,
+          "bonferroni_alpha: family_alpha must be in (0, 1)");
+  expects(checks >= 1, "bonferroni_alpha: need at least one check");
+  return family_alpha / static_cast<double>(checks);
+}
+
+GofResult chi_square_depth_gof(const DepthCounts& counts,
+                               const core::DepthDistribution& theory,
+                               double alpha, double min_expected) {
+  expects(counts.size() == theory.tree_height() + 1,
+          "chi_square_depth_gof: histogram width must be tree height + 1");
+  expects(min_expected > 0.0,
+          "chi_square_depth_gof: min_expected must be positive");
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  expects(total > 0, "chi_square_depth_gof: empty histogram");
+  const double n = static_cast<double>(total);
+
+  // Merge adjacent depth bins left to right until each merged bin's
+  // expected count reaches the floor; a trailing underweight bin joins its
+  // left neighbour.
+  std::vector<double> observed;
+  std::vector<double> expected;
+  double obs_acc = 0.0;
+  double exp_acc = 0.0;
+  for (unsigned k = 0; k < counts.size(); ++k) {
+    obs_acc += static_cast<double>(counts[k]);
+    exp_acc += n * theory.pmf(k);
+    if (exp_acc >= min_expected) {
+      observed.push_back(obs_acc);
+      expected.push_back(exp_acc);
+      obs_acc = 0.0;
+      exp_acc = 0.0;
+    }
+  }
+  if (exp_acc > 0.0 || obs_acc > 0.0) {
+    if (expected.empty()) {
+      observed.push_back(obs_acc);
+      expected.push_back(exp_acc);
+    } else {
+      observed.back() += obs_acc;
+      expected.back() += exp_acc;
+    }
+  }
+  expects(expected.size() >= 2,
+          "chi_square_depth_gof: fewer than two bins survive merging "
+          "(sample too small for this oracle)");
+
+  double stat = 0.0;
+  for (std::size_t b = 0; b < expected.size(); ++b) {
+    const double diff = observed[b] - expected[b];
+    stat += diff * diff / expected[b];
+  }
+
+  GofResult result;
+  result.statistic = stat;
+  result.samples = total;
+  result.dof = static_cast<unsigned>(expected.size() - 1);
+  result.threshold = chi_square_critical(result.dof, alpha);
+  return result;
+}
+
+GofResult ks_depth_gof(const DepthCounts& counts,
+                       const core::DepthDistribution& theory, double alpha) {
+  expects(counts.size() == theory.tree_height() + 1,
+          "ks_depth_gof: histogram width must be tree height + 1");
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  expects(total > 0, "ks_depth_gof: empty histogram");
+  const double n = static_cast<double>(total);
+
+  double sup = 0.0;
+  std::uint64_t cum = 0;
+  for (unsigned k = 0; k < counts.size(); ++k) {
+    cum += counts[k];
+    const double empirical = static_cast<double>(cum) / n;
+    sup = std::max(sup, std::abs(empirical - theory.cdf(k)));
+  }
+
+  GofResult result;
+  result.statistic = sup;
+  result.samples = total;
+  result.threshold = ks_one_sample_critical(total, alpha);
+  return result;
+}
+
+}  // namespace pet::verify

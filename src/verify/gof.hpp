@@ -1,0 +1,73 @@
+// Goodness-of-fit primitives for the statistical conformance harness.
+//
+// The oracle is core::DepthDistribution — the exact finite-n law of the
+// per-round prefix depth (Eq. (5)).  Empirical depth samples from any
+// channel back end are tested against it two ways:
+//
+//   * Pearson chi-square over the depth histogram, with sparse bins merged
+//     until every expected count reaches a floor (the classic validity
+//     condition), critical value from the Wilson-Hilferty cube-root
+//     approximation;
+//   * one-sample Kolmogorov-Smirnov with the distribution-free DKW
+//     threshold sqrt(ln(2/alpha) / 2N).  For discrete laws this is
+//     conservative (true size below alpha), which is the right direction
+//     for "must match" assertions; the "must break" fault scenarios are
+//     gross enough that power is not a concern.
+//
+// All checks run at fixed seeds, so a pass/fail verdict is a property of
+// the code, not of the draw; alpha still matters because a seed is one
+// fixed sample from the null.  docs/testing.md describes the methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/theory.hpp"
+
+namespace pet::verify {
+
+/// Histogram of observed prefix depths: counts[k] = #observations of d = k,
+/// k in [0, H].  The vector length fixes H + 1.
+using DepthCounts = std::vector<std::uint64_t>;
+
+/// Outcome of one goodness-of-fit test.
+struct GofResult {
+  double statistic = 0.0;  ///< chi-square value or KS sup-distance
+  double threshold = 0.0;  ///< critical value at the requested alpha
+  std::uint64_t samples = 0;
+  unsigned dof = 0;  ///< chi-square only: merged bins - 1
+
+  /// True when the empirical sample deviates from the oracle at this alpha.
+  [[nodiscard]] bool reject() const noexcept { return statistic > threshold; }
+};
+
+/// Upper-tail chi-square quantile via Wilson-Hilferty: accurate to ~1% for
+/// dof >= 2 over the alphas used here; callers pick sample sizes so that
+/// verdicts never sit within that margin of the threshold.
+[[nodiscard]] double chi_square_critical(unsigned dof, double alpha);
+
+/// One-sample KS critical value from the Dvoretzky-Kiefer-Wolfowitz bound.
+[[nodiscard]] double ks_one_sample_critical(std::uint64_t samples,
+                                            double alpha);
+
+/// Pearson chi-square of `counts` against `theory`'s pmf.  Adjacent depth
+/// bins are merged (left to right) until every expected count is at least
+/// `min_expected`; throws PreconditionError when fewer than two merged bins
+/// remain or the histogram is empty.
+[[nodiscard]] GofResult chi_square_depth_gof(const DepthCounts& counts,
+                                             const core::DepthDistribution& theory,
+                                             double alpha,
+                                             double min_expected = 5.0);
+
+/// One-sample KS of the empirical depth CDF against `theory`'s CDF.
+[[nodiscard]] GofResult ks_depth_gof(const DepthCounts& counts,
+                                     const core::DepthDistribution& theory,
+                                     double alpha);
+
+/// Bonferroni-adjusted per-check level for a family of `checks` tests at
+/// family-wise level `family_alpha`.
+[[nodiscard]] double bonferroni_alpha(double family_alpha,
+                                      std::size_t checks);
+
+}  // namespace pet::verify

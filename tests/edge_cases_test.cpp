@@ -3,6 +3,7 @@
 // the failure modes the design intentionally surfaces.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
 #include "common/ensure.hpp"
+#include "core/confidence.hpp"
+#include "core/constants.hpp"
 #include "core/estimator.hpp"
 #include "core/theory.hpp"
 #include "protocols/ezb.hpp"
@@ -105,7 +108,85 @@ TEST(TinyPopulations, SampledChannelAgreesForNOne) {
   EXPECT_NEAR(paper_depths.mean(), 1.5, 0.15);
 }
 
+TEST(TinyPopulations, ZeroPopulationConfidenceIntervalIsAPointAtZero) {
+  // Every round certifies emptiness, so the estimate is exact and both
+  // interval constructions must degenerate to [0, 0] instead of throwing
+  // on the empty depth vector.
+  core::PetConfig config;
+  config.search = core::SearchMode::kBinaryStrict;
+  const core::PetEstimator estimator(config, {0.3, 0.3});
+  chan::ExactChannel channel(make_tags(0, 31));
+  const auto result = estimator.estimate_with_rounds(channel, 16, 32);
+  ASSERT_TRUE(result.depths.empty());
+  EXPECT_DOUBLE_EQ(result.n_hat, 0.0);
+  for (const auto& interval :
+       {core::confidence_interval(result, 0.05),
+        core::empirical_confidence_interval(result, 0.05)}) {
+    EXPECT_DOUBLE_EQ(interval.lo, 0.0);
+    EXPECT_DOUBLE_EQ(interval.hi, 0.0);
+    EXPECT_DOUBLE_EQ(interval.point, 0.0);
+    EXPECT_TRUE(interval.contains(0.0));
+    EXPECT_FALSE(interval.contains(1.0));
+    EXPECT_DOUBLE_EQ(interval.relative_half_width(), 0.0);
+  }
+}
+
+TEST(TinyPopulations, SingleTagConfidenceIntervalsAreFiniteAndOrdered) {
+  core::PetConfig config;
+  config.search = core::SearchMode::kBinaryStrict;
+  const core::PetEstimator estimator(config, {0.3, 0.3});
+  chan::ExactChannel channel(make_tags(1, 33));
+  const auto result = estimator.estimate_with_rounds(channel, 128, 34);
+  const auto interval = core::confidence_interval(result, 0.05);
+  const auto empirical = core::empirical_confidence_interval(result, 0.05);
+  EXPECT_GT(result.n_hat, 0.0);
+  for (const auto& ci : {interval, empirical}) {
+    EXPECT_TRUE(std::isfinite(ci.lo) && std::isfinite(ci.hi));
+    EXPECT_LE(ci.lo, ci.point);
+    EXPECT_LE(ci.point, ci.hi);
+    EXPECT_GT(ci.hi, 0.0);
+  }
+  // At n = 1 the asymptotic law E[d] ~= log2(phi n) no longer holds
+  // (E[d] = 1 exactly, so n̂ concentrates on 2/phi ~= 1.59, above n): the
+  // interval must bracket the estimator's own limit, and its documented
+  // small-n bias keeps true n below the interval.
+  EXPECT_NEAR(result.n_hat, 2.0 / core::kPhi, 0.35);
+  EXPECT_TRUE(interval.contains(2.0 / core::kPhi));
+  EXPECT_GT(interval.lo, 1.0) << "small-n bias: asymptotic CI sits above n=1";
+}
+
 // ------------------------------------------------------- parameter extremes
+
+TEST(ParameterExtremes, DepthSaturatesAtFullTreeHeight) {
+  // n >> 2^H: nearly every round hits the deepest level d = H.  The
+  // pipeline must saturate gracefully — depths clamped to H, the estimate
+  // pinned near its 2^H / phi ceiling — and the exact law must agree.
+  constexpr unsigned kHeight = 8;
+  constexpr std::uint64_t kN = 1u << 20;
+  const core::DepthDistribution law(kN, kHeight);
+  EXPECT_GT(law.pmf(kHeight), 0.99);
+  EXPECT_DOUBLE_EQ(law.cdf(kHeight), 1.0);
+  EXPECT_NEAR(law.mean(), static_cast<double>(kHeight), 0.05);
+
+  core::PetConfig config;
+  config.tree_height = kHeight;
+  config.search = core::SearchMode::kBinaryStrict;
+  const core::PetEstimator estimator(config, {0.3, 0.3});
+  chan::SampledChannelConfig channel_config;
+  channel_config.tree_height = kHeight;
+  chan::SampledChannel channel(kN, 35, channel_config);
+  const auto result = estimator.estimate_with_rounds(channel, 200, 36);
+  unsigned max_depth = 0;
+  for (const unsigned d : result.depths) max_depth = std::max(max_depth, d);
+  EXPECT_EQ(max_depth, kHeight) << "saturated rounds must report d = H";
+  const double ceiling = std::exp2(static_cast<double>(kHeight)) /
+                         core::kPhi;
+  EXPECT_LE(result.n_hat, ceiling * 1.0001);
+  EXPECT_GT(result.n_hat, 0.9 * ceiling)
+      << "with n >> 2^H nearly every round saturates";
+}
+
+
 
 TEST(ParameterExtremes, TreeHeight64EndToEnd) {
   core::PetConfig config;

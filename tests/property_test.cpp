@@ -10,12 +10,16 @@
 #include "channel/exact_channel.hpp"
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
+#include "common/bitcode.hpp"
 #include "core/constants.hpp"
 #include "core/estimator.hpp"
 #include "core/theory.hpp"
 #include "rng/hash_family.hpp"
+#include "rng/prng.hpp"
+#include "runtime/json.hpp"
 #include "stats/running_stat.hpp"
 #include "tags/population.hpp"
+#include "verify/benchjson.hpp"
 
 namespace pet {
 namespace {
@@ -222,6 +226,82 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, HashInvariance,
                          [](const auto& info) {
                            return std::string(rng::to_string(info.param));
                          });
+
+// ---------------------------------------------------------------------------
+// Invariant 7: JSON string escaping round-trips every byte that can appear
+// in a cell.  Seeded fuzz: random strings over the full byte range the
+// artifacts may carry survive escape -> embed -> parse unchanged.
+
+TEST(JsonProperty, EscapeRoundTripsSeededRandomStrings) {
+  rng::Xoshiro256ss gen(0x95ca9e);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string cell;
+    const unsigned length = static_cast<unsigned>(gen() % 40);
+    for (unsigned i = 0; i < length; ++i) {
+      // Bytes 0x01..0x7f: control characters, quotes, backslashes, and
+      // printable ASCII.  (NUL would truncate the std::string contract;
+      // the artifacts never carry it.)
+      cell += static_cast<char>(1 + gen() % 127);
+    }
+    runtime::BenchReport report("fuzz", 1);
+    report.add_row(cell, {"k"}, {cell});
+    const auto artifact = verify::parse_bench_json(report.to_json());
+    ASSERT_EQ(artifact.rows.size(), 1u) << "iteration " << iteration;
+    EXPECT_EQ(artifact.rows[0][0].second, cell) << "iteration " << iteration;
+    EXPECT_EQ(artifact.rows[0][1].second, cell) << "iteration " << iteration;
+  }
+}
+
+TEST(JsonProperty, NumbersNeverEmitNonFiniteTokens) {
+  const double specials[] = {std::nan(""), -std::nan(""), HUGE_VAL, -HUGE_VAL};
+  for (const double value : specials) {
+    EXPECT_EQ(runtime::json_number(value, 6), "null");
+  }
+  EXPECT_EQ(runtime::json_number(2.5, 2), "2.50");
+  EXPECT_EQ(runtime::json_number(-0.125, 3), "-0.125");
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 8: BitCode prefix operations agree with a naive string-based
+// reference implementation for every width and seeded random pair.
+
+TEST(BitCodeProperty, PrefixOpsMatchNaiveStringReference) {
+  rng::Xoshiro256ss gen(0xb17c0de);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    const unsigned width = 1 + static_cast<unsigned>(gen() % 64);
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    const BitCode a(gen() & mask, width);
+    // Half the pairs share a long prefix so deep matches get exercised.
+    std::uint64_t b_bits = gen() & mask;
+    if (iteration % 2 == 0 && width > 2) {
+      const unsigned keep = static_cast<unsigned>(gen() % width);
+      const std::uint64_t low_mask =
+          keep == 0 ? mask : (mask >> keep);
+      b_bits = (a.value() & ~low_mask) | (b_bits & low_mask);
+    }
+    const BitCode b(b_bits, width);
+
+    const std::string sa = a.to_string();
+    const std::string sb = b.to_string();
+    ASSERT_EQ(sa.size(), width);
+
+    unsigned naive_lcp = 0;
+    while (naive_lcp < width && sa[naive_lcp] == sb[naive_lcp]) ++naive_lcp;
+    EXPECT_EQ(a.common_prefix_len(b), naive_lcp)
+        << sa << " vs " << sb;
+
+    for (const unsigned len :
+         {0u, 1u, width / 2, naive_lcp, std::min(naive_lcp + 1, width),
+          width}) {
+      const bool naive_match = sa.compare(0, len, sb, 0, len) == 0;
+      EXPECT_EQ(a.matches_prefix(b, len), naive_match)
+          << sa << " vs " << sb << " len=" << len;
+      EXPECT_EQ(a.prefix(len), BitCode::parse(sa.substr(0, len)))
+          << sa << " len=" << len;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pet

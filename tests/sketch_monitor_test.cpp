@@ -84,9 +84,16 @@ TEST(Confidence, EmpiricalIntervalTracksAsymptoticOne) {
               0.15 * asymptotic.relative_half_width());
 }
 
-TEST(Confidence, RequiresObservations) {
+TEST(Confidence, EmptyObservationsCollapseToAPointAtZero) {
+  // A certified-empty read (no depth observations) is an exact n-hat = 0,
+  // so the interval degenerates instead of throwing.  The delta
+  // precondition is still enforced first.
   EstimateResult empty;
-  EXPECT_THROW((void)confidence_interval(empty, 0.05), PreconditionError);
+  const auto interval = confidence_interval(empty, 0.05);
+  EXPECT_EQ(interval.lo, 0.0);
+  EXPECT_EQ(interval.point, 0.0);
+  EXPECT_EQ(interval.hi, 0.0);
+  EXPECT_THROW((void)confidence_interval(empty, 0.0), PreconditionError);
 }
 
 // ------------------------------------------------------------------- sketch

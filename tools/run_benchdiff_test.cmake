@@ -1,0 +1,46 @@
+# CTest driver for the golden BENCH regression (invoked via cmake -P).
+#
+# Default mode: regenerate the artifact with the bench binary (-DBENCH=...)
+# and require benchdiff to accept it against the checked-in golden — this
+# is the silent-drift gate.
+#
+# -DPERTURB=1: perturb one numeric golden cell past the tolerance and
+# require benchdiff to *reject* it — proof the gate can actually fail.
+
+if(PERTURB)
+  file(READ "${GOLDEN}" text)
+  string(REPLACE "\"slots (analytic 5m)\": \"40\""
+                 "\"slots (analytic 5m)\": \"44\"" perturbed "${text}")
+  if(perturbed STREQUAL text)
+    message(FATAL_ERROR
+      "perturbation did not apply — the golden changed; update the cell "
+      "targeted by run_benchdiff_test.cmake")
+  endif()
+  set(candidate "${WORK_DIR}/BENCH_perturbed.json")
+  file(WRITE "${candidate}" "${perturbed}")
+  execute_process(COMMAND "${BENCHDIFF}" "${GOLDEN}" "${candidate}"
+                  RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "benchdiff accepted a perturbed golden")
+  endif()
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "benchdiff exited ${rc} instead of the mismatch status 1")
+  endif()
+else()
+  set(candidate "${WORK_DIR}/BENCH_fresh.json")
+  execute_process(COMMAND "${BENCH}" --quick --csv --quiet
+                          "--json=${candidate}"
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench binary failed with status ${rc}")
+  endif()
+  execute_process(COMMAND "${BENCHDIFF}" "${GOLDEN}" "${candidate}"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "fresh artifact drifted from the checked-in golden (benchdiff "
+      "status ${rc}); regenerate bench/golden/ deliberately if the change "
+      "is intended")
+  endif()
+endif()
