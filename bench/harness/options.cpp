@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -25,7 +27,9 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
           "concurrency)\n"
           "  --quiet      no stderr progress meter\n"
           "  --json=PATH  result artifact path (default "
-          "BENCH_<target>.json)\n");
+          "BENCH_<target>.json)\n"
+          "  --obs=LEVEL  observability level off|counters|full "
+          "(default counters)\n");
       std::exit(0);
     } else if (arg == "--quick") {
       options.runs = 30;
@@ -50,12 +54,24 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
         std::fprintf(stderr, "--json needs a path\n");
         std::exit(2);
       }
+    } else if (arg.rfind("--obs=", 0) == 0) {
+      try {
+        options.obs_level = obs::parse_level(arg.substr(6));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
       std::exit(2);
     }
   }
   runtime::global_runner().configure(options.threads, !options.quiet);
+  obs::set_level(options.obs_level);
+  // Fresh counts for this harness run: registrations from other benches in
+  // the same process (gtest-style multi-runs) must not leak into the
+  // artifact's metrics section.
+  obs::MetricsRegistry::instance().reset();
   return options;
 }
 

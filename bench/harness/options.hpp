@@ -11,12 +11,18 @@
 //   --quiet      suppress the stderr progress meter
 //   --json=PATH  where to write the BENCH_<target>.json result artifact
 //                (default: BENCH_<target>.json in the working directory)
+//   --obs=LEVEL  observability level off|counters|full (default counters);
+//                counters and above embed a "metrics" section in the JSON
+//                artifact.  Deterministic fields are unaffected by the
+//                level (docs/observability.md).
 //   --help       usage
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pet::bench {
 
@@ -27,6 +33,7 @@ struct BenchOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
   bool quiet = false;
   std::string json;  ///< empty = default BENCH_<target>.json
+  obs::Level obs_level = obs::Level::kCounters;
 
   /// Parse argv; prints usage and exits(0) on --help, exits(2) on unknown
   /// arguments.  Also configures runtime::global_runner() with the chosen

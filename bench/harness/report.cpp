@@ -2,7 +2,11 @@
 
 #include <cstdio>
 #include <exception>
+#include <optional>
+#include <utility>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -22,6 +26,19 @@ void BenchSession::finish() noexcept {
   report_.set_wall_seconds(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count());
+  if (obs::counters_enabled()) {
+    auto& runner = runtime::global_runner();
+    const runtime::ThreadPool::Stats stats = runner.pool_stats();
+    obs::PoolSample pool;
+    pool.threads = runner.thread_count();
+    pool.submitted = stats.submitted;
+    pool.stolen = stats.stolen;
+    pool.max_queue_depth = stats.max_queue_depth;
+    pool.worker_tasks = stats.worker_tasks;
+    report_.set_metrics_json(
+        obs::metrics_json(obs::MetricsRegistry::instance().snapshot(), {},
+                          std::optional<obs::PoolSample>(std::move(pool))));
+  }
   try {
     report_.write(path_);
     if (!quiet_) {

@@ -9,6 +9,7 @@
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
 #include "core/estimator.hpp"
+#include "obs/metrics.hpp"
 #include "rng/hash_family.hpp"
 #include "rng/md5.hpp"
 #include "rng/prng.hpp"
@@ -109,6 +110,62 @@ void BM_FullEstimate50kTags(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullEstimate50kTags)->Unit(benchmark::kMillisecond);
+
+// -- obs overhead (docs/observability.md records the numbers) -------------
+//
+// BM_ObsCounterAddDisabled is the cost every instrumentation site pays when
+// observability is compiled in but off: one relaxed load + branch.
+// BM_ObsCounterAddEnabled adds the thread-local shard fetch_add.
+// BM_PetRoundObs{Off,Counters} measure the real hot path — a full PET round
+// on the sorted channel — under both levels; their ratio is the "<= 2%
+// disabled overhead" acceptance number (compare Off against a
+// -DPET_OBS=OFF build of the same benchmark for the compiled-out floor).
+
+void BM_ObsCounterAddDisabled(benchmark::State& state) {
+  obs::set_level(obs::Level::kOff);
+  const obs::Counter counter =
+      obs::MetricsRegistry::instance().counter("micro.obs.disabled");
+  for (auto _ : state) {
+    if (obs::counters_enabled()) counter.add();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsCounterAddDisabled);
+
+void BM_ObsCounterAddEnabled(benchmark::State& state) {
+  obs::set_level(obs::Level::kCounters);
+  const obs::Counter counter =
+      obs::MetricsRegistry::instance().counter("micro.obs.enabled");
+  for (auto _ : state) {
+    if (obs::counters_enabled()) counter.add();
+    benchmark::ClobberMemory();
+  }
+  obs::set_level(obs::Level::kOff);
+}
+BENCHMARK(BM_ObsCounterAddEnabled);
+
+void pet_round_at_level(benchmark::State& state, obs::Level level) {
+  obs::set_level(level);
+  chan::SortedPetChannel channel(tags_for(100000));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path = rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round(channel));
+  }
+  obs::set_level(obs::Level::kOff);
+}
+
+void BM_PetRoundObsOff(benchmark::State& state) {
+  pet_round_at_level(state, obs::Level::kOff);
+}
+BENCHMARK(BM_PetRoundObsOff);
+
+void BM_PetRoundObsCounters(benchmark::State& state) {
+  pet_round_at_level(state, obs::Level::kCounters);
+}
+BENCHMARK(BM_PetRoundObsCounters);
 
 }  // namespace
 

@@ -1,8 +1,16 @@
 #include "channel/device_channel.hpp"
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
 
 namespace pet::chan {
+
+namespace {
+const obs::ChannelInstruments& chan_obs() {
+  static const obs::ChannelInstruments bundle("device");
+  return bundle;
+}
+}  // namespace
 
 DeviceChannel::DeviceChannel(std::span<const TagId> tags, DeviceKind kind,
                              DeviceChannelConfig config)
@@ -36,6 +44,7 @@ void DeviceChannel::begin_round(const RoundConfig& round) {
           "begin_round: path width must equal the tree height H");
   round_path_ = round.path;
   round_query_bits_ = round.query_bits;
+  if (obs::counters_enabled()) chan_obs().rounds.add();
   medium_.broadcast(
       sim::RoundBeginCmd{round.path, round.seed, round.tags_rehash,
                          round.begin_bits},
@@ -45,8 +54,12 @@ void DeviceChannel::begin_round(const RoundConfig& round) {
 bool DeviceChannel::query_prefix(unsigned len) {
   expects(kind_ == DeviceKind::kPet, "query_prefix requires PET tag devices");
   expects(len <= config_.tree_height, "query_prefix: len exceeds H");
+  if (obs::counters_enabled()) chan_obs().probe_slots.add();
   const auto obs = medium_.run_slot(
       sim::PrefixQueryCmd{round_path_, len, round_query_bits_}, simulator_);
+  if (obs::counters_enabled() && is_nonempty(obs.outcome)) {
+    chan_obs().busy_slots.add();
+  }
   return is_nonempty(obs.outcome);
 }
 
@@ -62,8 +75,12 @@ void DeviceChannel::begin_range_frame(const RangeFrameConfig& frame) {
 bool DeviceChannel::query_range(std::uint64_t bound) {
   expects(kind_ == DeviceKind::kFneb,
           "query_range requires FNEB tag devices");
+  if (obs::counters_enabled()) chan_obs().frame_slots.add();
   const auto obs = medium_.run_slot(
       sim::RangeQueryCmd{bound, range_query_bits_}, simulator_);
+  if (obs::counters_enabled() && is_nonempty(obs.outcome)) {
+    chan_obs().busy_slots.add();
+  }
   return is_nonempty(obs.outcome);
 }
 
@@ -79,6 +96,10 @@ std::vector<SlotOutcome> DeviceChannel::run_frame(const FrameConfig& frame) {
   for (std::uint64_t slot = 1; slot <= frame.frame_size; ++slot) {
     const auto obs = medium_.run_slot(
         sim::SlotPollCmd{slot, frame.poll_bits}, simulator_);
+    if (obs::counters_enabled()) {
+      chan_obs().frame_slots.add();
+      if (is_nonempty(obs.outcome)) chan_obs().busy_slots.add();
+    }
     outcomes.push_back(obs.outcome);
   }
   return outcomes;

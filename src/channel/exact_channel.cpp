@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace pet::chan {
+
+namespace {
+const obs::ChannelInstruments& chan_obs() {
+  static const obs::ChannelInstruments bundle("exact");
+  return bundle;
+}
+}  // namespace
 
 ExactChannel::ExactChannel(std::vector<TagId> tags, ExactChannelConfig config)
     : tags_(std::move(tags)), config_(config) {
@@ -46,6 +55,11 @@ void ExactChannel::account_slot(std::size_t responders, unsigned downlink_bits) 
   ledger_.tag_bits += responders;  // presence replies are 1 bit each
   ledger_.airtime_us += config_.timing.slot_us();
   clock_.advance(config_.timing.slot_us());
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::record_ledger_slot(responders, downlink_bits, responders);
+    if (responders > 0) chan_obs().busy_slots.add();
+    if (obs::full_enabled(obs_mode_)) obs::advance_trace_slot();
+  }
 }
 
 void ExactChannel::begin_round(const RoundConfig& round) {
@@ -74,12 +88,18 @@ void ExactChannel::begin_round(const RoundConfig& round) {
     depth_count_[k] = suffix;
   }
   ledger_.reader_bits += round.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    chan_obs().rounds.add();
+    obs::ledger_instruments().reader_bits.add(round.begin_bits);
+  }
 }
 
 bool ExactChannel::query_prefix(unsigned len) {
   expects(len <= config_.tree_height, "query_prefix: len exceeds H");
   expects(!depth_count_.empty(), "query_prefix before begin_round");
   const std::size_t responders = depth_count_[len];
+  if (obs::counters_enabled(obs_mode_)) chan_obs().probe_slots.add();
   account_slot(responders, round_query_bits_);
   return responders > 0;
 }
@@ -95,6 +115,10 @@ void ExactChannel::begin_range_frame(const RangeFrameConfig& frame) {
   std::sort(range_slots_.begin(), range_slots_.end());
   range_query_bits_ = frame.query_bits;
   ledger_.reader_bits += frame.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::ledger_instruments().reader_bits.add(frame.begin_bits);
+  }
 }
 
 bool ExactChannel::query_range(std::uint64_t bound) {
@@ -102,6 +126,7 @@ bool ExactChannel::query_range(std::uint64_t bound) {
                                     bound);
   const auto responders =
       static_cast<std::size_t>(end - range_slots_.begin());
+  if (obs::counters_enabled(obs_mode_)) chan_obs().frame_slots.add();
   account_slot(responders, range_query_bits_);
   return responders > 0;
 }
@@ -130,6 +155,11 @@ std::vector<SlotOutcome> ExactChannel::run_frame(const FrameConfig& frame) {
   }
 
   ledger_.reader_bits += frame.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::ledger_instruments().reader_bits.add(frame.begin_bits);
+    chan_obs().frame_slots.add(frame.frame_size);
+  }
   std::vector<SlotOutcome> outcomes;
   outcomes.reserve(frame.frame_size);
   for (const std::uint32_t count : occupancy) {

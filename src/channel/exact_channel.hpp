@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "channel/channel.hpp"
+#include "obs/instruments.hpp"
 #include "rng/hash_family.hpp"
 #include "sim/simulator.hpp"
 
@@ -46,6 +47,9 @@ class ExactChannel final : public PrefixChannel,
   void reset_ledger() noexcept override { ledger_ = {}; }
   void note_retries(std::uint64_t slots) noexcept override {
     ledger_.retry_slots += slots;
+    if (obs::counters_enabled()) {
+      obs::ledger_instruments().retry_slots.add(slots);
+    }
   }
 
   /// Update the tag set (dynamic populations); takes effect next round.
@@ -61,6 +65,7 @@ class ExactChannel final : public PrefixChannel,
   unsigned round_query_bits_ = 32;
   std::vector<std::uint64_t> range_slots_;  ///< round state: sorted slot picks
   unsigned range_query_bits_ = 32;
+  std::uint8_t obs_mode_ = 0;  ///< obs level snapshot, refreshed per round/frame
   sim::Simulator clock_;
   sim::SlotLedger ledger_;
 };

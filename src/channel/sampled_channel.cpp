@@ -4,8 +4,17 @@
 #include <random>
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace pet::chan {
+
+namespace {
+const obs::ChannelInstruments& chan_obs() {
+  static const obs::ChannelInstruments bundle("sampled");
+  return bundle;
+}
+}  // namespace
 
 namespace {
 
@@ -40,6 +49,12 @@ void SampledChannel::account_slot(bool busy, unsigned downlink_bits,
   ledger_.reader_bits += downlink_bits;
   ledger_.tag_bits += responders_hint;
   ledger_.airtime_us += config_.timing.slot_us();
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::record_ledger_slot(!busy ? 0 : (responders_hint == 1 ? 1 : 2),
+                            downlink_bits, responders_hint);
+    if (busy) chan_obs().busy_slots.add();
+    if (obs::full_enabled(obs_mode_)) obs::advance_trace_slot();
+  }
 }
 
 void SampledChannel::begin_round(const RoundConfig& round) {
@@ -48,6 +63,11 @@ void SampledChannel::begin_round(const RoundConfig& round) {
   round_open_ = true;
   round_query_bits_ = round.query_bits;
   ledger_.reader_bits += round.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    chan_obs().rounds.add();
+    obs::ledger_instruments().reader_bits.add(round.begin_bits);
+  }
 
   if (n_ == 0) {
     round_depth_ = 0;
@@ -73,6 +93,7 @@ bool SampledChannel::query_prefix(unsigned len) {
   expects(len <= config_.tree_height, "query_prefix: len exceeds H");
   const bool busy = (n_ > 0) && (len <= round_depth_);
   const std::uint64_t hint = !busy ? 0 : (len == 0 ? n_ : 2);
+  if (obs::counters_enabled(obs_mode_)) chan_obs().probe_slots.add();
   account_slot(busy, round_query_bits_, hint);
   return busy;
 }
@@ -82,6 +103,10 @@ void SampledChannel::begin_range_frame(const RangeFrameConfig& frame) {
   range_open_ = true;
   range_query_bits_ = frame.query_bits;
   ledger_.reader_bits += frame.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::ledger_instruments().reader_bits.add(frame.begin_bits);
+  }
 
   if (n_ == 0) {
     first_nonempty_ = frame.frame_size + 1;  // sentinel: never answered
@@ -100,6 +125,7 @@ void SampledChannel::begin_range_frame(const RangeFrameConfig& frame) {
 bool SampledChannel::query_range(std::uint64_t bound) {
   expects(range_open_, "query_range before begin_range_frame");
   const bool busy = bound >= first_nonempty_;
+  if (obs::counters_enabled(obs_mode_)) chan_obs().frame_slots.add();
   account_slot(busy, range_query_bits_, busy ? 2 : 0);
   return busy;
 }
@@ -109,6 +135,11 @@ std::vector<SlotOutcome> SampledChannel::run_frame(const FrameConfig& frame) {
   expects(frame.persistence > 0.0 && frame.persistence <= 1.0,
           "run_frame: persistence must be in (0, 1]");
   ledger_.reader_bits += frame.begin_bits;
+  obs_mode_ = obs::level_byte();
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::ledger_instruments().reader_bits.add(frame.begin_bits);
+    chan_obs().frame_slots.add(frame.frame_size);
+  }
 
   std::uint64_t remaining = n_;
   if (frame.persistence < 1.0 && remaining > 0) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "channel/channel.hpp"
+#include "obs/instruments.hpp"
 #include "rng/prng.hpp"
 #include "sim/simulator.hpp"
 
@@ -63,6 +64,9 @@ class SampledChannel final : public PrefixChannel,
   void reset_ledger() noexcept override { ledger_ = {}; }
   void note_retries(std::uint64_t slots) noexcept override {
     ledger_.retry_slots += slots;
+    if (obs::counters_enabled()) {
+      obs::ledger_instruments().retry_slots.add(slots);
+    }
   }
 
  private:
@@ -78,6 +82,7 @@ class SampledChannel final : public PrefixChannel,
   std::uint64_t first_nonempty_ = 0;  ///< sampled X for the open FNEB frame
   bool range_open_ = false;
   unsigned range_query_bits_ = 32;
+  std::uint8_t obs_mode_ = 0;  ///< obs level snapshot, refreshed per round/frame
   sim::SlotLedger ledger_;
 };
 

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace pet::chan {
+
+namespace {
+const obs::ChannelInstruments& chan_obs() {
+  static const obs::ChannelInstruments bundle("sorted");
+  return bundle;
+}
+}  // namespace
 
 SortedPetChannel::SortedPetChannel(const std::vector<TagId>& tags,
                                    SortedPetChannelConfig config)
@@ -22,6 +31,54 @@ SortedPetChannel::SortedPetChannel(const std::vector<TagId>& tags,
   std::sort(code_values_.begin(), code_values_.end());
 }
 
+SortedPetChannel::~SortedPetChannel() {
+  // Publish the slots accounted since the last round boundary; without this
+  // the final round of every estimate would be missing from the registry.
+  try {
+    flush_obs();
+  } catch (...) {
+    // Registration can throw (registry capacity); counts are best-effort
+    // here and a throwing destructor would be worse than a short snapshot.
+  }
+}
+
+// This channel is the large-sweep hot path, so unlike the other back ends
+// it records nothing per slot: query_prefix only mutates the ledger (which
+// it does anyway), and the obs mirror is brought up to date by diffing the
+// ledger against the last published state at round boundaries.  Totals are
+// identical to per-slot recording -- the mirror is a sum either way -- and
+// the disabled path through query_prefix carries no obs code at all (the
+// <= 2% overhead budget, bench/micro_ops BM_PetRoundObsOff).  The trace
+// logical clock consequently advances at round granularity on this backend.
+void SortedPetChannel::flush_obs() {
+  if (!obs::counters_enabled()) {
+    // Forget anything accounted while disabled so a later enable does not
+    // retroactively publish slots from the disabled era.
+    obs_published_ = ledger_;
+    return;
+  }
+  const std::uint64_t idle = ledger_.idle_slots - obs_published_.idle_slots;
+  const std::uint64_t single =
+      ledger_.singleton_slots - obs_published_.singleton_slots;
+  const std::uint64_t coll =
+      ledger_.collision_slots - obs_published_.collision_slots;
+  const std::uint64_t slots = idle + single + coll;
+  if (slots != 0 || ledger_.reader_bits != obs_published_.reader_bits ||
+      ledger_.retry_slots != obs_published_.retry_slots) {
+    const obs::LedgerInstruments& li = obs::ledger_instruments();
+    li.idle_slots.add(idle);
+    li.singleton_slots.add(single);
+    li.collision_slots.add(coll);
+    li.retry_slots.add(ledger_.retry_slots - obs_published_.retry_slots);
+    li.reader_bits.add(ledger_.reader_bits - obs_published_.reader_bits);
+    li.tag_bits.add(ledger_.tag_bits - obs_published_.tag_bits);
+    chan_obs().probe_slots.add(slots);
+    chan_obs().busy_slots.add(single + coll);
+    if (obs::full_enabled()) obs::advance_trace_slots(slots);
+  }
+  obs_published_ = ledger_;
+}
+
 void SortedPetChannel::begin_round(const RoundConfig& round) {
   expects(round.path.width() == config_.tree_height,
           "begin_round: path width must equal the tree height H");
@@ -31,7 +88,9 @@ void SortedPetChannel::begin_round(const RoundConfig& round) {
   path_value_ = round.path.value();
   query_bits_ = round.query_bits;
   round_open_ = true;
+  flush_obs();
   ledger_.reader_bits += round.begin_bits;
+  if (obs::counters_enabled()) chan_obs().rounds.add();
 }
 
 bool SortedPetChannel::query_prefix(unsigned len) {

@@ -29,6 +29,7 @@ class SortedPetChannel final : public PrefixChannel {
  public:
   SortedPetChannel(const std::vector<TagId>& tags,
                    SortedPetChannelConfig config = {});
+  ~SortedPetChannel() override;
 
   [[nodiscard]] std::size_t tag_count() const noexcept {
     return code_values_.size();
@@ -40,18 +41,26 @@ class SortedPetChannel final : public PrefixChannel {
   [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
     return ledger_;
   }
-  void reset_ledger() noexcept override { ledger_ = {}; }
+  void reset_ledger() noexcept override {
+    ledger_ = {};
+    obs_published_ = {};
+  }
+  /// Retries land in the ledger only; the obs mirror picks up the delta at
+  /// the next round boundary (see flush_obs in the .cpp).
   void note_retries(std::uint64_t slots) noexcept override {
     ledger_.retry_slots += slots;
   }
 
  private:
+  void flush_obs();
+
   SortedPetChannelConfig config_;
   std::vector<std::uint64_t> code_values_;  ///< sorted H-bit code values
   std::uint64_t path_value_ = 0;
   unsigned query_bits_ = 32;
   bool round_open_ = false;
   sim::SlotLedger ledger_;
+  sim::SlotLedger obs_published_;  ///< ledger state already mirrored to obs
 };
 
 }  // namespace pet::chan

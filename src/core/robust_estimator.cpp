@@ -7,7 +7,10 @@
 #include "common/ensure.hpp"
 #include "core/constants.hpp"
 #include "core/theory.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 #include "rng/prng.hpp"
+#include "runtime/json.hpp"
 #include "stats/ks.hpp"
 #include "stats/normal.hpp"
 
@@ -63,17 +66,34 @@ class VotingChannel final : public chan::PrefixChannel {
     while (busy < k && reads - busy <= m - k) {
       if (retry_budget_left_ == 0) {
         // Budget dry mid-vote: fall back to the single-read verdict.
+        if (obs::counters_enabled() && !budget_exhausted_) {
+          obs::robust_instruments().budget_exhausted.add();
+        }
         budget_exhausted_ = true;
         return first_read;
       }
       --retry_budget_left_;
       inner_.note_retries(1);
       ++reread_slots_;
+      if (obs::counters_enabled()) {
+        obs::robust_instruments().reread_slots.add();
+      }
       if (inner_.query_prefix(len)) ++busy;
       ++reads;
     }
     const bool verdict = busy >= k;
-    if (verdict != first_read) ++overturned_probes_;
+    if (verdict != first_read) {
+      ++overturned_probes_;
+      if (obs::counters_enabled()) {
+        obs::robust_instruments().overturned_probes.add();
+      }
+      if (obs::full_enabled()) {
+        obs::trace_event("robust.probe_overturned",
+                         {{"len", std::to_string(len)},
+                          {"busy_votes", std::to_string(busy)},
+                          {"reads", std::to_string(reads)}});
+      }
+    }
     return verdict;
   }
 
@@ -133,6 +153,7 @@ RobustEstimateResult RobustPetEstimator::estimate(chan::PrefixChannel& channel,
 RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
     chan::PrefixChannel& channel, std::uint64_t rounds,
     std::uint64_t seed) const {
+  obs::ScopedSpan span("core.robust.estimate");
   VotingChannel voting(channel, config_);
   RobustEstimateResult result;
   result.base = inner_.estimate_with_rounds(voting, rounds, seed);
@@ -145,6 +166,10 @@ RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
   if (result.base.depths.empty() || result.base.n_hat <= 0.0) {
     // Every round certified emptiness: nothing to test, nothing to widen.
     result.interval = ConfidenceInterval{0.0, 0.0, 0.0};
+    if (obs::counters_enabled()) {
+      obs::robust_instruments().estimates.add();
+      obs::robust_instruments().health_healthy.add();
+    }
     return result;
   }
 
@@ -184,6 +209,27 @@ RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
   if (diag.widening > 1.0 &&
       result.interval.relative_half_width() > requirement_.epsilon) {
     diag.health = ChannelHealth::kContractAtRisk;
+  }
+  if (obs::counters_enabled()) {
+    const obs::RobustInstruments& ri = obs::robust_instruments();
+    ri.estimates.add();
+    ri.widening.observe(diag.widening);
+    if (diag.widening > 1.0) ri.ci_widened.add();
+    switch (diag.health) {
+      case ChannelHealth::kHealthy: ri.health_healthy.add(); break;
+      case ChannelHealth::kDegraded: ri.health_degraded.add(); break;
+      case ChannelHealth::kContractAtRisk: ri.health_at_risk.add(); break;
+    }
+  }
+  if (obs::full_enabled()) {
+    obs::trace_event(
+        "robust.health",
+        {{"verdict", obs::json_token(to_string(diag.health))},
+         {"ks_distance", runtime::json_number(diag.ks_distance, 6)},
+         {"widening", runtime::json_number(diag.widening, 6)},
+         {"rereads", std::to_string(result.reread_slots)}});
+    span.add("rereads", std::to_string(result.reread_slots));
+    span.add("overturned", std::to_string(result.overturned_probes));
   }
   return result;
 }

@@ -1,8 +1,19 @@
 #include "multireader/controller.hpp"
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
 
 namespace pet::multi {
+
+namespace {
+// The fused view reports under chan.fused.* — its zone channels already
+// count themselves, so folding the controller into chan.ledger.* would
+// double-count every zone slot.
+const obs::ChannelInstruments& chan_obs() {
+  static const obs::ChannelInstruments bundle("fused");
+  return bundle;
+}
+}  // namespace
 
 MultiReaderController::MultiReaderController(
     std::vector<std::unique_ptr<chan::PrefixChannel>> zones)
@@ -16,6 +27,7 @@ MultiReaderController::MultiReaderController(
 void MultiReaderController::begin_round(const chan::RoundConfig& round) {
   for (const auto& zone : zones_) zone->begin_round(round);
   ledger_.reader_bits += round.begin_bits;
+  if (obs::counters_enabled()) chan_obs().rounds.add();
 }
 
 bool MultiReaderController::query_prefix(unsigned len) {
@@ -38,6 +50,10 @@ bool MultiReaderController::query_prefix(unsigned len) {
   }
   ledger_.reader_bits += query_bits;
   ledger_.tag_bits += heard_bits;
+  if (obs::counters_enabled()) {
+    chan_obs().probe_slots.add();
+    if (busy) chan_obs().busy_slots.add();
+  }
   return busy;
 }
 

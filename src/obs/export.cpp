@@ -1,0 +1,156 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/json.hpp"
+
+namespace pet::obs {
+
+namespace {
+
+using runtime::json_escape;
+using runtime::json_number;
+
+// Gauge/bound values keep more precision than the default 3 digits so the
+// document round-trips typical rates and time-like values faithfully.
+constexpr int kGaugePrecision = 6;
+
+void append_key(std::string& out, const std::string& name, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += json_escape(name);
+  out += "\":";
+}
+
+template <typename Predicate>
+std::string counters_object(const Snapshot& snapshot, Predicate keep) {
+  std::string out = "{";
+  bool first = true;
+  for (const Snapshot::CounterValue& c : snapshot.counters) {
+    if (!keep(c.domain)) continue;
+    append_key(out, c.name, first);
+    out += std::to_string(c.value);
+  }
+  out += "}";
+  return out;
+}
+
+template <typename Predicate>
+std::string gauges_object(const Snapshot& snapshot, Predicate keep) {
+  std::string out = "{";
+  bool first = true;
+  for (const Snapshot::GaugeValue& g : snapshot.gauges) {
+    if (!keep(g.domain) || !g.assigned) continue;
+    append_key(out, g.name, first);
+    out += json_number(g.value, kGaugePrecision);
+  }
+  out += "}";
+  return out;
+}
+
+template <typename Predicate>
+std::string histograms_object(const Snapshot& snapshot, Predicate keep) {
+  std::string out = "{";
+  bool first = true;
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    if (!keep(h.domain)) continue;
+    append_key(out, h.name, first);
+    out += "{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i != 0) out += ",";
+      out += json_number(h.bounds[i], kGaugePrecision);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string phases_array(const std::vector<PhaseProfiler::Phase>& phases) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseProfiler::Phase& p = phases[i];
+    if (i != 0) out += ",";
+    const double rate = p.wall_seconds > 0.0
+                            ? static_cast<double>(p.slots) / p.wall_seconds
+                            : 0.0;
+    out += "{\"name\":\"";
+    out += json_escape(p.name);
+    out += "\"";
+    out += ",\"wall_seconds\":" + json_number(p.wall_seconds, 6);
+    out += ",\"cpu_seconds\":" + json_number(p.cpu_seconds, 6);
+    out += ",\"slots\":" + std::to_string(p.slots);
+    out += ",\"slots_per_second\":" + json_number(rate, 1);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string pool_object(const PoolSample& pool) {
+  std::string out = "{\"threads\":" + std::to_string(pool.threads);
+  out += ",\"submitted\":" + std::to_string(pool.submitted);
+  out += ",\"stolen\":" + std::to_string(pool.stolen);
+  out += ",\"max_queue_depth\":" + std::to_string(pool.max_queue_depth);
+  out += ",\"worker_tasks\":[";
+  for (std::size_t i = 0; i < pool.worker_tasks.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(pool.worker_tasks[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string deterministic_json(const Snapshot& snapshot) {
+  const auto deterministic = [](Domain d) {
+    return d == Domain::kDeterministic;
+  };
+  std::string out = "\"counters\":" + counters_object(snapshot, deterministic);
+  out += ",\"gauges\":" + gauges_object(snapshot, deterministic);
+  out += ",\"histograms\":" + histograms_object(snapshot, deterministic);
+  return out;
+}
+
+std::string metrics_json(const Snapshot& snapshot,
+                         const std::vector<PhaseProfiler::Phase>& phases,
+                         const std::optional<PoolSample>& pool) {
+  const auto profile = [](Domain d) { return d == Domain::kProfile; };
+  std::string out = "{\"schema\":\"pet.obs.v1\"";
+  out += ",\"level\":\"";
+  out += to_string(level());
+  out += "\",";
+  out += deterministic_json(snapshot);
+  out += ",\"profile\":{";
+  out += "\"counters\":" + counters_object(snapshot, profile);
+  out += ",\"gauges\":" + gauges_object(snapshot, profile);
+  out += ",\"phases\":" + phases_array(phases);
+  if (pool.has_value()) out += ",\"pool\":" + pool_object(*pool);
+  out += "}}";
+  return out;
+}
+
+void write_metrics_file(const std::string& path,
+                        const std::vector<PhaseProfiler::Phase>& phases,
+                        const std::optional<PoolSample>& pool) {
+  const std::string doc =
+      metrics_json(MetricsRegistry::instance().snapshot(), phases, pool);
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("obs: cannot open '" + path + "' for writing");
+  }
+  file << doc << '\n';
+  if (!file) {
+    throw std::runtime_error("obs: short write to '" + path + "'");
+  }
+}
+
+}  // namespace pet::obs

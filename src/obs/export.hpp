@@ -1,0 +1,61 @@
+// Rendering of the pet.obs.v1 metrics document (docs/observability.md):
+//
+//   {
+//     "schema": "pet.obs.v1",
+//     "level": "counters",
+//     "counters":   { "<name>": <u64>, ... },          // deterministic
+//     "gauges":     { "<name>": <number>, ... },       // deterministic
+//     "histograms": { "<name>": {"bounds": [...], "counts": [...]}, ... },
+//     "profile": {                                     // NOT deterministic
+//       "counters": {...}, "gauges": {...},
+//       "phases": [ {"name": ..., "wall_seconds": ..., "cpu_seconds": ...,
+//                    "slots": ..., "slots_per_second": ...}, ... ],
+//       "pool": {"threads": ..., "submitted": ..., "stolen": ...,
+//                "max_queue_depth": ..., "worker_tasks": [...]}
+//     }
+//   }
+//
+// Everything above "profile" is sorted by name and scheduling-invariant:
+// runtime_test asserts byte-identity of `deterministic_json` across thread
+// counts.  The profile section is descriptive and excluded from all diffs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace pet::obs {
+
+/// Thread-pool behaviour sampled after a run (source: runtime::ThreadPool
+/// stats; kept as a plain struct so obs does not depend on the pool type).
+struct PoolSample {
+  unsigned threads = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t stolen = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::vector<std::uint64_t> worker_tasks;  ///< tasks executed per worker
+};
+
+/// The deterministic sections only ("counters"/"gauges"/"histograms"
+/// object fragments, no profile) — the string compared across thread
+/// counts in tests.
+[[nodiscard]] std::string deterministic_json(const Snapshot& snapshot);
+
+/// The full document.  `phases`/`pool` extend the profile section; either
+/// may be empty/absent.
+[[nodiscard]] std::string metrics_json(
+    const Snapshot& snapshot,
+    const std::vector<PhaseProfiler::Phase>& phases = {},
+    const std::optional<PoolSample>& pool = std::nullopt);
+
+/// Convenience: snapshot the global registry, render, and write to `path`.
+/// Throws std::runtime_error when the file cannot be written.
+void write_metrics_file(const std::string& path,
+                        const std::vector<PhaseProfiler::Phase>& phases = {},
+                        const std::optional<PoolSample>& pool = std::nullopt);
+
+}  // namespace pet::obs

@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/ensure.hpp"
+
+namespace pet::obs {
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kOff:
+      return "off";
+    case Level::kCounters:
+      return "counters";
+    case Level::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+Level parse_level(std::string_view text) {
+  if (text == "off") return Level::kOff;
+  if (text == "counters") return Level::kCounters;
+  if (text == "full") return Level::kFull;
+  expects(false, "--obs must be one of off|counters|full");
+  return Level::kOff;  // unreachable
+}
+
+namespace {
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+}  // namespace
+
+struct MetricsRegistry::Metric {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  Domain domain = Domain::kDeterministic;
+  std::uint32_t first_cell = 0;  ///< counters/histograms: shard cell index
+  std::uint32_t cell_count = 0;  ///< 1 for counters, bounds+1 for histograms
+  std::uint32_t gauge_index = 0;
+  // Stable address: handles keep a pointer to this vector across
+  // registrations, so it lives on the heap, owned by the metric entry.
+  std::unique_ptr<std::vector<double>> bounds;
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: pool workers can retire shards while statics are
+  // being torn down, so the registry must outlive every thread.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+// Thread-local shard lifetime: the handle registers its shard on first use
+// and folds it into the retired accumulator when the thread exits.
+struct MetricsRegistry::ShardHandle {
+  Shard shard;
+  ShardHandle() {
+    MetricsRegistry& reg = instance();
+    const std::lock_guard<std::mutex> lock(reg.mutex_);
+    reg.shards_.push_back(&shard);
+  }
+  ~ShardHandle() { instance().retire(&shard); }
+};
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  thread_local ShardHandle handle;
+  return handle.shard;
+}
+
+void MetricsRegistry::retire(Shard* shard) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < kMaxCells; ++i) {
+    retired_[i] += shard->cells[i].load(std::memory_order_relaxed);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+}
+
+Counter MetricsRegistry::counter(std::string_view name, Domain domain) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Metric& m : metrics_) {
+    if (m.name == name) {
+      expects(m.kind == Kind::kCounter && m.domain == domain,
+              "metric re-registered with a different kind or domain");
+      return Counter(m.first_cell);
+    }
+  }
+  expects(next_cell_ + 1 <= kMaxCells, "MetricsRegistry cell budget exhausted");
+  Metric m;
+  m.name = std::string(name);
+  m.kind = Kind::kCounter;
+  m.domain = domain;
+  m.first_cell = next_cell_;
+  m.cell_count = 1;
+  next_cell_ += 1;
+  metrics_.push_back(std::move(m));
+  return Counter(metrics_.back().first_cell);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Domain domain) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Metric& m : metrics_) {
+    if (m.name == name) {
+      expects(m.kind == Kind::kGauge && m.domain == domain,
+              "metric re-registered with a different kind or domain");
+      return Gauge(m.gauge_index);
+    }
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.kind = Kind::kGauge;
+  m.domain = domain;
+  m.gauge_index = static_cast<std::uint32_t>(gauge_values_.size());
+  gauge_values_.push_back(0.0);
+  gauge_assigned_.push_back(false);
+  metrics_.push_back(std::move(m));
+  return Gauge(metrics_.back().gauge_index);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds, Domain domain) {
+  expects(!bounds.empty(), "histogram needs at least one bucket bound");
+  expects(std::is_sorted(bounds.begin(), bounds.end()),
+          "histogram bounds must be ascending");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Metric& m : metrics_) {
+    if (m.name == name) {
+      expects(m.kind == Kind::kHistogram && m.domain == domain &&
+                  *m.bounds == bounds,
+              "metric re-registered with a different kind, domain, or bounds");
+      return Histogram(m.first_cell, m.bounds.get());
+    }
+  }
+  const auto cells = static_cast<std::uint32_t>(bounds.size() + 1);
+  expects(next_cell_ + cells <= kMaxCells,
+          "MetricsRegistry cell budget exhausted");
+  Metric m;
+  m.name = std::string(name);
+  m.kind = Kind::kHistogram;
+  m.domain = domain;
+  m.first_cell = next_cell_;
+  m.cell_count = cells;
+  m.bounds = std::make_unique<std::vector<double>>(std::move(bounds));
+  next_cell_ += cells;
+  metrics_.push_back(std::move(m));
+  return Histogram(metrics_.back().first_cell, metrics_.back().bounds.get());
+}
+
+void MetricsRegistry::set_gauge(std::uint32_t index, double value) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= gauge_values_.size()) return;
+  gauge_values_[index] = value;
+  gauge_assigned_[index] = true;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Fold retired totals plus every live shard into one cell array.
+  std::array<std::uint64_t, kMaxCells> cells = retired_;
+  for (const Shard* shard : shards_) {
+    for (std::size_t i = 0; i < kMaxCells; ++i) {
+      cells[i] += shard->cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  Snapshot out;
+  for (const Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        out.counters.push_back({m.name, m.domain, cells[m.first_cell]});
+        break;
+      case Kind::kGauge:
+        out.gauges.push_back({m.name, m.domain,
+                              gauge_assigned_[m.gauge_index],
+                              gauge_values_[m.gauge_index]});
+        break;
+      case Kind::kHistogram: {
+        Snapshot::HistogramValue h;
+        h.name = m.name;
+        h.domain = m.domain;
+        h.bounds = *m.bounds;
+        h.counts.assign(cells.begin() + m.first_cell,
+                        cells.begin() + m.first_cell + m.cell_count);
+        out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+void MetricsRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retired_.fill(0);
+  for (Shard* shard : shards_) {
+    for (std::size_t i = 0; i < kMaxCells; ++i) {
+      shard->cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < gauge_values_.size(); ++i) {
+    gauge_values_[i] = 0.0;
+    gauge_assigned_[i] = false;
+  }
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const Snapshot::HistogramValue* Snapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace pet::obs

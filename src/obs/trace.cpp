@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+
+#include "runtime/json.hpp"
+
+namespace pet::obs {
+
+namespace {
+
+std::atomic<TraceWriter*> g_writer{nullptr};
+
+struct TraceContext {
+  std::uint64_t trial = 0;
+  std::uint64_t slot = 0;
+};
+
+TraceContext& context() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+void append_attrs(std::string& line,
+                  std::initializer_list<TraceAttr> attrs) {
+  for (const TraceAttr& attr : attrs) {
+    line += ",\"";
+    line += attr.first;
+    line += "\":";
+    line += attr.second;
+  }
+}
+
+}  // namespace
+
+std::string json_token(std::string_view text) {
+  return '"' + runtime::json_escape(text) + '"';
+}
+
+void TraceWriter::write_line(std::string_view line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+}
+
+void set_trace_writer(TraceWriter* writer) noexcept {
+  g_writer.store(writer, std::memory_order_release);
+}
+
+TraceWriter* trace_writer() noexcept {
+  return g_writer.load(std::memory_order_acquire);
+}
+
+void set_trace_trial(std::uint64_t trial) noexcept {
+  context().trial = trial;
+  context().slot = 0;
+}
+
+void advance_trace_slot() noexcept { ++context().slot; }
+
+void advance_trace_slots(std::uint64_t slots) noexcept {
+  context().slot += slots;
+}
+
+std::uint64_t trace_trial() noexcept { return context().trial; }
+std::uint64_t trace_slot() noexcept { return context().slot; }
+
+void trace_event(std::string_view name,
+                 std::initializer_list<TraceAttr> attrs) {
+  if (!full_enabled()) return;
+  TraceWriter* writer = trace_writer();
+  if (writer == nullptr) return;
+  const TraceContext& ctx = context();
+  std::string line = "{\"type\":\"event\",\"name\":";
+  line += json_token(name);
+  line += ",\"trial\":" + std::to_string(ctx.trial);
+  line += ",\"slot\":" + std::to_string(ctx.slot);
+  append_attrs(line, attrs);
+  line += '}';
+  writer->write_line(line);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) : name_(name) {
+  if (!full_enabled() || trace_writer() == nullptr) return;
+  active_ = true;
+  trial_ = context().trial;
+  slot_begin_ = context().slot;
+}
+
+void ScopedSpan::add(std::string_view key, std::string value) {
+  if (!active_) return;
+  attrs_ += ",\"";
+  attrs_ += key;
+  attrs_ += "\":";
+  attrs_ += value;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  // The writer may have been cleared while the span was open; re-check.
+  TraceWriter* writer = trace_writer();
+  if (writer == nullptr) return;
+  std::string line = "{\"type\":\"span\",\"name\":";
+  line += json_token(name_);
+  line += ",\"trial\":" + std::to_string(trial_);
+  line += ",\"slot_begin\":" + std::to_string(slot_begin_);
+  line += ",\"slot_end\":" + std::to_string(context().slot);
+  line += attrs_;
+  line += '}';
+  writer->write_line(line);
+}
+
+}  // namespace pet::obs

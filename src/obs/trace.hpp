@@ -1,0 +1,93 @@
+// Span/event tracing with *logical-clock* coordinates.  Records carry the
+// (trial, slot) position in the simulated protocol run — never wall-clock
+// timestamps — so a trace is a pure function of the seed and is byte-stable
+// across machines, thread counts, and reruns (docs/observability.md).
+//
+// Output is JSONL: one self-contained JSON object per line, schema-unified
+// with sim::TraceSink's JSONL slot records:
+//
+//   {"type":"span","name":"...","trial":T,"slot_begin":A,"slot_end":B,...}
+//   {"type":"event","name":"...","trial":T,"slot":S,...}
+//   {"type":"slot","trial":T,"slot":S,"command":...}   (sim::TraceSink)
+//
+// Tracing only records when the global level is kFull AND a writer is
+// installed; the disabled check is one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace pet::obs {
+
+/// Serializes whole lines to an ostream.  The mutex makes interleaved
+/// writers safe: lines never shear, though their order across threads is
+/// unspecified (sort by trial/slot when replaying).
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+
+  void write_line(std::string_view line);
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_;
+};
+
+/// Install / clear the process-wide trace sink (non-owning; the writer must
+/// outlive tracing).  Typically bracketed around a petsim run.
+void set_trace_writer(TraceWriter* writer) noexcept;
+[[nodiscard]] TraceWriter* trace_writer() noexcept;
+
+/// Logical clock, thread-local: TrialRunner workers pin the trial index at
+/// trial start; the slot coordinate advances once per simulated slot.
+void set_trace_trial(std::uint64_t trial) noexcept;
+void advance_trace_slot() noexcept;
+/// Bulk advance for channels that batch their observability work at round
+/// boundaries (SortedPetChannel): the clock stays consistent with the
+/// ledger's slot totals at round granularity instead of per slot.
+void advance_trace_slots(std::uint64_t slots) noexcept;
+[[nodiscard]] std::uint64_t trace_trial() noexcept;
+[[nodiscard]] std::uint64_t trace_slot() noexcept;
+
+/// One key plus an already-rendered JSON value token (numbers via
+/// std::to_string / runtime::json_number, strings via json_token below).
+using TraceAttr = std::pair<std::string_view, std::string>;
+
+/// Render text as a quoted, escaped JSON string token.
+[[nodiscard]] std::string json_token(std::string_view text);
+
+/// Emit a point event at the current logical-clock position.  No-op unless
+/// level() == kFull and a writer is installed.
+void trace_event(std::string_view name,
+                 std::initializer_list<TraceAttr> attrs = {});
+
+/// RAII span: captures the logical-clock position at construction, emits a
+/// "span" record covering [slot_begin, slot_end] at destruction.  Cheap when
+/// tracing is off (two relaxed loads, no allocation).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach an attribute (value must be a rendered JSON token).
+  void add(std::string_view key, std::string value);
+
+ private:
+  bool active_ = false;
+  std::string_view name_;
+  std::uint64_t trial_ = 0;
+  std::uint64_t slot_begin_ = 0;
+  std::string attrs_;  ///< pre-rendered ",\"k\":v" fragments
+};
+
+}  // namespace pet::obs

@@ -44,6 +44,13 @@ class BenchReport {
 
   void set_wall_seconds(double seconds) noexcept { wall_seconds_ = seconds; }
 
+  /// Attach a pre-rendered obs metrics document (pet.obs.v1); emitted as a
+  /// top-level "metrics" member.  Empty string omits the member, keeping
+  /// artifacts from obs-off runs byte-identical to the historical schema.
+  void set_metrics_json(std::string metrics) {
+    metrics_json_ = std::move(metrics);
+  }
+
   [[nodiscard]] const std::string& target() const noexcept { return target_; }
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
@@ -64,6 +71,7 @@ class BenchReport {
   std::string target_;
   unsigned threads_;
   double wall_seconds_ = 0.0;
+  std::string metrics_json_;
   std::vector<Row> rows_;
 };
 

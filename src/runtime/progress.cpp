@@ -2,21 +2,58 @@
 
 #include <cstdio>
 
+#if defined(_WIN32)
+#include <io.h>
+#define PET_ISATTY _isatty
+#define PET_FILENO _fileno
+#else
+#include <unistd.h>
+#define PET_ISATTY isatty
+#define PET_FILENO fileno
+#endif
+
 namespace pet::runtime {
 
 namespace {
-// Keep the meter out of the first second: most table cells finish faster
-// and a flickering status line would be pure noise.
-constexpr auto kFirstPaint = std::chrono::milliseconds(1000);
-constexpr auto kRepaint = std::chrono::milliseconds(250);
+
+bool stderr_is_tty() noexcept { return PET_ISATTY(PET_FILENO(stderr)) != 0; }
+
+std::string status_line(const std::string& label, std::uint64_t done,
+                        std::uint64_t total, double elapsed) {
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s: %llu/%llu trials, %.1f trials/s, ETA %.1fs",
+                label.c_str(), static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(total), rate, eta);
+  return buf;
+}
+
 }  // namespace
 
 ProgressMeter::ProgressMeter(std::uint64_t total, std::string label,
-                             bool enabled)
+                             bool enabled, ProgressConfig config)
     : total_(total),
       label_(std::move(label)),
       enabled_(enabled && total > 0),
+      config_(config),
       start_(std::chrono::steady_clock::now()) {
+  // With an injected sink there is no terminal to probe; in-place ANSI
+  // repaints only make sense on a real TTY.
+  switch (config_.style) {
+    case ProgressConfig::Style::kAnsi:
+      style_ = ProgressConfig::Style::kAnsi;
+      break;
+    case ProgressConfig::Style::kPlain:
+      style_ = ProgressConfig::Style::kPlain;
+      break;
+    case ProgressConfig::Style::kAuto:
+      style_ = (config_.sink == nullptr && stderr_is_tty())
+                   ? ProgressConfig::Style::kAnsi
+                   : ProgressConfig::Style::kPlain;
+      break;
+  }
   if (enabled_) reporter_ = std::thread([this] { loop(); });
 }
 
@@ -28,11 +65,21 @@ ProgressMeter::~ProgressMeter() {
   }
   cv_.notify_all();
   reporter_.join();
-  if (painted_) {
+  if (painted_ && style_ == ProgressConfig::Style::kAnsi) {
     // Erase the status line so the next stdout/stderr write starts clean.
-    std::fprintf(stderr, "\r\033[2K");
-    std::fflush(stderr);
+    // (Plain mode emitted complete lines; there is nothing to erase.)
+    write("\r\033[2K");
   }
+}
+
+void ProgressMeter::write(const std::string& text) {
+  if (config_.sink != nullptr) {
+    (*config_.sink) << text;
+    config_.sink->flush();
+    return;
+  }
+  std::fputs(text.c_str(), stderr);
+  std::fflush(stderr);
 }
 
 void ProgressMeter::paint() {
@@ -40,22 +87,26 @@ void ProgressMeter::paint() {
                            std::chrono::steady_clock::now() - start_)
                            .count();
   const std::uint64_t done = done_.load(std::memory_order_relaxed);
-  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
-  const double eta =
-      rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
-  std::fprintf(stderr, "\r\033[2K%s: %llu/%llu trials, %.1f trials/s, ETA %.1fs",
-               label_.c_str(), static_cast<unsigned long long>(done),
-               static_cast<unsigned long long>(total_), rate, eta);
-  std::fflush(stderr);
+  const std::string line = status_line(label_, done, total_, elapsed);
+  if (style_ == ProgressConfig::Style::kAnsi) {
+    write("\r\033[2K" + line);
+  } else {
+    write(line + "\n");
+  }
   painted_ = true;
 }
 
 void ProgressMeter::loop() {
+  const auto repaint = style_ == ProgressConfig::Style::kAnsi
+                           ? config_.repaint
+                           : config_.plain_repaint;
   std::unique_lock<std::mutex> lock(mutex_);
-  if (cv_.wait_for(lock, kFirstPaint, [this] { return stop_; })) return;
+  if (cv_.wait_for(lock, config_.first_paint, [this] { return stop_; })) {
+    return;
+  }
   for (;;) {
     paint();
-    if (cv_.wait_for(lock, kRepaint, [this] { return stop_; })) return;
+    if (cv_.wait_for(lock, repaint, [this] { return stop_; })) return;
   }
 }
 

@@ -4,6 +4,10 @@
 // running for a second — short sweeps stay silent, and --quiet disables
 // the meter entirely.  Progress output never touches stdout, so tables
 // and CSV remain pipeline-clean.
+//
+// When stderr is not a TTY (CI logs, `2> file`), the ANSI carriage-return
+// repaints would pile up as spam; the meter detects this and falls back to
+// a plain newline-terminated line at a much slower cadence.
 #pragma once
 
 #include <atomic>
@@ -11,14 +15,30 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <thread>
 
 namespace pet::runtime {
 
+struct ProgressConfig {
+  /// kAuto probes isatty(stderr): ANSI in-place repaints on a terminal,
+  /// plain line-per-update otherwise.
+  enum class Style { kAuto, kAnsi, kPlain };
+
+  Style style = Style::kAuto;
+  std::chrono::milliseconds first_paint{1000};  ///< silence window
+  std::chrono::milliseconds repaint{250};       ///< ANSI repaint cadence
+  /// Plain mode emits whole lines, so it throttles harder by default.
+  std::chrono::milliseconds plain_repaint{2000};
+  /// Output sink; nullptr means stderr.  Tests inject an ostringstream.
+  std::ostream* sink = nullptr;
+};
+
 class ProgressMeter {
  public:
-  ProgressMeter(std::uint64_t total, std::string label, bool enabled);
+  ProgressMeter(std::uint64_t total, std::string label, bool enabled,
+                ProgressConfig config = {});
   ~ProgressMeter();  // stops the reporter and erases the status line
 
   ProgressMeter(const ProgressMeter&) = delete;
@@ -30,13 +50,21 @@ class ProgressMeter {
     return done_.load(std::memory_order_relaxed);
   }
 
+  /// The resolved style (kAuto already collapsed to kAnsi or kPlain).
+  [[nodiscard]] ProgressConfig::Style style() const noexcept {
+    return style_;
+  }
+
  private:
   void loop();
   void paint();
+  void write(const std::string& text);
 
   std::uint64_t total_;
   std::string label_;
   bool enabled_;
+  ProgressConfig config_;
+  ProgressConfig::Style style_ = ProgressConfig::Style::kAnsi;
   std::atomic<std::uint64_t> done_{0};
   std::chrono::steady_clock::time_point start_;
   bool painted_ = false;  ///< reporter-thread / destructor only

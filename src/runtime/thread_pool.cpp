@@ -12,8 +12,10 @@ unsigned ThreadPool::hardware_threads() noexcept {
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned count = threads == 0 ? hardware_threads() : threads;
   queues_.reserve(count);
+  worker_stats_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
     queues_.push_back(std::make_unique<Queue>());
+    worker_stats_.push_back(std::make_unique<WorkerStat>());
   }
   workers_.reserve(count);
   for (unsigned i = 0; i < count; ++i) {
@@ -47,7 +49,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   {
     const std::lock_guard<std::mutex> lock(idle_mutex_);
-    queued_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t depth =
+        queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    // Monotone max under the idle lock, so no CAS loop is needed.
+    if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+      max_queue_depth_.store(depth, std::memory_order_relaxed);
+    }
   }
   idle_cv_.notify_one();
   return future;
@@ -72,10 +80,23 @@ bool ThreadPool::try_pop(std::size_t me, std::packaged_task<void()>& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      worker_stats_[me]->stolen.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.worker_tasks.reserve(worker_stats_.size());
+  for (const auto& w : worker_stats_) {
+    out.worker_tasks.push_back(w->executed.load(std::memory_order_relaxed));
+    out.stolen += w->stolen.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void ThreadPool::worker_loop(std::size_t me) {
@@ -83,6 +104,7 @@ void ThreadPool::worker_loop(std::size_t me) {
     std::packaged_task<void()> task;
     if (try_pop(me, task)) {
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      worker_stats_[me]->executed.fetch_add(1, std::memory_order_relaxed);
       task();  // packaged_task captures exceptions into the future
       continue;
     }

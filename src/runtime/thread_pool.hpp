@@ -46,6 +46,17 @@ class ThreadPool {
   /// std::thread::hardware_concurrency clamped to at least 1.
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
+  /// Scheduling behaviour since construction.  Everything here depends on
+  /// timing and thread interleaving, so it belongs strictly to the obs
+  /// *profile* domain — never to deterministic aggregates.
+  struct Stats {
+    std::uint64_t submitted = 0;        ///< tasks handed to submit()
+    std::uint64_t stolen = 0;           ///< tasks taken from a sibling queue
+    std::uint64_t max_queue_depth = 0;  ///< high-water mark of queued tasks
+    std::vector<std::uint64_t> worker_tasks;  ///< tasks executed per worker
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   // One per worker; stealing keeps contention off a single global lock.
   struct Queue {
@@ -56,13 +67,23 @@ class ThreadPool {
   void worker_loop(std::size_t me);
   bool try_pop(std::size_t me, std::packaged_task<void()>& out);
 
+  // Relaxed stats counters (exact totals once the pool quiesces; cheap
+  // enough to keep unconditionally — one uncontended RMW per event).
+  struct alignas(64) WorkerStat {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<WorkerStat>> worker_stats_;
   std::vector<std::thread> workers_;
 
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::atomic<std::uint64_t> queued_{0};  ///< tasks pushed, not yet popped
   std::atomic<std::uint64_t> next_{0};    ///< round-robin submission cursor
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -1,6 +1,20 @@
 #include "runtime/trial_runner.hpp"
 
+#include <atomic>
+
 namespace pet::runtime {
+
+namespace {
+std::atomic<TrialBeginHook> g_trial_begin_hook{nullptr};
+}  // namespace
+
+void set_trial_begin_hook(TrialBeginHook hook) noexcept {
+  g_trial_begin_hook.store(hook, std::memory_order_release);
+}
+
+TrialBeginHook trial_begin_hook() noexcept {
+  return g_trial_begin_hook.load(std::memory_order_acquire);
+}
 
 TrialRunner::TrialRunner(unsigned threads, bool progress)
     : pool_(std::make_unique<ThreadPool>(threads)), progress_(progress) {}

@@ -30,6 +30,14 @@
 
 namespace pet::runtime {
 
+/// Optional per-trial hook, called on the executing worker immediately
+/// before trial(i) with the trial index.  The obs layer installs
+/// obs::set_trace_trial here so trace records carry logical (trial, slot)
+/// coordinates; anything installed must be thread-safe and cheap.
+using TrialBeginHook = void (*)(std::uint64_t trial);
+void set_trial_begin_hook(TrialBeginHook hook) noexcept;
+[[nodiscard]] TrialBeginHook trial_begin_hook() noexcept;
+
 class TrialRunner {
  public:
   /// threads == 0 picks ThreadPool::hardware_threads().
@@ -57,6 +65,7 @@ class TrialRunner {
       // Serial fast path: no cross-thread hop, same observable behaviour
       // (the fold order below reproduces exactly this loop).
       for (std::uint64_t i = 0; i < trials; ++i) {
+        if (TrialBeginHook hook = trial_begin_hook()) hook(i);
         Result result = trial(i);
         meter.tick();
         fold(i, std::move(result));
@@ -69,6 +78,7 @@ class TrialRunner {
     futures.reserve(trials);
     for (std::uint64_t i = 0; i < trials; ++i) {
       futures.push_back(pool_->submit([&results, &meter, &trial, i] {
+        if (TrialBeginHook hook = trial_begin_hook()) hook(i);
         results[i].emplace(trial(i));
         meter.tick();
       }));
@@ -86,6 +96,10 @@ class TrialRunner {
 
     for (std::uint64_t i = 0; i < trials; ++i) fold(i, std::move(*results[i]));
   }
+
+  /// Scheduling stats of the underlying pool since it was (re)configured.
+  /// Profile-domain data only (see ThreadPool::Stats).
+  [[nodiscard]] ThreadPool::Stats pool_stats() const { return pool_->stats(); }
 
  private:
   std::unique_ptr<ThreadPool> pool_;

@@ -4,6 +4,8 @@
 #include <random>
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace pet::sim {
 
@@ -91,12 +93,36 @@ std::uint64_t FaultModel::begin_slot() {
   if (impairments_.burst.enabled()) {
     const double p = burst_bad_ ? impairments_.burst.p_bad_to_good
                                 : impairments_.burst.p_good_to_bad;
-    if (std::bernoulli_distribution(p)(chain_rng_)) burst_bad_ = !burst_bad_;
+    if (std::bernoulli_distribution(p)(chain_rng_)) {
+      burst_bad_ = !burst_bad_;
+      if (obs::counters_enabled()) {
+        obs::fault_instruments().burst_transitions.add();
+      }
+      if (obs::full_enabled()) {
+        obs::trace_event("fault.burst_transition",
+                         {{"bad", burst_bad_ ? "true" : "false"}});
+      }
+    }
+    if (burst_bad_ && obs::counters_enabled()) {
+      obs::fault_instruments().burst_slots.add();
+    }
   }
   if (impairments_.noise_transient.enabled()) {
     const double p = noisy_ ? impairments_.noise_transient.p_stop
                             : impairments_.noise_transient.p_start;
-    if (std::bernoulli_distribution(p)(chain_rng_)) noisy_ = !noisy_;
+    if (std::bernoulli_distribution(p)(chain_rng_)) {
+      noisy_ = !noisy_;
+      if (obs::counters_enabled()) {
+        obs::fault_instruments().noise_transitions.add();
+      }
+      if (obs::full_enabled()) {
+        obs::trace_event("fault.noise_transition",
+                         {{"noisy", noisy_ ? "true" : "false"}});
+      }
+    }
+    if (noisy_ && obs::counters_enabled()) {
+      obs::fault_instruments().noise_slots.add();
+    }
   }
   return slot_++;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/ensure.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
 
 namespace pet::sim {
 
@@ -38,6 +40,8 @@ void Medium::detach(Responder* responder) {
 void Medium::apply_due_churn() {
   while (const ChurnEvent* event = faults_.consume_due_churn()) {
     auto& gen = faults_.churn_rng();
+    std::uint32_t departed = 0;
+    std::uint32_t arrived = 0;
     for (std::uint32_t i = 0; i < event->departures && !responders_.empty();
          ++i) {
       const std::size_t victim =
@@ -45,11 +49,22 @@ void Medium::apply_due_churn() {
       departed_.push_back(responders_[victim]);
       responders_[victim] = responders_.back();
       responders_.pop_back();
+      ++departed;
     }
     for (std::uint32_t i = 0; i < event->arrivals && !departed_.empty();
          ++i) {
       responders_.push_back(departed_.back());
       departed_.pop_back();
+      ++arrived;
+    }
+    if (obs::counters_enabled()) {
+      obs::fault_instruments().churn_departed.add(departed);
+      obs::fault_instruments().churn_arrived.add(arrived);
+    }
+    if (obs::full_enabled()) {
+      obs::trace_event("fault.churn",
+                       {{"departed", std::to_string(departed)},
+                        {"arrived", std::to_string(arrived)}});
     }
   }
 }
@@ -67,6 +82,10 @@ void Medium::broadcast(const Command& cmd, Simulator& simulator) {
                 "broadcast commands must not solicit replies");
     }
     ledger_.reader_bits += advertised_bits(cmd);
+    if (obs::counters_enabled()) {
+      obs::sim_instruments().downlink_bits.add(advertised_bits(cmd));
+      obs::ledger_instruments().reader_bits.add(advertised_bits(cmd));
+    }
   }
   ledger_.airtime_us += timing_.command_us;
   simulator.advance(timing_.command_us);
@@ -85,6 +104,8 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
     // tell this from a genuinely idle slot.
     obs.outcome = SlotOutcome::kIdle;
     ++ledger_.outage_slots;
+    if (obs::counters_enabled()) obs::fault_instruments().outage_slots.add();
+    if (obs::full_enabled()) obs::trace_event("fault.outage_slot");
   } else {
     std::optional<Reply> sole_reply;
     std::size_t heard = 0;
@@ -112,6 +133,9 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
       if (faults_.raises_noise_floor()) {
         obs.outcome = SlotOutcome::kCollision;
         ++ledger_.noise_busy_slots;
+        if (obs::counters_enabled()) {
+          obs::fault_instruments().noise_busy_slots.add();
+        }
       } else {
         obs.outcome = SlotOutcome::kIdle;
       }
@@ -123,6 +147,15 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
     }
     ledger_.reader_bits += advertised_bits(cmd);
     ledger_.tag_bits += uplink_bits;
+    if (obs::counters_enabled()) {
+      obs::sim_instruments().downlink_bits.add(advertised_bits(cmd));
+      obs::sim_instruments().uplink_bits.add(uplink_bits);
+      obs::ledger_instruments().reader_bits.add(advertised_bits(cmd));
+      obs::ledger_instruments().tag_bits.add(uplink_bits);
+      if (obs.erased_replies > 0) {
+        obs::fault_instruments().erased_replies.add(obs.erased_replies);
+      }
+    }
   }
 
   switch (obs.outcome) {
@@ -132,6 +165,26 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
   }
   ledger_.airtime_us += timing_.slot_us();
   simulator.advance(timing_.slot_us());
+  if (obs::counters_enabled()) {
+    const obs::SimInstruments& si = obs::sim_instruments();
+    const obs::LedgerInstruments& li = obs::ledger_instruments();
+    switch (obs.outcome) {
+      case SlotOutcome::kIdle:
+        si.idle.add();
+        li.idle_slots.add();
+        break;
+      case SlotOutcome::kSingleton:
+        si.singleton.add();
+        li.singleton_slots.add();
+        break;
+      case SlotOutcome::kCollision:
+        si.collision.add();
+        li.collision_slots.add();
+        break;
+    }
+    si.responders.observe(static_cast<double>(obs.responders));
+  }
+  if (obs::full_enabled()) obs::advance_trace_slot();
   if (observer_) observer_(cmd, obs);
   return obs;
 }

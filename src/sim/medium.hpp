@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/instruments.hpp"
 #include "rng/prng.hpp"
 #include "sim/command.hpp"
 #include "sim/faults.hpp"
@@ -135,6 +136,9 @@ class Medium {
   /// (robust estimators' voting re-reads; see core::RobustPetEstimator).
   void note_retries(std::uint64_t slots) noexcept {
     ledger_.retry_slots += slots;
+    if (obs::counters_enabled()) {
+      obs::ledger_instruments().retry_slots.add(slots);
+    }
   }
 
   /// The fault-model runtime (burst/noise chain state, slot index) for

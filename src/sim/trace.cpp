@@ -1,5 +1,8 @@
 #include "sim/trace.hpp"
 
+#include "obs/trace.hpp"
+#include "runtime/json.hpp"
+
 namespace pet::sim {
 
 namespace {
@@ -72,13 +75,30 @@ std::string command_payload(const Command& cmd) {
   return std::visit(PayloadVisitor{}, cmd);
 }
 
-TraceSink::TraceSink(std::ostream& out, bool write_header) : out_(out) {
-  if (write_header) {
+TraceSink::TraceSink(std::ostream& out, bool write_header)
+    : TraceSink(out, TraceFormat::kCsv, write_header) {}
+
+TraceSink::TraceSink(std::ostream& out, TraceFormat format, bool write_header)
+    : out_(out), format_(format) {
+  // JSONL is self-describing; only CSV needs a header row.
+  if (format_ == TraceFormat::kCsv && write_header) {
     out_ << "slot,command,payload,outcome,responders,downlink_bits\n";
   }
 }
 
 Medium::Observer TraceSink::observer() {
+  if (format_ == TraceFormat::kJsonl) {
+    return [this](const Command& cmd, const SlotObservation& obs) {
+      out_ << "{\"type\":\"slot\",\"trial\":" << pet::obs::trace_trial()
+           << ",\"slot\":" << rows_ << ",\"command\":\""
+           << runtime::json_escape(command_name(cmd)) << "\",\"payload\":\""
+           << runtime::json_escape(command_payload(cmd))
+           << "\",\"outcome\":\"" << outcome_name(obs.outcome)
+           << "\",\"responders\":" << obs.responders
+           << ",\"downlink_bits\":" << advertised_bits(cmd) << "}\n";
+      ++rows_;
+    };
+  }
   return [this](const Command& cmd, const SlotObservation& obs) {
     out_ << rows_ << ',' << command_name(cmd) << ',' << command_payload(cmd)
          << ',' << outcome_name(obs.outcome) << ',' << obs.responders << ','

@@ -1,6 +1,14 @@
 // Per-slot protocol tracing: a Medium observer that renders every command
-// and its observable outcome to a line-oriented stream (CSV), for protocol
+// and its observable outcome to a line-oriented stream, for protocol
 // debugging and for auditing what actually crossed the air.
+//
+// Two formats share one schema:
+//   kCsv    slot_index,command,payload,outcome,responders,downlink_bits
+//   kJsonl  {"type":"slot","trial":T,"slot":S,"command":...,"payload":...,
+//            "outcome":...,"responders":N,"downlink_bits":B}
+// JSONL records carry the same logical-clock coordinates as pet::obs span
+// and event records (docs/observability.md), so a slot trace and a span
+// trace interleave into one timeline when sorted by (trial, slot).
 #pragma once
 
 #include <cstdint>
@@ -18,20 +26,24 @@ namespace pet::sim {
 /// frame slot, ...) as a short string.
 [[nodiscard]] std::string command_payload(const Command& cmd);
 
-/// Streams one CSV row per slot:
-///   slot_index,command,payload,outcome,responders,downlink_bits
-/// The stream must outlive the Medium observation.
+enum class TraceFormat : std::uint8_t { kCsv, kJsonl };
+
+/// Streams one line per slot.  The stream must outlive the Medium
+/// observation.
 class TraceSink {
  public:
   explicit TraceSink(std::ostream& out, bool write_header = true);
+  TraceSink(std::ostream& out, TraceFormat format, bool write_header = true);
 
   /// Install with Medium::set_observer(sink.observer()).
   [[nodiscard]] Medium::Observer observer();
 
   [[nodiscard]] std::uint64_t rows_written() const noexcept { return rows_; }
+  [[nodiscard]] TraceFormat format() const noexcept { return format_; }
 
  private:
   std::ostream& out_;
+  TraceFormat format_ = TraceFormat::kCsv;
   std::uint64_t rows_ = 0;
 };
 

@@ -43,6 +43,10 @@ class Parser {
         artifact.threads = static_cast<std::uint64_t>(parse_number());
       } else if (key == "wall_seconds") {
         artifact.wall_seconds = parse_number_or_null();
+      } else if (key == "metrics") {
+        const std::size_t start = pos_;
+        skip_value();
+        artifact.metrics_json = text_.substr(start, pos_ - start);
       } else if (key == "rows") {
         artifact.rows = parse_rows();
         saw_rows = true;
@@ -155,6 +159,53 @@ class Parser {
       return std::numeric_limits<double>::quiet_NaN();
     }
     return parse_number();
+  }
+
+  /// Skip one well-formed JSON value of any shape.  Used for the
+  /// "metrics" member, whose contents the gate deliberately never
+  /// inspects (it carries profile data, which is machine noise).
+  void skip_value() {
+    const char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else if (c == '{') {
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') { ++pos_; return; }
+      while (true) {
+        skip_ws();
+        (void)parse_string();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        skip_value();
+        skip_ws();
+        if (peek() == '}') { ++pos_; return; }
+        expect(',');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') { ++pos_; return; }
+      while (true) {
+        skip_ws();
+        skip_value();
+        skip_ws();
+        if (peek() == ']') { ++pos_; return; }
+        expect(',');
+      }
+    } else if (c == 't') {
+      if (text_.compare(pos_, 4, "true") != 0) fail("expected true");
+      pos_ += 4;
+    } else if (c == 'f') {
+      if (text_.compare(pos_, 5, "false") != 0) fail("expected false");
+      pos_ += 5;
+    } else if (c == 'n') {
+      if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+      pos_ += 4;
+    } else {
+      (void)parse_number();
+    }
   }
 
   [[nodiscard]] std::vector<BenchRow> parse_rows() {

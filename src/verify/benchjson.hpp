@@ -31,6 +31,10 @@ struct BenchArtifact {
   std::string target;
   std::uint64_t threads = 0;
   double wall_seconds = 0.0;  ///< NaN when serialised as null
+  /// Raw text of the optional "metrics" member (pet.obs.v1 document),
+  /// empty when absent.  Kept verbatim — diff_bench never compares it,
+  /// because profile metrics are machine noise by design.
+  std::string metrics_json;
   std::vector<BenchRow> rows;
 };
 

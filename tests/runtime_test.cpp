@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -180,6 +181,79 @@ TEST(Progress, EnabledMeterStartsAndStopsCleanly) {
   ProgressMeter meter(4, "test sweep", /*enabled=*/true);
   for (int i = 0; i < 4; ++i) meter.tick();
   // Destructor joins the reporter; nothing painted inside the 1 s grace.
+}
+
+TEST(Progress, InjectedSinkResolvesAutoToPlainStyle) {
+  // A captured stream is not a terminal, so kAuto must fall back to the
+  // plain line-per-update style even if the test runs on a TTY.
+  std::ostringstream captured;
+  ProgressConfig config;
+  config.sink = &captured;
+  ProgressMeter meter(10, "capture", /*enabled=*/true, config);
+  EXPECT_EQ(meter.style(), ProgressConfig::Style::kPlain);
+}
+
+TEST(Progress, PlainModeEmitsWholeLinesWithoutAnsiEscapes) {
+  std::ostringstream captured;
+  ProgressConfig config;
+  config.style = ProgressConfig::Style::kPlain;
+  config.sink = &captured;
+  config.first_paint = std::chrono::milliseconds(5);
+  config.plain_repaint = std::chrono::milliseconds(10);
+  {
+    ProgressMeter meter(8, "plain sweep", /*enabled=*/true, config);
+    for (int i = 0; i < 8; ++i) meter.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+  const std::string text = captured.str();
+  ASSERT_FALSE(text.empty()) << "expected at least one status line";
+  // Line-per-update output: no carriage returns, no ANSI erase sequences,
+  // every paint terminated by a newline.
+  EXPECT_EQ(text.find('\r'), std::string::npos) << text;
+  EXPECT_EQ(text.find("\033["), std::string::npos) << text;
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_NE(text.find("plain sweep: 8/8 trials"), std::string::npos) << text;
+}
+
+TEST(Progress, AnsiModeRepaintsInPlaceAndErasesOnExit) {
+  std::ostringstream captured;
+  ProgressConfig config;
+  config.style = ProgressConfig::Style::kAnsi;  // forced despite the sink
+  config.sink = &captured;
+  config.first_paint = std::chrono::milliseconds(5);
+  config.repaint = std::chrono::milliseconds(10);
+  {
+    ProgressMeter meter(4, "ansi sweep", /*enabled=*/true, config);
+    for (int i = 0; i < 4; ++i) meter.tick();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  const std::string text = captured.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("\r\033[2K"), std::string::npos) << text;
+  // The destructor's erase leaves the stream ending on a clean wipe.
+  const std::string erase = "\r\033[2K";
+  ASSERT_GE(text.size(), erase.size());
+  EXPECT_EQ(text.substr(text.size() - erase.size()), erase);
+}
+
+TEST(ThreadPool, StatsCountSubmittedAndExecutedTasks) {
+  ThreadPool pool(3);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 60; ++i) {
+    futures.push_back(pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }));
+  }
+  for (auto& future : futures) future.get();
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 60u);
+  ASSERT_EQ(stats.worker_tasks.size(), 3u);
+  std::uint64_t executed = 0;
+  for (const std::uint64_t w : stats.worker_tasks) executed += w;
+  EXPECT_EQ(executed, 60u);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  // stolen is scheduling-dependent: only sanity-bound it.
+  EXPECT_LE(stats.stolen, 60u);
 }
 
 TEST(Json, EscapesControlAndQuoteCharacters) {

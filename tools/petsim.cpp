@@ -13,11 +13,17 @@
 // and reports the aggregate; results are bit-identical for any --threads
 // (docs/runtime.md).  Everything is simulated on the slotted-MAC
 // substrate; see README.md.
+//
+// Observability (docs/observability.md): --obs=off|counters|full selects
+// the level, --metrics-out=FILE writes the pet.obs.v1 metrics document,
+// --trace-jsonl=FILE streams span/event records.  Requesting an output
+// upgrades the level to the one that produces it.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -31,8 +37,13 @@
 #include "core/estimator.hpp"
 #include "core/monitor.hpp"
 #include "core/planner.hpp"
+#include "core/robust_estimator.hpp"
 #include "core/sketch.hpp"
 #include "multireader/controller.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "protocols/ezb.hpp"
 #include "protocols/fneb.hpp"
 #include "protocols/identification.hpp"
@@ -97,14 +108,101 @@ int usage() {
       "--delta=D\n"
       "                  [--search=binary|strict|linear]\n"
       "                  [--fusion=paper|bias-corrected|median-of-means]\n"
-      "                  [--loss=P]\n"
-      "                  [--readers=K --overlap=P] [--trace=FILE] [--seed=S]\n"
+      "                  [--loss=P] [--robust]\n"
+      "                  [--readers=K --overlap=P] [--trace=FILE "
+      "--trace-format=csv|jsonl] [--seed=S]\n"
       "                  [--runs=R --threads=T --quiet]\n"
       "  petsim identify --protocol=dfsa|treewalk --n=N [--seed=S]\n"
       "  petsim monitor  --n=N --steps=T [--seed=S]\n"
-      "  petsim sketch   --n-a=N --n-b=M --shared=K [--rounds=R]\n");
+      "  petsim sketch   --n-a=N --n-b=M --shared=K [--rounds=R]\n"
+      "\n"
+      "observability (every command):\n"
+      "  --obs=off|counters|full   metrics level (default off)\n"
+      "  --metrics-out=FILE        write pet.obs.v1 metrics JSON "
+      "(implies counters)\n"
+      "  --trace-jsonl=FILE        write span/event JSONL (implies full)\n");
   return 2;
 }
+
+/// Observability wiring for one petsim invocation: resolves the level from
+/// --obs / --metrics-out / --trace-jsonl, installs the trace writer and the
+/// trial hook, and writes the metrics document after the command returns.
+struct ObsSession {
+  std::string metrics_path;
+  std::string trace_path;
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceWriter> writer;
+  obs::PhaseProfiler profiler;
+
+  /// Returns 0, or 2 on a bad flag / unwritable trace path.
+  int init(const Args& args) {
+    metrics_path = args.get("metrics-out", "");
+    trace_path = args.get("trace-jsonl", "");
+    obs::Level level = obs::Level::kOff;
+    const std::string requested = args.get("obs", "");
+    if (!requested.empty()) {
+      try {
+        level = obs::parse_level(requested);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "petsim: %s\n", error.what());
+        return 2;
+      }
+    }
+    // Requesting an output implies the level that produces it.
+    if (!metrics_path.empty() && level == obs::Level::kOff) {
+      level = obs::Level::kCounters;
+    }
+    if (!trace_path.empty()) level = obs::Level::kFull;
+    obs::set_level(level);
+    if (level == obs::Level::kOff) return 0;
+
+    obs::MetricsRegistry::instance().reset();
+    if (level == obs::Level::kFull) {
+      // Workers pin the logical trial coordinate so trace records from a
+      // --runs sweep are attributable.
+      runtime::set_trial_begin_hook(&obs::set_trace_trial);
+      if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file) {
+          std::fprintf(stderr, "petsim: cannot open trace file '%s'\n",
+                       trace_path.c_str());
+          return 2;
+        }
+        writer = std::make_unique<obs::TraceWriter>(trace_file);
+        obs::set_trace_writer(writer.get());
+      }
+    }
+    return 0;
+  }
+
+  /// Simulated slots recorded so far (for phase slots/second).
+  [[nodiscard]] static std::uint64_t recorded_slots() {
+    const obs::Snapshot snapshot = obs::MetricsRegistry::instance().snapshot();
+    return snapshot.counter("chan.ledger.idle_slots") +
+           snapshot.counter("chan.ledger.singleton_slots") +
+           snapshot.counter("chan.ledger.collision_slots") +
+           snapshot.counter("chan.ledger.retry_slots");
+  }
+
+  void finish() {
+    obs::set_trace_writer(nullptr);
+    if (!obs::counters_enabled() || metrics_path.empty()) return;
+    auto& runner = runtime::global_runner();
+    const runtime::ThreadPool::Stats stats = runner.pool_stats();
+    obs::PoolSample pool;
+    pool.threads = runner.thread_count();
+    pool.submitted = stats.submitted;
+    pool.stolen = stats.stolen;
+    pool.max_queue_depth = stats.max_queue_depth;
+    pool.worker_tasks = stats.worker_tasks;
+    try {
+      obs::write_metrics_file(metrics_path, profiler.phases(), pool);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "petsim: metrics not written: %s\n", error.what());
+    }
+  }
+};
 
 double gen2_seconds(const sim::SlotLedger& ledger, std::uint64_t rounds) {
   const sim::Gen2LinkConfig link;
@@ -229,6 +327,67 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
   return 0;
 }
 
+/// --robust --runs=R: the hardened pipeline on the device-level channel
+/// with optional iid reply loss.  Seed streams mirror
+/// bench/robustness_bench.cpp (derive(seed, run) manufacturing,
+/// derive(seed, 500 + run) impairments, derive(seed, 1000 + run)
+/// estimation), so a petsim sweep reproduces the bench trial-for-trial.
+int cmd_estimate_robust_many(std::uint64_t n,
+                             const stats::AccuracyRequirement& req,
+                             const core::RobustPetConfig& config,
+                             std::uint64_t runs, std::uint64_t seed,
+                             double loss) {
+  stats::TrialSummary summary(static_cast<double>(n));
+  double mean_slots = 0.0;
+  std::uint64_t rereads = 0;
+  std::uint64_t at_risk = 0;
+
+  const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
+  const core::RobustPetEstimator estimator(config, req);
+  const auto start = std::chrono::steady_clock::now();
+  auto& runner = runtime::global_runner();
+
+  runner.run<core::RobustEstimateResult>(
+      runs,
+      [&](std::uint64_t run) {
+        chan::DeviceChannelConfig device;
+        device.manufacturing_seed = rng::derive_seed(seed, run);
+        device.impairments.seed = rng::derive_seed(seed, 500 + run);
+        device.impairments.reply_loss_prob = loss;
+        chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet,
+                                    device);
+        return estimator.estimate(channel, rng::derive_seed(seed, 1000 + run));
+      },
+      [&](std::uint64_t, core::RobustEstimateResult&& result) {
+        summary.add(result.n_hat());
+        mean_slots += static_cast<double>(result.base.ledger.total_slots()) /
+                      static_cast<double>(runs);
+        rereads += result.reread_slots;
+        if (result.diagnostic.contract_at_risk()) ++at_risk;
+      },
+      "robust PET trials");
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("robust sweep : %llu trials, %u threads, loss %.3f\n",
+              static_cast<unsigned long long>(runs), runner.thread_count(),
+              loss);
+  std::printf("mean nhat    : %.0f   (true %llu, accuracy %.4f)\n",
+              summary.accuracy() * static_cast<double>(n),
+              static_cast<unsigned long long>(n), summary.accuracy());
+  std::printf("within eps   : %.3f (contract needs >= %.3f)\n",
+              summary.fraction_within(req.epsilon), 1.0 - req.delta);
+  std::printf("mean slots   : %.1f per estimate\n", mean_slots);
+  std::printf("rereads/run  : %.1f\n",
+              static_cast<double>(rereads) / static_cast<double>(runs));
+  std::printf("at-risk frac : %.3f\n",
+              static_cast<double>(at_risk) / static_cast<double>(runs));
+  std::printf("wall time    : %.3f s (%.1f trials/s)\n", wall,
+              static_cast<double>(runs) / wall);
+  return 0;
+}
+
 int cmd_estimate(const Args& args) {
   const std::string protocol = args.get("protocol", "pet");
   const std::uint64_t n = args.get("n", std::uint64_t{50000});
@@ -255,13 +414,21 @@ int cmd_estimate(const Args& args) {
     } else if (fusion == "median-of-means") {
       config.fusion = core::FusionRule::kMedianOfMeans;
     }
+    const bool robust = args.kv.count("robust") != 0;
     if (runs > 1) {
+      if (robust) {
+        core::RobustPetConfig robust_config;
+        robust_config.base = config;
+        return cmd_estimate_robust_many(n, req, robust_config, runs, seed,
+                                        args.get("loss", 0.0));
+      }
       if (args.get("loss", 0.0) > 0.0 ||
           args.get("readers", std::uint64_t{1}) > 1 ||
           !args.get("trace", "").empty()) {
         std::fprintf(stderr,
                      "petsim: --runs > 1 supports only the plain "
-                     "single-reader channel\n");
+                     "single-reader channel (add --robust for lossy "
+                     "sweeps)\n");
         return 2;
       }
       return cmd_estimate_many(protocol, n, req, config, runs, seed);
@@ -274,7 +441,38 @@ int cmd_estimate(const Args& args) {
     const std::string trace_path = args.get("trace", "");
     const auto pop = tags::TagPopulation::generate(n, seed);
 
-    if (loss > 0.0 || !trace_path.empty()) {
+    if (robust) {
+      // Hardened single run: device-level channel (optionally lossy),
+      // voting probes, health diagnostic.
+      core::RobustPetConfig robust_config;
+      robust_config.base = config;
+      const core::RobustPetEstimator hardened(robust_config, req);
+      chan::DeviceChannelConfig device;
+      device.impairments.reply_loss_prob = loss;
+      chan::DeviceChannel channel(pop.ids(), chan::DeviceKind::kPet, device);
+      const core::RobustEstimateResult robust_result =
+          hardened.estimate(channel, seed);
+      result = robust_result.base;
+      std::printf("robust PET   : %.0f   (true %llu)\n", robust_result.n_hat(),
+                  static_cast<unsigned long long>(n));
+      std::printf("%.0f%% interval: [%.0f, %.0f] (widening %.2fx)\n",
+                  (1 - req.delta) * 100, robust_result.interval.lo,
+                  robust_result.interval.hi,
+                  robust_result.diagnostic.widening);
+      std::printf("health       : %s (KS %.4f vs %.4f)\n",
+                  std::string(to_string(robust_result.diagnostic.health))
+                      .c_str(),
+                  robust_result.diagnostic.ks_distance,
+                  robust_result.diagnostic.ks_threshold);
+      std::printf("voting       : %llu re-read slots, %llu probes "
+                  "overturned%s\n",
+                  static_cast<unsigned long long>(robust_result.reread_slots),
+                  static_cast<unsigned long long>(
+                      robust_result.overturned_probes),
+                  robust_result.retry_budget_exhausted
+                      ? " (budget exhausted)"
+                      : "");
+    } else if (loss > 0.0 || !trace_path.empty()) {
       // Lossy links and per-slot tracing need the device-level channel.
       chan::DeviceChannelConfig device;
       device.impairments.reply_loss_prob = loss;
@@ -288,7 +486,15 @@ int cmd_estimate(const Args& args) {
                        trace_path.c_str());
           return 2;
         }
-        sink = std::make_unique<sim::TraceSink>(trace_file);
+        const std::string format = args.get("trace-format", "csv");
+        if (format != "csv" && format != "jsonl") {
+          std::fprintf(stderr,
+                       "petsim: --trace-format must be csv or jsonl\n");
+          return 2;
+        }
+        sink = std::make_unique<sim::TraceSink>(
+            trace_file, format == "jsonl" ? sim::TraceFormat::kJsonl
+                                          : sim::TraceFormat::kCsv);
         channel.set_observer(sink->observer());
       }
       result = estimator.estimate(channel, seed);
@@ -312,11 +518,14 @@ int cmd_estimate(const Args& args) {
       chan::SortedPetChannel channel({pop.ids().begin(), pop.ids().end()});
       result = estimator.estimate(channel, seed);
     }
-    const auto ci = core::confidence_interval(result, req.delta);
-    std::printf("PET estimate : %.0f   (true %llu)\n", result.n_hat,
-                static_cast<unsigned long long>(n));
-    std::printf("%.0f%% interval: [%.0f, %.0f]\n", (1 - req.delta) * 100,
-                ci.lo, ci.hi);
+    if (!robust) {
+      // The robust branch already printed its own (widened) interval.
+      const auto ci = core::confidence_interval(result, req.delta);
+      std::printf("PET estimate : %.0f   (true %llu)\n", result.n_hat,
+                  static_cast<unsigned long long>(n));
+      std::printf("%.0f%% interval: [%.0f, %.0f]\n", (1 - req.delta) * 100,
+                  ci.lo, ci.hi);
+    }
   } else {
     if (runs > 1) {
       return cmd_estimate_many(protocol, n, req, core::PetConfig{}, runs,
@@ -460,10 +669,31 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
-  if (command == "plan") return cmd_plan(args);
-  if (command == "estimate") return cmd_estimate(args);
-  if (command == "identify") return cmd_identify(args);
-  if (command == "monitor") return cmd_monitor(args);
-  if (command == "sketch") return cmd_sketch(args);
-  return usage();
+
+  ObsSession obs_session;
+  if (const int rc = obs_session.init(args); rc != 0) return rc;
+
+  int rc = 2;
+  {
+    // One profile phase per command; slots/second comes from the slot
+    // counters the run recorded (zero when obs is off — the phase then
+    // reports wall/CPU only).
+    obs::PhaseProfiler::Scope scope(obs_session.profiler, command);
+    if (command == "plan") {
+      rc = cmd_plan(args);
+    } else if (command == "estimate") {
+      rc = cmd_estimate(args);
+    } else if (command == "identify") {
+      rc = cmd_identify(args);
+    } else if (command == "monitor") {
+      rc = cmd_monitor(args);
+    } else if (command == "sketch") {
+      rc = cmd_sketch(args);
+    } else {
+      rc = usage();
+    }
+    if (obs::counters_enabled()) scope.add_slots(ObsSession::recorded_slots());
+  }
+  obs_session.finish();
+  return rc;
 }
