@@ -1,7 +1,13 @@
 #include "harness/experiment.hpp"
 
+#include <chrono>
+#include <optional>
+
+#include "channel/arena.hpp"
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
+#include "common/fastpath.hpp"
+#include "obs/profile.hpp"
 #include "rng/prng.hpp"
 #include "runtime/trial_runner.hpp"
 #include "tags/population.hpp"
@@ -9,6 +15,34 @@
 namespace pet::bench {
 
 namespace {
+
+/// Stopwatch splitting one trial into its build and estimate phases for the
+/// process-wide obs::SweepPhase totals (the artifact "profile" member).
+class PhaseSplit {
+ public:
+  PhaseSplit() : begin_(std::chrono::steady_clock::now()) {}
+
+  /// Call between channel acquisition and estimation.
+  void built() noexcept {
+    split_ = std::chrono::steady_clock::now();
+    obs::add_sweep_phase_seconds(
+        obs::SweepPhase::kBuild,
+        std::chrono::duration<double>(split_ - begin_).count());
+  }
+
+  ~PhaseSplit() {
+    obs::add_sweep_phase_seconds(
+        obs::SweepPhase::kEstimate,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      split_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+  std::chrono::steady_clock::time_point split_{begin_};
+};
+
 
 void absorb(TrialSet& set, double n_hat, const sim::SlotLedger& ledger,
             std::uint64_t runs) {
@@ -45,7 +79,16 @@ TrialSet run_sampled(std::uint64_t n, const Estimator& estimator,
                      const char* label) {
   return aggregate(n, runs, label, [&estimator, n, rounds, seed,
                                     stride](std::uint64_t run) {
-    chan::SampledChannel channel(n, rng::derive_seed(seed, stride * run));
+    PhaseSplit phases;
+    // The arena channel is bit-identical to a per-trial construction
+    // (reset() reinstates the freshly-constructed state); the slow path
+    // keeps the historical per-trial object for A/B comparison.
+    std::optional<chan::SampledChannel> local;
+    const std::uint64_t chan_seed = rng::derive_seed(seed, stride * run);
+    chan::SampledChannel& channel =
+        fast_path_enabled() ? chan::arena_sampled_channel(n, chan_seed)
+                            : local.emplace(n, chan_seed);
+    phases.built();
     const std::uint64_t est_seed = rng::derive_seed(seed, stride * run + 1);
     if constexpr (requires {
                     estimator.estimate_with_rounds(channel, rounds, est_seed);
@@ -73,12 +116,23 @@ TrialSet run_pet(std::uint64_t n, const core::PetConfig& config,
 
   return aggregate(n, runs, "PET", [&estimator, &ids, &config, m,
                                     seed](std::uint64_t run) {
+    PhaseSplit phases;
     chan::SortedPetChannelConfig channel_config;
     channel_config.tree_height = config.tree_height;
     channel_config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
-    chan::SortedPetChannel channel(ids, channel_config);
-    return estimator.estimate_with_rounds(channel, m,
-                                          rng::derive_seed(seed, 2 * run + 1));
+    std::optional<chan::SortedPetChannel> local;
+    chan::SortedPetChannel& channel =
+        fast_path_enabled()
+            ? chan::arena_sorted_pet_channel(ids, channel_config)
+            : local.emplace(ids, channel_config);
+    phases.built();
+    auto result = estimator.estimate_with_rounds(
+        channel, m, rng::derive_seed(seed, 2 * run + 1));
+    // The arena channel outlives the trial, so publish the final round's
+    // obs delta now — metric snapshots taken at session finish must not
+    // wait for the next trial's rebuild.
+    channel.flush_obs();
+    return result;
   });
 }
 

@@ -7,6 +7,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -26,6 +27,17 @@ void BenchSession::finish() noexcept {
   report_.set_wall_seconds(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count());
+  // Per-phase wall breakdown (summed across worker threads; the build vs
+  // estimate *ratio* is the signal).  Emitted in every artifact; benchdiff
+  // ignores it like wall_seconds.
+  report_.set_profile_json(
+      "{\"build_seconds\": " +
+      runtime::json_number(obs::sweep_phase_seconds(obs::SweepPhase::kBuild),
+                           6) +
+      ", \"estimate_seconds\": " +
+      runtime::json_number(
+          obs::sweep_phase_seconds(obs::SweepPhase::kEstimate), 6) +
+      "}");
   if (obs::counters_enabled()) {
     auto& runner = runtime::global_runner();
     const runtime::ThreadPool::Stats stats = runner.pool_stats();

@@ -3,11 +3,13 @@
 // queries on each channel substrate, and one full estimate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "channel/exact_channel.hpp"
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
+#include "common/radix.hpp"
 #include "core/estimator.hpp"
 #include "obs/metrics.hpp"
 #include "rng/hash_family.hpp"
@@ -166,6 +168,85 @@ void BM_PetRoundObsCounters(benchmark::State& state) {
   pet_round_at_level(state, obs::Level::kCounters);
 }
 BENCHMARK(BM_PetRoundObsCounters);
+
+// -- fast-round pipeline (docs/performance.md records the numbers) --------
+//
+// BM_SortedBuildStdSort vs BM_SortedBuildRadix isolate the per-trial channel
+// construction the sweeps pay for every fresh manufacturing seed: the
+// historical element-wise hash + std::sort against the batched hash +
+// key-width-capped LSD radix sort.  BM_PetRoundProbed vs BM_PetRoundOracle
+// isolate one estimation round answered by per-probe binary searches vs the
+// DepthOracle's synthesized probes.  BM_UniformCodeBatch is the hashing
+// floor construction can never drop below.
+
+void BM_SortedBuildStdSort(benchmark::State& state) {
+  const auto ids = tags_for(state.range(0));
+  std::vector<std::uint64_t> codes;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    codes.clear();
+    codes.reserve(ids.size());
+    for (const TagId id : ids) {
+      codes.push_back(
+          rng::uniform_code(rng::HashKind::kMix64, ++seed, id, 32).value());
+    }
+    std::sort(codes.begin(), codes.end());
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortedBuildStdSort)->Range(1000, 1000000)->Complexity();
+
+void BM_SortedBuildRadix(benchmark::State& state) {
+  const auto ids = tags_for(state.range(0));
+  std::vector<std::uint64_t> codes;
+  std::vector<std::uint64_t> scratch;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rng::uniform_code_batch(rng::HashKind::kMix64, ++seed, ids, 32, codes);
+    radix_sort_u64(codes, scratch, 32);
+    benchmark::DoNotOptimize(codes.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SortedBuildRadix)->Range(1000, 1000000)->Complexity();
+
+void BM_UniformCodeBatch(benchmark::State& state) {
+  const auto ids = tags_for(state.range(0));
+  std::vector<std::uint64_t> codes;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    rng::uniform_code_batch(rng::HashKind::kMix64, ++seed, ids, 32, codes);
+    benchmark::DoNotOptimize(codes.data());
+  }
+}
+BENCHMARK(BM_UniformCodeBatch)->Range(1000, 1000000);
+
+void BM_PetRoundProbed(benchmark::State& state) {
+  chan::SortedPetChannel channel(tags_for(state.range(0)));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path = rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round(channel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PetRoundProbed)->Range(1000, 1000000)->Complexity();
+
+void BM_PetRoundOracle(benchmark::State& state) {
+  chan::SortedPetChannel channel(tags_for(state.range(0)));
+  const core::PetEstimator estimator(core::PetConfig{}, {0.1, 0.05});
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    const BitCode path = rng::uniform_code(rng::HashKind::kMix64, ++r, 1, 32);
+    channel.begin_round(chan::RoundConfig{path, 0, false, 32, 32});
+    benchmark::DoNotOptimize(estimator.run_round_synth(channel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PetRoundOracle)->Range(1000, 1000000)->Complexity();
 
 }  // namespace
 

@@ -98,5 +98,17 @@ for target in table3_pet_slots table4_eps_slots fig4_pet_rounds fig7_memory; do
 done
 echo "ok: all four artifacts within tolerance of bench/golden/"
 
+echo "== claim 6: fast-round pipeline is bit-identical to the reference =="
+# Same build, same seeds, --fast-path toggled; rows and summary stats must
+# agree *exactly* (rtol 0), not just within tolerance (docs/performance.md).
+"$BENCH/table3_pet_slots" --quick --quiet --fast-path=on \
+    --json="$WORK/BENCH_t3_fast_on.json" > /dev/null
+"$BENCH/table3_pet_slots" --quick --quiet --fast-path=off \
+    --json="$WORK/BENCH_t3_fast_off.json" > /dev/null
+"$BENCHDIFF" "$WORK/BENCH_t3_fast_on.json" "$WORK/BENCH_t3_fast_off.json" \
+    --rtol=0 --atol=0 \
+    || fail "fast-path on/off artifacts diverge (see docs/performance.md)"
+echo "ok: fast path reproduces the reference sweep bit for bit"
+
 echo
 echo "ALL REPRODUCTION CLAIMS HOLD"

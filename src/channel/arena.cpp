@@ -1,0 +1,45 @@
+#include "channel/arena.hpp"
+
+#include <cstddef>
+#include <optional>
+
+namespace pet::chan {
+
+SortedPetChannel& arena_sorted_pet_channel(
+    const std::vector<TagId>& ids, const SortedPetChannelConfig& config) {
+  struct Arena {
+    const void* ids_data = nullptr;
+    std::size_t ids_size = 0;
+    unsigned tree_height = 0;
+    rng::HashKind hash = rng::HashKind::kMix64;
+    std::optional<SortedPetChannel> channel;
+  };
+  thread_local Arena arena;
+  if (!arena.channel.has_value() ||
+      arena.ids_data != static_cast<const void*>(ids.data()) ||
+      arena.ids_size != ids.size() ||
+      arena.tree_height != config.tree_height || arena.hash != config.hash) {
+    arena.channel.emplace(ids, config);
+    arena.ids_data = ids.data();
+    arena.ids_size = ids.size();
+    arena.tree_height = config.tree_height;
+    arena.hash = config.hash;
+  } else {
+    arena.channel->rebuild(config.manufacturing_seed);
+  }
+  arena.channel->reset_ledger();
+  return *arena.channel;
+}
+
+SampledChannel& arena_sampled_channel(std::uint64_t tag_count,
+                                      std::uint64_t seed) {
+  thread_local std::optional<SampledChannel> channel;
+  if (!channel.has_value()) {
+    channel.emplace(tag_count, seed);
+  } else {
+    channel->reset(tag_count, seed);
+  }
+  return *channel;
+}
+
+}  // namespace pet::chan

@@ -1,0 +1,38 @@
+// Per-worker-thread channel arenas for TrialRunner-driven sweeps.
+//
+// A sweep runs thousands of independent trials whose channels differ only
+// in their seed; constructing a fresh channel per trial makes allocation
+// and (for SortedPetChannel) hashing + sorting the dominant cost of a
+// trial.  These helpers hand each worker thread one long-lived channel that
+// is re-keyed per trial — SortedPetChannel::rebuild / SampledChannel::reset
+// reinstate exactly the freshly-constructed state while retaining every
+// buffer, so steady-state trials allocate nothing (docs/performance.md).
+//
+// Callers gate use on pet::fast_path_enabled(): the slow path keeps the
+// historical per-trial construction for A/B comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/sampled_channel.hpp"
+#include "channel/sorted_pet_channel.hpp"
+
+namespace pet::chan {
+
+/// Thread-local SortedPetChannel over `ids`, rebuilt (not reconstructed)
+/// when only config.manufacturing_seed changed since this thread's last
+/// call, with its ledger reset either way.  `ids` must stay alive while
+/// trials on this thread use the returned channel (sweeps keep the
+/// population alive across the whole run; the arena is keyed on the vector
+/// identity plus the config fields shaping the code array, so the stored
+/// tags pointer always equals the live vector checked here).
+[[nodiscard]] SortedPetChannel& arena_sorted_pet_channel(
+    const std::vector<TagId>& ids, const SortedPetChannelConfig& config);
+
+/// Thread-local SampledChannel (default config, which every rehash-per-
+/// round baseline uses), reset to (tag_count, seed) with a zeroed ledger.
+[[nodiscard]] SampledChannel& arena_sampled_channel(std::uint64_t tag_count,
+                                                    std::uint64_t seed);
+
+}  // namespace pet::chan

@@ -84,15 +84,16 @@ bool DeviceChannel::query_range(std::uint64_t bound) {
   return is_nonempty(obs.outcome);
 }
 
-std::vector<SlotOutcome> DeviceChannel::run_frame(const FrameConfig& frame) {
+const std::vector<SlotOutcome>& DeviceChannel::run_frame(
+    const FrameConfig& frame) {
   expects(kind_ == DeviceKind::kLof, "run_frame requires LoF tag devices");
   expects(frame.persistence == 1.0,
           "LoF device frames do not use persistence");
   medium_.broadcast(sim::FrameBeginCmd{frame.seed, frame.frame_size, 1.0,
                                        frame.begin_bits},
                     simulator_);
-  std::vector<SlotOutcome> outcomes;
-  outcomes.reserve(frame.frame_size);
+  frame_outcomes_.clear();
+  frame_outcomes_.reserve(frame.frame_size);
   for (std::uint64_t slot = 1; slot <= frame.frame_size; ++slot) {
     const auto obs = medium_.run_slot(
         sim::SlotPollCmd{slot, frame.poll_bits}, simulator_);
@@ -100,9 +101,9 @@ std::vector<SlotOutcome> DeviceChannel::run_frame(const FrameConfig& frame) {
       chan_obs().frame_slots.add();
       if (is_nonempty(obs.outcome)) chan_obs().busy_slots.add();
     }
-    outcomes.push_back(obs.outcome);
+    frame_outcomes_.push_back(obs.outcome);
   }
-  return outcomes;
+  return frame_outcomes_;
 }
 
 tags::TagCostLedger DeviceChannel::total_tag_cost() const noexcept {

@@ -54,7 +54,7 @@ class DeviceChannel final : public PrefixChannel,
   bool query_range(std::uint64_t bound) override;
 
   // FrameChannel (DeviceKind::kLof)
-  std::vector<SlotOutcome> run_frame(const FrameConfig& frame) override;
+  const std::vector<SlotOutcome>& run_frame(const FrameConfig& frame) override;
 
   [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
     return medium_.ledger();
@@ -85,6 +85,7 @@ class DeviceChannel final : public PrefixChannel,
   sim::Medium medium_;
   std::vector<std::unique_ptr<sim::TagDeviceBase>> devices_;
   BitCode round_path_;
+  std::vector<SlotOutcome> frame_outcomes_;  ///< run_frame result buffer
   unsigned round_query_bits_ = 32;
   unsigned range_query_bits_ = 32;
 };

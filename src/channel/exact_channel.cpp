@@ -131,12 +131,14 @@ bool ExactChannel::query_range(std::uint64_t bound) {
   return responders > 0;
 }
 
-std::vector<SlotOutcome> ExactChannel::run_frame(const FrameConfig& frame) {
+const std::vector<SlotOutcome>& ExactChannel::run_frame(
+    const FrameConfig& frame) {
   expects(frame.frame_size >= 1, "run_frame: empty frame");
   expects(frame.persistence > 0.0 && frame.persistence <= 1.0,
           "run_frame: persistence must be in (0, 1]");
 
-  std::vector<std::uint32_t> occupancy(frame.frame_size, 0);
+  frame_occupancy_.assign(frame.frame_size, 0);
+  std::vector<std::uint32_t>& occupancy = frame_occupancy_;
   for (const TagId id : tags_) {
     if (frame.persistence < 1.0) {
       const std::uint64_t coin = rng::uniform64(
@@ -160,15 +162,15 @@ std::vector<SlotOutcome> ExactChannel::run_frame(const FrameConfig& frame) {
     obs::ledger_instruments().reader_bits.add(frame.begin_bits);
     chan_obs().frame_slots.add(frame.frame_size);
   }
-  std::vector<SlotOutcome> outcomes;
-  outcomes.reserve(frame.frame_size);
+  frame_outcomes_.clear();
+  frame_outcomes_.reserve(frame.frame_size);
   for (const std::uint32_t count : occupancy) {
     account_slot(count, frame.poll_bits);
-    outcomes.push_back(count == 0   ? SlotOutcome::kIdle
-                       : count == 1 ? SlotOutcome::kSingleton
-                                    : SlotOutcome::kCollision);
+    frame_outcomes_.push_back(count == 0   ? SlotOutcome::kIdle
+                              : count == 1 ? SlotOutcome::kSingleton
+                                           : SlotOutcome::kCollision);
   }
-  return outcomes;
+  return frame_outcomes_;
 }
 
 }  // namespace pet::chan

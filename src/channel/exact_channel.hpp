@@ -39,7 +39,7 @@ class ExactChannel final : public PrefixChannel,
   bool query_range(std::uint64_t bound) override;
 
   // FrameChannel
-  std::vector<SlotOutcome> run_frame(const FrameConfig& frame) override;
+  const std::vector<SlotOutcome>& run_frame(const FrameConfig& frame) override;
 
   [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
     return ledger_;
@@ -64,6 +64,8 @@ class ExactChannel final : public PrefixChannel,
   std::vector<std::uint32_t> depth_count_;  ///< round state: #tags with lcp >= k
   unsigned round_query_bits_ = 32;
   std::vector<std::uint64_t> range_slots_;  ///< round state: sorted slot picks
+  std::vector<std::uint32_t> frame_occupancy_;  ///< run_frame scratch
+  std::vector<SlotOutcome> frame_outcomes_;     ///< run_frame result buffer
   unsigned range_query_bits_ = 32;
   std::uint8_t obs_mode_ = 0;  ///< obs level snapshot, refreshed per round/frame
   sim::Simulator clock_;

@@ -37,6 +37,15 @@ SampledChannel::SampledChannel(std::uint64_t tag_count, std::uint64_t seed,
           "SampledChannel: tree height must be in [1, 64]");
 }
 
+void SampledChannel::reset(std::uint64_t tag_count,
+                           std::uint64_t seed) noexcept {
+  n_ = tag_count;
+  gen_ = rng::Xoshiro256ss(seed);
+  round_open_ = false;
+  range_open_ = false;
+  ledger_ = {};
+}
+
 void SampledChannel::account_slot(bool busy, unsigned downlink_bits,
                                   std::uint64_t responders_hint) {
   if (!busy) {
@@ -130,7 +139,8 @@ bool SampledChannel::query_range(std::uint64_t bound) {
   return busy;
 }
 
-std::vector<SlotOutcome> SampledChannel::run_frame(const FrameConfig& frame) {
+const std::vector<SlotOutcome>& SampledChannel::run_frame(
+    const FrameConfig& frame) {
   expects(frame.frame_size >= 1, "run_frame: empty frame");
   expects(frame.persistence > 0.0 && frame.persistence <= 1.0,
           "run_frame: persistence must be in (0, 1]");
@@ -150,8 +160,8 @@ std::vector<SlotOutcome> SampledChannel::run_frame(const FrameConfig& frame) {
 
   // Exact multinomial occupancy via sequential binomial splitting: slot i
   // receives Binomial(remaining, p_i / mass_left) tags.
-  std::vector<SlotOutcome> outcomes;
-  outcomes.reserve(frame.frame_size);
+  frame_outcomes_.clear();
+  frame_outcomes_.reserve(frame.frame_size);
   double mass_left = 1.0;
   for (std::uint64_t i = 1; i <= frame.frame_size; ++i) {
     double p_slot;
@@ -171,11 +181,11 @@ std::vector<SlotOutcome> SampledChannel::run_frame(const FrameConfig& frame) {
     remaining -= count;
     mass_left -= p_slot;
     account_slot(count > 0, frame.poll_bits, count);
-    outcomes.push_back(count == 0   ? SlotOutcome::kIdle
-                       : count == 1 ? SlotOutcome::kSingleton
-                                    : SlotOutcome::kCollision);
+    frame_outcomes_.push_back(count == 0   ? SlotOutcome::kIdle
+                              : count == 1 ? SlotOutcome::kSingleton
+                                           : SlotOutcome::kCollision);
   }
-  return outcomes;
+  return frame_outcomes_;
 }
 
 }  // namespace pet::chan

@@ -47,6 +47,12 @@ class SampledChannel final : public PrefixChannel,
   /// Change the population size (dynamic scenarios); next round sees it.
   void set_tag_count(std::uint64_t n) noexcept { n_ = n; }
 
+  /// Reinitialize to the state of a freshly constructed channel with this
+  /// population and seed, keeping the capacity of internal buffers.  Lets
+  /// the sweep harness reuse one channel per worker thread instead of
+  /// constructing one per trial.
+  void reset(std::uint64_t tag_count, std::uint64_t seed) noexcept;
+
   // PrefixChannel
   void begin_round(const RoundConfig& round) override;
   bool query_prefix(unsigned len) override;
@@ -56,7 +62,7 @@ class SampledChannel final : public PrefixChannel,
   bool query_range(std::uint64_t bound) override;
 
   // FrameChannel
-  std::vector<SlotOutcome> run_frame(const FrameConfig& frame) override;
+  const std::vector<SlotOutcome>& run_frame(const FrameConfig& frame) override;
 
   [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
     return ledger_;
@@ -83,6 +89,7 @@ class SampledChannel final : public PrefixChannel,
   bool range_open_ = false;
   unsigned range_query_bits_ = 32;
   std::uint8_t obs_mode_ = 0;  ///< obs level snapshot, refreshed per round/frame
+  std::vector<SlotOutcome> frame_outcomes_;  ///< run_frame result buffer
   sim::SlotLedger ledger_;
 };
 

@@ -1,8 +1,11 @@
 #include "channel/sorted_pet_channel.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/ensure.hpp"
+#include "common/fastpath.hpp"
+#include "common/radix.hpp"
 #include "obs/instruments.hpp"
 #include "obs/trace.hpp"
 
@@ -17,18 +20,41 @@ const obs::ChannelInstruments& chan_obs() {
 
 SortedPetChannel::SortedPetChannel(const std::vector<TagId>& tags,
                                    SortedPetChannelConfig config)
-    : config_(config) {
+    : config_(config), tags_(&tags) {
   expects(config_.tree_height >= 1 &&
               config_.tree_height <= BitCode::kMaxWidth,
           "SortedPetChannel: tree height must be in [1, 64]");
-  code_values_.reserve(tags.size());
-  for (const TagId id : tags) {
+  build_codes();
+}
+
+// Hash + sort the preloaded codes.  The fast path batches the hashing (seed
+// mix hoisted) and radix-sorts; both produce the same sorted value array as
+// the element-wise hash + std::sort they replace, so every downstream probe
+// answer is unchanged (tests/fastpath_test.cpp).
+void SortedPetChannel::build_codes() {
+  if (fast_path_enabled()) {
+    rng::uniform_code_batch(config_.hash, config_.manufacturing_seed, *tags_,
+                            config_.tree_height, code_values_);
+    radix_sort_u64(code_values_, sort_scratch_, config_.tree_height);
+    return;
+  }
+  code_values_.clear();
+  code_values_.reserve(tags_->size());
+  for (const TagId id : *tags_) {
     code_values_.push_back(rng::uniform_code(config_.hash,
                                              config_.manufacturing_seed, id,
                                              config_.tree_height)
                                .value());
   }
   std::sort(code_values_.begin(), code_values_.end());
+}
+
+void SortedPetChannel::rebuild(std::uint64_t manufacturing_seed) {
+  flush_obs();
+  config_.manufacturing_seed = manufacturing_seed;
+  round_open_ = false;
+  depth_valid_ = false;
+  build_codes();
 }
 
 SortedPetChannel::~SortedPetChannel() {
@@ -88,9 +114,46 @@ void SortedPetChannel::begin_round(const RoundConfig& round) {
   path_value_ = round.path.value();
   query_bits_ = round.query_bits;
   round_open_ = true;
+  depth_valid_ = false;
   flush_obs();
   ledger_.reader_bits += round.begin_bits;
   if (obs::counters_enabled()) chan_obs().rounds.add();
+}
+
+// One insertion-point lookup locates the sorted neighborhood of the path
+// value; the deepest busy prefix is then the longer of the path's LCPs with
+// its two neighbors.  (For any query, the longest-common-prefix maximum
+// over a sorted array is attained at an element adjacent to the query's
+// insertion point: every other element differs from the query at or before
+// the bit where its nearer neighbor does.)
+void SortedPetChannel::ensure_depth() {
+  if (depth_valid_) return;
+  expects(round_open_, "round_depth before begin_round");
+  const unsigned height = config_.tree_height;
+  const auto lcp = [height](std::uint64_t a, std::uint64_t b) noexcept {
+    const std::uint64_t x = a ^ b;
+    if (x == 0) return height;
+    // Codes occupy the low H bits; string bit 0 is value bit H-1.
+    return static_cast<unsigned>(std::countl_zero(x)) -
+           (BitCode::kMaxWidth - height);
+  };
+  const auto first = std::lower_bound(code_values_.begin(),
+                                      code_values_.end(), path_value_);
+  pos_ = static_cast<std::size_t>(first - code_values_.begin());
+  unsigned depth = 0;
+  if (pos_ < code_values_.size()) {
+    depth = lcp(code_values_[pos_], path_value_);
+  }
+  if (pos_ > 0) {
+    depth = std::max(depth, lcp(code_values_[pos_ - 1], path_value_));
+  }
+  depth_ = depth;
+  depth_valid_ = true;
+}
+
+unsigned SortedPetChannel::round_depth() {
+  ensure_depth();
+  return depth_;
 }
 
 bool SortedPetChannel::query_prefix(unsigned len) {
@@ -115,6 +178,51 @@ bool SortedPetChannel::query_prefix(unsigned len) {
     responders = static_cast<std::size_t>(last - first);
   }
 
+  account_probe(responders);
+  return responders > 0;
+}
+
+// Synthesized probe: the busy verdict comes from the round depth (busy iff
+// len <= d, n >= 1), so idle probes are answered without any search, and
+// busy probes count responders with searches bounded by the insertion
+// point pos_ (the matching range always brackets it).  The accounting call
+// is the same one query_prefix makes -- one call per probe with the same
+// addends -- so ledger totals, including the floating-point airtime sum,
+// are bit-identical.
+bool SortedPetChannel::synth_probe(unsigned len) {
+  expects(round_open_, "synth_probe before begin_round");
+  expects(len <= config_.tree_height, "synth_probe: len exceeds H");
+  ensure_depth();
+
+  std::size_t responders;
+  if (len == 0) {
+    responders = code_values_.size();
+  } else if (code_values_.empty() || len > depth_) {
+    responders = 0;
+  } else {
+    const unsigned shift = config_.tree_height - len;
+    const std::uint64_t lo = (path_value_ >> shift) << shift;
+    // lo <= path_value_ < hi, so the matching range's bounds straddle pos_:
+    // search only [begin, pos_) for the left edge and [pos_, end) for the
+    // right edge.
+    const auto first = std::lower_bound(code_values_.begin(),
+                                        code_values_.begin() +
+                                            static_cast<std::ptrdiff_t>(pos_),
+                                        lo);
+    const std::uint64_t hi = lo + (std::uint64_t{1} << shift);
+    const auto last =
+        (hi == 0) ? code_values_.end()
+                  : std::lower_bound(code_values_.begin() +
+                                         static_cast<std::ptrdiff_t>(pos_),
+                                     code_values_.end(), hi);
+    responders = static_cast<std::size_t>(last - first);
+  }
+
+  account_probe(responders);
+  return responders > 0;
+}
+
+void SortedPetChannel::account_probe(std::size_t responders) noexcept {
   if (responders == 0) {
     ++ledger_.idle_slots;
   } else if (responders == 1) {
@@ -125,7 +233,6 @@ bool SortedPetChannel::query_prefix(unsigned len) {
   ledger_.reader_bits += query_bits_;
   ledger_.tag_bits += responders;
   ledger_.airtime_us += config_.timing.slot_us();
-  return responders > 0;
 }
 
 }  // namespace pet::chan

@@ -25,8 +25,10 @@ struct SortedPetChannelConfig {
   sim::SlotTiming timing{};
 };
 
-class SortedPetChannel final : public PrefixChannel {
+class SortedPetChannel final : public PrefixChannel, public DepthOracle {
  public:
+  /// `tags` must outlive the channel if rebuild() is used: rebuild rehashes
+  /// through the reference captured here (the trial-arena reuse contract).
   SortedPetChannel(const std::vector<TagId>& tags,
                    SortedPetChannelConfig config = {});
   ~SortedPetChannel() override;
@@ -35,8 +37,26 @@ class SortedPetChannel final : public PrefixChannel {
     return code_values_.size();
   }
 
+  /// Re-key the preloaded codes under a new manufacturing seed, reusing the
+  /// channel's code and sort buffers.  Equivalent to destroying the channel
+  /// and constructing a fresh one over the same tags with the new seed --
+  /// this is what lets steady-state sweep trials allocate nothing.  Pending
+  /// obs deltas are flushed first; the ledger is left untouched (callers
+  /// reset_ledger() per trial as before).
+  void rebuild(std::uint64_t manufacturing_seed);
+
+  /// Publish ledger deltas accumulated since the last round boundary to the
+  /// obs registry.  Called internally at round boundaries and destruction;
+  /// arena-reusing drivers call it at trial end so metric snapshots taken
+  /// while the channel is still alive are complete.
+  void flush_obs();
+
   void begin_round(const RoundConfig& round) override;
   bool query_prefix(unsigned len) override;
+
+  // DepthOracle: O(log n) once per round, then O(1) per idle probe.
+  [[nodiscard]] unsigned round_depth() override;
+  bool synth_probe(unsigned len) override;
 
   [[nodiscard]] const sim::SlotLedger& ledger() const noexcept override {
     return ledger_;
@@ -52,13 +72,20 @@ class SortedPetChannel final : public PrefixChannel {
   }
 
  private:
-  void flush_obs();
+  void build_codes();
+  void account_probe(std::size_t responders) noexcept;
+  void ensure_depth();
 
   SortedPetChannelConfig config_;
+  const std::vector<TagId>* tags_;          ///< rebuild() rehash source
   std::vector<std::uint64_t> code_values_;  ///< sorted H-bit code values
+  std::vector<std::uint64_t> sort_scratch_;  ///< radix ping-pong buffer
   std::uint64_t path_value_ = 0;
   unsigned query_bits_ = 32;
   bool round_open_ = false;
+  bool depth_valid_ = false;  ///< pos_/depth_ computed for this round
+  std::size_t pos_ = 0;       ///< insertion point of path_value_
+  unsigned depth_ = 0;        ///< max lcp(code, path) this round
   sim::SlotLedger ledger_;
   sim::SlotLedger obs_published_;  ///< ledger state already mirrored to obs
 };

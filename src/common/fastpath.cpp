@@ -1,0 +1,31 @@
+#include "common/fastpath.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace pet {
+
+namespace {
+
+bool initial_fast_path() noexcept {
+  const char* env = std::getenv("PET_FAST_PATH");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool>& flag() noexcept {
+  static std::atomic<bool> enabled{initial_fast_path()};
+  return enabled;
+}
+
+}  // namespace
+
+bool fast_path_enabled() noexcept {
+  return flag().load(std::memory_order_relaxed);
+}
+
+void set_fast_path(bool enabled) noexcept {
+  flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace pet

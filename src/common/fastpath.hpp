@@ -1,0 +1,18 @@
+// Process-wide switch for the fast-round evaluation pipeline (oracle-
+// synthesized PET rounds, radix-sorted batch channel construction, and
+// per-thread channel arenas).  Every fast-path site is bit-identical to the
+// code it replaces — the switch exists only so the two implementations can
+// be A/B-compared on the same build (scripts/check_repro.sh claim 6,
+// docs/performance.md).
+//
+// Default: enabled.  PET_FAST_PATH=0 in the environment forces the
+// historical slow path for a whole process; set_fast_path flips it at run
+// time (tests, the bench harness --fast-path flag).
+#pragma once
+
+namespace pet {
+
+[[nodiscard]] bool fast_path_enabled() noexcept;
+void set_fast_path(bool enabled) noexcept;
+
+}  // namespace pet

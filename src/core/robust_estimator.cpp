@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/ensure.hpp"
+#include "common/fastpath.hpp"
 #include "core/constants.hpp"
 #include "core/theory.hpp"
 #include "obs/instruments.hpp"
@@ -45,7 +46,7 @@ namespace {
 /// unreachable.  Every read after the first is a re-read charged to the
 /// inner channel's retry ledger; when the retry budget runs dry the probe
 /// degrades to its first (single) read.
-class VotingChannel final : public chan::PrefixChannel {
+class VotingChannel : public chan::PrefixChannel {
  public:
   VotingChannel(chan::PrefixChannel& inner, const RobustPetConfig& config)
       : inner_(inner), config_(config),
@@ -56,45 +57,8 @@ class VotingChannel final : public chan::PrefixChannel {
   }
 
   bool query_prefix(unsigned len) override {
-    const unsigned m = config_.vote_reads;
-    const unsigned k = config_.vote_quorum;
-    const bool first_read = inner_.query_prefix(len);
-    if (m <= 1) return first_read;
-
-    unsigned busy = first_read ? 1 : 0;
-    unsigned reads = 1;
-    while (busy < k && reads - busy <= m - k) {
-      if (retry_budget_left_ == 0) {
-        // Budget dry mid-vote: fall back to the single-read verdict.
-        if (obs::counters_enabled() && !budget_exhausted_) {
-          obs::robust_instruments().budget_exhausted.add();
-        }
-        budget_exhausted_ = true;
-        return first_read;
-      }
-      --retry_budget_left_;
-      inner_.note_retries(1);
-      ++reread_slots_;
-      if (obs::counters_enabled()) {
-        obs::robust_instruments().reread_slots.add();
-      }
-      if (inner_.query_prefix(len)) ++busy;
-      ++reads;
-    }
-    const bool verdict = busy >= k;
-    if (verdict != first_read) {
-      ++overturned_probes_;
-      if (obs::counters_enabled()) {
-        obs::robust_instruments().overturned_probes.add();
-      }
-      if (obs::full_enabled()) {
-        obs::trace_event("robust.probe_overturned",
-                         {{"len", std::to_string(len)},
-                          {"busy_votes", std::to_string(busy)},
-                          {"reads", std::to_string(reads)}});
-      }
-    }
-    return verdict;
+    return vote(len,
+                [this](unsigned l) { return inner_.query_prefix(l); });
   }
 
   void note_retries(std::uint64_t slots) noexcept override {
@@ -115,13 +79,89 @@ class VotingChannel final : public chan::PrefixChannel {
     return budget_exhausted_;
   }
 
- private:
+ protected:
+  /// The adaptive vote loop, generic over how one read is answered so the
+  /// oracle-synthesized probe path (OracleVotingChannel) reuses it
+  /// verbatim: re-read cadence, retry charging, budget exhaustion, and
+  /// overturn detection are then identical on both paths by construction.
+  template <typename Probe>
+  bool vote(unsigned len, Probe&& probe) {
+    const unsigned m = config_.vote_reads;
+    const unsigned k = config_.vote_quorum;
+    const bool first_read = probe(len);
+    if (m <= 1) return first_read;
+
+    unsigned busy = first_read ? 1 : 0;
+    unsigned reads = 1;
+    while (busy < k && reads - busy <= m - k) {
+      if (retry_budget_left_ == 0) {
+        // Budget dry mid-vote: fall back to the single-read verdict.
+        if (obs::counters_enabled() && !budget_exhausted_) {
+          obs::robust_instruments().budget_exhausted.add();
+        }
+        budget_exhausted_ = true;
+        return first_read;
+      }
+      --retry_budget_left_;
+      inner_.note_retries(1);
+      ++reread_slots_;
+      if (obs::counters_enabled()) {
+        obs::robust_instruments().reread_slots.add();
+      }
+      if (probe(len)) ++busy;
+      ++reads;
+    }
+    const bool verdict = busy >= k;
+    if (verdict != first_read) {
+      ++overturned_probes_;
+      if (obs::counters_enabled()) {
+        obs::robust_instruments().overturned_probes.add();
+      }
+      if (obs::full_enabled()) {
+        obs::trace_event("robust.probe_overturned",
+                         {{"len", std::to_string(len)},
+                          {"busy_votes", std::to_string(busy)},
+                          {"reads", std::to_string(reads)}});
+      }
+    }
+    return verdict;
+  }
+
   chan::PrefixChannel& inner_;
+
+ private:
   const RobustPetConfig& config_;
   std::uint64_t retry_budget_left_;
   std::uint64_t reread_slots_ = 0;
   std::uint64_t overturned_probes_ = 0;
   bool budget_exhausted_ = false;
+};
+
+/// Voting adapter over an oracle-capable inner channel.  Exposes the
+/// DepthOracle capability itself, so the inner estimator's fast path keeps
+/// working through the voting layer: each synthesized probe runs the same
+/// k-of-m vote loop (re-reads charged to the inner ledger via synth_probe)
+/// as the probed path would.  Instantiated only when the inner channel
+/// actually has the capability -- a statically-oracle voting wrapper over a
+/// plain channel would falsely advertise it.
+class OracleVotingChannel final : public VotingChannel,
+                                  public chan::DepthOracle {
+ public:
+  OracleVotingChannel(chan::PrefixChannel& inner,
+                      chan::DepthOracle& inner_oracle,
+                      const RobustPetConfig& config)
+      : VotingChannel(inner, config), oracle_(inner_oracle) {}
+
+  [[nodiscard]] unsigned round_depth() override {
+    return oracle_.round_depth();
+  }
+
+  bool synth_probe(unsigned len) override {
+    return vote(len, [this](unsigned l) { return oracle_.synth_probe(l); });
+  }
+
+ private:
+  chan::DepthOracle& oracle_;
 };
 
 /// The inner estimator must not fuse with a plain (or merely
@@ -154,12 +194,23 @@ RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
     chan::PrefixChannel& channel, std::uint64_t rounds,
     std::uint64_t seed) const {
   obs::ScopedSpan span("core.robust.estimate");
-  VotingChannel voting(channel, config_);
   RobustEstimateResult result;
-  result.base = inner_.estimate_with_rounds(voting, rounds, seed);
-  result.reread_slots = voting.reread_slots();
-  result.overturned_probes = voting.overturned_probes();
-  result.retry_budget_exhausted = voting.budget_exhausted();
+  const auto run_voting = [&](VotingChannel& voting) {
+    result.base = inner_.estimate_with_rounds(voting, rounds, seed);
+    result.reread_slots = voting.reread_slots();
+    result.overturned_probes = voting.overturned_probes();
+    result.retry_budget_exhausted = voting.budget_exhausted();
+  };
+  chan::DepthOracle* inner_oracle =
+      fast_path_enabled() ? dynamic_cast<chan::DepthOracle*>(&channel)
+                          : nullptr;
+  if (inner_oracle != nullptr) {
+    OracleVotingChannel voting(channel, *inner_oracle, config_);
+    run_voting(voting);
+  } else {
+    VotingChannel voting(channel, config_);
+    run_voting(voting);
+  }
 
   // --- Channel-health diagnostic -----------------------------------------
   ChannelDiagnostic& diag = result.diagnostic;

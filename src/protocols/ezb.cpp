@@ -61,7 +61,7 @@ core::EstimateResult EzbEstimator::estimate_with_sweeps(
   for (std::uint64_t s = 0; s < sweeps; ++s) {
     for (unsigned k = 0; k < config_.persistence_ladder; ++k) {
       const double p = std::ldexp(1.0, -static_cast<int>(k));
-      const auto outcomes = channel.run_frame(chan::FrameConfig{
+      const auto& outcomes = channel.run_frame(chan::FrameConfig{
           rng::derive_seed(seed, s * config_.persistence_ladder + k),
           config_.frame_size, p, /*geometric=*/false, config_.begin_bits,
           config_.poll_bits});

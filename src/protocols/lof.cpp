@@ -45,7 +45,7 @@ core::EstimateResult LofEstimator::estimate_with_rounds(
   std::uint64_t informative = 0;
 
   for (std::uint64_t i = 0; i < rounds; ++i) {
-    const auto outcomes = channel.run_frame(chan::FrameConfig{
+    const auto& outcomes = channel.run_frame(chan::FrameConfig{
         rng::derive_seed(seed, i), config_.frame_size, 1.0,
         /*geometric=*/true, config_.begin_bits, config_.poll_bits});
     // NOTE on early_stop: the FrameChannel interface polls whole frames;

@@ -80,7 +80,7 @@ core::EstimateResult UpeEstimator::estimate_with_rounds(
   std::uint64_t idle_total = 0;
   std::uint64_t collision_total = 0;
   for (std::uint64_t i = 0; i < rounds; ++i) {
-    const auto outcomes = channel.run_frame(chan::FrameConfig{
+    const auto& outcomes = channel.run_frame(chan::FrameConfig{
         rng::derive_seed(seed, i), config_.frame_size, p,
         /*geometric=*/false, config_.begin_bits, config_.poll_bits});
     for (const SlotOutcome o : outcomes) {

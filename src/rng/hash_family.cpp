@@ -73,6 +73,27 @@ BitCode uniform_code(HashKind kind, std::uint64_t seed, std::uint64_t id,
   return BitCode(value, width);
 }
 
+void uniform_code_batch(HashKind kind, std::uint64_t seed,
+                        std::span<const TagId> ids, unsigned width,
+                        std::vector<std::uint64_t>& out) {
+  expects(width >= 1 && width <= BitCode::kMaxWidth,
+          "uniform_code_batch width must be in [1, 64]");
+  out.clear();
+  out.reserve(ids.size());
+  if (kind == HashKind::kMix64) {
+    // Same two-round mix as uniform64, with the seed round hoisted.
+    const std::uint64_t seed_mix = mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (const TagId id : ids) {
+      const std::uint64_t h = mix64(seed_mix ^ mix64(to_underlying(id)));
+      out.push_back((width == 64) ? h : (h >> (64 - width)));
+    }
+    return;
+  }
+  for (const TagId id : ids) {
+    out.push_back(uniform_code(kind, seed, id, width).value());
+  }
+}
+
 std::uint64_t uniform_slot(HashKind kind, std::uint64_t seed, std::uint64_t id,
                            std::uint64_t bound) {
   expects(bound >= 1, "uniform_slot bound must be >= 1");

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/bitcode.hpp"
 #include "common/types.hpp"
@@ -37,6 +39,16 @@ enum class HashKind : std::uint8_t {
 /// Uniform `width`-bit code (width in [1, 64]) of (seed, id).
 [[nodiscard]] BitCode uniform_code(HashKind kind, std::uint64_t seed,
                                    std::uint64_t id, unsigned width);
+
+/// Batch form of uniform_code: overwrites `out` with one `width`-bit code
+/// value per id, bit-identical to calling
+/// `uniform_code(kind, seed, id, width).value()` element-wise.  For kMix64
+/// the seed half of the mix is hoisted out of the loop, which is where
+/// SortedPetChannel construction spends its hashing time
+/// (bench/micro_ops BM_UniformCodeBatch).
+void uniform_code_batch(HashKind kind, std::uint64_t seed,
+                        std::span<const TagId> ids, unsigned width,
+                        std::vector<std::uint64_t>& out);
 
 /// Uniform integer in [1, bound] (bound >= 1) of (seed, id); used for
 /// FNEB/UPE/EZB frame-slot picks.  Modulo reduction; the bias is below

@@ -51,6 +51,14 @@ class BenchReport {
     metrics_json_ = std::move(metrics);
   }
 
+  /// Attach a pre-rendered per-phase wall breakdown (build_seconds /
+  /// estimate_seconds); emitted as a top-level "profile" member.  Like
+  /// wall_seconds it describes the run, not the simulation — benchdiff
+  /// ignores it.  Empty string omits the member.
+  void set_profile_json(std::string profile) {
+    profile_json_ = std::move(profile);
+  }
+
   [[nodiscard]] const std::string& target() const noexcept { return target_; }
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
@@ -72,6 +80,7 @@ class BenchReport {
   unsigned threads_;
   double wall_seconds_ = 0.0;
   std::string metrics_json_;
+  std::string profile_json_;
   std::vector<Row> rows_;
 };
 

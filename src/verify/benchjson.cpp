@@ -47,6 +47,10 @@ class Parser {
         const std::size_t start = pos_;
         skip_value();
         artifact.metrics_json = text_.substr(start, pos_ - start);
+      } else if (key == "profile") {
+        const std::size_t start = pos_;
+        skip_value();
+        artifact.profile_json = text_.substr(start, pos_ - start);
       } else if (key == "rows") {
         artifact.rows = parse_rows();
         saw_rows = true;

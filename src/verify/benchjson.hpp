@@ -35,6 +35,10 @@ struct BenchArtifact {
   /// empty when absent.  Kept verbatim — diff_bench never compares it,
   /// because profile metrics are machine noise by design.
   std::string metrics_json;
+  /// Raw text of the optional "profile" member (per-phase wall breakdown),
+  /// empty when absent.  Ignored by diff_bench for the same reason as
+  /// wall_seconds: it measures the machine, not the simulation.
+  std::string profile_json;
   std::vector<BenchRow> rows;
 };
 

@@ -27,10 +27,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "channel/arena.hpp"
 #include "channel/device_channel.hpp"
+#include "common/fastpath.hpp"
 #include "channel/sampled_channel.hpp"
 #include "channel/sorted_pet_channel.hpp"
 #include "core/confidence.hpp"
@@ -116,6 +119,9 @@ int usage() {
       "  petsim monitor  --n=N --steps=T [--seed=S]\n"
       "  petsim sketch   --n-a=N --n-b=M --shared=K [--rounds=R]\n"
       "\n"
+      "performance (every command, docs/performance.md):\n"
+      "  --fast-path=on|off        fast-round pipeline (default on; results\n"
+      "                            are bit-identical either way)\n"
       "observability (every command):\n"
       "  --obs=off|counters|full   metrics level (default off)\n"
       "  --metrics-out=FILE        write pet.obs.v1 metrics JSON "
@@ -276,9 +282,17 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
           chan::SortedPetChannelConfig channel_config;
           channel_config.tree_height = pet_config.tree_height;
           channel_config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
-          chan::SortedPetChannel channel(ids, channel_config);
-          return estimator.estimate_with_rounds(
+          // Per-thread arena: rebuild() re-keys the retained channel, bit-
+          // identical to the per-trial construction the slow path keeps.
+          std::optional<chan::SortedPetChannel> local;
+          chan::SortedPetChannel& channel =
+              fast_path_enabled()
+                  ? chan::arena_sorted_pet_channel(ids, channel_config)
+                  : local.emplace(ids, channel_config);
+          auto result = estimator.estimate_with_rounds(
               channel, m, rng::derive_seed(seed, 2 * run + 1));
+          channel.flush_obs();
+          return result;
         },
         fold, "PET trials");
   } else {
@@ -288,8 +302,11 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
       runner.run<core::EstimateResult>(
           runs,
           [&](std::uint64_t run) {
-            chan::SampledChannel channel(n,
-                                         rng::derive_seed(seed, stride * run));
+            const std::uint64_t chan_seed = rng::derive_seed(seed, stride * run);
+            std::optional<chan::SampledChannel> local;
+            chan::SampledChannel& channel =
+                fast_path_enabled() ? chan::arena_sampled_channel(n, chan_seed)
+                                    : local.emplace(n, chan_seed);
             return estimator.estimate(
                 channel, rng::derive_seed(seed, stride * run + 1));
           },
@@ -669,6 +686,17 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
+
+  // Same semantics as the bench harness flag: bit-identical results either
+  // way, only wall time moves (docs/performance.md).
+  const std::string fast = args.get("fast-path", "");
+  if (!fast.empty()) {
+    if (fast != "on" && fast != "off") {
+      std::fprintf(stderr, "petsim: --fast-path must be on or off\n");
+      return 2;
+    }
+    set_fast_path(fast == "on");
+  }
 
   ObsSession obs_session;
   if (const int rc = obs_session.init(args); rc != 0) return rc;
