@@ -8,6 +8,7 @@
 #include "common/fastpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -83,6 +84,13 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
     }
   }
   runtime::global_runner().configure(options.threads, !options.quiet);
+  // Graceful SIGINT/SIGTERM: the first signal trips the shutdown latch, the
+  // trial runner folds the trials already finished, and BenchSession flushes
+  // a partial artifact marked "truncated": true.  A second signal force-
+  // exits (see runtime/cancel.cpp).
+  runtime::install_shutdown_handlers();
+  runtime::global_runner().set_cancel_token(
+      runtime::CancelToken::linked_to_shutdown());
   obs::set_level(options.obs_level);
   // Fresh counts for this harness run: registrations from other benches in
   // the same process (gtest-style multi-runs) must not leak into the

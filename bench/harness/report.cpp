@@ -8,6 +8,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -27,6 +28,12 @@ void BenchSession::finish() noexcept {
   report_.set_wall_seconds(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count());
+  // A drain requested mid-sweep (SIGINT/SIGTERM tripping the shutdown
+  // latch) still flushes whatever rows completed, marked so downstream
+  // tooling never mistakes the partial sweep for a full one.
+  if (runtime::shutdown_requested()) {
+    report_.set_truncated(true);
+  }
   // Per-phase wall breakdown (summed across worker threads; the build vs
   // estimate *ratio* is the signal).  Emitted in every artifact; benchdiff
   // ignores it like wall_seconds.
@@ -54,8 +61,9 @@ void BenchSession::finish() noexcept {
   try {
     report_.write(path_);
     if (!quiet_) {
-      std::fprintf(stderr, "wrote %s (%zu rows)\n", path_.c_str(),
-                   report_.row_count());
+      std::fprintf(stderr, "wrote %s (%zu rows%s)\n", path_.c_str(),
+                   report_.row_count(),
+                   report_.truncated() ? ", truncated by shutdown" : "");
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "BENCH json not written: %s\n", error.what());

@@ -1,0 +1,217 @@
+// Extra bench — the pet::svc estimation service under load (docs/service.md).
+//
+// Three tables:
+//   (1) "load": sustained request throughput and client-observed latency
+//       percentiles (p50/p99) against >= 1k concurrently registered
+//       populations, driven by parallel client threads through the full
+//       frame-encode -> submit -> pool -> frame-decode path.  Timing rows:
+//       they describe this machine, not the protocol, and are NOT golden.
+//   (2) "overload": a deliberate burst far past the admission cap; reports
+//       how much was shed with typed RESOURCE_EXHAUSTED frames vs served.
+//   (3) "degradation": the deterministic deadline ladder — how the service
+//       trades rounds for deadline slack, when it flags degraded, and when
+//       it refuses with DEADLINE_EXCEEDED.  Same seed => byte-identical
+//       rows at any --threads.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "harness/report.hpp"
+#include "harness/table.hpp"
+#include "rng/prng.hpp"
+#include "service/messages.hpp"
+#include "service/service.hpp"
+#include "stats/accuracy.hpp"
+
+namespace {
+
+using namespace pet;
+
+[[nodiscard]] double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+[[nodiscard]] svc::Frame estimate_request(std::uint64_t population,
+                                          std::uint64_t seed,
+                                          std::uint64_t deadline_slots) {
+  svc::EstimateRequest request;
+  request.population_id = population;
+  request.seed = seed;
+  request.deadline_slots = deadline_slots;
+  return svc::make_request(svc::CommandId::kEstimate, svc::encode(request));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "pet::svc service engine under load: throughput/latency at >= 1k "
+      "populations, overload shedding, deterministic deadline degradation.");
+  bench::BenchSession session(options, "service_bench");
+
+  // --quick (runs <= 30) shrinks the load phase, not the population count:
+  // the 1k-population floor is the point of the bench.
+  const bool quick = options.runs <= 30;
+  const std::uint64_t populations = 1024;
+  const std::uint64_t tags_per_population = quick ? 1000 : 2000;
+  const std::uint64_t requests = quick ? 1024 : 8192;
+  const unsigned clients =
+      std::max(2u, std::min(8u, runtime::ThreadPool::hardware_threads()));
+
+  svc::ServiceConfig config;
+  config.max_inflight = 256;
+  config.worker_threads = options.threads;
+  svc::EstimationService service(config);
+
+  // --- Registration: the 1k-population arena --------------------------------
+  const auto register_start = std::chrono::steady_clock::now();
+  for (std::uint64_t id = 0; id < populations; ++id) {
+    svc::RegisterRequest request;
+    request.population_id = id;
+    request.tag_count = tags_per_population;
+    request.population_seed = rng::derive_seed(options.seed, id);
+    const svc::Frame response = service.handle(svc::make_request(
+        svc::CommandId::kRegister, svc::encode(request)));
+    if (response.status != 0) {
+      std::fprintf(stderr, "service_bench: register %llu failed\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+  }
+  const double register_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    register_start)
+          .count();
+
+  // --- Load: parallel clients, strict request-response ----------------------
+  std::vector<std::vector<double>> latencies(clients);
+  const auto load_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<double>& mine = latencies[c];
+        mine.reserve(requests / clients + 1);
+        for (std::uint64_t i = c; i < requests; i += clients) {
+          const svc::Frame request = estimate_request(
+              i % populations, rng::derive_seed(options.seed, 10000 + i),
+              /*deadline_slots=*/0);
+          const auto start = std::chrono::steady_clock::now();
+          const svc::Frame response = service.submit(request).get();
+          const auto elapsed = std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start);
+          if (response.status == 0) mine.push_back(elapsed.count());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double load_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    load_start)
+          .count();
+
+  std::vector<double> all_latencies;
+  for (const std::vector<double>& part : latencies) {
+    all_latencies.insert(all_latencies.end(), part.begin(), part.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const std::uint64_t served = all_latencies.size();
+
+  bench::TablePrinter load_table(
+      "service load (timing: NOT golden)",
+      {"populations", "clients", "requests", "req/s", "p50 us", "p99 us",
+       "register s"},
+      options.csv);
+  load_table.bind(&session.report());
+  load_table.add_row({bench::TablePrinter::num(populations),
+                      bench::TablePrinter::num(std::uint64_t{clients}),
+                      bench::TablePrinter::num(served),
+                      bench::TablePrinter::num(
+                          static_cast<double>(served) / load_seconds, 1),
+                      bench::TablePrinter::num(percentile(all_latencies, 0.50),
+                                               1),
+                      bench::TablePrinter::num(percentile(all_latencies, 0.99),
+                                               1),
+                      bench::TablePrinter::num(register_seconds, 2)});
+  load_table.print();
+
+  // --- Overload: burst far past the admission cap ---------------------------
+  const std::uint64_t burst = config.max_inflight * 4;
+  std::vector<std::future<svc::Frame>> pending;
+  pending.reserve(burst);
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    pending.push_back(service.submit(estimate_request(
+        i % populations, rng::derive_seed(options.seed, 20000 + i), 0)));
+  }
+  std::uint64_t burst_ok = 0, burst_shed = 0;
+  for (std::future<svc::Frame>& future : pending) {
+    const svc::Frame response = future.get();
+    if (response.status == 0) {
+      ++burst_ok;
+    } else if (static_cast<svc::StatusCode>(response.status) ==
+               svc::StatusCode::kResourceExhausted) {
+      ++burst_shed;
+    }
+  }
+  bench::TablePrinter overload_table(
+      "overload burst (timing-dependent split; every request answered)",
+      {"burst", "served", "shed"}, options.csv);
+  overload_table.bind(&session.report());
+  overload_table.add_row({bench::TablePrinter::num(burst),
+                          bench::TablePrinter::num(burst_ok),
+                          bench::TablePrinter::num(burst_shed)});
+  overload_table.print();
+
+  // --- Degradation ladder (deterministic) -----------------------------------
+  bench::TablePrinter degrade_table(
+      "deadline degradation ladder (deterministic; robust, eps=0.1, "
+      "delta=0.05)",
+      {"deadline slots", "status", "rounds", "planned", "degraded",
+       "truncated", "nhat/n", "rel half-width"},
+      options.csv);
+  degrade_table.bind(&session.report());
+  const double true_n = static_cast<double>(tags_per_population);
+  for (const std::uint64_t deadline :
+       {std::uint64_t{0}, std::uint64_t{4000}, std::uint64_t{2000},
+        std::uint64_t{1000}, std::uint64_t{500}, std::uint64_t{250},
+        std::uint64_t{120}, std::uint64_t{60}, std::uint64_t{20},
+        std::uint64_t{5}}) {
+    const svc::Frame response = service.handle(estimate_request(
+        0, rng::derive_seed(options.seed, 30000), deadline));
+    const auto status = static_cast<svc::StatusCode>(response.status);
+    std::string rounds = "-", planned = "-", degraded = "-", truncated = "-",
+                accuracy = "-", width = "-";
+    if (status == svc::StatusCode::kOk) {
+      const auto reply = svc::parse_estimate_reply(response.payload);
+      if (!reply) return 1;
+      rounds = bench::TablePrinter::num(reply->rounds);
+      planned = bench::TablePrinter::num(reply->planned_rounds);
+      degraded = reply->degraded != 0 ? "yes" : "no";
+      truncated = reply->truncated != 0 ? "yes" : "no";
+      accuracy = bench::TablePrinter::num(reply->n_hat / true_n, 4);
+      width = bench::TablePrinter::num(
+          reply->n_hat > 0.0
+              ? (reply->ci_hi - reply->ci_lo) / (2.0 * reply->n_hat)
+              : 0.0,
+          4);
+    }
+    degrade_table.add_row({deadline == 0 ? "unlimited"
+                                         : bench::TablePrinter::num(deadline),
+                           std::string(svc::to_string(status)), rounds,
+                           planned, degraded, truncated, accuracy, width});
+  }
+  degrade_table.print();
+  return 0;
+}

@@ -34,6 +34,7 @@ pet_bench(latency_gen2)
 pet_bench(energy_bench)
 pet_bench(robustness_bench)
 pet_bench(related_estimators)
+pet_bench(service_bench)
 
 # google-benchmark micro benchmarks (hashing, per-round latency, channel
 # substrates).

@@ -110,5 +110,16 @@ echo "== claim 6: fast-round pipeline is bit-identical to the reference =="
     || fail "fast-path on/off artifacts diverge (see docs/performance.md)"
 echo "ok: fast path reproduces the reference sweep bit for bit"
 
+echo "== claim 7: robustness tables match the checked-in golden =="
+# The robustness sweep (iid loss / false-busy noise / burst fading) is the
+# evidence behind docs/robustness.md; its artifact is golden-gated like the
+# paper tables so estimator or fault-model drift cannot land silently.
+"$BENCH/robustness_bench" --quick --csv --quiet \
+    --json="$WORK/BENCH_robustness_bench.json" > /dev/null
+"$BENCHDIFF" "$GOLDEN_DIR/BENCH_robustness_bench.json" \
+    "$WORK/BENCH_robustness_bench.json" \
+    || fail "robustness_bench drifted from bench/golden (regenerate deliberately if intended)"
+echo "ok: robustness artifact within tolerance of bench/golden/"
+
 echo
 echo "ALL REPRODUCTION CLAIMS HOLD"

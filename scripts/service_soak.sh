@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Chaos soak for petd (docs/service.md): start the daemon with transient
+# link faults enabled, hammer it through petctl's seeded chaos client
+# (frame drops, bit flips, connection closes), then SIGTERM it and require
+# a clean exit.  Pass criteria:
+#   * petctl soak exits 0 (server answered liveness pings throughout —
+#     no crash, no hang, typed errors only);
+#   * petd exits 0 after SIGTERM within the watchdog budget (graceful
+#     drain, socket unlinked).
+# Run under ASan (the sanitizers CI job builds the same binaries) this is
+# the memory-safety soak the service ctest label wires in.
+#
+# usage: service_soak.sh <petd> <petctl> [seconds]
+#   SOAK_SECONDS overrides the default 5 s budget (CI uses 30).
+set -euo pipefail
+
+PETD=${1:?usage: service_soak.sh <petd> <petctl> [seconds]}
+PETCTL=${2:?usage: service_soak.sh <petd> <petctl> [seconds]}
+BUDGET=${3:-${SOAK_SECONDS:-5}}
+SOCK=$(mktemp -u "${TMPDIR:-/tmp}/petd-soak-XXXXXX.sock")
+
+"$PETD" --socket="$SOCK" --max-inflight=64 --retry-attempts=4 \
+        --link-loss=0.05 &
+PETD_PID=$!
+cleanup() {
+  kill -9 "$PETD_PID" 2>/dev/null || true
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  if ! kill -0 "$PETD_PID" 2>/dev/null; then
+    echo "service_soak: petd died during startup" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -S "$SOCK" ]; then
+  echo "service_soak: petd socket never appeared" >&2
+  exit 1
+fi
+
+"$PETCTL" --socket="$SOCK" soak --seconds="$BUDGET" --populations=8 \
+          --tags=3000 --chaos-loss=0.15 --chaos-noise=0.15 --chaos-close=0.05
+
+# Graceful shutdown: SIGTERM, with a watchdog that turns a hung drain into
+# a hard failure instead of a hung test.
+kill -TERM "$PETD_PID"
+(
+  sleep 30
+  kill -9 "$PETD_PID" 2>/dev/null || true
+) &
+WATCHDOG=$!
+set +e
+wait "$PETD_PID"
+RC=$?
+set -e
+kill "$WATCHDOG" 2>/dev/null || true
+if [ "$RC" -ne 0 ]; then
+  echo "service_soak: petd exited with $RC after SIGTERM" >&2
+  exit 1
+fi
+echo "service_soak: passed (${BUDGET}s chaos, clean shutdown)"

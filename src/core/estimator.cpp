@@ -132,6 +132,13 @@ EstimateResult PetEstimator::estimate(chan::PrefixChannel& channel,
 EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
                                                   std::uint64_t rounds,
                                                   std::uint64_t seed) const {
+  return estimate_with_rounds(channel, rounds, seed, RoundGate{});
+}
+
+EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
+                                                  std::uint64_t rounds,
+                                                  std::uint64_t seed,
+                                                  const RoundGate& gate) const {
   expects(rounds >= 1, "estimate_with_rounds: need at least one round");
 
   const sim::SlotLedger before = channel.ledger();
@@ -145,9 +152,16 @@ EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
       fast_path_enabled() ? dynamic_cast<chan::DepthOracle*>(&channel)
                           : nullptr;
 
+  std::uint64_t executed = 0;
   std::uint64_t empty_rounds = 0;
   double depth_sum = 0.0;
   for (std::uint64_t i = 0; i < rounds; ++i) {
+    // The gate never blocks the first round: a gated run always yields at
+    // least one observation, so a truncated result is still an estimate.
+    if (i > 0 && gate && !gate(i)) {
+      result.truncated = true;
+      break;
+    }
     const std::uint64_t path_seed = rng::derive_seed(seed, 2 * i);
     const std::uint64_t round_seed = rng::derive_seed(seed, 2 * i + 1);
     const BitCode path = rng::uniform_code(rng::HashKind::kMix64, path_seed,
@@ -157,6 +171,7 @@ EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
                                           config_.begin_bits(),
                                           config_.query_bits()});
     const auto depth = oracle ? run_round_synth(*oracle) : run_round(channel);
+    ++executed;
     if (!depth.has_value()) {
       // Verifiably empty region this round: recorded as a zero depth (the
       // fusion identity) unless every round agrees the region is empty.
@@ -168,14 +183,14 @@ EstimateResult PetEstimator::estimate_with_rounds(chan::PrefixChannel& channel,
     depth_sum += static_cast<double>(*depth);
   }
 
-  result.rounds = rounds;
-  if (empty_rounds == rounds) {
+  result.rounds = executed;
+  if (empty_rounds == executed) {
     // Every round certified emptiness: the estimate is exactly zero.
     result.depths.clear();
     result.n_hat = 0.0;
     result.mean_depth = 0.0;
   } else {
-    result.mean_depth = depth_sum / static_cast<double>(rounds);
+    result.mean_depth = depth_sum / static_cast<double>(executed);
     result.n_hat = fuse_depths(result.depths, config_.fusion,
                                config_.fusion_groups, config_.fusion_trim,
                                config_.tree_height);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -64,7 +65,18 @@ struct EstimateResult {
   double mean_depth = 0.0;         ///< dbar over the executed rounds
   std::vector<unsigned> depths;    ///< per-round observations d_i
   sim::SlotLedger ledger;          ///< slots/bits consumed by this estimate
+  /// True when a RoundGate stopped the run before the requested round
+  /// count; n_hat is then the best-effort fusion of the rounds completed.
+  bool truncated = false;
 };
+
+/// Cooperative stop-check consulted between rounds: receives the number of
+/// rounds completed so far and returns true to keep going, false to stop.
+/// petd's deadline/drain path installs one; sweeps leave it empty.  The
+/// gate must be deterministic if its caller needs deterministic results —
+/// wall-clock gates belong only to best-effort service paths
+/// (docs/service.md).
+using RoundGate = std::function<bool(std::uint64_t rounds_done)>;
 
 class PetEstimator {
  public:
@@ -86,6 +98,15 @@ class PetEstimator {
   [[nodiscard]] EstimateResult estimate_with_rounds(
       chan::PrefixChannel& channel, std::uint64_t rounds,
       std::uint64_t seed) const;
+
+  /// Same, with a RoundGate consulted before every round after the first.
+  /// A run stopped early fuses the depths it has (result.truncated = true,
+  /// result.rounds = rounds actually executed): a narrower best-effort
+  /// estimate rather than no answer — the degradation primitive the
+  /// pet::svc deadline path is built on.
+  [[nodiscard]] EstimateResult estimate_with_rounds(
+      chan::PrefixChannel& channel, std::uint64_t rounds, std::uint64_t seed,
+      const RoundGate& gate) const;
 
   /// Execute one round on an already-begun channel round and return the
   /// observed prefix depth, or nullopt when the region is verifiably empty

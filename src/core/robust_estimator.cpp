@@ -193,10 +193,16 @@ RobustEstimateResult RobustPetEstimator::estimate(chan::PrefixChannel& channel,
 RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
     chan::PrefixChannel& channel, std::uint64_t rounds,
     std::uint64_t seed) const {
+  return estimate_with_rounds(channel, rounds, seed, RoundGate{});
+}
+
+RobustEstimateResult RobustPetEstimator::estimate_with_rounds(
+    chan::PrefixChannel& channel, std::uint64_t rounds, std::uint64_t seed,
+    const RoundGate& gate) const {
   obs::ScopedSpan span("core.robust.estimate");
   RobustEstimateResult result;
   const auto run_voting = [&](VotingChannel& voting) {
-    result.base = inner_.estimate_with_rounds(voting, rounds, seed);
+    result.base = inner_.estimate_with_rounds(voting, rounds, seed, gate);
     result.reread_slots = voting.reread_slots();
     result.overturned_probes = voting.overturned_probes();
     result.retry_budget_exhausted = voting.budget_exhausted();

@@ -106,6 +106,14 @@ class RobustPetEstimator {
       chan::PrefixChannel& channel, std::uint64_t rounds,
       std::uint64_t seed) const;
 
+  /// Gated variant (see PetEstimator::estimate_with_rounds): the gate is
+  /// consulted at round boundaries; a truncated run still produces the
+  /// voting totals, health diagnostic, and a widened interval over the
+  /// rounds that did execute — the pet::svc graceful-degradation path.
+  [[nodiscard]] RobustEstimateResult estimate_with_rounds(
+      chan::PrefixChannel& channel, std::uint64_t rounds, std::uint64_t seed,
+      const RoundGate& gate) const;
+
  private:
   RobustPetConfig config_;
   stats::AccuracyRequirement requirement_;

@@ -168,4 +168,49 @@ inline const RobustInstruments& robust_instruments() {
   return bundle;
 }
 
+/// pet::svc (petd) request lifecycle: admission, shedding, retries,
+/// degradation, framing hygiene.  Queue depth and latency depend on wall
+/// clock and scheduling, so they live in Domain::kProfile; the lifecycle
+/// counters are deterministic given the request stream.
+struct SvcInstruments {
+  Counter req_accepted;     ///< svc.req.accepted
+  Counter req_completed;    ///< svc.req.completed
+  Counter req_shed;         ///< svc.req.shed (RESOURCE_EXHAUSTED responses)
+  Counter req_rejected;     ///< svc.req.rejected (typed non-shed errors)
+  Counter req_degraded;     ///< svc.req.degraded (best-effort replies)
+  Counter deadline_misses;  ///< svc.deadline.misses (truncated round loops)
+  Counter retry_attempts;   ///< svc.retry.attempts
+  Counter retry_backoff_slots;  ///< svc.retry.backoff_slots
+  Counter retry_exhausted;  ///< svc.retry.exhausted (UNAVAILABLE responses)
+  Counter frame_malformed;  ///< svc.frame.malformed (decode/parse errors)
+  Counter frame_version_skew;  ///< svc.frame.version_skew
+  Gauge queue_depth;        ///< svc.queue.depth (profile: inflight requests)
+  Histogram latency_us;     ///< svc.req.latency_us (profile: wall clock)
+};
+
+inline const SvcInstruments& svc_instruments() {
+  static const SvcInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    SvcInstruments b;
+    b.req_accepted = reg.counter("svc.req.accepted");
+    b.req_completed = reg.counter("svc.req.completed");
+    b.req_shed = reg.counter("svc.req.shed");
+    b.req_rejected = reg.counter("svc.req.rejected");
+    b.req_degraded = reg.counter("svc.req.degraded");
+    b.deadline_misses = reg.counter("svc.deadline.misses");
+    b.retry_attempts = reg.counter("svc.retry.attempts");
+    b.retry_backoff_slots = reg.counter("svc.retry.backoff_slots");
+    b.retry_exhausted = reg.counter("svc.retry.exhausted");
+    b.frame_malformed = reg.counter("svc.frame.malformed");
+    b.frame_version_skew = reg.counter("svc.frame.version_skew");
+    b.queue_depth = reg.gauge("svc.queue.depth", Domain::kProfile);
+    b.latency_us = reg.histogram(
+        "svc.req.latency_us",
+        {100.0, 1000.0, 5000.0, 20000.0, 100000.0, 1000000.0},
+        Domain::kProfile);
+    return b;
+  }();
+  return bundle;
+}
+
 }  // namespace pet::obs

@@ -1,0 +1,68 @@
+#include "runtime/cancel.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace pet::runtime {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void pet_shutdown_signal_handler(int sig) {
+  // Async-signal-safe: one relaxed RMW, and _exit on the second signal so a
+  // wedged drain can always be interrupted from the keyboard.
+  if (g_shutdown.exchange(true, std::memory_order_relaxed)) {
+    _exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handlers() noexcept {
+  if (g_handlers_installed.exchange(true, std::memory_order_relaxed)) return;
+  struct sigaction action {};
+  action.sa_handler = &pet_shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read should wake
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void request_shutdown() noexcept {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void reset_shutdown_for_tests() noexcept {
+  g_shutdown.store(false, std::memory_order_relaxed);
+}
+
+CancelToken CancelToken::cancellable() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+CancelToken CancelToken::with_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  CancelToken token = cancellable();
+  token.deadline_ = deadline;
+  return token;
+}
+
+CancelToken CancelToken::linked_to_shutdown() {
+  CancelToken token = cancellable();
+  token.honor_shutdown_ = true;
+  return token;
+}
+
+void CancelToken::cancel() const noexcept {
+  if (flag_) flag_->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace pet::runtime

@@ -1,0 +1,90 @@
+// Cooperative cancellation for the runtime layer.
+//
+// Two pieces:
+//
+//  * a process-wide **shutdown latch** set from SIGINT/SIGTERM (or by
+//    calling request_shutdown() directly).  The signal handler only flips
+//    an atomic flag — async-signal-safe — and long-running loops (the
+//    TrialRunner, petd's accept loop, service workers) poll it at safe
+//    boundaries.  A second signal while the latch is already set hard-exits
+//    with the conventional 128+SIGINT status, so a wedged drain can always
+//    be interrupted.
+//
+//  * **CancelToken** — a small copyable token combining an explicit cancel
+//    flag, an optional wall-clock deadline, and (optionally) the shutdown
+//    latch.  Checked cooperatively: holders call cancelled() at trial/round
+//    boundaries and wind down instead of being killed mid-operation, which
+//    is what lets a truncated sweep still flush a partial BENCH artifact
+//    (marked "truncated") and lets petd answer in-flight requests during a
+//    drain instead of dropping them on the floor.
+//
+// Determinism note: tokens with a wall deadline are inherently
+// scheduling-dependent and must never gate anything compared against
+// goldens; the deterministic deadline mechanism is the slot-budget plan in
+// pet::svc (docs/service.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace pet::runtime {
+
+/// Install SIGINT/SIGTERM handlers that set the shutdown latch (first
+/// signal) and _exit(128 + sig) (second signal).  Idempotent; safe to call
+/// from multiple entry points.
+void install_shutdown_handlers() noexcept;
+
+/// Flip the shutdown latch programmatically (tests, petd's drain path).
+void request_shutdown() noexcept;
+
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Clear the latch.  Only for tests — production code treats shutdown as
+/// one-way.
+void reset_shutdown_for_tests() noexcept;
+
+class CancelToken {
+ public:
+  /// Inert token: cancelled() is always false and costs one branch.
+  CancelToken() = default;
+
+  /// Token that can be cancel()ed explicitly.
+  [[nodiscard]] static CancelToken cancellable();
+
+  /// Cancellable token that also reports cancelled once the wall deadline
+  /// passes (scheduling-dependent; see the determinism note above).
+  [[nodiscard]] static CancelToken with_deadline(
+      std::chrono::steady_clock::time_point deadline);
+
+  /// Cancellable token that additionally observes the shutdown latch — the
+  /// token every sweep driver installs so Ctrl-C drains instead of kills.
+  [[nodiscard]] static CancelToken linked_to_shutdown();
+
+  /// Request cancellation; no-op on an inert token.  Thread-safe.
+  void cancel() const noexcept;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    if (honor_shutdown_ && shutdown_requested()) return true;
+    if (deadline_ &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return true;
+    }
+    return false;
+  }
+
+  /// True when cancel()/deadline/shutdown can ever fire; false for the
+  /// default-constructed inert token (lets hot loops skip the check).
+  [[nodiscard]] bool can_cancel() const noexcept {
+    return flag_ != nullptr || honor_shutdown_ || deadline_.has_value();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  bool honor_shutdown_ = false;
+};
+
+}  // namespace pet::runtime

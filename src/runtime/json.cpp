@@ -78,6 +78,9 @@ std::string BenchReport::to_json() const {
   out += "  \"target\": \"" + json_escape(target_) + "\",\n";
   out += "  \"threads\": " + std::to_string(threads_) + ",\n";
   out += "  \"wall_seconds\": " + json_number(wall_seconds_) + ",\n";
+  if (truncated_) {
+    out += "  \"truncated\": true,\n";
+  }
   if (!profile_json_.empty()) {
     out += "  \"profile\": " + profile_json_ + ",\n";
   }

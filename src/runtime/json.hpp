@@ -44,6 +44,13 @@ class BenchReport {
 
   void set_wall_seconds(double seconds) noexcept { wall_seconds_ = seconds; }
 
+  /// Mark the artifact as cut short (SIGINT/SIGTERM drain): a top-level
+  /// "truncated": true member is emitted so downstream tooling — benchdiff,
+  /// the repro gate — knows the rows are a partial sweep, not a regression.
+  /// Untruncated artifacts stay byte-identical to the historical schema.
+  void set_truncated(bool truncated) noexcept { truncated_ = truncated; }
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
   /// Attach a pre-rendered obs metrics document (pet.obs.v1); emitted as a
   /// top-level "metrics" member.  Empty string omits the member, keeping
   /// artifacts from obs-off runs byte-identical to the historical schema.
@@ -79,6 +86,7 @@ class BenchReport {
   std::string target_;
   unsigned threads_;
   double wall_seconds_ = 0.0;
+  bool truncated_ = false;
   std::string metrics_json_;
   std::string profile_json_;
   std::vector<Row> rows_;

@@ -13,6 +13,12 @@
 // Exceptions thrown by a trial are captured on the worker, every other
 // in-flight trial still completes, and the first failure (by submission
 // order) is re-thrown to the caller after the sweep quiesces.
+//
+// Cancellation: an installed CancelToken is checked at trial boundaries.
+// Once it fires, no further trial *starts* (in-flight trials finish) and
+// run() folds only the contiguous completed prefix — so a Ctrl-C'd sweep
+// still produces a well-formed partial aggregate instead of dying with
+// nothing (the bench harness marks the resulting artifact "truncated").
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "runtime/progress.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -50,38 +57,58 @@ class TrialRunner {
   [[nodiscard]] unsigned thread_count() const;
   [[nodiscard]] bool progress_enabled() const noexcept { return progress_; }
 
+  /// Install a cancellation token checked at trial boundaries (an inert
+  /// default-constructed token disables the checks).  Sweep front ends
+  /// install CancelToken::linked_to_shutdown() so SIGINT/SIGTERM drains.
+  void set_cancel_token(CancelToken token) noexcept {
+    cancel_ = std::move(token);
+  }
+  [[nodiscard]] const CancelToken& cancel_token() const noexcept {
+    return cancel_;
+  }
+
   /// Execute `trial(i)` for i in [0, trials) on the pool, then call
   /// `fold(i, std::move(result_i))` for i = 0, 1, ... on the calling
   /// thread.  `trial` must be safe to invoke concurrently from several
   /// workers (shared state read-only).  `label` names the sweep in the
-  /// progress meter.
+  /// progress meter.  Returns the number of trials folded: `trials` on a
+  /// full run, fewer when the cancel token fired (partial contiguous
+  /// prefix, see the header comment).
   template <typename Result, typename Trial, typename Fold>
-  void run(std::uint64_t trials, Trial&& trial, Fold&& fold,
-           const std::string& label = "trials") {
-    if (trials == 0) return;
+  std::uint64_t run(std::uint64_t trials, Trial&& trial, Fold&& fold,
+                    const std::string& label = "trials") {
+    if (trials == 0) return 0;
+    const bool check_cancel = cancel_.can_cancel();
     ProgressMeter meter(trials, label, progress_);
 
     if (thread_count() == 1) {
       // Serial fast path: no cross-thread hop, same observable behaviour
       // (the fold order below reproduces exactly this loop).
       for (std::uint64_t i = 0; i < trials; ++i) {
+        if (check_cancel && cancel_.cancelled()) return i;
         if (TrialBeginHook hook = trial_begin_hook()) hook(i);
         Result result = trial(i);
         meter.tick();
         fold(i, std::move(result));
       }
-      return;
+      return trials;
     }
 
     std::vector<std::optional<Result>> results(trials);
     std::vector<std::future<void>> futures;
     futures.reserve(trials);
+    const CancelToken& cancel = cancel_;
     for (std::uint64_t i = 0; i < trials; ++i) {
-      futures.push_back(pool_->submit([&results, &meter, &trial, i] {
-        if (TrialBeginHook hook = trial_begin_hook()) hook(i);
-        results[i].emplace(trial(i));
-        meter.tick();
-      }));
+      futures.push_back(
+          pool_->submit([&results, &meter, &trial, &cancel, check_cancel, i] {
+            // Checked on the worker immediately before the trial starts:
+            // a fired token turns every not-yet-started trial into a no-op
+            // while in-flight ones run to completion.
+            if (check_cancel && cancel.cancelled()) return;
+            if (TrialBeginHook hook = trial_begin_hook()) hook(i);
+            results[i].emplace(trial(i));
+            meter.tick();
+          }));
     }
 
     std::exception_ptr first_failure;
@@ -94,7 +121,13 @@ class TrialRunner {
     }
     if (first_failure) std::rethrow_exception(first_failure);
 
-    for (std::uint64_t i = 0; i < trials; ++i) fold(i, std::move(*results[i]));
+    std::uint64_t folded = 0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      if (!results[i].has_value()) break;  // cancelled tail (or a hole)
+      fold(i, std::move(*results[i]));
+      ++folded;
+    }
+    return folded;
   }
 
   /// Scheduling stats of the underlying pool since it was (re)configured.
@@ -104,6 +137,7 @@ class TrialRunner {
  private:
   std::unique_ptr<ThreadPool> pool_;
   bool progress_;
+  CancelToken cancel_;  ///< inert by default; see set_cancel_token
 };
 
 /// The process-wide runner used by the bench harness and petsim.  Defaults

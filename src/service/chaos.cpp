@@ -1,0 +1,38 @@
+#include "service/chaos.hpp"
+
+namespace pet::svc {
+
+std::string_view to_string(ChaosLink::Action action) noexcept {
+  switch (action) {
+    case ChaosLink::Action::kDeliver: return "deliver";
+    case ChaosLink::Action::kDropFrame: return "drop-frame";
+    case ChaosLink::Action::kCorruptBit: return "corrupt-bit";
+    case ChaosLink::Action::kCloseLink: return "close-link";
+  }
+  return "unknown";
+}
+
+ChaosLink::Action ChaosLink::apply(std::vector<std::uint8_t>& frame_bytes) {
+  ++frames_;
+  model_.begin_slot();
+  if (model_.reader_down()) {
+    ++closes_;
+    return Action::kCloseLink;
+  }
+  if (model_.erases_reply()) {
+    ++dropped_;
+    return Action::kDropFrame;
+  }
+  if (model_.raises_noise_floor() && !frame_bytes.empty()) {
+    const std::uint64_t draw = corrupt_rng_();
+    const std::size_t byte_index =
+        static_cast<std::size_t>(draw % frame_bytes.size());
+    const unsigned bit = static_cast<unsigned>((draw >> 32) % 8);
+    frame_bytes[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+    ++corrupted_;
+    return Action::kCorruptBit;
+  }
+  return Action::kDeliver;
+}
+
+}  // namespace pet::svc

@@ -1,0 +1,58 @@
+// pet::svc chaos link: connection-level fault injection for petd.
+//
+// Reuses sim::FaultModel — the same seeded machinery that impairs the air
+// interface — at the *transport* layer: each frame crossing the link is a
+// "slot", and the model's verdicts map to connection mischief:
+//
+//   reader_down()          -> close the connection mid-stream
+//   erases_reply()         -> drop the frame silently
+//   raises_noise_floor()   -> flip one bit (the LRC must catch it)
+//
+// Seeded => every chaos run replays bit-for-bit, so the soak harness
+// (scripts/service_soak.sh) and tests/service_test.cpp can assert exact
+// outcomes, not just "nothing crashed".
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "rng/prng.hpp"
+#include "sim/faults.hpp"
+
+namespace pet::svc {
+
+class ChaosLink {
+ public:
+  enum class Action : std::uint8_t {
+    kDeliver,     ///< frame passes untouched
+    kDropFrame,   ///< frame vanishes (peer sees silence, then the next one)
+    kCorruptBit,  ///< one bit flipped; framing layer must reject, resync
+    kCloseLink,   ///< connection torn down under the peer
+  };
+
+  explicit ChaosLink(const sim::ChannelImpairments& impairments)
+      : model_(impairments),
+        corrupt_rng_(rng::derive_seed(impairments.seed, 0xc0a5ull)) {}
+
+  /// Decide this frame's fate and, for kCorruptBit, mutate `frame_bytes`
+  /// in place.  One FaultModel slot per call.
+  Action apply(std::vector<std::uint8_t>& frame_bytes);
+
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] std::uint64_t closes() const noexcept { return closes_; }
+
+ private:
+  sim::FaultModel model_;
+  rng::Xoshiro256ss corrupt_rng_;  ///< bit-position stream, private to chaos
+  std::uint64_t frames_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+[[nodiscard]] std::string_view to_string(ChaosLink::Action action) noexcept;
+
+}  // namespace pet::svc

@@ -1,0 +1,267 @@
+#include "service/messages.hpp"
+
+#include <cstring>
+
+namespace pet::svc {
+
+std::string_view to_string(CommandId command) noexcept {
+  switch (command) {
+    case CommandId::kPing: return "ping";
+    case CommandId::kRegister: return "register";
+    case CommandId::kUnregister: return "unregister";
+    case CommandId::kEstimate: return "estimate";
+    case CommandId::kMonitor: return "monitor";
+  }
+  return "unknown";
+}
+
+// --- WireWriter ------------------------------------------------------------
+
+void WireWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v & 0xFF));
+  u8(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  u16(static_cast<std::uint16_t>((v >> 16) & 0xFFFF));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  u32(static_cast<std::uint32_t>((v >> 32) & 0xFFFFFFFFu));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+// --- WireReader ------------------------------------------------------------
+
+bool WireReader::take(std::size_t n) noexcept {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t WireReader::u8() noexcept {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() noexcept {
+  if (!take(2)) return 0;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() noexcept {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t WireReader::u64() noexcept {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double WireReader::f64() noexcept {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// --- encode ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode(const RegisterRequest& msg) {
+  WireWriter w;
+  w.u64(msg.population_id);
+  w.u64(msg.tag_count);
+  w.u64(msg.population_seed);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const RegisterReply& msg) {
+  WireWriter w;
+  w.u64(msg.population_id);
+  w.u64(msg.tag_count);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const UnregisterRequest& msg) {
+  WireWriter w;
+  w.u64(msg.population_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const EstimateRequest& msg) {
+  WireWriter w;
+  w.u64(msg.population_id);
+  w.u64(msg.seed);
+  w.f64(msg.epsilon);
+  w.f64(msg.delta);
+  w.u64(msg.deadline_slots);
+  w.u8(msg.robust);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const EstimateReply& msg) {
+  WireWriter w;
+  w.u64(msg.population_id);
+  w.f64(msg.n_hat);
+  w.f64(msg.ci_lo);
+  w.f64(msg.ci_hi);
+  w.u64(msg.rounds);
+  w.u64(msg.planned_rounds);
+  w.u64(msg.query_slots);
+  w.u32(msg.retries);
+  w.u64(msg.backoff_slots);
+  w.u8(msg.degraded);
+  w.u8(msg.truncated);
+  w.u8(msg.health);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const MonitorReply& msg) {
+  WireWriter w;
+  w.u64(msg.populations);
+  w.u64(msg.inflight);
+  w.u64(msg.accepted);
+  w.u64(msg.completed);
+  w.u64(msg.shed);
+  w.u64(msg.degraded);
+  w.u64(msg.deadline_misses);
+  w.u64(msg.retries);
+  w.u64(msg.malformed_frames);
+  return w.take();
+}
+
+// --- parse -----------------------------------------------------------------
+
+namespace {
+
+/// Shared tail check: the message parsed AND consumed the payload exactly.
+template <typename T>
+std::optional<T> finish(const WireReader& r, const T& msg) {
+  if (!r.exhausted()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace
+
+std::optional<RegisterRequest> parse_register_request(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  RegisterRequest msg;
+  msg.population_id = r.u64();
+  msg.tag_count = r.u64();
+  msg.population_seed = r.u64();
+  return finish(r, msg);
+}
+
+std::optional<RegisterReply> parse_register_reply(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  RegisterReply msg;
+  msg.population_id = r.u64();
+  msg.tag_count = r.u64();
+  return finish(r, msg);
+}
+
+std::optional<UnregisterRequest> parse_unregister_request(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  UnregisterRequest msg;
+  msg.population_id = r.u64();
+  return finish(r, msg);
+}
+
+std::optional<EstimateRequest> parse_estimate_request(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  EstimateRequest msg;
+  msg.population_id = r.u64();
+  msg.seed = r.u64();
+  msg.epsilon = r.f64();
+  msg.delta = r.f64();
+  msg.deadline_slots = r.u64();
+  msg.robust = r.u8();
+  return finish(r, msg);
+}
+
+std::optional<EstimateReply> parse_estimate_reply(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  EstimateReply msg;
+  msg.population_id = r.u64();
+  msg.n_hat = r.f64();
+  msg.ci_lo = r.f64();
+  msg.ci_hi = r.f64();
+  msg.rounds = r.u64();
+  msg.planned_rounds = r.u64();
+  msg.query_slots = r.u64();
+  msg.retries = r.u32();
+  msg.backoff_slots = r.u64();
+  msg.degraded = r.u8();
+  msg.truncated = r.u8();
+  msg.health = r.u8();
+  return finish(r, msg);
+}
+
+std::optional<MonitorReply> parse_monitor_reply(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  MonitorReply msg;
+  msg.populations = r.u64();
+  msg.inflight = r.u64();
+  msg.accepted = r.u64();
+  msg.completed = r.u64();
+  msg.shed = r.u64();
+  msg.degraded = r.u64();
+  msg.deadline_misses = r.u64();
+  msg.retries = r.u64();
+  msg.malformed_frames = r.u64();
+  return finish(r, msg);
+}
+
+// --- frame helpers ---------------------------------------------------------
+
+Frame make_request(CommandId command, std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.command = static_cast<std::uint16_t>(command);
+  frame.status = 0;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Frame make_response(CommandId command, std::uint16_t status,
+                    std::vector<std::uint8_t> payload) {
+  Frame frame;
+  frame.command = static_cast<std::uint16_t>(command);
+  frame.status = status;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+Frame make_error(CommandId command, std::uint16_t status,
+                 std::string_view detail) {
+  std::vector<std::uint8_t> payload(detail.begin(), detail.end());
+  return make_response(command, status, std::move(payload));
+}
+
+std::string error_detail(const Frame& frame) {
+  return std::string(frame.payload.begin(), frame.payload.end());
+}
+
+}  // namespace pet::svc

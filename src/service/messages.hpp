@@ -1,0 +1,178 @@
+// pet::svc message schemas: the payloads carried inside svc::Frame.
+//
+// Encoding discipline: fixed little-endian primitives appended in field
+// order, no padding, doubles as IEEE-754 bit patterns.  Every decode is
+// bounds-checked through WireReader — a short or trailing-garbage payload
+// fails parsing (-> MALFORMED_FRAME at the session layer) instead of
+// reading uninitialized memory.  Requests leave Frame::status zero; the
+// response echoes the request's command with the outcome StatusCode, and
+// error responses carry a UTF-8 detail string as their payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/frame.hpp"
+
+namespace pet::svc {
+
+enum class CommandId : std::uint16_t {
+  kPing = 1,        ///< liveness + version probe; empty payload both ways
+  kRegister = 2,    ///< RegisterRequest -> RegisterReply
+  kUnregister = 3,  ///< UnregisterRequest -> empty
+  kEstimate = 4,    ///< EstimateRequest -> EstimateReply
+  kMonitor = 5,     ///< empty -> MonitorReply (service-wide stats)
+};
+
+[[nodiscard]] std::string_view to_string(CommandId command) noexcept;
+
+// --- primitive wire I/O ----------------------------------------------------
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Cursor over a payload.  Every read either succeeds or trips `ok()`
+/// permanently; reads after a failure return zeros, so parse functions can
+/// read all fields unconditionally and check ok() once at the end.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& payload) noexcept
+      : data_(payload.data()), size_(payload.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept;
+  [[nodiscard]] std::uint16_t u16() noexcept;
+  [[nodiscard]] std::uint32_t u32() noexcept;
+  [[nodiscard]] std::uint64_t u64() noexcept;
+  [[nodiscard]] double f64() noexcept;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True iff every payload byte was consumed (trailing garbage is a
+  /// malformed message, not forward compatibility — versioning lives in the
+  /// frame header, not in payload slack).
+  [[nodiscard]] bool exhausted() const noexcept {
+    return ok_ && pos_ == size_;
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- message structs -------------------------------------------------------
+
+struct RegisterRequest {
+  std::uint64_t population_id = 0;
+  std::uint64_t tag_count = 0;       ///< tags generated deterministically...
+  std::uint64_t population_seed = 0; ///< ...from this seed (factory EPCs)
+};
+
+struct RegisterReply {
+  std::uint64_t population_id = 0;
+  std::uint64_t tag_count = 0;
+};
+
+struct UnregisterRequest {
+  std::uint64_t population_id = 0;
+};
+
+struct EstimateRequest {
+  std::uint64_t population_id = 0;
+  std::uint64_t seed = 0;       ///< estimation seed (derives paths/rounds)
+  double epsilon = 0.10;        ///< (ε, δ) accuracy contract requested
+  double delta = 0.05;
+  /// Deadline as a *slot budget*: the estimate may consume at most this
+  /// many reply-window slots, 0 = unlimited.  Slots, not microseconds, so
+  /// the degrade decision replays bit-for-bit (docs/service.md explains the
+  /// slot_us conversion for wall-clock callers).
+  std::uint64_t deadline_slots = 0;
+  std::uint8_t robust = 1;      ///< 1: RobustPetEstimator; 0: vanilla PET
+};
+
+struct EstimateReply {
+  std::uint64_t population_id = 0;
+  double n_hat = 0.0;
+  double ci_lo = 0.0;  ///< (1 - δ) interval, widened when degraded
+  double ci_hi = 0.0;
+  std::uint64_t rounds = 0;          ///< rounds actually executed
+  std::uint64_t planned_rounds = 0;  ///< rounds the (ε, δ) plan wanted
+  std::uint64_t query_slots = 0;     ///< reply-window slots consumed
+  std::uint32_t retries = 0;         ///< transient-fault attempts beyond the first
+  std::uint64_t backoff_slots = 0;   ///< total backoff the retries waited
+  /// Best-effort flag: set when the reply does NOT carry the full (ε, δ)
+  /// contract — the deadline truncated rounds, the retry budget ran dry, or
+  /// the channel-health diagnostic widened the interval past ε.
+  std::uint8_t degraded = 0;
+  std::uint8_t truncated = 0;  ///< deadline stopped the round loop early
+  std::uint8_t health = 0;     ///< core::ChannelHealth of the winning attempt
+};
+
+struct MonitorReply {
+  std::uint64_t populations = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t malformed_frames = 0;
+};
+
+// --- encode / decode -------------------------------------------------------
+// encode_* returns the payload bytes; parse_* returns nullopt on any
+// short/overlong/corrupt payload.
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const RegisterRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const RegisterReply& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const UnregisterRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const EstimateRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const EstimateReply& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const MonitorReply& msg);
+
+[[nodiscard]] std::optional<RegisterRequest> parse_register_request(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<RegisterReply> parse_register_reply(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<UnregisterRequest> parse_unregister_request(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<EstimateRequest> parse_estimate_request(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<EstimateReply> parse_estimate_reply(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<MonitorReply> parse_monitor_reply(
+    const std::vector<std::uint8_t>& payload);
+
+/// Build a request frame (status 0) around an encoded payload.
+[[nodiscard]] Frame make_request(CommandId command,
+                                 std::vector<std::uint8_t> payload = {});
+
+/// Build a response frame echoing `command` with `status`; error statuses
+/// conventionally carry a UTF-8 detail string as payload.
+[[nodiscard]] Frame make_response(CommandId command, std::uint16_t status,
+                                  std::vector<std::uint8_t> payload = {});
+[[nodiscard]] Frame make_error(CommandId command, std::uint16_t status,
+                               std::string_view detail);
+
+/// Interpret an error frame's payload as its detail string.
+[[nodiscard]] std::string error_detail(const Frame& frame);
+
+}  // namespace pet::svc

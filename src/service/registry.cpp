@@ -1,0 +1,65 @@
+#include "service/registry.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "rng/prng.hpp"
+#include "tags/population.hpp"
+
+namespace pet::svc {
+
+PopulationRegistry::PopulationRegistry(RegistryConfig config)
+    : config_(config) {
+  expects(config_.max_populations >= 1,
+          "RegistryConfig: max_populations must be >= 1");
+  expects(config_.tree_height >= 2 && config_.tree_height <= 64,
+          "RegistryConfig: tree_height must be in [2, 64]");
+}
+
+PopulationRegistry::RegisterOutcome PopulationRegistry::register_population(
+    std::uint64_t id, std::uint64_t tag_count, std::uint64_t population_seed) {
+  if (tag_count > config_.max_tags_per_population) {
+    return RegisterOutcome::kInvalidRequest;
+  }
+
+  // Generate tags and build the sorted channel *outside* the registry lock:
+  // registration of a million-tag population must not stall lookups.
+  auto entry = std::make_shared<Entry>();
+  entry->id = id;
+  const auto population = tags::TagPopulation::generate(
+      static_cast<std::size_t>(tag_count), population_seed);
+  entry->tags.assign(population.ids().begin(), population.ids().end());
+  chan::SortedPetChannelConfig channel_config;
+  channel_config.tree_height = config_.tree_height;
+  channel_config.manufacturing_seed = rng::derive_seed(population_seed, 1);
+  entry->channel = std::make_unique<chan::SortedPetChannel>(entry->tags,
+                                                            channel_config);
+
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= config_.max_populations) {
+    return RegisterOutcome::kFull;
+  }
+  const auto [it, inserted] = entries_.emplace(id, std::move(entry));
+  (void)it;
+  return inserted ? RegisterOutcome::kRegistered
+                  : RegisterOutcome::kAlreadyExists;
+}
+
+bool PopulationRegistry::unregister_population(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  return entries_.erase(id) > 0;
+}
+
+std::shared_ptr<PopulationRegistry::Entry> PopulationRegistry::find(
+    std::uint64_t id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::size_t PopulationRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace pet::svc

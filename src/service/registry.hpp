@@ -1,0 +1,74 @@
+// pet::svc population registry: the server-side state petd answers from.
+//
+// Each registered population owns its tag set and a long-lived
+// chan::SortedPetChannel over it — the per-population *channel arena*.
+// Building the sorted code array costs O(n log n) once at registration;
+// every estimate after that reuses it (reset_ledger per request), which is
+// what lets petd hold thousands of concurrent populations.  A per-entry
+// mutex serializes estimates against the same population (the channel is
+// stateful across rounds); different populations proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/sorted_pet_channel.hpp"
+#include "common/types.hpp"
+
+namespace pet::svc {
+
+struct RegistryConfig {
+  std::size_t max_populations = 65536;  ///< register beyond this is shed
+  std::size_t max_tags_per_population = 1u << 24;
+  unsigned tree_height = 32;  ///< H for every population's channel
+};
+
+class PopulationRegistry {
+ public:
+  /// One registered population.  The tag vector must not be mutated while
+  /// the channel is alive (rebuild() rehashes through the reference).
+  struct Entry {
+    std::uint64_t id = 0;
+    std::vector<TagId> tags;
+    std::unique_ptr<chan::SortedPetChannel> channel;
+    std::mutex mutex;  ///< serializes channel use across requests
+  };
+
+  explicit PopulationRegistry(RegistryConfig config = {});
+
+  enum class RegisterOutcome : std::uint8_t {
+    kRegistered,
+    kAlreadyExists,
+    kFull,            ///< max_populations reached: typed shed, not a crash
+    kInvalidRequest,  ///< tag count out of range
+  };
+
+  /// Create a population of `tag_count` deterministically-generated tags
+  /// (factory EPCs derived from `population_seed`) and build its channel.
+  RegisterOutcome register_population(std::uint64_t id,
+                                      std::uint64_t tag_count,
+                                      std::uint64_t population_seed);
+
+  /// Remove a population.  In-flight estimates holding the entry keep it
+  /// alive (shared ownership); new lookups fail immediately.
+  bool unregister_population(std::uint64_t id);
+
+  /// Shared handle, or nullptr when unknown.  Callers lock entry->mutex for
+  /// the duration of channel use.
+  [[nodiscard]] std::shared_ptr<Entry> find(std::uint64_t id) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const RegistryConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RegistryConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace pet::svc

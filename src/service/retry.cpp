@@ -1,0 +1,57 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace pet::svc {
+
+void RetryPolicy::validate() const {
+  expects(max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+  expects(base_backoff_slots >= 1,
+          "RetryPolicy: base_backoff_slots must be >= 1");
+  expects(max_backoff_slots >= base_backoff_slots,
+          "RetryPolicy: max_backoff_slots must be >= base_backoff_slots");
+  expects(jitter >= 0.0 && jitter <= 1.0,
+          "RetryPolicy: jitter must be in [0, 1]");
+}
+
+std::uint64_t BackoffSchedule::next_backoff_slots() noexcept {
+  // Exponential ladder with a shift-overflow guard: past 63 doublings the
+  // cap has long since taken over.
+  const std::uint32_t k = retries_;  // 0-based retry index
+  std::uint64_t backoff = policy_.max_backoff_slots;
+  if (k < 63) {
+    const std::uint64_t raw = policy_.base_backoff_slots << k;
+    const bool overflowed = (raw >> k) != policy_.base_backoff_slots;
+    backoff = overflowed ? policy_.max_backoff_slots
+                         : std::min(raw, policy_.max_backoff_slots);
+  }
+  ++retries_;
+  if (policy_.jitter > 0.0 && backoff > 1) {
+    // Shave up to jitter * backoff slots, never below 1.  Map the PRNG draw
+    // through a 53-bit mantissa for an unbiased [0, 1) uniform.
+    const double u =
+        static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+    const auto shave =
+        static_cast<std::uint64_t>(u * policy_.jitter *
+                                   static_cast<double>(backoff));
+    backoff = std::max<std::uint64_t>(1, backoff - shave);
+  }
+  return backoff;
+}
+
+std::vector<std::uint64_t> materialize_schedule(const RetryPolicy& policy,
+                                                std::uint64_t seed) {
+  policy.validate();
+  BackoffSchedule schedule(policy, seed);
+  std::vector<std::uint64_t> slots;
+  if (policy.max_attempts == 0) return slots;
+  slots.reserve(policy.max_attempts - 1);
+  for (std::uint32_t retry = 1; retry < policy.max_attempts; ++retry) {
+    slots.push_back(schedule.next_backoff_slots());
+  }
+  return slots;
+}
+
+}  // namespace pet::svc

@@ -1,0 +1,62 @@
+// pet::svc retry policy: capped exponential backoff with seeded jitter.
+//
+// Retries here defend against *transient channel faults* — a request whose
+// attempt hit a fault burst (sim::FaultModel reader outage / loss burst) is
+// re-run under a fresh attempt seed after a backoff measured in reply-window
+// slots.  Both the decision to retry and the backoff lengths are functions
+// of (policy, schedule seed) only, so the full retry schedule — attempt
+// count, per-attempt waits, final outcome — replays byte-for-byte at any
+// --threads, which is what tests/service_test.cpp pins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/prng.hpp"
+
+namespace pet::svc {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k (1-based): min(base << (k-1), max), then
+  /// jittered downward by up to `jitter` of itself ("decorrelated" enough
+  /// to spread synchronized retriers, deterministic given the seed).
+  std::uint64_t base_backoff_slots = 8;
+  std::uint64_t max_backoff_slots = 256;
+  double jitter = 0.5;  ///< in [0, 1]; 0 = fully deterministic ladder
+
+  void validate() const;
+};
+
+/// One request's backoff stream.  Owns a private PRNG seeded from the
+/// request, so concurrent requests never share jitter state — the property
+/// that makes retry schedules independent of scheduling order.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryPolicy& policy, std::uint64_t seed) noexcept
+      : policy_(policy), rng_(seed) {}
+
+  /// Backoff (in slots) to wait before the next retry; call once per retry.
+  [[nodiscard]] std::uint64_t next_backoff_slots() noexcept;
+
+  /// Retries granted so far (== next_backoff_slots() calls).
+  [[nodiscard]] std::uint32_t retries() const noexcept { return retries_; }
+
+  /// True while the policy allows another attempt after `attempts_done`.
+  [[nodiscard]] bool allows_retry(std::uint32_t attempts_done) const noexcept {
+    return attempts_done < policy_.max_attempts;
+  }
+
+ private:
+  RetryPolicy policy_;
+  rng::Xoshiro256ss rng_;
+  std::uint32_t retries_ = 0;
+};
+
+/// The full schedule a (policy, seed) pair produces, for tests and docs:
+/// element k is the backoff before retry k+1.
+[[nodiscard]] std::vector<std::uint64_t> materialize_schedule(
+    const RetryPolicy& policy, std::uint64_t seed);
+
+}  // namespace pet::svc

@@ -1,0 +1,447 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "core/confidence.hpp"
+#include "core/estimator.hpp"
+#include "core/robust_estimator.hpp"
+#include "obs/instruments.hpp"
+#include "obs/trace.hpp"
+#include "rng/prng.hpp"
+
+namespace pet::svc {
+
+namespace {
+
+/// Seed-stream tags for the per-request derivations (rng::derive_seed
+/// contract: distinct stream ids never collide across subsystems).
+constexpr std::uint64_t kBackoffStream = 0x5bacull;
+
+[[nodiscard]] Frame ready_error(CommandId command, StatusCode status,
+                                std::string_view detail) {
+  return make_error(command, static_cast<std::uint16_t>(status), detail);
+}
+
+[[nodiscard]] std::future<Frame> ready_future(Frame frame) {
+  std::promise<Frame> promise;
+  promise.set_value(std::move(frame));
+  return promise.get_future();
+}
+
+[[nodiscard]] bool valid_fraction(double v) noexcept {
+  return std::isfinite(v) && v > 0.0 && v < 1.0;
+}
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  retry.validate();
+  link_faults.validate();
+  expects(max_inflight >= 1, "ServiceConfig: max_inflight must be >= 1");
+  expects(vote_reads >= 1 && vote_reads <= 15,
+          "ServiceConfig: vote_reads must be in [1, 15]");
+  expects(vote_quorum >= 1 && vote_quorum <= vote_reads,
+          "ServiceConfig: vote_quorum must be in [1, vote_reads]");
+}
+
+EstimationService::EstimationService(ServiceConfig config)
+    : config_(std::move(config)), registry_(config_.registry) {
+  config_.validate();
+  pool_ = std::make_unique<runtime::ThreadPool>(config_.worker_threads);
+}
+
+EstimationService::~EstimationService() {
+  begin_shutdown();
+  // ~ThreadPool drains: every submitted request resolves before we return.
+  pool_.reset();
+}
+
+void EstimationService::begin_shutdown() noexcept {
+  draining_.store(true, std::memory_order_release);
+}
+
+void EstimationService::note_malformed_frame() noexcept {
+  malformed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+}
+
+EstimationService::InflightHold::InflightHold(EstimationService& service,
+                                              std::size_t slots) noexcept
+    : service_(service), slots_(slots) {
+  service_.inflight_.fetch_add(slots_, std::memory_order_acq_rel);
+}
+
+EstimationService::InflightHold::~InflightHold() {
+  service_.inflight_.fetch_sub(slots_, std::memory_order_acq_rel);
+}
+
+std::future<Frame> EstimationService::submit(Frame request) {
+  const auto command = static_cast<CommandId>(request.command);
+  if (draining()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().req_shed.add();
+    return ready_future(
+        ready_error(command, StatusCode::kShuttingDown, "service draining"));
+  }
+  // Optimistic admission: grab a slot, give it back if we were over the
+  // cap.  Monitor/ping are control-plane and always admitted — an operator
+  // must be able to observe an overloaded server.
+  const bool control_plane =
+      command == CommandId::kPing || command == CommandId::kMonitor;
+  const std::size_t occupied =
+      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (!control_plane && occupied > config_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) {
+      obs::svc_instruments().req_shed.add();
+      obs::svc_instruments().queue_depth.set(
+          static_cast<double>(occupied - 1));
+    }
+    return ready_future(ready_error(command, StatusCode::kResourceExhausted,
+                                    "inflight cap reached; retry with backoff"));
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) {
+    obs::svc_instruments().req_accepted.add();
+    obs::svc_instruments().queue_depth.set(static_cast<double>(occupied));
+  }
+
+  auto promise = std::make_shared<std::promise<Frame>>();
+  std::future<Frame> future = promise->get_future();
+  pool_->submit([this, promise, request = std::move(request)]() mutable {
+    promise->set_value(handle(request));
+    const std::size_t now_inflight =
+        inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (obs::counters_enabled()) {
+      obs::svc_instruments().queue_depth.set(
+          static_cast<double>(now_inflight));
+    }
+  });
+  return future;
+}
+
+Frame EstimationService::handle(const Frame& request) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto command = static_cast<CommandId>(request.command);
+
+  Frame response;
+  if (request.ver_major != kProtocolMajor) {
+    if (obs::counters_enabled()) {
+      obs::svc_instruments().frame_version_skew.add();
+      obs::svc_instruments().req_rejected.add();
+    }
+    response = ready_error(command, StatusCode::kIncompatibleVersion,
+                           "protocol major version mismatch");
+  } else {
+    switch (command) {
+      case CommandId::kPing: response = handle_ping(request); break;
+      case CommandId::kRegister: response = handle_register(request); break;
+      case CommandId::kUnregister:
+        response = handle_unregister(request);
+        break;
+      case CommandId::kEstimate: response = handle_estimate(request); break;
+      case CommandId::kMonitor: response = handle_monitor(request); break;
+      default:
+        if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+        response = ready_error(command, StatusCode::kUnknownCommand,
+                               "unknown command id");
+        break;
+    }
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) {
+    obs::svc_instruments().req_completed.add();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    obs::svc_instruments().latency_us.observe(
+        static_cast<double>(elapsed.count()));
+  }
+  return response;
+}
+
+Frame EstimationService::handle_ping(const Frame& request) {
+  (void)request;
+  return make_response(CommandId::kPing,
+                       static_cast<std::uint16_t>(StatusCode::kOk));
+}
+
+Frame EstimationService::handle_register(const Frame& request) {
+  const auto req = parse_register_request(request.payload);
+  if (!req) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+    return ready_error(CommandId::kRegister, StatusCode::kMalformedFrame,
+                       "register payload did not parse");
+  }
+  switch (registry_.register_population(req->population_id, req->tag_count,
+                                        req->population_seed)) {
+    case PopulationRegistry::RegisterOutcome::kRegistered: {
+      RegisterReply reply;
+      reply.population_id = req->population_id;
+      reply.tag_count = req->tag_count;
+      return make_response(CommandId::kRegister,
+                           static_cast<std::uint16_t>(StatusCode::kOk),
+                           encode(reply));
+    }
+    case PopulationRegistry::RegisterOutcome::kAlreadyExists:
+      if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+      return ready_error(CommandId::kRegister, StatusCode::kAlreadyExists,
+                         "population id already registered");
+    case PopulationRegistry::RegisterOutcome::kFull:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::counters_enabled()) obs::svc_instruments().req_shed.add();
+      return ready_error(CommandId::kRegister, StatusCode::kResourceExhausted,
+                         "population registry full");
+    case PopulationRegistry::RegisterOutcome::kInvalidRequest:
+      if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+      return ready_error(CommandId::kRegister, StatusCode::kInvalidArgument,
+                         "tag count out of range");
+  }
+  return ready_error(CommandId::kRegister, StatusCode::kInternal,
+                     "unreachable register outcome");
+}
+
+Frame EstimationService::handle_unregister(const Frame& request) {
+  const auto req = parse_unregister_request(request.payload);
+  if (!req) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+    return ready_error(CommandId::kUnregister, StatusCode::kMalformedFrame,
+                       "unregister payload did not parse");
+  }
+  if (!registry_.unregister_population(req->population_id)) {
+    if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+    return ready_error(CommandId::kUnregister, StatusCode::kNotFound,
+                       "population id not registered");
+  }
+  return make_response(CommandId::kUnregister,
+                       static_cast<std::uint16_t>(StatusCode::kOk));
+}
+
+Frame EstimationService::handle_monitor(const Frame& request) {
+  (void)request;
+  return make_response(CommandId::kMonitor,
+                       static_cast<std::uint16_t>(StatusCode::kOk),
+                       encode(stats()));
+}
+
+MonitorReply EstimationService::stats() const {
+  MonitorReply reply;
+  reply.populations = registry_.size();
+  reply.inflight = inflight_.load(std::memory_order_acquire);
+  reply.accepted = accepted_.load(std::memory_order_relaxed);
+  reply.completed = completed_.load(std::memory_order_relaxed);
+  reply.shed = shed_.load(std::memory_order_relaxed);
+  reply.degraded = degraded_.load(std::memory_order_relaxed);
+  reply.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  reply.retries = retries_.load(std::memory_order_relaxed);
+  reply.malformed_frames = malformed_.load(std::memory_order_relaxed);
+  return reply;
+}
+
+Frame EstimationService::handle_estimate(const Frame& request) {
+  const auto req = parse_estimate_request(request.payload);
+  if (!req) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+    return ready_error(CommandId::kEstimate, StatusCode::kMalformedFrame,
+                       "estimate payload did not parse");
+  }
+  if (!valid_fraction(req->epsilon) || !valid_fraction(req->delta) ||
+      req->robust > 1) {
+    if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+    return ready_error(CommandId::kEstimate, StatusCode::kInvalidArgument,
+                       "epsilon/delta must be in (0, 1); robust in {0, 1}");
+  }
+  const auto entry = registry_.find(req->population_id);
+  if (entry == nullptr) {
+    if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+    return ready_error(CommandId::kEstimate, StatusCode::kNotFound,
+                       "population id not registered");
+  }
+
+  // --- Transient link faults: seeded retry with capped backoff -----------
+  // One FaultModel per request, seeded from (service fault seed, request
+  // seed): the fault sequence — and therefore the retry schedule — is a
+  // pure function of the request, independent of arrival order or pool
+  // width.  Backoff is virtual (slots charged against the deadline budget,
+  // not slept): petd must not burn a worker thread idling.
+  sim::ChannelImpairments link = config_.link_faults;
+  link.seed = rng::derive_seed(config_.link_faults.seed, req->seed);
+  sim::FaultModel fault_model(link);
+  BackoffSchedule schedule(config_.retry,
+                           rng::derive_seed(req->seed, kBackoffStream));
+  const std::uint64_t budget = req->deadline_slots;  // 0 = unlimited
+  std::uint64_t backoff_spent = 0;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    fault_model.begin_slot();
+    const bool link_fault =
+        fault_model.reader_down() || fault_model.erases_reply();
+    if (!link_fault) break;
+    if (!schedule.allows_retry(attempt)) {
+      retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
+      if (obs::counters_enabled()) {
+        obs::svc_instruments().retry_exhausted.add();
+        obs::svc_instruments().req_rejected.add();
+      }
+      return ready_error(CommandId::kEstimate, StatusCode::kUnavailable,
+                         "transient link faults outlasted the retry policy");
+    }
+    const std::uint64_t wait = schedule.next_backoff_slots();
+    backoff_spent += wait;
+    if (obs::counters_enabled()) {
+      obs::svc_instruments().retry_attempts.add();
+      obs::svc_instruments().retry_backoff_slots.add(wait);
+    }
+    if (budget > 0 && backoff_spent >= budget) {
+      retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::counters_enabled()) {
+        obs::svc_instruments().deadline_misses.add();
+        obs::svc_instruments().req_rejected.add();
+      }
+      return ready_error(CommandId::kEstimate, StatusCode::kDeadlineExceeded,
+                         "retry backoff consumed the deadline budget");
+    }
+  }
+  retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
+
+  // --- Deadline fit: decide the degrade level before estimating ----------
+  const stats::AccuracyRequirement requirement{req->epsilon, req->delta};
+  const unsigned tree_height = config_.registry.tree_height;
+  core::PetConfig base;
+  base.tree_height = tree_height;
+  const bool robust = req->robust == 1;
+
+  std::uint64_t planned = 0;
+  std::uint64_t slots_per_round = 0;
+  std::optional<core::RobustPetEstimator> robust_estimator;
+  std::optional<core::PetEstimator> vanilla_estimator;
+  if (robust) {
+    core::RobustPetConfig rc;
+    rc.base = base;
+    rc.vote_reads = config_.vote_reads;
+    rc.vote_quorum = config_.vote_quorum;
+    robust_estimator.emplace(rc, requirement);
+    planned = robust_estimator->planned_rounds();
+    // Worst case every probe goes to a full m-read vote.
+    slots_per_round =
+        static_cast<std::uint64_t>(base.worst_case_slots_per_round()) *
+        config_.vote_reads;
+  } else {
+    vanilla_estimator.emplace(base, requirement);
+    planned = vanilla_estimator->planned_rounds();
+    slots_per_round = base.worst_case_slots_per_round();
+  }
+
+  const std::uint64_t remaining = budget > 0 ? budget - backoff_spent : 0;
+  std::uint64_t fit_rounds = planned;
+  if (budget > 0) {
+    fit_rounds = std::min<std::uint64_t>(planned, remaining / slots_per_round);
+    if (fit_rounds == 0) {
+      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::counters_enabled()) {
+        obs::svc_instruments().deadline_misses.add();
+        obs::svc_instruments().req_rejected.add();
+      }
+      return ready_error(CommandId::kEstimate, StatusCode::kDeadlineExceeded,
+                         "deadline budget cannot fit a single round");
+    }
+  }
+
+  // Wall-clock backstop (daemon only; breaks determinism, see config).
+  std::optional<std::chrono::steady_clock::time_point> wall_deadline;
+  if (budget > 0 && config_.slot_us > 0) {
+    wall_deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(budget * config_.slot_us);
+  }
+
+  // --- Run, serialized per population over its long-lived channel --------
+  EstimateReply reply;
+  reply.population_id = req->population_id;
+  reply.planned_rounds = planned;
+  reply.retries = schedule.retries();
+  reply.backoff_slots = backoff_spent;
+  {
+    std::lock_guard lock(entry->mutex);
+    chan::SortedPetChannel& channel = *entry->channel;
+    channel.reset_ledger();
+    const core::RoundGate gate =
+        [&](std::uint64_t /*rounds_done*/) -> bool {
+      if (draining_.load(std::memory_order_relaxed)) return false;
+      if (budget > 0) {
+        const sim::SlotLedger& led = channel.ledger();
+        if (led.total_slots() + led.retry_slots >= remaining) return false;
+      }
+      if (wall_deadline &&
+          std::chrono::steady_clock::now() >= *wall_deadline) {
+        return false;
+      }
+      return true;
+    };
+
+    if (robust) {
+      const core::RobustEstimateResult result =
+          robust_estimator->estimate_with_rounds(channel, fit_rounds,
+                                                 req->seed, gate);
+      reply.n_hat = result.base.n_hat;
+      reply.ci_lo = result.interval.lo;
+      reply.ci_hi = result.interval.hi;
+      reply.rounds = result.base.rounds;
+      reply.truncated = result.base.truncated ? 1 : 0;
+      reply.health = static_cast<std::uint8_t>(result.diagnostic.health);
+      const sim::SlotLedger& led = result.base.ledger;
+      reply.query_slots = led.total_slots() + led.retry_slots;
+      reply.degraded = (result.base.truncated || fit_rounds < planned ||
+                        result.retry_budget_exhausted ||
+                        result.diagnostic.contract_at_risk())
+                           ? 1
+                           : 0;
+    } else {
+      const core::EstimateResult result =
+          vanilla_estimator->estimate_with_rounds(channel, fit_rounds,
+                                                  req->seed, gate);
+      reply.n_hat = result.n_hat;
+      const core::ConfidenceInterval interval =
+          core::confidence_interval(result, req->delta);
+      reply.ci_lo = interval.lo;
+      reply.ci_hi = interval.hi;
+      reply.rounds = result.rounds;
+      reply.truncated = result.truncated ? 1 : 0;
+      reply.query_slots = result.ledger.total_slots();
+      reply.degraded =
+          (result.truncated || fit_rounds < planned) ? 1 : 0;
+    }
+    channel.flush_obs();
+  }
+
+  if (reply.truncated != 0 && budget > 0) {
+    // The slot budget stopped the round loop early: a deadline miss that
+    // still produced a (degraded) answer.
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().deadline_misses.add();
+  }
+  if (reply.degraded != 0) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().req_degraded.add();
+  }
+  if (obs::full_enabled()) {
+    obs::trace_event("svc.estimate",
+                     {{"population", std::to_string(req->population_id)},
+                      {"rounds", std::to_string(reply.rounds)},
+                      {"planned", std::to_string(planned)},
+                      {"degraded", std::to_string(reply.degraded)},
+                      {"retries", std::to_string(reply.retries)}});
+  }
+  return make_response(CommandId::kEstimate,
+                       static_cast<std::uint16_t>(StatusCode::kOk),
+                       encode(reply));
+}
+
+}  // namespace pet::svc

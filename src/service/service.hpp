@@ -1,0 +1,154 @@
+// pet::svc EstimationService: the fault-tolerant request engine behind petd
+// (docs/service.md).
+//
+// Lifecycle of an estimate request:
+//
+//   submit() ── admission ──> pool worker ── handle() ──> response frame
+//               │                           │
+//               ├ drain?    -> SHUTTING_DOWN│├ link fault?  -> seeded retry
+//               └ inflight  -> RESOURCE_    ││  w/ capped exp. backoff; dry
+//                 > cap        EXHAUSTED    ││  budget -> UNAVAILABLE
+//                              (shed)       │├ deadline (slot budget) can't
+//                                           ││  fit plan -> fewer rounds +
+//                                           ││  RoundGate truncation ->
+//                                           ││  degraded=1, widened CI
+//                                           │└ budget gone before round 1
+//                                           │   -> DEADLINE_EXCEEDED
+//
+// Determinism contract: given the same request (id, seed, ε, δ, deadline)
+// against the same registered population and service seeds, the response —
+// estimate, CI, retry schedule, degraded/truncated flags — is byte-identical
+// at any pool size.  Everything time-like is measured in reply-window slots
+// (backoff slots, deadline slot budgets); wall-clock deadline enforcement
+// exists only as an opt-in daemon backstop and is off wherever determinism
+// is asserted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+
+#include "runtime/thread_pool.hpp"
+#include "service/errors.hpp"
+#include "service/frame.hpp"
+#include "service/messages.hpp"
+#include "service/registry.hpp"
+#include "service/retry.hpp"
+#include "sim/faults.hpp"
+
+namespace pet::svc {
+
+struct ServiceConfig {
+  RegistryConfig registry{};
+  RetryPolicy retry{};
+
+  /// Transient link-fault model consulted once per estimate attempt (the
+  /// "connection" to the tag field, not per-probe impairments).  Inert by
+  /// default; chaos runs turn the knobs.  Each request draws from a private
+  /// FaultModel seeded derive(link_faults.seed, request seed), so fault
+  /// sequences replay per request regardless of arrival order.
+  sim::ChannelImpairments link_faults{};
+
+  /// Admission cap: requests in flight (queued + executing) beyond this are
+  /// shed immediately with RESOURCE_EXHAUSTED.
+  std::size_t max_inflight = 256;
+
+  /// Pool width for request execution; 0 picks hardware_threads().
+  unsigned worker_threads = 0;
+
+  /// k-of-m voting parameters forwarded to RobustPetEstimator for
+  /// robust=1 requests.
+  unsigned vote_reads = 3;
+  unsigned vote_quorum = 2;
+
+  /// Worst-case slot cost of one estimation round, used to decide how many
+  /// rounds fit a deadline budget *before* running (the degrade decision
+  /// must not depend on outcomes it hasn't computed yet).
+  /// Wall-clock backstop (daemon only): when > 0, a request's slot budget
+  /// is also mapped to a steady-clock deadline at slot_us microseconds per
+  /// slot and the round gate additionally stops on wall overrun.  Breaks
+  /// bit-determinism by design; keep 0 in tests and benches.
+  std::uint64_t slot_us = 0;
+
+  void validate() const;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceConfig config = {});
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Admission-controlled asynchronous execution.  Always returns a ready
+  /// or eventually-ready future — shed/drain outcomes resolve immediately
+  /// with the typed error frame, accepted requests resolve when a pool
+  /// worker finishes handle().
+  [[nodiscard]] std::future<Frame> submit(Frame request);
+
+  /// Synchronous request execution (the pool task body; also the direct
+  /// path for tests and single-threaded tools).  Total: every input frame,
+  /// however malformed, yields exactly one response frame.
+  [[nodiscard]] Frame handle(const Frame& request);
+
+  /// Enter drain: new submissions are refused with SHUTTING_DOWN, round
+  /// gates of in-flight estimates trip at the next round boundary (they
+  /// finish quickly as degraded best-effort responses).  Idempotent.
+  void begin_shutdown() noexcept;
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Service-wide lifecycle totals (the kMonitor payload).
+  [[nodiscard]] MonitorReply stats() const;
+
+  [[nodiscard]] PopulationRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Count a malformed *frame* (decode-level garbage the session layer
+  /// already resynced past); parse-level errors are counted inside handle().
+  void note_malformed_frame() noexcept;
+
+  /// Test hook: RAII occupation of `slots` admission slots, for driving the
+  /// shed path deterministically without timing games.
+  class [[nodiscard]] InflightHold {
+   public:
+    InflightHold(EstimationService& service, std::size_t slots) noexcept;
+    ~InflightHold();
+    InflightHold(const InflightHold&) = delete;
+    InflightHold& operator=(const InflightHold&) = delete;
+
+   private:
+    EstimationService& service_;
+    std::size_t slots_;
+  };
+
+ private:
+  Frame handle_ping(const Frame& request);
+  Frame handle_register(const Frame& request);
+  Frame handle_unregister(const Frame& request);
+  Frame handle_estimate(const Frame& request);
+  Frame handle_monitor(const Frame& request);
+
+  ServiceConfig config_;
+  PopulationRegistry registry_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> inflight_{0};
+
+  // Lifecycle totals (relaxed: monotone counters, snapshot via stats()).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+};
+
+}  // namespace pet::svc

@@ -1,0 +1,796 @@
+// pet::svc — framing, retry, registry, and the fault-tolerant estimation
+// service behind petd (docs/service.md).
+//
+// The load-bearing suites:
+//   * FrameCodec.*: the decoder is *total* — truncated, corrupted,
+//     oversized, or adversarial bytes produce typed errors, never UB
+//     (the fuzz cases are the ASan/UBSan payload of the service label);
+//   * Retry.* / Service.RetryScheduleByteIdenticalAcrossThreads: identical
+//     seeded transient-fault streams yield byte-identical retry schedules
+//     and responses at worker_threads 1, 2, and 8;
+//   * Service.DeadlineDegradesBeforeRefusing: graceful degradation — a
+//     tight deadline buys fewer rounds, an explicit degraded flag, and a
+//     widened CI; an impossible one gets DEADLINE_EXCEEDED, not a lie.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "rng/prng.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/json.hpp"
+#include "runtime/trial_runner.hpp"
+#include "service/chaos.hpp"
+#include "service/errors.hpp"
+#include "service/frame.hpp"
+#include "service/messages.hpp"
+#include "service/registry.hpp"
+#include "service/retry.hpp"
+#include "service/service.hpp"
+#include "sim/faults.hpp"
+
+namespace {
+
+using namespace pet;
+
+[[nodiscard]] svc::Frame test_frame(std::uint16_t command,
+                                    std::vector<std::uint8_t> payload) {
+  svc::Frame frame;
+  frame.command = command;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+[[nodiscard]] bool frames_equal(const svc::Frame& a, const svc::Frame& b) {
+  return a.ver_major == b.ver_major && a.ver_minor == b.ver_minor &&
+         a.command == b.command && a.status == b.status &&
+         a.payload == b.payload;
+}
+
+/// Drain every decodable frame/error out of a decoder.
+struct DrainResult {
+  std::vector<svc::Frame> frames;
+  std::vector<svc::DecodeStatus> errors;
+};
+
+[[nodiscard]] DrainResult drain(svc::Decoder& decoder) {
+  DrainResult result;
+  svc::Frame frame;
+  for (;;) {
+    const svc::DecodeStatus status = decoder.next(frame);
+    if (status == svc::DecodeStatus::kNeedMoreData) break;
+    if (status == svc::DecodeStatus::kFrame) {
+      result.frames.push_back(frame);
+    } else {
+      result.errors.push_back(status);
+    }
+  }
+  return result;
+}
+
+// --- frame codec -----------------------------------------------------------
+
+TEST(FrameCodec, EncodeDecodeIdentity) {
+  for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{7}, std::size_t{1024}}) {
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 13 + 5);
+    }
+    svc::Frame original = test_frame(4, payload);
+    original.status = 7;
+
+    svc::Decoder decoder;
+    decoder.feed(svc::encode_frame(original));
+    svc::Frame decoded;
+    ASSERT_EQ(decoder.next(decoded), svc::DecodeStatus::kFrame);
+    EXPECT_TRUE(frames_equal(original, decoded));
+    EXPECT_EQ(decoder.pending(), 0u);
+    EXPECT_EQ(decoder.next(decoded), svc::DecodeStatus::kNeedMoreData);
+  }
+}
+
+TEST(FrameCodec, ByteAtATimeFeedingNeedsDataUntilComplete) {
+  const svc::Frame original = test_frame(2, {1, 2, 3, 4});
+  const std::vector<std::uint8_t> bytes = svc::encode_frame(original);
+  svc::Decoder decoder;
+  svc::Frame decoded;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.feed(&bytes[i], 1);
+    ASSERT_EQ(decoder.next(decoded), svc::DecodeStatus::kNeedMoreData)
+        << "frame completed " << (bytes.size() - 1 - i) << " bytes early";
+  }
+  decoder.feed(&bytes.back(), 1);
+  ASSERT_EQ(decoder.next(decoded), svc::DecodeStatus::kFrame);
+  EXPECT_TRUE(frames_equal(original, decoded));
+}
+
+TEST(FrameCodec, GarbagePrefixCostsOneTypedErrorThenResyncs) {
+  // A run of non-SOF garbage is reported once (kBadSof), not per byte.
+  std::vector<std::uint8_t> bytes = {0x00, 0x13, 0x37, 0x42, 0x00};
+  const svc::Frame original = test_frame(1, {9});
+  const std::vector<std::uint8_t> encoded = svc::encode_frame(original);
+  bytes.insert(bytes.end(), encoded.begin(), encoded.end());
+
+  svc::Decoder decoder;
+  decoder.feed(bytes);
+  const DrainResult result = drain(decoder);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0], svc::DecodeStatus::kBadSof);
+  ASSERT_EQ(result.frames.size(), 1u);
+  EXPECT_TRUE(frames_equal(original, result.frames[0]));
+}
+
+TEST(FrameCodec, CorruptHeaderLoseOnlyThatFrame) {
+  const svc::Frame first = test_frame(3, {1, 1, 2, 3, 5, 8});
+  const svc::Frame second = test_frame(4, {42});
+  std::vector<std::uint8_t> bytes = svc::encode_frame(first);
+  bytes[3] ^= 0x10;  // command byte: header LRC must catch it
+  const std::vector<std::uint8_t> tail = svc::encode_frame(second);
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+  svc::Decoder decoder;
+  decoder.feed(bytes);
+  const DrainResult result = drain(decoder);
+  ASSERT_GE(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0], svc::DecodeStatus::kBadHeaderLrc);
+  for (const svc::DecodeStatus status : result.errors) {
+    EXPECT_TRUE(svc::is_decode_error(status));
+  }
+  ASSERT_EQ(result.frames.size(), 1u);
+  EXPECT_TRUE(frames_equal(second, result.frames[0]));
+}
+
+TEST(FrameCodec, CorruptPayloadDropsFrameKeepsStream) {
+  const svc::Frame first = test_frame(4, {10, 20, 30, 40});
+  const svc::Frame second = test_frame(5, {});
+  std::vector<std::uint8_t> bytes = svc::encode_frame(first);
+  bytes[svc::kHeaderSize + 1] ^= 0x01;  // payload bit: payload LRC catches it
+  const std::vector<std::uint8_t> tail = svc::encode_frame(second);
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+  svc::Decoder decoder;
+  decoder.feed(bytes);
+  const DrainResult result = drain(decoder);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0], svc::DecodeStatus::kBadPayloadLrc);
+  ASSERT_EQ(result.frames.size(), 1u);
+  EXPECT_TRUE(frames_equal(second, result.frames[0]));
+}
+
+TEST(FrameCodec, OversizedLengthFieldRejectedNotBuffered) {
+  // Hand-build a header whose length field demands kMaxPayload + 1 bytes
+  // with a *valid* header LRC: the only defense is the explicit size cap.
+  std::vector<std::uint8_t> bytes(svc::kHeaderSize);
+  bytes[0] = svc::kSof;
+  bytes[1] = svc::kProtocolMajor;
+  bytes[2] = svc::kProtocolMinor;
+  bytes[3] = 1;  // command lo
+  const std::uint32_t huge = svc::kMaxPayload + 1;
+  bytes[7] = static_cast<std::uint8_t>(huge & 0xFF);
+  bytes[8] = static_cast<std::uint8_t>((huge >> 8) & 0xFF);
+  bytes[9] = static_cast<std::uint8_t>((huge >> 16) & 0xFF);
+  bytes[10] = static_cast<std::uint8_t>((huge >> 24) & 0xFF);
+  bytes[11] = svc::lrc(bytes.data(), svc::kHeaderSize - 1);
+
+  svc::Decoder decoder;
+  decoder.feed(bytes);
+  svc::Frame frame;
+  EXPECT_EQ(decoder.next(frame), svc::DecodeStatus::kOversized);
+  // The decoder must not be waiting to buffer a gigabyte.
+  EXPECT_LT(decoder.pending(), bytes.size());
+}
+
+TEST(FrameCodec, VersionSkewIsAServiceDecisionNotADecodeError) {
+  // Framing is version-agnostic (resync must work on frames from any
+  // speaker); semver policy lives in EstimationService::handle.
+  svc::Frame skewed = test_frame(1, {});
+  skewed.ver_major = svc::kProtocolMajor + 1;
+  svc::Decoder decoder;
+  decoder.feed(svc::encode_frame(skewed));
+  svc::Frame decoded;
+  ASSERT_EQ(decoder.next(decoded), svc::DecodeStatus::kFrame);
+
+  svc::EstimationService service;
+  const svc::Frame rejected = service.handle(decoded);
+  EXPECT_EQ(static_cast<svc::StatusCode>(rejected.status),
+            svc::StatusCode::kIncompatibleVersion);
+  EXPECT_FALSE(svc::error_detail(rejected).empty());
+
+  // A higher *minor* version is forward-compatible and must be served.
+  svc::Frame minor_skew = test_frame(1, {});
+  minor_skew.ver_minor = svc::kProtocolMinor + 3;
+  const svc::Frame served = service.handle(minor_skew);
+  EXPECT_EQ(static_cast<svc::StatusCode>(served.status),
+            svc::StatusCode::kOk);
+}
+
+TEST(FrameCodec, FuzzRandomBytesNeverCrashOrBufferUnbounded) {
+  // Pure adversarial input: the decoder must only ever emit typed statuses,
+  // keep bounded memory, and make progress.  ASan/UBSan in the sanitizer CI
+  // job turn any lurking UB into a test failure.
+  rng::Xoshiro256ss rng(0xF0220u);
+  svc::Decoder decoder;
+  svc::Frame frame;
+  std::size_t total_outcomes = 0;
+  for (int chunk = 0; chunk < 200; ++chunk) {
+    std::vector<std::uint8_t> bytes(1 + (rng() % 257));
+    for (std::uint8_t& b : bytes) b = static_cast<std::uint8_t>(rng());
+    decoder.feed(bytes);
+    for (;;) {
+      const svc::DecodeStatus status = decoder.next(frame);
+      ++total_outcomes;
+      ASSERT_LT(total_outcomes, 1u << 20) << "decoder livelocked";
+      if (status == svc::DecodeStatus::kNeedMoreData) break;
+      if (status == svc::DecodeStatus::kFrame) {
+        EXPECT_LE(frame.payload.size(), svc::kMaxPayload);
+      } else {
+        EXPECT_TRUE(svc::is_decode_error(status));
+      }
+    }
+    EXPECT_LE(decoder.pending(),
+              std::size_t{svc::kMaxPayload} + svc::kHeaderSize + 1);
+  }
+}
+
+TEST(FrameCodec, FuzzSingleBitFlipNeverYieldsACorruptedFrame) {
+  // An LRC never absorbs a single bit flip (the sum changes by ±2^k mod
+  // 256 != 0), so any frame the decoder does emit from a flipped stream
+  // must be byte-exact one of the originals — corruption is detected or
+  // skipped, never silently delivered.
+  rng::Xoshiro256ss rng(0xB17F11Fu);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<svc::Frame> originals;
+    std::vector<std::uint8_t> stream;
+    for (std::uint16_t i = 0; i < 8; ++i) {
+      svc::Frame frame = test_frame(
+          static_cast<std::uint16_t>(i + 1),
+          {static_cast<std::uint8_t>(round), static_cast<std::uint8_t>(i)});
+      const std::vector<std::uint8_t> encoded = svc::encode_frame(frame);
+      stream.insert(stream.end(), encoded.begin(), encoded.end());
+      originals.push_back(std::move(frame));
+    }
+    stream[rng() % stream.size()] ^=
+        static_cast<std::uint8_t>(1u << (rng() % 8));
+
+    svc::Decoder decoder;
+    decoder.feed(stream);
+    const DrainResult result = drain(decoder);
+    EXPECT_LT(result.frames.size(), originals.size());
+    for (const svc::Frame& decoded : result.frames) {
+      const bool matches_an_original =
+          std::any_of(originals.begin(), originals.end(),
+                      [&](const svc::Frame& original) {
+                        return frames_equal(original, decoded);
+                      });
+      EXPECT_TRUE(matches_an_original)
+          << "decoder delivered a frame that was never sent";
+    }
+  }
+}
+
+// --- message schemas -------------------------------------------------------
+
+TEST(Messages, RoundTripEveryMessage) {
+  svc::EstimateRequest estimate;
+  estimate.population_id = 77;
+  estimate.seed = 0xAB12;
+  estimate.epsilon = 0.07;
+  estimate.delta = 0.01;
+  estimate.deadline_slots = 1234;
+  estimate.robust = 0;
+  const auto estimate_rt = svc::parse_estimate_request(svc::encode(estimate));
+  ASSERT_TRUE(estimate_rt.has_value());
+  EXPECT_EQ(estimate_rt->population_id, estimate.population_id);
+  EXPECT_EQ(estimate_rt->seed, estimate.seed);
+  EXPECT_DOUBLE_EQ(estimate_rt->epsilon, estimate.epsilon);
+  EXPECT_DOUBLE_EQ(estimate_rt->delta, estimate.delta);
+  EXPECT_EQ(estimate_rt->deadline_slots, estimate.deadline_slots);
+  EXPECT_EQ(estimate_rt->robust, estimate.robust);
+
+  svc::EstimateReply reply;
+  reply.population_id = 77;
+  reply.n_hat = 4987.25;
+  reply.ci_lo = 4200.0;
+  reply.ci_hi = 5800.0;
+  reply.rounds = 31;
+  reply.planned_rounds = 40;
+  reply.query_slots = 992;
+  reply.retries = 2;
+  reply.backoff_slots = 24;
+  reply.degraded = 1;
+  reply.truncated = 1;
+  reply.health = 2;
+  const auto reply_rt = svc::parse_estimate_reply(svc::encode(reply));
+  ASSERT_TRUE(reply_rt.has_value());
+  EXPECT_DOUBLE_EQ(reply_rt->n_hat, reply.n_hat);
+  EXPECT_DOUBLE_EQ(reply_rt->ci_lo, reply.ci_lo);
+  EXPECT_DOUBLE_EQ(reply_rt->ci_hi, reply.ci_hi);
+  EXPECT_EQ(reply_rt->rounds, reply.rounds);
+  EXPECT_EQ(reply_rt->planned_rounds, reply.planned_rounds);
+  EXPECT_EQ(reply_rt->query_slots, reply.query_slots);
+  EXPECT_EQ(reply_rt->retries, reply.retries);
+  EXPECT_EQ(reply_rt->backoff_slots, reply.backoff_slots);
+  EXPECT_EQ(reply_rt->degraded, reply.degraded);
+  EXPECT_EQ(reply_rt->truncated, reply.truncated);
+  EXPECT_EQ(reply_rt->health, reply.health);
+
+  svc::MonitorReply monitor;
+  monitor.populations = 1;
+  monitor.accepted = 9;
+  monitor.shed = 3;
+  monitor.malformed_frames = 2;
+  const auto monitor_rt = svc::parse_monitor_reply(svc::encode(monitor));
+  ASSERT_TRUE(monitor_rt.has_value());
+  EXPECT_EQ(monitor_rt->populations, monitor.populations);
+  EXPECT_EQ(monitor_rt->accepted, monitor.accepted);
+  EXPECT_EQ(monitor_rt->shed, monitor.shed);
+  EXPECT_EQ(monitor_rt->malformed_frames, monitor.malformed_frames);
+}
+
+TEST(Messages, ShortAndOverlongPayloadsAreMalformed) {
+  svc::EstimateRequest request;
+  std::vector<std::uint8_t> bytes = svc::encode(request);
+
+  std::vector<std::uint8_t> shortened(bytes.begin(), bytes.end() - 1);
+  EXPECT_FALSE(svc::parse_estimate_request(shortened).has_value());
+
+  std::vector<std::uint8_t> overlong = bytes;
+  overlong.push_back(0xEE);  // trailing garbage is malformed, not ignored
+  EXPECT_FALSE(svc::parse_estimate_request(overlong).has_value());
+
+  EXPECT_FALSE(svc::parse_estimate_request({}).has_value());
+  EXPECT_TRUE(svc::parse_estimate_request(bytes).has_value());
+}
+
+TEST(Messages, ErrorFramesCarryDetailStrings) {
+  const svc::Frame error = svc::make_error(
+      svc::CommandId::kEstimate,
+      static_cast<std::uint16_t>(svc::StatusCode::kDeadlineExceeded),
+      "budget too small");
+  EXPECT_EQ(static_cast<svc::StatusCode>(error.status),
+            svc::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(svc::error_detail(error), "budget too small");
+  EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kResourceExhausted));
+  EXPECT_TRUE(svc::is_retryable(svc::StatusCode::kUnavailable));
+  EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kInvalidArgument));
+}
+
+// --- retry policy ----------------------------------------------------------
+
+TEST(Retry, ZeroJitterLadderIsTheCappedExponential) {
+  svc::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_slots = 8;
+  policy.max_backoff_slots = 256;
+  policy.jitter = 0.0;
+  const std::vector<std::uint64_t> schedule =
+      svc::materialize_schedule(policy, 42);
+  const std::vector<std::uint64_t> expected = {8, 16, 32, 64, 128, 256, 256};
+  EXPECT_EQ(schedule, expected);
+}
+
+TEST(Retry, JitteredScheduleIsSeededAndBounded) {
+  svc::RetryPolicy policy;  // default jitter 0.5
+  const std::vector<std::uint64_t> a = svc::materialize_schedule(policy, 7);
+  const std::vector<std::uint64_t> b = svc::materialize_schedule(policy, 7);
+  EXPECT_EQ(a, b) << "same seed must give the same schedule";
+  EXPECT_NE(a, svc::materialize_schedule(policy, 8))
+      << "different seeds should decorrelate synchronized retriers";
+
+  std::uint64_t ladder = policy.base_backoff_slots;
+  for (const std::uint64_t wait : a) {
+    EXPECT_GE(wait, 1u);
+    EXPECT_LE(wait, ladder) << "jitter only shaves, never inflates";
+    ladder = std::min(ladder * 2, policy.max_backoff_slots);
+  }
+}
+
+TEST(Retry, AllowsRetryHonorsMaxAttempts) {
+  svc::RetryPolicy policy;
+  policy.max_attempts = 3;
+  svc::BackoffSchedule schedule(policy, 1);
+  EXPECT_TRUE(schedule.allows_retry(1));
+  EXPECT_TRUE(schedule.allows_retry(2));
+  EXPECT_FALSE(schedule.allows_retry(3));
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(Registry, LifecycleAndTypedShedOutcomes) {
+  svc::RegistryConfig config;
+  config.max_populations = 2;
+  svc::PopulationRegistry registry(config);
+  using Outcome = svc::PopulationRegistry::RegisterOutcome;
+
+  EXPECT_EQ(registry.register_population(1, 500, 11), Outcome::kRegistered);
+  EXPECT_EQ(registry.register_population(1, 500, 11),
+            Outcome::kAlreadyExists);
+  EXPECT_EQ(registry.register_population(2, 500, 12), Outcome::kRegistered);
+  EXPECT_EQ(registry.register_population(3, 500, 13), Outcome::kFull);
+  EXPECT_EQ(registry.register_population(4, config.max_tags_per_population + 1,
+                                         14),
+            Outcome::kInvalidRequest);
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto entry = registry.find(1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->tags.size(), 500u);
+  ASSERT_NE(entry->channel, nullptr);
+
+  // In-flight holders keep an unregistered entry alive; new lookups fail.
+  EXPECT_TRUE(registry.unregister_population(1));
+  EXPECT_FALSE(registry.unregister_population(1));
+  EXPECT_EQ(registry.find(1), nullptr);
+  EXPECT_EQ(entry->tags.size(), 500u);
+}
+
+// --- estimation service ----------------------------------------------------
+
+namespace service_helpers {
+
+[[nodiscard]] svc::Frame register_frame(std::uint64_t id, std::uint64_t tags,
+                                        std::uint64_t seed) {
+  svc::RegisterRequest request;
+  request.population_id = id;
+  request.tag_count = tags;
+  request.population_seed = seed;
+  return svc::make_request(svc::CommandId::kRegister, svc::encode(request));
+}
+
+[[nodiscard]] svc::Frame estimate_frame(std::uint64_t id, std::uint64_t seed,
+                                        std::uint64_t deadline_slots = 0,
+                                        std::uint8_t robust = 1) {
+  svc::EstimateRequest request;
+  request.population_id = id;
+  request.seed = seed;
+  request.deadline_slots = deadline_slots;
+  request.robust = robust;
+  return svc::make_request(svc::CommandId::kEstimate, svc::encode(request));
+}
+
+[[nodiscard]] svc::StatusCode status_of(const svc::Frame& frame) {
+  return static_cast<svc::StatusCode>(frame.status);
+}
+
+}  // namespace service_helpers
+
+TEST(Service, HappyPathEstimateMeetsContractUndegraded) {
+  using namespace service_helpers;
+  constexpr std::uint64_t kTags = 2000;
+  svc::EstimationService service;
+  ASSERT_EQ(status_of(service.handle(register_frame(5, kTags, 99))),
+            svc::StatusCode::kOk);
+
+  const svc::Frame response = service.handle(estimate_frame(5, 0xE57));
+  ASSERT_EQ(status_of(response), svc::StatusCode::kOk);
+  const auto reply = svc::parse_estimate_reply(response.payload);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->population_id, 5u);
+  EXPECT_EQ(reply->degraded, 0u);
+  EXPECT_EQ(reply->truncated, 0u);
+  EXPECT_EQ(reply->retries, 0u) << "link faults are inert by default";
+  EXPECT_EQ(reply->rounds, reply->planned_rounds);
+  EXPECT_GT(reply->query_slots, 0u);
+  // PET's multiplicative error: n_hat within a generous band around n and
+  // inside its own reported interval.
+  EXPECT_GT(reply->n_hat, 0.5 * kTags);
+  EXPECT_LT(reply->n_hat, 1.5 * kTags);
+  EXPECT_LE(reply->ci_lo, reply->n_hat);
+  EXPECT_GE(reply->ci_hi, reply->n_hat);
+
+  const svc::Frame monitor =
+      service.handle(svc::make_request(svc::CommandId::kMonitor));
+  const auto stats = svc::parse_monitor_reply(monitor.payload);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->populations, 1u);
+  EXPECT_EQ(stats->degraded, 0u);
+}
+
+TEST(Service, TypedErrorsForEveryRefusal) {
+  using namespace service_helpers;
+  svc::EstimationService service;
+
+  // Unknown population.
+  EXPECT_EQ(status_of(service.handle(estimate_frame(404, 1))),
+            svc::StatusCode::kNotFound);
+
+  // Invalid (ε, δ).
+  svc::EstimateRequest bad;
+  bad.population_id = 1;
+  bad.epsilon = 1.5;
+  EXPECT_EQ(status_of(service.handle(svc::make_request(
+                svc::CommandId::kEstimate, svc::encode(bad)))),
+            svc::StatusCode::kInvalidArgument);
+
+  // Unknown command id.
+  EXPECT_EQ(status_of(service.handle(test_frame(900, {}))),
+            svc::StatusCode::kUnknownCommand);
+
+  // Garbage payload.
+  const svc::Frame malformed = service.handle(svc::make_request(
+      svc::CommandId::kEstimate, {1, 2, 3}));
+  EXPECT_EQ(status_of(malformed), svc::StatusCode::kMalformedFrame);
+  EXPECT_FALSE(svc::error_detail(malformed).empty());
+
+  // Duplicate registration.
+  ASSERT_EQ(status_of(service.handle(register_frame(7, 100, 1))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(status_of(service.handle(register_frame(7, 100, 1))),
+            svc::StatusCode::kAlreadyExists);
+
+  // Unregister; estimate after it is NOT_FOUND.
+  svc::UnregisterRequest unregister;
+  unregister.population_id = 7;
+  EXPECT_EQ(status_of(service.handle(svc::make_request(
+                svc::CommandId::kUnregister, svc::encode(unregister)))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(status_of(service.handle(estimate_frame(7, 1))),
+            svc::StatusCode::kNotFound);
+
+  EXPECT_GE(service.stats().malformed_frames, 1u);
+}
+
+TEST(Service, DeadlineDegradesBeforeRefusing) {
+  using namespace service_helpers;
+  svc::EstimationService service;
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 3000, 17))),
+            svc::StatusCode::kOk);
+
+  // Baseline: unlimited budget, full plan.
+  const svc::Frame full_response =
+      service.handle(estimate_frame(1, 0xD15C));
+  ASSERT_EQ(status_of(full_response), svc::StatusCode::kOk);
+  const auto full = svc::parse_estimate_reply(full_response.payload);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_EQ(full->degraded, 0u);
+  const double full_width =
+      (full->ci_hi - full->ci_lo) / (2.0 * full->n_hat);
+
+  // Half the slots the full plan actually consumed: the service must trade
+  // rounds for the deadline, flag the reply degraded, and widen the CI.
+  const std::uint64_t tight = full->query_slots / 2;
+  ASSERT_GT(tight, 0u);
+  const svc::Frame tight_response =
+      service.handle(estimate_frame(1, 0xD15C, tight));
+  ASSERT_EQ(status_of(tight_response), svc::StatusCode::kOk);
+  const auto degraded = svc::parse_estimate_reply(tight_response.payload);
+  ASSERT_TRUE(degraded.has_value());
+  EXPECT_EQ(degraded->degraded, 1u);
+  EXPECT_LT(degraded->rounds, full->rounds);
+  EXPECT_EQ(degraded->planned_rounds, full->planned_rounds);
+  EXPECT_LT(degraded->query_slots, tight + 1);
+  const double degraded_width =
+      (degraded->ci_hi - degraded->ci_lo) / (2.0 * degraded->n_hat);
+  EXPECT_GT(degraded_width, full_width)
+      << "a degraded reply must widen its interval, not pretend";
+
+  // A budget that cannot fit one round is refused with the typed status.
+  const svc::Frame refused = service.handle(estimate_frame(1, 0xD15C, 3));
+  EXPECT_EQ(status_of(refused), svc::StatusCode::kDeadlineExceeded);
+
+  const svc::MonitorReply stats = service.stats();
+  EXPECT_GE(stats.degraded, 1u);
+  EXPECT_GE(stats.deadline_misses, 1u);
+}
+
+TEST(Service, RetryScheduleByteIdenticalAcrossThreads) {
+  // The ISSUE.md determinism clause: identical seeded transient-fault
+  // streams => byte-identical retry schedules and responses whether the
+  // service runs 1, 2, or 8 workers.  Compare the *encoded frames*: any
+  // drift in estimate, CI, retries, backoff, or flags shows up.
+  using namespace service_helpers;
+  constexpr std::uint64_t kRequests = 24;
+
+  const auto run = [&](unsigned workers) {
+    svc::ServiceConfig config;
+    config.worker_threads = workers;
+    config.link_faults.reply_loss_prob = 0.4;  // frequent transient faults
+    svc::EstimationService service(config);
+    const svc::Frame registered =
+        service.handle(register_frame(9, 800, 0xFEED));
+    EXPECT_EQ(status_of(registered), svc::StatusCode::kOk);
+
+    std::vector<std::future<svc::Frame>> pending;
+    pending.reserve(kRequests);
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+      pending.push_back(service.submit(
+          estimate_frame(9, rng::derive_seed(0xE57, i), /*deadline=*/0,
+                         /*robust=*/static_cast<std::uint8_t>(i % 2))));
+    }
+    std::vector<std::vector<std::uint8_t>> responses;
+    responses.reserve(kRequests);
+    for (std::future<svc::Frame>& future : pending) {
+      responses.push_back(svc::encode_frame(future.get()));
+    }
+    return responses;
+  };
+
+  const std::vector<std::vector<std::uint8_t>> t1 = run(1);
+  const std::vector<std::vector<std::uint8_t>> t2 = run(2);
+  const std::vector<std::vector<std::uint8_t>> t8 = run(8);
+  ASSERT_EQ(t1.size(), kRequests);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(t1[i], t2[i]) << "request " << i << " drifted at 2 workers";
+    EXPECT_EQ(t1[i], t8[i]) << "request " << i << " drifted at 8 workers";
+  }
+
+  // The fault stream actually exercised the retry machinery: with loss 0.4
+  // some requests retried and some did not.
+  bool some_retried = false, some_clean = false;
+  for (const std::vector<std::uint8_t>& bytes : t1) {
+    svc::Decoder decoder;
+    decoder.feed(bytes);
+    svc::Frame frame;
+    ASSERT_EQ(decoder.next(frame), svc::DecodeStatus::kFrame);
+    if (static_cast<svc::StatusCode>(frame.status) != svc::StatusCode::kOk) {
+      continue;  // retry budget exhausted: typed UNAVAILABLE, also replayed
+    }
+    const auto reply = svc::parse_estimate_reply(frame.payload);
+    ASSERT_TRUE(reply.has_value());
+    (reply->retries > 0 ? some_retried : some_clean) = true;
+    if (reply->retries > 0) EXPECT_GT(reply->backoff_slots, 0u);
+  }
+  EXPECT_TRUE(some_retried);
+  EXPECT_TRUE(some_clean);
+}
+
+TEST(Service, OverloadShedsWithTypedFramesControlPlaneSurvives) {
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.max_inflight = 4;
+  config.worker_threads = 2;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 200, 3))),
+            svc::StatusCode::kOk);
+
+  {
+    // Occupy every admission slot; the next estimate must shed immediately
+    // with RESOURCE_EXHAUSTED while ping (control plane) still answers.
+    svc::EstimationService::InflightHold hold(service, config.max_inflight);
+    const svc::Frame shed = service.submit(estimate_frame(1, 1)).get();
+    EXPECT_EQ(status_of(shed), svc::StatusCode::kResourceExhausted);
+    EXPECT_TRUE(svc::is_retryable(status_of(shed)));
+
+    const svc::Frame pong =
+        service.submit(svc::make_request(svc::CommandId::kPing)).get();
+    EXPECT_EQ(status_of(pong), svc::StatusCode::kOk);
+  }
+
+  // Capacity released: the same request is served.
+  EXPECT_EQ(status_of(service.submit(estimate_frame(1, 1)).get()),
+            svc::StatusCode::kOk);
+  EXPECT_GE(service.stats().shed, 1u);
+}
+
+TEST(Service, ShutdownRefusesNewWorkWithTypedStatus) {
+  using namespace service_helpers;
+  svc::EstimationService service;
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 200, 3))),
+            svc::StatusCode::kOk);
+  service.begin_shutdown();
+  EXPECT_TRUE(service.draining());
+  const svc::Frame refused = service.submit(estimate_frame(1, 1)).get();
+  EXPECT_EQ(status_of(refused), svc::StatusCode::kShuttingDown);
+  EXPECT_TRUE(svc::is_retryable(status_of(refused)));
+}
+
+// --- chaos link ------------------------------------------------------------
+
+TEST(Chaos, SeededLinkReplaysBitForBit) {
+  sim::ChannelImpairments impairments;
+  impairments.reply_loss_prob = 0.2;
+  impairments.false_busy_prob = 0.2;
+  impairments.seed = 0xC405;
+
+  const auto run = [&] {
+    svc::ChaosLink link(impairments);
+    std::vector<svc::ChaosLink::Action> actions;
+    std::vector<std::vector<std::uint8_t>> outputs;
+    for (std::uint16_t i = 0; i < 200; ++i) {
+      std::vector<std::uint8_t> bytes = svc::encode_frame(
+          test_frame(i, {static_cast<std::uint8_t>(i), 0x55}));
+      actions.push_back(link.apply(bytes));
+      outputs.push_back(std::move(bytes));
+    }
+    return std::make_pair(std::move(actions), std::move(outputs));
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+
+  // The mix actually exercised more than one action.
+  const auto count = [&](svc::ChaosLink::Action action) {
+    return std::count(first.first.begin(), first.first.end(), action);
+  };
+  EXPECT_GT(count(svc::ChaosLink::Action::kDeliver), 0);
+  EXPECT_GT(count(svc::ChaosLink::Action::kDropFrame) +
+                count(svc::ChaosLink::Action::kCorruptBit),
+            0);
+}
+
+TEST(Chaos, CorruptedFramesAreCaughtByTheCodec) {
+  sim::ChannelImpairments impairments;
+  impairments.false_busy_prob = 1.0;  // every frame gets a bit flip
+  svc::ChaosLink link(impairments);
+
+  const svc::Frame original = test_frame(4, {1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<std::uint8_t> clean = svc::encode_frame(original);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> bytes = clean;
+    const svc::ChaosLink::Action action = link.apply(bytes);
+    ASSERT_EQ(action, svc::ChaosLink::Action::kCorruptBit);
+    ASSERT_NE(bytes, clean);
+
+    svc::Decoder decoder;
+    decoder.feed(bytes);
+    const DrainResult result = drain(decoder);
+    // Detected (typed error) or skipped; never a silently different frame.
+    for (const svc::Frame& decoded : result.frames) {
+      EXPECT_TRUE(frames_equal(original, decoded));
+    }
+    EXPECT_TRUE(result.frames.empty());
+    EXPECT_GE(result.errors.size(), 1u);
+  }
+  EXPECT_EQ(link.corrupted(), 50u);
+}
+
+// --- cooperative cancellation / truncated artifacts ------------------------
+
+TEST(Cancellation, SerialRunnerStopsExactlyAtTheCancelPoint) {
+  // The serial path is deterministic: cancel during trial 64 means trials
+  // 0..64 fold and 65 is never started.
+  runtime::TrialRunner runner(1);
+  const runtime::CancelToken token = runtime::CancelToken::cancellable();
+  runner.set_cancel_token(token);
+  std::uint64_t folded = 0;
+  const std::uint64_t total = runner.run<std::uint64_t>(
+      10000,
+      [&](std::uint64_t i) {
+        if (i == 64) token.cancel();
+        return i;
+      },
+      [&](std::uint64_t, std::uint64_t&&) { ++folded; });
+  EXPECT_EQ(total, 65u);
+  EXPECT_EQ(folded, 65u);
+}
+
+TEST(Cancellation, ParallelRunnerDrainsToAContiguousPrefix) {
+  // Parallel scheduling (work stealing) makes the cut point nondeterministic
+  // — the contract is only that the fold sees a contiguous prefix and the
+  // sweep actually stops early.
+  runtime::TrialRunner runner(4);
+  const runtime::CancelToken token = runtime::CancelToken::cancellable();
+  runner.set_cancel_token(token);
+
+  std::atomic<std::uint64_t> folded{0};
+  const std::uint64_t total = runner.run<std::uint64_t>(
+      10000,
+      [&](std::uint64_t i) {
+        if (i == 64) token.cancel();
+        return i;
+      },
+      [&](std::uint64_t i, std::uint64_t&& value) {
+        EXPECT_EQ(value, i) << "fold must replay the serial order";
+        folded.fetch_add(1);
+      });
+  EXPECT_LT(total, 10000u) << "cancel() fired mid-sweep; a full run means "
+                              "the token was ignored";
+  EXPECT_EQ(total, folded.load());
+}
+
+TEST(Cancellation, TruncatedBenchArtifactIsMarked) {
+  runtime::BenchReport report("cancel_test", 1);
+  report.add_row("t", {"a"}, {"1"});
+  EXPECT_EQ(report.to_json().find("\"truncated\""), std::string::npos)
+      << "untruncated artifacts must keep the historical schema";
+  report.set_truncated(true);
+  EXPECT_NE(report.to_json().find("\"truncated\": true"), std::string::npos);
+}
+
+}  // namespace

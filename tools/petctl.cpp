@@ -1,0 +1,456 @@
+// petctl: command-line client for petd (docs/service.md).
+//
+// Control-plane verbs (ping/register/estimate/monitor/unregister) speak one
+// strict request-response exchange each.  `soak` is the chaos harness: it
+// hammers a petd instance through a svc::ChaosLink — seeded frame drops,
+// bit flips, and connection closes on the *client* side of the wire — and
+// asserts the server stays live (ping round-trip) and consistent
+// (monitor counters parse) the whole way.  Exit 0 means the daemon survived
+// without a hang; any protocol stall exits nonzero.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rng/prng.hpp"
+#include "service/chaos.hpp"
+#include "service/errors.hpp"
+#include "service/frame.hpp"
+#include "service/messages.hpp"
+
+namespace {
+
+using namespace pet;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "petctl -- client for the petd estimation daemon\n"
+      "usage: petctl --socket=PATH <command> [options]\n"
+      "commands:\n"
+      "  ping\n"
+      "  register   --id=I --tags=N [--pop-seed=S]\n"
+      "  unregister --id=I\n"
+      "  estimate   --id=I [--seed=S] [--eps=E] [--delta=D]\n"
+      "             [--deadline-slots=N] [--vanilla]\n"
+      "  monitor\n"
+      "  soak       [--seconds=T] [--populations=N] [--tags=N] [--seed=S]\n"
+      "             [--chaos-loss=P] [--chaos-noise=P] [--chaos-close=P]\n"
+      "             [--deadline-slots=N]\n");
+  return 2;
+}
+
+/// Minimal --key=value map (mirrors petsim's idiom).
+struct Args {
+  std::string socket_path;
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const std::string v = get(key, std::string());
+    return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] double get(const std::string& key, double fallback) const {
+    const std::string v = get(key, std::string());
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+};
+
+class Connection {
+ public:
+  ~Connection() { close(); }
+
+  [[nodiscard]] bool open(const std::string& path) {
+    close();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      close();
+      return false;
+    }
+    decoder_ = svc::Decoder{};
+    return true;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  [[nodiscard]] bool send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+      if (n > 0) {
+        done += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Read until one frame decodes or `timeout_ms` elapses.  Decode errors
+  /// on the return path are skipped (the soak's chaos only mangles the
+  /// forward path, but a defensive client never trusts a byte stream).
+  [[nodiscard]] std::optional<svc::Frame> recv_frame(int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    svc::Frame frame;
+    for (;;) {
+      for (;;) {
+        const svc::DecodeStatus status = decoder_.next(frame);
+        if (status == svc::DecodeStatus::kFrame) return frame;
+        if (status == svc::DecodeStatus::kNeedMoreData) break;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - now);
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return std::nullopt;
+      std::uint8_t buffer[4096];
+      const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+      if (n == 0) return std::nullopt;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      decoder_.feed(buffer, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Strict request-response round trip.
+  [[nodiscard]] std::optional<svc::Frame> call(const svc::Frame& request,
+                                               int timeout_ms = 30000) {
+    if (!send_bytes(svc::encode_frame(request))) return std::nullopt;
+    return recv_frame(timeout_ms);
+  }
+
+ private:
+  int fd_ = -1;
+  svc::Decoder decoder_;
+};
+
+void print_status(const svc::Frame& response) {
+  const auto status = static_cast<svc::StatusCode>(response.status);
+  std::printf("status: %s\n", std::string(svc::to_string(status)).c_str());
+  if (status != svc::StatusCode::kOk && !response.payload.empty()) {
+    std::printf("detail: %s\n", svc::error_detail(response).c_str());
+  }
+}
+
+int cmd_ping(Connection& conn) {
+  const auto response = conn.call(svc::make_request(svc::CommandId::kPing));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to ping\n");
+    return 1;
+  }
+  print_status(*response);
+  return response->status == 0 ? 0 : 1;
+}
+
+int cmd_register(Connection& conn, const Args& args) {
+  svc::RegisterRequest request;
+  request.population_id = args.get("id", std::uint64_t{0});
+  request.tag_count = args.get("tags", std::uint64_t{10000});
+  request.population_seed = args.get("pop-seed", std::uint64_t{7});
+  const auto response = conn.call(svc::make_request(
+      svc::CommandId::kRegister, svc::encode(request)));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to register\n");
+    return 1;
+  }
+  print_status(*response);
+  if (response->status != 0) return 1;
+  const auto reply = svc::parse_register_reply(response->payload);
+  if (!reply) return 1;
+  std::printf("registered population %llu with %llu tags\n",
+              static_cast<unsigned long long>(reply->population_id),
+              static_cast<unsigned long long>(reply->tag_count));
+  return 0;
+}
+
+int cmd_unregister(Connection& conn, const Args& args) {
+  svc::UnregisterRequest request;
+  request.population_id = args.get("id", std::uint64_t{0});
+  const auto response = conn.call(svc::make_request(
+      svc::CommandId::kUnregister, svc::encode(request)));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to unregister\n");
+    return 1;
+  }
+  print_status(*response);
+  return response->status == 0 ? 0 : 1;
+}
+
+int cmd_estimate(Connection& conn, const Args& args) {
+  svc::EstimateRequest request;
+  request.population_id = args.get("id", std::uint64_t{0});
+  request.seed = args.get("seed", std::uint64_t{1});
+  request.epsilon = args.get("eps", 0.1);
+  request.delta = args.get("delta", 0.05);
+  request.deadline_slots = args.get("deadline-slots", std::uint64_t{0});
+  request.robust = args.get("vanilla", std::string()).empty() ? 1 : 0;
+  const auto response = conn.call(svc::make_request(
+      svc::CommandId::kEstimate, svc::encode(request)));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to estimate\n");
+    return 1;
+  }
+  print_status(*response);
+  if (response->status != 0) return 1;
+  const auto reply = svc::parse_estimate_reply(response->payload);
+  if (!reply) return 1;
+  std::printf("n_hat     : %.1f  [%.1f, %.1f]\n", reply->n_hat, reply->ci_lo,
+              reply->ci_hi);
+  std::printf("rounds    : %llu of %llu planned (%llu slots)\n",
+              static_cast<unsigned long long>(reply->rounds),
+              static_cast<unsigned long long>(reply->planned_rounds),
+              static_cast<unsigned long long>(reply->query_slots));
+  std::printf("retries   : %u (%llu backoff slots)\n", reply->retries,
+              static_cast<unsigned long long>(reply->backoff_slots));
+  std::printf("degraded  : %s%s\n", reply->degraded != 0 ? "yes" : "no",
+              reply->truncated != 0 ? " (deadline truncated rounds)" : "");
+  return 0;
+}
+
+int cmd_monitor(Connection& conn) {
+  const auto response = conn.call(svc::make_request(svc::CommandId::kMonitor));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to monitor\n");
+    return 1;
+  }
+  print_status(*response);
+  if (response->status != 0) return 1;
+  const auto reply = svc::parse_monitor_reply(response->payload);
+  if (!reply) return 1;
+  std::printf("populations     : %llu\n",
+              static_cast<unsigned long long>(reply->populations));
+  std::printf("inflight        : %llu\n",
+              static_cast<unsigned long long>(reply->inflight));
+  std::printf("accepted        : %llu\n",
+              static_cast<unsigned long long>(reply->accepted));
+  std::printf("completed       : %llu\n",
+              static_cast<unsigned long long>(reply->completed));
+  std::printf("shed            : %llu\n",
+              static_cast<unsigned long long>(reply->shed));
+  std::printf("degraded        : %llu\n",
+              static_cast<unsigned long long>(reply->degraded));
+  std::printf("deadline misses : %llu\n",
+              static_cast<unsigned long long>(reply->deadline_misses));
+  std::printf("retries         : %llu\n",
+              static_cast<unsigned long long>(reply->retries));
+  std::printf("malformed frames: %llu\n",
+              static_cast<unsigned long long>(reply->malformed_frames));
+  return 0;
+}
+
+/// Chaos soak: estimate traffic through a seeded ChaosLink.  The ChaosLink
+/// sits on the request path — drops, bit flips, and closes are exactly the
+/// garbage a hostile or flaky client would send — so the server-side
+/// decoder, error taxonomy, and per-connection cleanup all get exercised.
+/// Liveness is asserted out-of-band on a clean second connection.
+int cmd_soak(const Args& args) {
+  const auto seconds = args.get("seconds", std::uint64_t{5});
+  const auto populations = args.get("populations", std::uint64_t{8});
+  const auto tags = args.get("tags", std::uint64_t{5000});
+  const auto seed = args.get("seed", std::uint64_t{1});
+  const auto deadline_slots = args.get("deadline-slots", std::uint64_t{400});
+
+  sim::ChannelImpairments chaos_impairments;
+  chaos_impairments.reply_loss_prob = args.get("chaos-loss", 0.1);
+  chaos_impairments.false_busy_prob = args.get("chaos-noise", 0.1);
+  chaos_impairments.seed = rng::derive_seed(seed, 0xc4a05ull);
+  const double close_prob = args.get("chaos-close", 0.02);
+  svc::ChaosLink chaos(chaos_impairments);
+  rng::Xoshiro256ss close_rng(rng::derive_seed(seed, 0xc705eull));
+
+  Connection chaos_conn;
+  Connection clean_conn;
+  if (!chaos_conn.open(args.socket_path) ||
+      !clean_conn.open(args.socket_path)) {
+    std::fprintf(stderr, "petctl: cannot connect to %s\n",
+                 args.socket_path.c_str());
+    return 1;
+  }
+
+  // Populations registered on the clean connection: setup must not be
+  // subject to chaos.
+  for (std::uint64_t id = 0; id < populations; ++id) {
+    svc::RegisterRequest request;
+    request.population_id = id;
+    request.tag_count = tags;
+    request.population_seed = rng::derive_seed(seed, id);
+    const auto response = clean_conn.call(svc::make_request(
+        svc::CommandId::kRegister, svc::encode(request)));
+    if (!response || (response->status != 0 &&
+                      static_cast<svc::StatusCode>(response->status) !=
+                          svc::StatusCode::kAlreadyExists)) {
+      std::fprintf(stderr, "petctl: soak setup failed registering %llu\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(seconds);
+  std::uint64_t sent = 0, answered = 0, reconnects = 0, liveness_checks = 0;
+  std::uint64_t request_seed = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!chaos_conn.connected() && !chaos_conn.open(args.socket_path)) {
+      std::fprintf(stderr, "petctl: reconnect failed\n");
+      return 1;
+    }
+
+    svc::EstimateRequest request;
+    request.population_id = request_seed % populations;
+    request.seed = rng::derive_seed(seed, 5000 + request_seed);
+    request.deadline_slots = deadline_slots;
+    ++request_seed;
+    std::vector<std::uint8_t> wire =
+        svc::encode_frame(svc::make_request(svc::CommandId::kEstimate,
+                                            svc::encode(request)));
+
+    // Client-side connection close, independent of the frame-level chaos.
+    if (close_prob > 0.0 &&
+        static_cast<double>(close_rng() >> 11) * 0x1.0p-53 < close_prob) {
+      chaos_conn.close();
+      ++reconnects;
+      continue;
+    }
+
+    switch (chaos.apply(wire)) {
+      case svc::ChaosLink::Action::kCloseLink:
+        chaos_conn.close();
+        ++reconnects;
+        break;
+      case svc::ChaosLink::Action::kDropFrame:
+        break;  // frame vanishes; server sees silence
+      case svc::ChaosLink::Action::kCorruptBit:
+      case svc::ChaosLink::Action::kDeliver: {
+        ++sent;
+        if (!chaos_conn.send_bytes(wire)) {
+          chaos_conn.close();
+          ++reconnects;
+          break;
+        }
+        // Drain whatever comes back quickly; corrupted frames may yield
+        // several error frames (one per resync step) or none that matter.
+        while (chaos_conn.recv_frame(20)) ++answered;
+        break;
+      }
+    }
+
+    // Liveness probe every 64 iterations: a clean ping must round-trip
+    // within its timeout or the server has hung — the one hard failure.
+    if ((request_seed & 63u) == 0) {
+      ++liveness_checks;
+      const auto pong =
+          clean_conn.call(svc::make_request(svc::CommandId::kPing), 10000);
+      if (!pong || pong->status != 0) {
+        std::fprintf(stderr, "petctl: liveness ping failed mid-soak\n");
+        return 1;
+      }
+    }
+  }
+
+  const auto monitor =
+      clean_conn.call(svc::make_request(svc::CommandId::kMonitor), 10000);
+  if (!monitor || monitor->status != 0) {
+    std::fprintf(stderr, "petctl: monitor failed after soak\n");
+    return 1;
+  }
+  const auto stats = svc::parse_monitor_reply(monitor->payload);
+  if (!stats) {
+    std::fprintf(stderr, "petctl: monitor reply did not parse\n");
+    return 1;
+  }
+  std::printf("soak done: %llu frames sent, %llu responses, %llu reconnects,"
+              " %llu liveness pings\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(answered),
+              static_cast<unsigned long long>(reconnects),
+              static_cast<unsigned long long>(liveness_checks));
+  std::printf("chaos: %llu frames, %llu dropped, %llu corrupted, %llu closes\n",
+              static_cast<unsigned long long>(chaos.frames()),
+              static_cast<unsigned long long>(chaos.dropped()),
+              static_cast<unsigned long long>(chaos.corrupted()),
+              static_cast<unsigned long long>(chaos.closes()));
+  std::printf("server: completed %llu, shed %llu, degraded %llu, "
+              "malformed %llu\n",
+              static_cast<unsigned long long>(stats->completed),
+              static_cast<unsigned long long>(stats->shed),
+              static_cast<unsigned long long>(stats->degraded),
+              static_cast<unsigned long long>(stats->malformed_frames));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage();
+    if (arg.rfind("--socket=", 0) == 0) {
+      args.socket_path = std::string(arg.substr(9));
+    } else if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        args.kv.emplace_back(std::string(arg.substr(2)), "1");
+      } else {
+        args.kv.emplace_back(std::string(arg.substr(2, eq - 2)),
+                             std::string(arg.substr(eq + 1)));
+      }
+    } else if (args.command.empty()) {
+      args.command = std::string(arg);
+    } else {
+      return usage();
+    }
+  }
+  if (args.socket_path.empty() || args.command.empty()) return usage();
+
+  if (args.command == "soak") return cmd_soak(args);
+
+  Connection conn;
+  if (!conn.open(args.socket_path)) {
+    std::fprintf(stderr, "petctl: cannot connect to %s\n",
+                 args.socket_path.c_str());
+    return 1;
+  }
+  if (args.command == "ping") return cmd_ping(conn);
+  if (args.command == "register") return cmd_register(conn, args);
+  if (args.command == "unregister") return cmd_unregister(conn, args);
+  if (args.command == "estimate") return cmd_estimate(conn, args);
+  if (args.command == "monitor") return cmd_monitor(conn);
+  return usage();
+}

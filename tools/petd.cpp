@@ -1,0 +1,265 @@
+// petd: the PET estimation daemon (docs/service.md).
+//
+// Serves the pet::svc framed protocol over a Unix domain socket: register
+// populations, answer estimate/monitor requests, shed overload with typed
+// error frames, degrade gracefully under deadlines, and shut down cleanly
+// on SIGINT/SIGTERM (drain in-flight requests, close connections, unlink
+// the socket, exit 0).  Thread model: one acceptor + one thread per
+// connection for framing; estimation itself runs on the service's
+// pet::runtime pool, so slow estimates never block a connection's control
+// frames behind another connection.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancel.hpp"
+#include "service/frame.hpp"
+#include "service/messages.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace pet;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "petd -- PET estimation daemon\n"
+      "usage: petd --socket=PATH [options]\n"
+      "  --socket=PATH        Unix domain socket to listen on (required)\n"
+      "  --threads=N          estimation pool width (default: hardware)\n"
+      "  --max-inflight=N     admission cap before shedding (default 256)\n"
+      "  --tree-height=H      PET tree height for all populations (default 32)\n"
+      "  --retry-attempts=N   attempts per estimate vs link faults (default 4)\n"
+      "  --link-loss=P        transient link-fault probability per attempt\n"
+      "  --link-outage=B,E    scripted link outage over attempts [B, E)\n"
+      "  --fault-seed=S       link-fault stream seed (default 0x10551055)\n"
+      "  --slot-us=U          wall-clock backstop: microseconds per slot\n"
+      "                       (default 0 = slot budgets only, deterministic)\n"
+      "  --quiet              suppress per-connection logging\n");
+  return 2;
+}
+
+struct Options {
+  std::string socket_path;
+  svc::ServiceConfig service;
+  bool quiet = false;
+};
+
+bool parse_u64(std::string_view arg, std::string_view prefix,
+               std::uint64_t& out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = std::strtoull(std::string(arg.substr(prefix.size())).c_str(), nullptr,
+                      10);
+  return true;
+}
+
+bool parse_double(std::string_view arg, std::string_view prefix, double& out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = std::strtod(std::string(arg.substr(prefix.size())).c_str(), nullptr);
+  return true;
+}
+
+int parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (arg == "--help" || arg == "-h") return usage();
+    if (arg.rfind("--socket=", 0) == 0) {
+      options.socket_path = std::string(arg.substr(9));
+    } else if (parse_u64(arg, "--threads=", u)) {
+      options.service.worker_threads = static_cast<unsigned>(u);
+    } else if (parse_u64(arg, "--max-inflight=", u)) {
+      options.service.max_inflight = static_cast<std::size_t>(u);
+    } else if (parse_u64(arg, "--tree-height=", u)) {
+      options.service.registry.tree_height = static_cast<unsigned>(u);
+    } else if (parse_u64(arg, "--retry-attempts=", u)) {
+      options.service.retry.max_attempts = static_cast<std::uint32_t>(u);
+    } else if (parse_double(arg, "--link-loss=", d)) {
+      options.service.link_faults.reply_loss_prob = d;
+    } else if (arg.rfind("--link-outage=", 0) == 0) {
+      const std::string spec(arg.substr(14));
+      const std::size_t comma = spec.find(',');
+      if (comma == std::string::npos) return usage();
+      sim::ReaderOutage outage;
+      outage.begin_slot = std::strtoull(spec.c_str(), nullptr, 10);
+      const std::uint64_t end =
+          std::strtoull(spec.c_str() + comma + 1, nullptr, 10);
+      outage.duration_slots = end > outage.begin_slot ? end - outage.begin_slot
+                                                      : 0;
+      options.service.link_faults.script.outages.push_back(outage);
+    } else if (parse_u64(arg, "--fault-seed=", u)) {
+      options.service.link_faults.seed = u;
+    } else if (parse_u64(arg, "--slot-us=", u)) {
+      options.service.slot_us = u;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      std::fprintf(stderr, "petd: unknown argument %s\n", argv[i]);
+      return usage();
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "petd: --socket is required\n");
+    return usage();
+  }
+  return 0;
+}
+
+/// write() the whole buffer, riding out EINTR and partial writes.  Returns
+/// false when the peer is gone (EPIPE/ECONNRESET) or the fd died.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Per-connection session: incremental decode, dispatch through the
+/// service, write responses in request order.  Decode-level garbage gets a
+/// typed MALFORMED_FRAME response (command 0) and the decoder resyncs — a
+/// corrupt frame costs one frame, never the connection.
+void serve_connection(int fd, svc::EstimationService& service, bool quiet) {
+  svc::Decoder decoder;
+  svc::Frame frame;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (runtime::shutdown_requested()) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    bool peer_alive = true;
+    for (;;) {
+      const svc::DecodeStatus status = decoder.next(frame);
+      if (status == svc::DecodeStatus::kNeedMoreData) break;
+      std::vector<std::uint8_t> wire;
+      if (status == svc::DecodeStatus::kFrame) {
+        wire = svc::encode_frame(service.submit(std::move(frame)).get());
+      } else {
+        service.note_malformed_frame();
+        wire = svc::encode_frame(svc::make_error(
+            static_cast<svc::CommandId>(0),
+            static_cast<std::uint16_t>(svc::StatusCode::kMalformedFrame),
+            svc::to_string(status)));
+      }
+      if (!write_all(fd, wire.data(), wire.size())) {
+        peer_alive = false;
+        break;
+      }
+    }
+    if (!peer_alive) break;
+  }
+  ::close(fd);
+  if (!quiet) std::fprintf(stderr, "petd: connection closed\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (const int rc = parse(argc, argv, options); rc != 0) return rc;
+
+  runtime::install_shutdown_handlers();
+  // Writes to half-closed sockets must surface as EPIPE, not kill petd.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (options.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "petd: socket path too long\n");
+    return 2;
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("petd: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    std::perror("petd: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+
+  svc::EstimationService service(options.service);
+  if (!options.quiet) {
+    std::fprintf(stderr, "petd: listening on %s (%u workers, cap %zu)\n",
+                 options.socket_path.c_str(),
+                 runtime::ThreadPool::hardware_threads(),
+                 options.service.max_inflight);
+  }
+
+  std::vector<std::thread> sessions;
+  std::mutex sessions_mutex;
+  while (!runtime::shutdown_requested()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout, EINTR, or spurious wake: recheck
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard lock(sessions_mutex);
+    sessions.emplace_back(
+        [fd, &service, quiet = options.quiet] {
+          serve_connection(fd, service, quiet);
+        });
+  }
+
+  // Graceful drain: refuse new work, let connection loops notice the latch
+  // (they poll every 200 ms), join everything, remove the socket.
+  if (!options.quiet) std::fprintf(stderr, "petd: draining\n");
+  service.begin_shutdown();
+  ::close(listen_fd);
+  {
+    std::lock_guard lock(sessions_mutex);
+    for (std::thread& session : sessions) session.join();
+  }
+  ::unlink(options.socket_path.c_str());
+  if (!options.quiet) {
+    const svc::MonitorReply stats = service.stats();
+    std::fprintf(stderr,
+                 "petd: clean shutdown (accepted %llu, completed %llu, "
+                 "shed %llu, degraded %llu)\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.shed),
+                 static_cast<unsigned long long>(stats.degraded));
+  }
+  return 0;
+}

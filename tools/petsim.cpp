@@ -53,6 +53,7 @@
 #include "protocols/lof.hpp"
 #include "protocols/upe.hpp"
 #include "rng/prng.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/trial_runner.hpp"
 #include "sim/gen2_timing.hpp"
 #include "sim/trace.hpp"
@@ -260,23 +261,27 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
                       const core::PetConfig& pet_config, std::uint64_t runs,
                       std::uint64_t seed) {
   stats::TrialSummary summary(static_cast<double>(n));
-  double mean_slots = 0.0;
+  double total_slots = 0.0;
 
   const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
   const std::vector<TagId> ids(pop.ids().begin(), pop.ids().end());
   const auto start = std::chrono::steady_clock::now();
   auto& runner = runtime::global_runner();
 
+  // The runner reports how many trials actually folded: a SIGINT/SIGTERM
+  // drain stops at a trial boundary and the aggregates below rescale to the
+  // prefix that completed.
+  std::uint64_t folded = 0;
+
   auto fold = [&](std::uint64_t, core::EstimateResult&& result) {
     summary.add(result.n_hat);
-    mean_slots += static_cast<double>(result.ledger.total_slots()) /
-                  static_cast<double>(runs);
+    total_slots += static_cast<double>(result.ledger.total_slots());
   };
 
   if (protocol == "pet") {
     const core::PetEstimator estimator(pet_config, req);
     const std::uint64_t m = estimator.planned_rounds();
-    runner.run<core::EstimateResult>(
+    folded = runner.run<core::EstimateResult>(
         runs,
         [&](std::uint64_t run) {
           chan::SortedPetChannelConfig channel_config;
@@ -299,7 +304,7 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
     // The rehash-per-round baselines all run on the sampled channel; only
     // the estimator (and its historical seed stride) differs.
     auto sweep = [&](std::uint64_t stride, const auto& estimator) {
-      runner.run<core::EstimateResult>(
+      folded = runner.run<core::EstimateResult>(
           runs,
           [&](std::uint64_t run) {
             const std::uint64_t chan_seed = rng::derive_seed(seed, stride * run);
@@ -330,17 +335,28 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (folded == 0) {
+    std::printf("%s sweep    : interrupted before any trial folded\n",
+                protocol.c_str());
+    return 130;
+  }
   std::printf("%s sweep    : %llu trials, %u threads\n", protocol.c_str(),
-              static_cast<unsigned long long>(runs), runner.thread_count());
+              static_cast<unsigned long long>(folded), runner.thread_count());
+  if (folded < runs) {
+    std::printf("truncated    : %llu of %llu trials folded (shutdown)\n",
+                static_cast<unsigned long long>(folded),
+                static_cast<unsigned long long>(runs));
+  }
   std::printf("mean nhat    : %.0f   (true %llu, accuracy %.4f)\n",
               summary.accuracy() * static_cast<double>(n),
               static_cast<unsigned long long>(n), summary.accuracy());
   std::printf("normalized sigma: %.4f\n", summary.normalized_deviation());
   std::printf("within eps   : %.3f (contract needs >= %.3f)\n",
               summary.fraction_within(req.epsilon), 1.0 - req.delta);
-  std::printf("mean slots   : %.1f per estimate\n", mean_slots);
+  std::printf("mean slots   : %.1f per estimate\n",
+              total_slots / static_cast<double>(folded));
   std::printf("wall time    : %.3f s (%.1f trials/s)\n", wall,
-              static_cast<double>(runs) / wall);
+              static_cast<double>(folded) / wall);
   return 0;
 }
 
@@ -355,7 +371,7 @@ int cmd_estimate_robust_many(std::uint64_t n,
                              std::uint64_t runs, std::uint64_t seed,
                              double loss) {
   stats::TrialSummary summary(static_cast<double>(n));
-  double mean_slots = 0.0;
+  double total_slots = 0.0;
   std::uint64_t rereads = 0;
   std::uint64_t at_risk = 0;
 
@@ -364,7 +380,7 @@ int cmd_estimate_robust_many(std::uint64_t n,
   const auto start = std::chrono::steady_clock::now();
   auto& runner = runtime::global_runner();
 
-  runner.run<core::RobustEstimateResult>(
+  const std::uint64_t folded = runner.run<core::RobustEstimateResult>(
       runs,
       [&](std::uint64_t run) {
         chan::DeviceChannelConfig device;
@@ -377,8 +393,7 @@ int cmd_estimate_robust_many(std::uint64_t n,
       },
       [&](std::uint64_t, core::RobustEstimateResult&& result) {
         summary.add(result.n_hat());
-        mean_slots += static_cast<double>(result.base.ledger.total_slots()) /
-                      static_cast<double>(runs);
+        total_slots += static_cast<double>(result.base.ledger.total_slots());
         rereads += result.reread_slots;
         if (result.diagnostic.contract_at_risk()) ++at_risk;
       },
@@ -387,21 +402,31 @@ int cmd_estimate_robust_many(std::uint64_t n,
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (folded == 0) {
+    std::printf("robust sweep : interrupted before any trial folded\n");
+    return 130;
+  }
   std::printf("robust sweep : %llu trials, %u threads, loss %.3f\n",
-              static_cast<unsigned long long>(runs), runner.thread_count(),
+              static_cast<unsigned long long>(folded), runner.thread_count(),
               loss);
+  if (folded < runs) {
+    std::printf("truncated    : %llu of %llu trials folded (shutdown)\n",
+                static_cast<unsigned long long>(folded),
+                static_cast<unsigned long long>(runs));
+  }
   std::printf("mean nhat    : %.0f   (true %llu, accuracy %.4f)\n",
               summary.accuracy() * static_cast<double>(n),
               static_cast<unsigned long long>(n), summary.accuracy());
   std::printf("within eps   : %.3f (contract needs >= %.3f)\n",
               summary.fraction_within(req.epsilon), 1.0 - req.delta);
-  std::printf("mean slots   : %.1f per estimate\n", mean_slots);
+  std::printf("mean slots   : %.1f per estimate\n",
+              total_slots / static_cast<double>(folded));
   std::printf("rereads/run  : %.1f\n",
-              static_cast<double>(rereads) / static_cast<double>(runs));
+              static_cast<double>(rereads) / static_cast<double>(folded));
   std::printf("at-risk frac : %.3f\n",
-              static_cast<double>(at_risk) / static_cast<double>(runs));
+              static_cast<double>(at_risk) / static_cast<double>(folded));
   std::printf("wall time    : %.3f s (%.1f trials/s)\n", wall,
-              static_cast<double>(runs) / wall);
+              static_cast<double>(folded) / wall);
   return 0;
 }
 
@@ -697,6 +722,13 @@ int main(int argc, char** argv) {
     }
     set_fast_path(fast == "on");
   }
+
+  // Long sweeps drain gracefully: the first SIGINT/SIGTERM stops the trial
+  // runner at a trial boundary and the aggregates rescale to the completed
+  // prefix; a second signal force-exits.
+  runtime::install_shutdown_handlers();
+  runtime::global_runner().set_cancel_token(
+      runtime::CancelToken::linked_to_shutdown());
 
   ObsSession obs_session;
   if (const int rc = obs_session.init(args); rc != 0) return rc;

@@ -6,11 +6,18 @@
 #
 # -DPERTURB=1: perturb one numeric golden cell past the tolerance and
 # require benchdiff to *reject* it — proof the gate can actually fail.
+# The cell defaults to the table3 golden's; other goldens pass their own
+# -DPERTURB_FROM/-DPERTURB_TO pair.
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
 
 if(PERTURB)
+  if(NOT PERTURB_FROM)
+    set(PERTURB_FROM "\"slots (analytic 5m)\": \"40\"")
+    set(PERTURB_TO "\"slots (analytic 5m)\": \"44\"")
+  endif()
   file(READ "${GOLDEN}" text)
-  string(REPLACE "\"slots (analytic 5m)\": \"40\""
-                 "\"slots (analytic 5m)\": \"44\"" perturbed "${text}")
+  string(REPLACE "${PERTURB_FROM}" "${PERTURB_TO}" perturbed "${text}")
   if(perturbed STREQUAL text)
     message(FATAL_ERROR
       "perturbation did not apply — the golden changed; update the cell "
