@@ -1,0 +1,156 @@
+// Extra bench — the (eps, delta) contract over the measured Gen2 MAC.
+//
+// EXPERIMENTS.md's headline tables assume perfect idle/busy detection.
+// This sweep re-runs PET, FNEB and LoF over gen2::Gen2PrefixChannel — the
+// Select+Query encoding on the real EPC C1G2 MAC — under seeded link
+// impairments, and reports whether the (10%, 5%) contract survives:
+//   * clean          — impairments inert; must match the ideal channel,
+//   * capture        — collisions decodable with p = 0.6: PET/FNEB/LoF
+//     probes only sense busy vs idle, and a captured collision is still
+//     busy, so the contract must hold unchanged,
+//   * loss 3%        — busy slots erased: estimates bias low,
+//   * noise 1%       — idle slots floored to busy: estimates bias high,
+//   * capture+loss   — both at once; capture must not mask the loss bias.
+// Per-trial channels use trial-indexed seeds (manufacturing, faults and
+// estimator streams all derived from the run index), so every aggregate is
+// bit-identical at any --threads (docs/runtime.md).
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/confidence.hpp"
+#include "core/estimator.hpp"
+#include "gen2/channel.hpp"
+#include "harness/options.hpp"
+#include "harness/report.hpp"
+#include "harness/table.hpp"
+#include "protocols/fneb.hpp"
+#include "protocols/lof.hpp"
+#include "rng/prng.hpp"
+#include "runtime/trial_runner.hpp"
+#include "stats/accuracy.hpp"
+#include "tags/population.hpp"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  std::function<void(pet::sim::ChannelImpairments&)> apply;
+};
+
+struct ContractTrial {
+  double n_hat = 0.0;
+  bool covered = false;       ///< PET only: CI contains n
+  std::uint64_t slots = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  auto options = bench::BenchOptions::parse(
+      argc, argv,
+      "(10%, 5%) contract for PET/FNEB/LoF over the measured Gen2 MAC "
+      "under capture, loss and noise (n = 10000).");
+  options.runs = std::min<std::uint64_t>(options.runs, 30);
+  bench::BenchSession session(options, "gen2_contract_bench");
+
+  const std::uint64_t n = 10000;
+  const stats::AccuracyRequirement req{0.10, 0.05};
+  const core::PetEstimator pet_estimator(core::PetConfig{}, req);
+  const proto::FnebEstimator fneb_estimator(proto::FnebConfig{}, req);
+  const proto::LofEstimator lof_estimator(proto::LofConfig{}, req);
+
+  const auto population =
+      tags::TagPopulation::generate(n, rng::derive_seed(options.seed, 0xdecaf));
+  const std::vector<TagId> tags(population.ids().begin(),
+                                population.ids().end());
+
+  const Scenario scenarios[] = {
+      {"clean", [](sim::ChannelImpairments&) {}},
+      {"capture 0.6",
+       [](sim::ChannelImpairments& imp) {
+         imp.capture.capture_prob = 0.6;
+       }},
+      {"loss 3%",
+       [](sim::ChannelImpairments& imp) { imp.reply_loss_prob = 0.03; }},
+      {"noise 1%",
+       [](sim::ChannelImpairments& imp) { imp.false_busy_prob = 0.01; }},
+      {"capture+loss",
+       [](sim::ChannelImpairments& imp) {
+         imp.capture.capture_prob = 0.6;
+         imp.reply_loss_prob = 0.03;
+       }},
+  };
+
+  bench::TablePrinter table(
+      "(10%, 5%) contract over gen2::Gen2PrefixChannel, n = 10000",
+      {"scenario", "protocol", "nhat/n", "in-eps", "coverage", "slots/run"},
+      options.csv);
+  table.bind(&session.report());
+
+  // One sweep = one (scenario, protocol) cell; `estimate` owns the
+  // estimator call so PET can also report interval coverage.
+  auto sweep = [&](const Scenario& scenario, const char* protocol,
+                   const std::function<ContractTrial(
+                       gen2::Gen2PrefixChannel&, std::uint64_t)>& estimate) {
+    stats::TrialSummary summary(static_cast<double>(n));
+    std::uint64_t covered = 0;
+    std::uint64_t slots = 0;
+    runtime::global_runner().run<ContractTrial>(
+        options.runs,
+        [&](std::uint64_t run) {
+          gen2::Gen2ChannelConfig config;
+          config.manufacturing_seed = rng::derive_seed(options.seed, run);
+          config.impairments.seed =
+              rng::derive_seed(options.seed, 500 + run);
+          scenario.apply(config.impairments);
+          gen2::Gen2PrefixChannel channel(tags, config);
+          return estimate(channel, rng::derive_seed(options.seed, 1000 + run));
+        },
+        [&](std::uint64_t, ContractTrial&& trial) {
+          summary.add(trial.n_hat);
+          covered += trial.covered ? 1u : 0u;
+          slots += trial.slots;
+        },
+        "gen2-contract");
+    const double runs = static_cast<double>(options.runs);
+    table.add_row(
+        {scenario.name, protocol,
+         bench::TablePrinter::num(summary.accuracy(), 4),
+         bench::TablePrinter::num(summary.fraction_within(req.epsilon), 3),
+         protocol == std::string("PET")
+             ? bench::TablePrinter::num(static_cast<double>(covered) / runs, 3)
+             : "-",
+         bench::TablePrinter::num(static_cast<double>(slots) / runs, 0)});
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    sweep(scenario, "PET",
+          [&](gen2::Gen2PrefixChannel& channel, std::uint64_t seed) {
+            const auto result = pet_estimator.estimate(channel, seed);
+            ContractTrial trial;
+            trial.n_hat = result.n_hat;
+            trial.covered = core::confidence_interval(result, req.delta)
+                                .contains(static_cast<double>(n));
+            trial.slots = result.ledger.total_slots();
+            return trial;
+          });
+    sweep(scenario, "FNEB",
+          [&](gen2::Gen2PrefixChannel& channel, std::uint64_t seed) {
+            const auto result = fneb_estimator.estimate(channel, seed);
+            return ContractTrial{result.n_hat, false,
+                                 result.ledger.total_slots()};
+          });
+    sweep(scenario, "LoF",
+          [&](gen2::Gen2PrefixChannel& channel, std::uint64_t seed) {
+            const auto result = lof_estimator.estimate(channel, seed);
+            return ContractTrial{result.n_hat, false,
+                                 result.ledger.total_slots()};
+          });
+  }
+
+  table.print();
+  return 0;
+}

@@ -31,6 +31,7 @@ pet_bench(ablation_scaling)
 pet_bench(ablation_design)
 pet_bench(multireader_bench)
 pet_bench(latency_gen2)
+pet_bench(gen2_contract_bench)
 pet_bench(energy_bench)
 pet_bench(robustness_bench)
 pet_bench(related_estimators)

@@ -29,6 +29,11 @@ fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
 
+# The gen2 MAC substrate must be exercised by the suite, not merely
+# linked: require gcov data for the src/gen2 objects before aggregating.
+find "$BUILD_DIR/src" -path '*gen2*' -name '*.gcda' | grep -q . ||
+    { echo "coverage: no gcov data for src/gen2 — were the gen2 tests run?" >&2; exit 1; }
+
 # Sum "Lines executed" over every instrumented object in src/.
 find "$BUILD_DIR/src" -name '*.gcda' -print0 |
     xargs -0 gcov -n 2>/dev/null |

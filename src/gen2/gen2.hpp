@@ -1,0 +1,132 @@
+// EPC Class-1 Generation-2 inventory-layer state (EPCglobal [1] in the
+// paper's references, §6.3.2.2-6.3.2.12): the four sessions with their A/B
+// inventoried flags and persistence classes, the SL (selected) flag, and
+// the Select command's mask/truncate semantics.
+//
+// Fidelity model (see docs/gen2.md for the full caveat list):
+//   * S0 resets to A whenever tag power cycles;
+//   * S1 decays back to A after a bounded interval even while powered —
+//     the standard gives 500 ms..5 s, which we express in slots
+//     (SessionTimers::s1_decay_slots) so decay is deterministic and
+//     replayable on the discrete slot clock;
+//   * S2/S3 persist indefinitely while powered (and are modeled as
+//     persisting across power_cycle(), i.e. the cycle is shorter than
+//     their >2 s persistence floor).
+//
+// Everything here is plain deterministic state; randomness (slot draws,
+// capture, loss) lives in Gen2Mac / Gen2Inventory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitcode.hpp"
+#include "common/ensure.hpp"
+
+namespace pet::gen2 {
+
+/// The four inventory sessions.  A reader inventories one session at a
+/// time; tags keep an independent A/B flag per session, which is what lets
+/// multiple readers take turns over one population.
+enum class Session : std::uint8_t { kS0 = 0, kS1 = 1, kS2 = 2, kS3 = 3 };
+
+[[nodiscard]] constexpr const char* to_string(Session s) noexcept {
+  switch (s) {
+    case Session::kS0: return "S0";
+    case Session::kS1: return "S1";
+    case Session::kS2: return "S2";
+    case Session::kS3: return "S3";
+  }
+  return "?";
+}
+
+/// Per-session inventoried flag.  Query targets one value; an acknowledged
+/// tag toggles its flag so the next pass over the same session skips it.
+enum class InvFlag : std::uint8_t { kA = 0, kB = 1 };
+
+/// Session persistence, in slots of the discrete MAC clock.  Only S1
+/// decays while powered; kNoDecay disables the timer.
+struct SessionTimers {
+  static constexpr std::uint64_t kNoDecay = ~std::uint64_t{0};
+  std::uint64_t s1_decay_slots = 512;
+
+  void validate() const {
+    expects(s1_decay_slots > 0, "SessionTimers: S1 decay must be positive");
+  }
+};
+
+/// A Select command: match tags whose EPC starts with `mask` and steer
+/// their session flag (or SL).  Action-000 semantics, the common case:
+/// matching tags are asserted (inventoried -> A), non-matching tags are
+/// deasserted (inventoried -> B).  `truncate` asks matching tags to
+/// backscatter only the EPC portion *after* the mask in subsequent
+/// replies — the knob that makes deep PET probes cheap on the uplink.
+struct SelectMask {
+  Session session = Session::kS2;
+  BitCode mask;  ///< MSB-first EPC prefix; empty mask matches every tag
+  bool truncate = false;
+
+  /// Tag-side mask comparison (standard §6.3.2.12.1.1: MemBank EPC,
+  /// pointer 0).  Masks wider than the EPC match nothing.
+  [[nodiscard]] bool matches(const BitCode& epc) const {
+    if (mask.width() > epc.width()) return false;
+    return epc.matches_prefix(mask, mask.width());
+  }
+};
+
+/// One tag's persistent inventory-layer state: its EPC plus the five flags
+/// (4 sessions + SL).  The S1 timer is lazy: decay is applied when the
+/// flag is next read, against the caller-supplied slot clock.
+class Gen2Tag {
+ public:
+  Gen2Tag() = default;
+  explicit Gen2Tag(BitCode epc) : epc_(epc) {}
+
+  [[nodiscard]] const BitCode& epc() const noexcept { return epc_; }
+
+  /// Read the session flag at slot-time `now`, applying S1 decay first.
+  /// Returns the (possibly just-decayed) flag; `decayed`, when non-null,
+  /// reports whether this read performed the decay.
+  InvFlag flag(Session session, std::uint64_t now,
+               const SessionTimers& timers, bool* decayed = nullptr) {
+    if (decayed != nullptr) *decayed = false;
+    auto& state = flags_[static_cast<std::size_t>(session)];
+    if (session == Session::kS1 && state == InvFlag::kB &&
+        timers.s1_decay_slots != SessionTimers::kNoDecay &&
+        now >= s1_set_slot_ && now - s1_set_slot_ >= timers.s1_decay_slots) {
+      state = InvFlag::kA;
+      if (decayed != nullptr) *decayed = true;
+    }
+    return state;
+  }
+
+  /// Set the session flag at slot-time `now` (arms the S1 timer).
+  /// Returns true iff the stored value changed (an A<->B flip).
+  bool set_flag(Session session, InvFlag value, std::uint64_t now) {
+    auto& state = flags_[static_cast<std::size_t>(session)];
+    if (session == Session::kS1) s1_set_slot_ = now;
+    const bool flipped = state != value;
+    state = value;
+    return flipped;
+  }
+
+  [[nodiscard]] bool selected() const noexcept { return sl_; }
+  void set_selected(bool sl) noexcept { sl_ = sl; }
+
+  /// Tag leaves and re-enters the field.  S0 resets to A immediately and
+  /// SL deasserts; S1 keeps its timer (it decays on its own); S2/S3
+  /// persist (the model assumes the outage is shorter than their floor).
+  void power_cycle() noexcept {
+    flags_[static_cast<std::size_t>(Session::kS0)] = InvFlag::kA;
+    sl_ = false;
+  }
+
+ private:
+  BitCode epc_;
+  std::array<InvFlag, 4> flags_{InvFlag::kA, InvFlag::kA, InvFlag::kA,
+                                InvFlag::kA};
+  std::uint64_t s1_set_slot_ = 0;
+  bool sl_ = false;
+};
+
+}  // namespace pet::gen2

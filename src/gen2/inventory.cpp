@@ -1,0 +1,154 @@
+#include "gen2/inventory.hpp"
+
+#include <algorithm>
+
+#include "obs/instruments.hpp"
+#include "rng/prng.hpp"
+
+namespace pet::gen2 {
+
+Gen2Inventory::Gen2Inventory(Gen2Mac& mac, Gen2InventoryConfig config)
+    : mac_(mac), config_(config) {
+  config_.validate();
+}
+
+Gen2InventoryResult Gen2Inventory::run(std::span<Gen2Tag> tags,
+                                       std::uint64_t seed) {
+  mac_.refresh_obs();
+  const sim::Gen2CommandBits& bits = mac_.config().bits;
+  const sim::SlotLedger start = mac_.ledger();
+  const bool counters = obs::counters_enabled();
+
+  Gen2InventoryResult result;
+
+  if (config_.use_select) {
+    const unsigned mask_bits = config_.select.mask.width();
+    mac_.broadcast(bits.select(mask_bits));
+    std::uint64_t flips = 0;
+    for (Gen2Tag& tag : tags) {
+      // Action-000: matching -> A, non-matching -> B (gen2.hpp).
+      const InvFlag value =
+          config_.select.matches(tag.epc()) ? InvFlag::kA : InvFlag::kB;
+      tag.set_selected(config_.select.matches(tag.epc()));
+      if (tag.set_flag(config_.select.session, value, mac_.slot_clock())) {
+        ++flips;
+      }
+    }
+    if (counters) {
+      const obs::Gen2Instruments& gi = obs::gen2_instruments();
+      gi.select_commands.add();
+      gi.select_bits.add(bits.select(mask_bits));
+      gi.session_flips.add(flips);
+    }
+  }
+
+  QPolicy policy(config_.qpolicy);
+  const InvFlag done_flag =
+      config_.target == InvFlag::kA ? InvFlag::kB : InvFlag::kA;
+  rng::Xoshiro256ss draw(rng::derive_seed(seed, 0x6e2));
+
+  std::vector<std::uint32_t> eligible;
+  std::vector<std::uint64_t> counters_by_tag(tags.size(), 0);
+  std::vector<std::vector<std::uint32_t>> buckets;
+
+  // Each iteration opens one frame: Query on the first and after every DFA
+  // frame-end recompute, QueryAdjust when the floating-Q rule re-frames
+  // mid-flight.  Unresolved tags redraw their slot counter each opening.
+  bool adjust_opening = false;
+  while (result.slots < config_.max_slots) {
+    eligible.clear();
+    for (std::uint32_t i = 0; i < tags.size(); ++i) {
+      bool decayed = false;
+      const InvFlag flag = tags[i].flag(config_.session, mac_.slot_clock(),
+                                        config_.timers, &decayed);
+      if (decayed) {
+        ++result.session_decays;
+        if (counters) obs::gen2_instruments().session_decays.add();
+      }
+      if (flag == config_.target) eligible.push_back(i);
+    }
+    if (eligible.empty()) break;
+
+    const unsigned q = policy.q();
+    const std::uint64_t frame_size = std::uint64_t{1} << q;
+    result.q_trajectory.push_back(q);
+    ++result.frames;
+    if (counters) {
+      const obs::Gen2Instruments& gi = obs::gen2_instruments();
+      gi.q_values.observe(static_cast<double>(q));
+      gi.q_last.set(static_cast<double>(q));
+      if (adjust_opening) {
+        gi.query_adjusts.add();
+      } else {
+        gi.query_commands.add();
+      }
+    }
+    // The frame-opening command (Query or QueryAdjust) also opens slot 0,
+    // so its bits ride on the first slot below.
+    const unsigned opening_bits =
+        adjust_opening ? bits.query_adjust : bits.query;
+    adjust_opening = false;
+
+    buckets.assign(frame_size, {});
+    for (const std::uint32_t i : eligible) {
+      counters_by_tag[i] = draw() % frame_size;
+      buckets[counters_by_tag[i]].push_back(i);
+    }
+
+    std::uint64_t frame_collisions = 0;
+    bool reframed = false;
+    for (std::uint64_t slot = 0; slot < frame_size; ++slot) {
+      const unsigned cmd_bits = slot == 0 ? opening_bits : bits.query_rep;
+      if (counters && slot != 0) obs::gen2_instruments().query_commands.add();
+      const std::vector<std::uint32_t>& bucket = buckets[slot];
+      const Gen2SlotResult sr =
+          mac_.run_slot(bucket.size(), cmd_bits, bits.rn16);
+      ++result.slots;
+
+      switch (sr.outcome) {
+        case SlotOutcome::kIdle: ++result.idle_slots; break;
+        case SlotOutcome::kSingleton: ++result.singleton_slots; break;
+        case SlotOutcome::kCollision: ++result.collision_slots; break;
+      }
+      if (sr.captured) ++result.captured_slots;
+      if (sr.outcome == SlotOutcome::kCollision && !bucket.empty()) {
+        ++frame_collisions;
+      }
+
+      if (sr.outcome == SlotOutcome::kSingleton && !bucket.empty()) {
+        // The decoded reply belongs to the first transmitter (under
+        // capture, the power-dominant one; under loss, the survivor —
+        // first is the deterministic stand-in either way).
+        Gen2Tag& tag = tags[bucket.front()];
+        unsigned epc_bits = config_.epc_reply_bits;
+        if (config_.use_select && config_.select.truncate &&
+            config_.select.matches(tag.epc())) {
+          // Truncated backscatter: only the EPC portion after the mask.
+          const unsigned saved = config_.select.mask.width();
+          epc_bits = epc_bits > saved + 16 ? epc_bits - saved : 16;
+        }
+        mac_.acknowledge(bits.ack, epc_bits);
+        if (tag.set_flag(config_.session, done_flag, mac_.slot_clock())) {
+          if (counters) obs::gen2_instruments().session_flips.add();
+        }
+        ++result.identified;
+      }
+
+      if (policy.on_slot(sr.outcome)) {
+        // Floating-Q re-frame: QueryAdjust aborts the rest of this frame;
+        // unresolved tags redraw at the new Q.  The command's bits ride on
+        // the next frame's opening slot.
+        reframed = true;
+        adjust_opening = true;
+        break;
+      }
+      if (result.slots >= config_.max_slots) break;
+    }
+    if (!reframed) policy.on_frame_end(frame_collisions);
+  }
+
+  result.ledger = mac_.ledger() - start;
+  return result;
+}
+
+}  // namespace pet::gen2

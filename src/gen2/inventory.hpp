@@ -1,0 +1,69 @@
+// Gen2Inventory: the reader's full inventory round — Select, then the
+// Query / QueryRep / QueryAdjust frame-slotted ALOHA loop with ACK'd EPC
+// reads — over a population of Gen2Tag state machines and a Gen2Mac slot
+// engine.  This is the realistic-MAC counterpart of the idealized DFSA
+// baseline in protocols/identification.hpp: same Schoute-style adaptation
+// available (QPolicyKind::kDfaBacklog), plus the standard's per-slot
+// floating-Q rule, session flag persistence, S1 decay, and capture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen2/gen2.hpp"
+#include "gen2/mac.hpp"
+#include "gen2/qpolicy.hpp"
+
+namespace pet::gen2 {
+
+struct Gen2InventoryConfig {
+  Session session = Session::kS2;   ///< session the Query targets
+  InvFlag target = InvFlag::kA;     ///< inventoried value that participates
+  SelectMask select{};              ///< applied before the first Query
+  bool use_select = false;          ///< skip the Select phase when false
+  QPolicyConfig qpolicy{};
+  SessionTimers timers{};
+  std::uint64_t max_slots = std::uint64_t{1} << 22;  ///< stall guard
+  /// Backscattered EPC read after ACK: PC(16) + EPC(96) + CRC-16.
+  unsigned epc_reply_bits = 128;
+
+  void validate() const {
+    qpolicy.validate();
+    timers.validate();
+    expects(max_slots > 0, "Gen2InventoryConfig: max_slots must be positive");
+  }
+};
+
+struct Gen2InventoryResult {
+  std::uint64_t identified = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t frames = 0;  ///< Query + QueryAdjust frame openings
+  std::uint64_t idle_slots = 0;
+  std::uint64_t singleton_slots = 0;
+  std::uint64_t collision_slots = 0;
+  std::uint64_t captured_slots = 0;
+  std::uint64_t session_decays = 0;  ///< S1 flags that decayed mid-round
+  std::vector<unsigned> q_trajectory;  ///< Q at each frame opening
+  sim::SlotLedger ledger;  ///< this round's slice of the MAC ledger
+};
+
+class Gen2Inventory {
+ public:
+  /// `mac` is borrowed; its ledger accumulates across rounds so repeated
+  /// inventories on one MAC share a slot clock (which is what arms the S1
+  /// decay timers between rounds).
+  Gen2Inventory(Gen2Mac& mac, Gen2InventoryConfig config = {});
+
+  /// Run one inventory round: flip every participating tag's session flag
+  /// via ACK'd singleton reads until the frame loop drains (or max_slots).
+  /// `seed` drives the tags' slot draws only; impairments draw from the
+  /// MAC's own fault streams.
+  Gen2InventoryResult run(std::span<Gen2Tag> tags, std::uint64_t seed);
+
+ private:
+  Gen2Mac& mac_;
+  Gen2InventoryConfig config_;
+};
+
+}  // namespace pet::gen2

@@ -1,0 +1,135 @@
+#include "gen2/mac.hpp"
+
+#include <cmath>
+
+#include "obs/trace.hpp"
+
+namespace pet::gen2 {
+
+Gen2Mac::Gen2Mac(const Gen2MacConfig& config)
+    : config_(config),
+      faults_(config.impairments),
+      loss_active_(config.impairments.reply_loss_prob > 0.0 ||
+                   config.impairments.burst.enabled()) {
+  config_.link.validate();
+  refresh_obs();
+}
+
+void Gen2Mac::broadcast(unsigned command_bits) {
+  const sim::Gen2LinkConfig& link = config_.link;
+  if (!faults_.reader_down_at(faults_.slots_begun())) {
+    ledger_.reader_bits += command_bits;
+    if (obs::counters_enabled(obs_mode_)) {
+      obs::ledger_instruments().reader_bits.add(command_bits);
+    }
+  }
+  const double us = link.preamble_tari * link.tari_us +
+                    command_bits * link.reader_bit_us();
+  ledger_.airtime_us += static_cast<sim::SimTime>(std::llround(us));
+}
+
+void Gen2Mac::acknowledge(unsigned ack_bits, unsigned epc_bits) {
+  ledger_.reader_bits += ack_bits;
+  ledger_.tag_bits += epc_bits;
+  ledger_.airtime_us += static_cast<sim::SimTime>(
+      std::llround(sim::gen2_slot_us(config_.link, ack_bits, epc_bits)));
+  if (obs::counters_enabled(obs_mode_)) {
+    obs::ledger_instruments().reader_bits.add(ack_bits);
+    obs::ledger_instruments().tag_bits.add(epc_bits);
+  }
+}
+
+Gen2SlotResult Gen2Mac::run_slot(std::size_t responders, unsigned command_bits,
+                                 unsigned reply_bits) {
+  faults_.begin_slot();
+
+  Gen2SlotResult result;
+  result.during_outage = faults_.reader_down();
+
+  if (result.during_outage) {
+    // The command never airs and nothing is heard; the reader burns the
+    // slot and reads silence (indistinguishable from genuinely idle).
+    result.outcome = SlotOutcome::kIdle;
+    ++ledger_.outage_slots;
+  } else {
+    result.survivors = responders;
+    std::size_t erased = 0;
+    if (loss_active_) {
+      result.survivors = 0;
+      for (std::size_t i = 0; i < responders; ++i) {
+        if (faults_.erases_reply()) {
+          ++erased;
+        } else {
+          ++result.survivors;
+        }
+      }
+    }
+    ledger_.erased_replies += erased;
+
+    if (result.survivors == 0) {
+      if (faults_.raises_noise_floor()) {
+        // Imperfect idle detection: the receiver cannot tell raised noise
+        // from a garbled collision.
+        result.outcome = SlotOutcome::kCollision;
+        result.false_busy = true;
+        ++ledger_.noise_busy_slots;
+      } else {
+        result.outcome = SlotOutcome::kIdle;
+      }
+    } else if (result.survivors == 1) {
+      result.outcome = SlotOutcome::kSingleton;
+    } else if (faults_.captures_collision(result.survivors)) {
+      result.outcome = SlotOutcome::kSingleton;
+      result.captured = true;
+    } else {
+      result.outcome = SlotOutcome::kCollision;
+    }
+
+    ledger_.reader_bits += command_bits;
+    ledger_.tag_bits +=
+        static_cast<std::uint64_t>(result.survivors) * reply_bits;
+  }
+
+  switch (result.outcome) {
+    case SlotOutcome::kIdle: ++ledger_.idle_slots; break;
+    case SlotOutcome::kSingleton: ++ledger_.singleton_slots; break;
+    case SlotOutcome::kCollision: ++ledger_.collision_slots; break;
+  }
+  // The reply window is occupied for one reply duration whenever the
+  // receiver sees energy (collided replies overlap; noise fills the window
+  // too); only a clean idle gets the short detection timeout.
+  const unsigned window_bits =
+      result.outcome == SlotOutcome::kIdle ? 0 : reply_bits;
+  ledger_.airtime_us += static_cast<sim::SimTime>(
+      std::llround(sim::gen2_slot_us(config_.link, command_bits, window_bits)));
+
+  if (obs::counters_enabled(obs_mode_)) {
+    const obs::Gen2Instruments& gi = obs::gen2_instruments();
+    const obs::LedgerInstruments& li = obs::ledger_instruments();
+    switch (result.outcome) {
+      case SlotOutcome::kIdle:
+        gi.idle_slots.add();
+        li.idle_slots.add();
+        break;
+      case SlotOutcome::kSingleton:
+        gi.singleton_slots.add();
+        li.singleton_slots.add();
+        break;
+      case SlotOutcome::kCollision:
+        gi.collision_slots.add();
+        li.collision_slots.add();
+        break;
+    }
+    if (result.captured) gi.captured_slots.add();
+    if (result.false_busy) gi.false_busy_slots.add();
+    if (!result.during_outage) {
+      li.reader_bits.add(command_bits);
+      li.tag_bits.add(static_cast<std::uint64_t>(result.survivors) *
+                      reply_bits);
+    }
+    if (obs::full_enabled(obs_mode_)) obs::advance_trace_slot();
+  }
+  return result;
+}
+
+}  // namespace pet::gen2

@@ -1,0 +1,101 @@
+// Gen2Mac: the Gen2 air-interface slot engine.
+//
+// Everything above it (Gen2PrefixChannel, Gen2Inventory) thinks in "how
+// many tags transmit in this reply window"; Gen2Mac turns that count into
+// what the reader's receiver actually decodes, under the seeded
+// sim::FaultModel impairments:
+//
+//   * reply loss (i.i.d. + Gilbert-Elliott bursts) erases transmitters;
+//   * capture effect can decode a power-dominant reply out of a collision
+//     (CaptureParams; the surviving reply is the first transmitter, a
+//     deterministic stand-in for signal strength);
+//   * noise floors idle slots to busy (imperfect idle detection);
+//   * scripted reader outages burn slots that read as idle.
+//
+// Slot costs are charged in both currencies: the SlotLedger counts
+// (identical accounting to the ideal back ends — one probe, one slot) and
+// wall-clock airtime from the PIE/backscatter timing model
+// (sim/gen2_timing.hpp).  With all impairments inert a slot is O(1) no
+// matter how many tags respond; per-reply loss draws only happen when a
+// loss source is enabled.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/instruments.hpp"
+#include "sim/faults.hpp"
+#include "sim/gen2_timing.hpp"
+#include "sim/medium.hpp"
+
+namespace pet::gen2 {
+
+struct Gen2MacConfig {
+  sim::Gen2LinkConfig link{};
+  sim::ChannelImpairments impairments{};
+  sim::Gen2CommandBits bits{};
+};
+
+/// What the reader decoded from one reply window.
+struct Gen2SlotResult {
+  SlotOutcome outcome = SlotOutcome::kIdle;
+  std::size_t survivors = 0;   ///< replies that reached the receiver
+  bool captured = false;       ///< collision decoded via capture effect
+  bool false_busy = false;     ///< idle slot floored to busy by noise
+  bool during_outage = false;  ///< slot burned inside a reader outage
+};
+
+class Gen2Mac {
+ public:
+  explicit Gen2Mac(const Gen2MacConfig& config);
+
+  /// One Reader-Talks-First slot: `responders` tags transmit `reply_bits`
+  /// each after a `command_bits` downlink command.  Applies impairments,
+  /// classifies the outcome, and accounts the slot.
+  Gen2SlotResult run_slot(std::size_t responders, unsigned command_bits,
+                          unsigned reply_bits);
+
+  /// Downlink-only command (Select, and the ACK half of an EPC read):
+  /// charges bits and airtime, opens no reply window, counts no slot.
+  /// Lost silently when a scripted outage covers the upcoming slot.
+  void broadcast(unsigned command_bits);
+
+  /// ACK handshake after a decoded singleton: `ack_bits` downlink plus an
+  /// `epc_bits` backscattered EPC.  Charged as airtime + link bits; the
+  /// preceding run_slot already counted the slot.
+  void acknowledge(unsigned ack_bits, unsigned epc_bits);
+
+  [[nodiscard]] const sim::SlotLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  void reset_ledger() noexcept { ledger_ = {}; }
+  void note_retries(std::uint64_t slots) noexcept {
+    ledger_.retry_slots += slots;
+    if (obs::counters_enabled(obs_mode_)) {
+      obs::ledger_instruments().retry_slots.add(slots);
+    }
+  }
+
+  [[nodiscard]] const Gen2MacConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const sim::FaultModel& faults() const noexcept {
+    return faults_;
+  }
+  /// Slots run so far — the discrete clock the session timers count in.
+  [[nodiscard]] std::uint64_t slot_clock() const noexcept {
+    return faults_.slots_begun();
+  }
+
+  /// Re-snapshot the obs level (call at round/frame boundaries, like the
+  /// other channel back ends, so per-slot recording stays one byte test).
+  void refresh_obs() noexcept { obs_mode_ = obs::level_byte(); }
+
+ private:
+  Gen2MacConfig config_;
+  sim::FaultModel faults_;
+  bool loss_active_;
+  std::uint8_t obs_mode_ = 0;
+  sim::SlotLedger ledger_;
+};
+
+}  // namespace pet::gen2

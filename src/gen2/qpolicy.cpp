@@ -1,0 +1,54 @@
+#include "gen2/qpolicy.hpp"
+
+#include <cmath>
+
+namespace pet::gen2 {
+
+QPolicy::QPolicy(QPolicyConfig config) : config_(config) {
+  config_.validate();
+  qfp_ = static_cast<double>(config_.q0);
+  q_ = config_.q0;
+}
+
+unsigned QPolicy::clamp_q(double q) const noexcept {
+  const double lo = static_cast<double>(config_.q_min);
+  const double hi = static_cast<double>(config_.q_max);
+  if (q < lo) q = lo;
+  if (q > hi) q = hi;
+  return static_cast<unsigned>(std::lround(q));
+}
+
+bool QPolicy::on_slot(SlotOutcome outcome) {
+  if (config_.kind != QPolicyKind::kQAdjust) return false;
+  switch (outcome) {
+    case SlotOutcome::kIdle: qfp_ -= config_.c; break;
+    case SlotOutcome::kSingleton: break;
+    case SlotOutcome::kCollision: qfp_ += config_.c; break;
+  }
+  const double lo = static_cast<double>(config_.q_min);
+  const double hi = static_cast<double>(config_.q_max);
+  if (qfp_ < lo) qfp_ = lo;
+  if (qfp_ > hi) qfp_ = hi;
+  const unsigned rounded = clamp_q(qfp_);
+  if (rounded != q_) {
+    q_ = rounded;
+    return true;
+  }
+  return false;
+}
+
+void QPolicy::on_frame_end(std::uint64_t collision_slots) {
+  if (config_.kind != QPolicyKind::kDfaBacklog) return;
+  if (collision_slots == 0) {
+    // Nothing collided: either the frame drained the backlog or it was
+    // oversized.  Step down one notch rather than log2(0).
+    q_ = q_ > config_.q_min ? q_ - 1 : config_.q_min;
+  } else {
+    const double backlog =
+        config_.backlog_factor * static_cast<double>(collision_slots);
+    q_ = clamp_q(std::log2(backlog));
+  }
+  qfp_ = static_cast<double>(q_);
+}
+
+}  // namespace pet::gen2

@@ -1,0 +1,88 @@
+// Q-adaptation policies for the Gen2 reader's frame-slotted ALOHA loop.
+//
+// The reader opens a frame of 2^Q slots with Query and may re-frame
+// mid-flight with QueryAdjust.  Two policies choose Q:
+//
+//   * kQAdjust — the standard's Annex D.2.2 floating-Q rule: keep a real
+//     Qfp; each collision adds C, each idle subtracts C (singletons leave
+//     it alone), and the reader issues QueryAdjust whenever round(Qfp)
+//     drifts from the Q in force.  C in [0.1, 0.5]; smaller C for larger
+//     Q is customary, a fixed C is what actual silicon ships.
+//
+//   * kDfaBacklog — Dynamic Frame Aloha backlog estimation
+//     (arXiv 1305.0909; Schoute's classic result): at frame end estimate
+//     the backlog as 2.39 x collision slots and open the next frame at
+//     Q = round(log2(backlog)).  No mid-frame adjustment.
+//
+// Both are deterministic functions of the observed outcome stream.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace pet::gen2 {
+
+enum class QPolicyKind : std::uint8_t {
+  kQAdjust,     ///< per-slot floating-Q (standard Annex D.2.2)
+  kDfaBacklog,  ///< frame-end Schoute backlog estimate
+};
+
+[[nodiscard]] constexpr const char* to_string(QPolicyKind kind) noexcept {
+  switch (kind) {
+    case QPolicyKind::kQAdjust: return "qadjust";
+    case QPolicyKind::kDfaBacklog: return "dfa";
+  }
+  return "?";
+}
+
+struct QPolicyConfig {
+  QPolicyKind kind = QPolicyKind::kQAdjust;
+  unsigned q0 = 4;       ///< initial Q
+  unsigned q_min = 0;    ///< standard floor
+  unsigned q_max = 15;   ///< standard ceiling (32768-slot frame)
+  double c = 0.3;        ///< Qfp step weight, standard range [0.1, 0.5]
+  double backlog_factor = 2.39;  ///< Schoute's collision multiplier
+
+  void validate() const {
+    expects(q_min <= q_max && q_max <= 15,
+            "QPolicyConfig: need q_min <= q_max <= 15");
+    expects(q0 >= q_min && q0 <= q_max,
+            "QPolicyConfig: q0 must lie in [q_min, q_max]");
+    expects(c >= 0.1 && c <= 0.5, "QPolicyConfig: C must be in [0.1, 0.5]");
+    expects(backlog_factor > 0.0,
+            "QPolicyConfig: backlog factor must be positive");
+  }
+};
+
+/// Reader-side Q state machine.  Feed it every slot outcome; it reports
+/// the Q currently in force and (for kQAdjust) when to issue QueryAdjust.
+class QPolicy {
+ public:
+  explicit QPolicy(QPolicyConfig config);
+
+  [[nodiscard]] unsigned q() const noexcept { return q_; }
+  [[nodiscard]] const QPolicyConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Per-slot feedback.  Returns true iff the policy wants a QueryAdjust
+  /// now (kQAdjust only: round(Qfp) moved away from the Q in force); the
+  /// caller then re-frames and q() is the adjusted value.
+  bool on_slot(SlotOutcome outcome);
+
+  /// Frame-end feedback (kDfaBacklog): recompute Q for the next frame
+  /// from this frame's collision count.  A collision-free frame steps Q
+  /// down one notch instead (the backlog estimate would be zero).
+  void on_frame_end(std::uint64_t collision_slots);
+
+ private:
+  [[nodiscard]] unsigned clamp_q(double q) const noexcept;
+
+  QPolicyConfig config_;
+  double qfp_;
+  unsigned q_;
+};
+
+}  // namespace pet::gen2

@@ -53,6 +53,7 @@ struct FaultInstruments {
   Counter noise_transitions;  ///< sim.fault.noise_transitions
   Counter churn_departed;     ///< sim.fault.churn_departed
   Counter churn_arrived;      ///< sim.fault.churn_arrived
+  Counter captured_slots;     ///< sim.fault.captured_slots
 };
 
 inline const FaultInstruments& fault_instruments() {
@@ -68,6 +69,7 @@ inline const FaultInstruments& fault_instruments() {
     b.noise_transitions = reg.counter("sim.fault.noise_transitions");
     b.churn_departed = reg.counter("sim.fault.churn_departed");
     b.churn_arrived = reg.counter("sim.fault.churn_arrived");
+    b.captured_slots = reg.counter("sim.fault.captured_slots");
     return b;
   }();
   return bundle;
@@ -134,6 +136,50 @@ inline void record_ledger_slot(std::size_t responders, unsigned downlink_bits,
   }
   li.reader_bits.add(downlink_bits);
   li.tag_bits.add(tag_bits);
+}
+
+/// pet::gen2 MAC layer: slot-outcome splits as the Gen2 reader decodes
+/// them, Select/Query command census, Q-adaptation trajectory, and session
+/// inventoried-flag dynamics.  `q_last` tracks whatever frame finished most
+/// recently, which under the parallel trial engine depends on scheduling —
+/// hence Domain::kProfile; everything else folds deterministically.
+struct Gen2Instruments {
+  Counter idle_slots;        ///< gen2.slot.idle
+  Counter singleton_slots;   ///< gen2.slot.singleton
+  Counter collision_slots;   ///< gen2.slot.collision
+  Counter captured_slots;    ///< gen2.slot.captured
+  Counter false_busy_slots;  ///< gen2.slot.false_busy
+  Counter select_commands;   ///< gen2.select.commands
+  Counter select_bits;       ///< gen2.select.bits
+  Counter query_commands;    ///< gen2.query.commands (Query + QueryRep)
+  Counter query_adjusts;     ///< gen2.query.adjusts (QueryAdjust commands)
+  Counter session_flips;     ///< gen2.session.flips (A<->B transitions)
+  Counter session_decays;    ///< gen2.session.decays (S1 timer expiries)
+  Histogram q_values;        ///< gen2.query.q (Q issued per Query/Adjust)
+  Gauge q_last;              ///< gen2.query.q_last (profile: latest Q)
+};
+
+inline const Gen2Instruments& gen2_instruments() {
+  static const Gen2Instruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    Gen2Instruments b;
+    b.idle_slots = reg.counter("gen2.slot.idle");
+    b.singleton_slots = reg.counter("gen2.slot.singleton");
+    b.collision_slots = reg.counter("gen2.slot.collision");
+    b.captured_slots = reg.counter("gen2.slot.captured");
+    b.false_busy_slots = reg.counter("gen2.slot.false_busy");
+    b.select_commands = reg.counter("gen2.select.commands");
+    b.select_bits = reg.counter("gen2.select.bits");
+    b.query_commands = reg.counter("gen2.query.commands");
+    b.query_adjusts = reg.counter("gen2.query.adjusts");
+    b.session_flips = reg.counter("gen2.session.flips");
+    b.session_decays = reg.counter("gen2.session.decays");
+    b.q_values = reg.histogram("gen2.query.q",
+                               {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0});
+    b.q_last = reg.gauge("gen2.query.q_last", Domain::kProfile);
+    return b;
+  }();
+  return bundle;
 }
 
 /// core::RobustPetEstimator: voting re-reads, health verdicts, widenings.

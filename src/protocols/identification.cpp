@@ -8,6 +8,8 @@
 
 #include "common/bitcode.hpp"
 #include "common/ensure.hpp"
+#include "gen2/inventory.hpp"
+#include "rng/hash_family.hpp"
 #include "rng/prng.hpp"
 #include "sim/devices.hpp"
 #include "sim/simulator.hpp"
@@ -222,6 +224,37 @@ IdentificationResult identify_treewalk(std::span<const TagId> tags,
     }
   }
   result.ledger = medium.ledger();
+  return result;
+}
+
+IdentificationResult identify_gen2(std::uint64_t n,
+                                   const Gen2DfsaOptions& options,
+                                   std::uint64_t seed) {
+  gen2::Gen2MacConfig mac_config;
+  mac_config.link = options.link;
+  mac_config.impairments.seed = options.impairment_seed;
+  mac_config.impairments.capture.capture_prob = options.capture_prob;
+  mac_config.impairments.reply_loss_prob = options.reply_loss_prob;
+  gen2::Gen2Mac mac(mac_config);
+
+  std::vector<gen2::Gen2Tag> tags;
+  tags.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    tags.emplace_back(
+        rng::uniform_code(rng::HashKind::kMix64, seed, i, 32));
+  }
+
+  gen2::Gen2InventoryConfig inv_config;
+  if (options.dfa_backlog) {
+    inv_config.qpolicy.kind = gen2::QPolicyKind::kDfaBacklog;
+  }
+  gen2::Gen2Inventory inventory(mac, inv_config);
+  const auto round = inventory.run(tags, rng::derive_seed(seed, 1));
+
+  IdentificationResult result;
+  result.identified = round.identified;
+  result.frames = round.frames;
+  result.ledger = round.ledger;
   return result;
 }
 

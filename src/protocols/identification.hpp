@@ -18,6 +18,7 @@
 
 #include "common/types.hpp"
 #include "rng/hash_family.hpp"
+#include "sim/gen2_timing.hpp"
 #include "sim/medium.hpp"
 
 namespace pet::proto {
@@ -57,6 +58,24 @@ struct DfsaConfig {
 /// state.
 [[nodiscard]] IdentificationResult identify_dfsa_sampled(
     std::uint64_t n, const DfsaConfig& config, std::uint64_t seed);
+
+/// Gen2-faithful DFSA: the same identification job run through the real
+/// EPC C1G2 MAC (pet::gen2) — Q-adaptive frames (floating-Q or DFA
+/// backlog policy), session flags, ACK'd EPC reads, and the seeded link
+/// impairments (loss, capture, noise).  The idealized identify_dfsa above
+/// stays the analytic baseline; this is the measured counterpart the
+/// latency tables compare it against.
+struct Gen2DfsaOptions {
+  bool dfa_backlog = false;  ///< frame-end Schoute policy vs floating-Q
+  double capture_prob = 0.0;
+  double reply_loss_prob = 0.0;
+  std::uint64_t impairment_seed = 0x10551055ULL;
+  sim::Gen2LinkConfig link{};  ///< PHY profile for airtime accounting
+};
+
+[[nodiscard]] IdentificationResult identify_gen2(std::uint64_t n,
+                                                 const Gen2DfsaOptions& options,
+                                                 std::uint64_t seed);
 
 struct SplittingConfig {
   rng::HashKind hash = rng::HashKind::kMix64;

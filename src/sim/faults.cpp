@@ -48,6 +48,20 @@ void NoiseTransientParams::validate() const {
       "NoiseTransientParams: noisy_false_busy_prob must be in [0, 1]");
 }
 
+double CaptureParams::probability(std::size_t responders) const noexcept {
+  if (responders < 2) return 0.0;
+  double p = capture_prob;
+  for (std::size_t k = 2; k < responders; ++k) p *= extra_decay;
+  return p;
+}
+
+void CaptureParams::validate() const {
+  expect_probability(capture_prob,
+                     "CaptureParams: capture_prob must be in [0, 1]");
+  expect_probability(extra_decay,
+                     "CaptureParams: extra_decay must be in [0, 1]");
+}
+
 void FaultScript::validate() const {
   for (const ReaderOutage& outage : outages) {
     expects(outage.duration_slots > 0,
@@ -69,6 +83,7 @@ void ChannelImpairments::validate() const {
   burst.validate();
   noise_transient.validate();
   script.validate();
+  capture.validate();
 }
 
 FaultModel::FaultModel(const ChannelImpairments& impairments)
@@ -79,7 +94,10 @@ FaultModel::FaultModel(const ChannelImpairments& impairments)
       loss_rng_(rng::derive_seed(impairments.seed, 0)),
       chain_rng_(rng::derive_seed(impairments.seed, 1)),
       noise_rng_(rng::derive_seed(impairments.seed, 2)),
-      churn_rng_(rng::derive_seed(impairments.seed, 3)) {
+      churn_rng_(rng::derive_seed(impairments.seed, 3)),
+      // Stream 4: capture.  A new source gets a new stream so enabling it
+      // never perturbs replay of the loss/chain/noise/churn draws.
+      capture_rng_(rng::derive_seed(impairments.seed, 4)) {
   impairments_.validate();
   std::stable_sort(churn_queue_.begin(), churn_queue_.end(),
                    [](const ChurnEvent& a, const ChurnEvent& b) {
@@ -146,6 +164,12 @@ bool FaultModel::raises_noise_floor() {
     if (p > 0.0 && std::bernoulli_distribution(p)(noise_rng_)) return true;
   }
   return false;
+}
+
+bool FaultModel::captures_collision(std::size_t responders) {
+  if (!impairments_.capture.enabled() || responders < 2) return false;
+  const double p = impairments_.capture.probability(responders);
+  return p > 0.0 && std::bernoulli_distribution(p)(capture_rng_);
 }
 
 bool FaultModel::reader_down() const noexcept {

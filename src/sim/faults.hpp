@@ -84,6 +84,21 @@ struct ChurnEvent {
   std::uint32_t arrivals = 0;
 };
 
+/// Capture effect: a power-imbalanced collision can still be decoded as the
+/// strongest single reply.  With k >= 2 surviving transmitters the slot is
+/// captured with probability capture_prob * extra_decay^(k - 2) — the usual
+/// monotone model where every additional interferer makes capture less
+/// likely.  Inert by default (capture_prob = 0: every collision garbles).
+struct CaptureParams {
+  double capture_prob = 0.0;  ///< 2-responder capture probability
+  double extra_decay = 0.6;   ///< multiplicative factor per extra responder
+
+  [[nodiscard]] bool enabled() const noexcept { return capture_prob > 0.0; }
+  /// Capture probability for a `responders`-way collision.
+  [[nodiscard]] double probability(std::size_t responders) const noexcept;
+  void validate() const;
+};
+
 /// A replayable scripted fault scenario.
 struct FaultScript {
   std::vector<ReaderOutage> outages;
@@ -105,6 +120,7 @@ struct ChannelImpairments {
   GilbertElliottParams burst{};        ///< bursty loss (inert by default)
   NoiseTransientParams noise_transient{};  ///< noise episodes (inert)
   FaultScript script{};                ///< scripted outages / churn
+  CaptureParams capture{};             ///< collision capture (inert)
 
   /// Rejects probabilities outside [0, 1] and malformed scripts.  Called at
   /// Medium construction; throws PreconditionError.
@@ -131,6 +147,10 @@ class FaultModel {
 
   /// Sample whether an idle slot is floored to busy in the current slot.
   [[nodiscard]] bool raises_noise_floor();
+
+  /// Sample whether a `responders`-way collision (responders >= 2) is
+  /// captured: decoded as the strongest single reply instead of garble.
+  [[nodiscard]] bool captures_collision(std::size_t responders);
 
   /// True while a scripted outage covers the current slot.
   [[nodiscard]] bool reader_down() const noexcept;
@@ -163,6 +183,7 @@ class FaultModel {
   rng::Xoshiro256ss chain_rng_;
   rng::Xoshiro256ss noise_rng_;
   rng::Xoshiro256ss churn_rng_;
+  rng::Xoshiro256ss capture_rng_;
 };
 
 }  // namespace pet::sim

@@ -75,6 +75,27 @@ struct Gen2LinkConfig {
   [[nodiscard]] double t2_us() const noexcept { return 10.0 / blf_per_us(); }
 };
 
+/// Payload sizes of the Gen2 inventory commands (standard §6.3.2.12),
+/// excluding the PHY preamble/frame-sync (gen2_slot_us adds that).  Select
+/// is variable-length: the fixed fields are Command(4) + Target(3) +
+/// Action(3) + MemBank(2) + Pointer(8, one-byte EBV) + Length(8) +
+/// Truncate(1) + CRC-16 = 45 bits, plus the mask itself.
+struct Gen2CommandBits {
+  unsigned query = 22;         ///< Query: full frame-start parameters + Q
+  unsigned query_rep = 4;      ///< QueryRep: command + session only
+  unsigned query_adjust = 9;   ///< QueryAdjust: command + session + UpDn
+  unsigned ack = 18;           ///< ACK: command + echoed RN16
+  unsigned select_base = 45;   ///< Select sans mask (fields above)
+  unsigned rn16 = 16;          ///< tag's RN16 reply in an occupied slot
+
+  /// Total Select command length for a `mask_bits`-bit mask.
+  [[nodiscard]] unsigned select(unsigned mask_bits) const noexcept {
+    return select_base + mask_bits;
+  }
+};
+
+inline constexpr Gen2CommandBits kGen2CommandBits{};
+
 /// Duration of one Reader-Talks-First slot that carries `command_bits`
 /// downlink and expects a reply of `reply_bits` (reply_bits == 0 models an
 /// idle slot, which still waits T1 for the absent response plus a detection

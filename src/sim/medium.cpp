@@ -107,7 +107,7 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
     if (obs::counters_enabled()) obs::fault_instruments().outage_slots.add();
     if (obs::full_enabled()) obs::trace_event("fault.outage_slot");
   } else {
-    std::optional<Reply> sole_reply;
+    std::optional<Reply> first_reply;
     std::size_t heard = 0;
     unsigned uplink_bits = 0;
 
@@ -121,11 +121,7 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
       }
       ++heard;
       uplink_bits += reply->bits;
-      if (heard == 1) {
-        sole_reply = reply;
-      } else {
-        sole_reply.reset();
-      }
+      if (heard == 1) first_reply = reply;
     }
     ledger_.erased_replies += obs.erased_replies;
 
@@ -141,7 +137,18 @@ SlotObservation Medium::run_slot(const Command& cmd, Simulator& simulator) {
       }
     } else if (heard == 1) {
       obs.outcome = SlotOutcome::kSingleton;
-      obs.decoded = sole_reply;
+      obs.decoded = first_reply;
+    } else if (faults_.captures_collision(heard)) {
+      // Capture effect: one power-dominant reply survives the collision and
+      // decodes as a singleton.  Attachment order stands in for signal
+      // strength (the draw itself is the seeded capture stream).
+      obs.outcome = SlotOutcome::kSingleton;
+      obs.decoded = first_reply;
+      obs.captured = true;
+      if (obs::counters_enabled()) {
+        obs::fault_instruments().captured_slots.add();
+      }
+      if (obs::full_enabled()) obs::trace_event("fault.capture");
     } else {
       obs.outcome = SlotOutcome::kCollision;
     }

@@ -46,6 +46,7 @@ struct SlotObservation {
   std::size_t responders = 0;          ///< true transmitter count (pre-loss)
   std::size_t erased_replies = 0;      ///< replies lost to the channel
   bool during_outage = false;          ///< slot fell inside a reader outage
+  bool captured = false;               ///< collision decoded via capture
   std::optional<Reply> decoded;        ///< set iff outcome == kSingleton
 };
 

@@ -11,12 +11,14 @@
 #include "core/estimator.hpp"
 #include "core/robust_estimator.hpp"
 #include "core/theory.hpp"
+#include "gen2/channel.hpp"
 #include "protocols/ezb.hpp"
 #include "protocols/fneb.hpp"
 #include "protocols/lof.hpp"
 #include "protocols/upe.hpp"
 #include "rng/prng.hpp"
 #include "stats/running_stat.hpp"
+#include "tags/population.hpp"
 
 namespace pet::verify {
 
@@ -113,6 +115,65 @@ CalibrationResult calibrate_pet(const CalibrationSpec& spec,
         }
       },
       "calibrate:pet");
+
+  const core::DepthDistribution oracle(spec.n, config.tree_height);
+  auto result = tally.finish(spec, oracle.stddev() * oracle.stddev());
+  result.healthy_fraction = kNaN;
+  return result;
+}
+
+CalibrationResult calibrate_pet_gen2(const CalibrationSpec& spec,
+                                     runtime::TrialRunner& runner) {
+  expects(spec.trials >= 2, "calibrate_pet_gen2: need at least two trials");
+  const core::PetConfig config;  // preloaded codes: the Gen2-encodable mode
+  const core::PetEstimator estimator(config, {spec.epsilon, spec.delta});
+  const double n_double = static_cast<double>(spec.n);
+
+  const auto population = tags::TagPopulation::generate(
+      spec.n, rng::derive_seed(spec.seed, 0xdecaf));
+  const std::vector<TagId> tags(population.ids().begin(),
+                                population.ids().end());
+
+  struct Trial {
+    double n_hat;
+    bool covered;
+    bool covered_empirical;
+    std::vector<unsigned> depths;
+  };
+
+  Tally tally;
+  runner.run<Trial>(
+      spec.trials,
+      [&](std::uint64_t trial) {
+        const std::uint64_t trial_seed = rng::derive_seed(spec.seed, trial);
+        gen2::Gen2ChannelConfig chan_config;
+        chan_config.tree_height = config.tree_height;
+        chan_config.manufacturing_seed = rng::derive_seed(trial_seed, 0);
+        chan_config.impairments = spec.impairments;
+        chan_config.impairments.seed = rng::derive_seed(trial_seed, 2);
+        gen2::Gen2PrefixChannel channel(tags, chan_config);
+        const auto result = estimator.estimate_with_rounds(
+            channel, spec.rounds, rng::derive_seed(trial_seed, 1));
+        Trial out;
+        out.n_hat = result.n_hat;
+        out.covered =
+            core::confidence_interval(result, spec.delta).contains(n_double);
+        out.covered_empirical =
+            core::empirical_confidence_interval(result, spec.delta)
+                .contains(n_double);
+        out.depths = result.depths;
+        return out;
+      },
+      [&](std::uint64_t, Trial trial) {
+        tally.covered += trial.covered ? 1u : 0u;
+        tally.covered_empirical += trial.covered_empirical ? 1u : 0u;
+        tally.within += within_contract(trial.n_hat, spec) ? 1u : 0u;
+        tally.accuracy.add(trial.n_hat / n_double);
+        for (const unsigned d : trial.depths) {
+          tally.depths.add(static_cast<double>(d));
+        }
+      },
+      "calibrate:pet-gen2");
 
   const core::DepthDistribution oracle(spec.n, config.tree_height);
   auto result = tally.finish(spec, oracle.stddev() * oracle.stddev());

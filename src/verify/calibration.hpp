@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "runtime/trial_runner.hpp"
+#include "sim/faults.hpp"
 
 namespace pet::verify {
 
@@ -28,6 +29,10 @@ struct CalibrationSpec {
   double epsilon = 0.1;           ///< contract half-width (baselines)
   double delta = 0.05;            ///< contract / interval error probability
   std::uint64_t seed = 1;
+  /// Gen2 sweeps only: link impairments (capture, loss, noise).  Per-trial
+  /// fault streams are re-derived from the trial seed, never this field's
+  /// own seed, keeping replay trial-indexed.
+  sim::ChannelImpairments impairments{};
 };
 
 /// Aggregates of one calibration sweep; NaN marks fields a given estimator
@@ -47,6 +52,12 @@ struct CalibrationResult {
 
 [[nodiscard]] CalibrationResult calibrate_robust_pet(
     const CalibrationSpec& spec, runtime::TrialRunner& runner);
+
+/// PET over the Gen2 air protocol (gen2::Gen2PrefixChannel): Select+Query
+/// mapped probes, spec.impairments active, fresh manufacturing codes per
+/// trial (preloaded Algorithm 4 — the only PET mode with a Gen2 encoding).
+[[nodiscard]] CalibrationResult calibrate_pet_gen2(const CalibrationSpec& spec,
+                                                   runtime::TrialRunner& runner);
 
 [[nodiscard]] CalibrationResult calibrate_fneb(const CalibrationSpec& spec,
                                                runtime::TrialRunner& runner);

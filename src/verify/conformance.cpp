@@ -19,11 +19,11 @@ namespace pet::verify {
 
 namespace {
 
-/// Number of individual GoF hypothesis tests in the registry (5 clean
-/// backends + 4 fault scenarios, chi-square and KS each).  The Bonferroni
-/// adjustment uses this fixed count so thresholds do not depend on the
-/// --filter selection.
-constexpr std::size_t kGofTestCount = 18;
+/// Number of individual GoF hypothesis tests in the registry (6 clean
+/// backends + 4 fault scenarios + 2 gen2 impairment scenarios, chi-square
+/// and KS each).  The Bonferroni adjustment uses this fixed count so
+/// thresholds do not depend on the --filter selection.
+constexpr std::size_t kGofTestCount = 24;
 
 std::string fmt(const char* format, ...) {
   char buf[512];
@@ -168,6 +168,7 @@ DepthSampleSpec clean_spec(const Context& ctx, DepthBackend backend,
       break;
     case DepthBackend::kExactPreloaded:
     case DepthBackend::kSortedPreloaded:
+    case DepthBackend::kGen2Preloaded:
       // Preloaded codes are shared across rounds: independent samples need
       // fresh manufacturing seeds, hence one round per trial.
       spec.n = 1024;
@@ -256,6 +257,7 @@ std::vector<Check> build_registry(const Context& ctx) {
       {"gof/exact-preloaded-clean", DepthBackend::kExactPreloaded},
       {"gof/sorted-preloaded-clean", DepthBackend::kSortedPreloaded},
       {"gof/device-rehash-clean", DepthBackend::kDeviceRehash},
+      {"gof/gen2-clean", DepthBackend::kGen2Preloaded},
   };
   std::uint64_t salt = 1;
   for (const auto& [name, backend] : clean) {
@@ -294,11 +296,37 @@ std::vector<Check> build_registry(const Context& ctx) {
     return gof_check(ctx, "gof/device-outage-breaks", spec, false);
   });
 
+  // Gen2 impairment GoF.  PET's probes only sense busy vs idle, and the
+  // capture effect turns collisions into decodable singletons — busy
+  // either way — so even certain capture must leave the depth law intact
+  // (the positive control).  Imperfect idle detection flips the verdict
+  // itself, so noise must break the law (the negative control).
+  add("gof/gen2-capture-invariant", [&ctx] {
+    auto spec = clean_spec(ctx, DepthBackend::kGen2Preloaded, 14);
+    spec.impairments.capture.capture_prob = 1.0;
+    spec.impairments.capture.extra_decay = 1.0;
+    return gof_check(ctx, "gof/gen2-capture-invariant", spec, true);
+  });
+  add("gof/gen2-noise-breaks", [&ctx] {
+    auto spec = clean_spec(ctx, DepthBackend::kGen2Preloaded, 15);
+    spec.impairments.false_busy_prob = 0.25;
+    return gof_check(ctx, "gof/gen2-noise-breaks", spec, false);
+  });
+
   // Estimator calibration: the paper's interval/accuracy promises.
   add("calibration/pet", [&ctx] {
     const auto spec = calibration_spec(ctx, 20, 20000);
     const auto cal = calibrate_pet(spec, ctx.runner);
     return band_check("calibration/pet", cal,
+                      {{"coverage", cal.coverage, 0.91, 0.995},
+                       {"emp_coverage", cal.empirical_coverage, 0.90, 0.995},
+                       {"accuracy", cal.accuracy, 0.97, 1.06},
+                       {"var_ratio", cal.variance_ratio, 0.85, 1.15}});
+  });
+  add("calibration/pet-gen2", [&ctx] {
+    const auto spec = calibration_spec(ctx, 26, 10000);
+    const auto cal = calibrate_pet_gen2(spec, ctx.runner);
+    return band_check("calibration/pet-gen2", cal,
                       {{"coverage", cal.coverage, 0.91, 0.995},
                        {"emp_coverage", cal.empirical_coverage, 0.90, 0.995},
                        {"accuracy", cal.accuracy, 0.97, 1.06},

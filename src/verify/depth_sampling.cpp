@@ -9,6 +9,7 @@
 #include "channel/sorted_pet_channel.hpp"
 #include "common/ensure.hpp"
 #include "core/estimator.hpp"
+#include "gen2/channel.hpp"
 #include "rng/prng.hpp"
 #include "tags/population.hpp"
 
@@ -22,6 +23,7 @@ const char* to_string(DepthBackend backend) noexcept {
     case DepthBackend::kSortedPreloaded: return "sorted-preloaded";
     case DepthBackend::kDeviceRehash: return "device-rehash";
     case DepthBackend::kDevicePreloaded: return "device-preloaded";
+    case DepthBackend::kGen2Preloaded: return "gen2-preloaded";
   }
   return "unknown";
 }
@@ -31,7 +33,8 @@ namespace {
 bool is_preloaded(DepthBackend backend) noexcept {
   return backend == DepthBackend::kExactPreloaded ||
          backend == DepthBackend::kSortedPreloaded ||
-         backend == DepthBackend::kDevicePreloaded;
+         backend == DepthBackend::kDevicePreloaded ||
+         backend == DepthBackend::kGen2Preloaded;
 }
 
 std::unique_ptr<chan::PrefixChannel> make_channel(
@@ -73,6 +76,15 @@ std::unique_ptr<chan::PrefixChannel> make_channel(
       config.impairments.seed = rng::derive_seed(trial_seed, 2);
       return std::make_unique<chan::DeviceChannel>(tags, chan::DeviceKind::kPet,
                                                    config);
+    }
+    case DepthBackend::kGen2Preloaded: {
+      gen2::Gen2ChannelConfig config;
+      config.tree_height = spec.tree_height;
+      config.manufacturing_seed = manufacturing;
+      config.impairments = spec.impairments;
+      // Same trial-indexed fault-replay contract as the device backends.
+      config.impairments.seed = rng::derive_seed(trial_seed, 2);
+      return std::make_unique<gen2::Gen2PrefixChannel>(tags, config);
     }
   }
   invariant(false, "collect_depths: unhandled backend");

@@ -31,6 +31,7 @@ enum class DepthBackend : std::uint8_t {
   kSortedPreloaded,  ///< SortedPetChannel (always preloaded)
   kDeviceRehash,     ///< DeviceChannel, per-round codes, full simulator
   kDevicePreloaded,  ///< DeviceChannel, preloaded codes, full simulator
+  kGen2Preloaded,    ///< Gen2PrefixChannel (Select+Query mapped probes)
 };
 
 [[nodiscard]] const char* to_string(DepthBackend backend) noexcept;

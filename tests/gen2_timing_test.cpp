@@ -1,0 +1,113 @@
+// Edge-case tests for the Gen2 PHY timing model (sim/gen2_timing.hpp):
+// parameter bounds, degenerate sessions, and the command-bit accounting
+// the gen2 MAC charges per slot.  The nominal-profile behaviour is covered
+// in gen2_energy_test.cpp.
+#include <gtest/gtest.h>
+
+#include "common/ensure.hpp"
+#include "sim/gen2_timing.hpp"
+
+namespace pet::sim {
+namespace {
+
+TEST(Gen2TimingBounds, TariEndpointsAreInSpec) {
+  Gen2LinkConfig link;
+  link.tari_us = 6.25;
+  EXPECT_NO_THROW(link.validate());
+  link.tari_us = 25.0;
+  EXPECT_NO_THROW(link.validate());
+  link.tari_us = 6.24;
+  EXPECT_THROW(link.validate(), PreconditionError);
+  link.tari_us = 25.01;
+  EXPECT_THROW(link.validate(), PreconditionError);
+}
+
+TEST(Gen2TimingBounds, MillerFactorsAreThePowersOfTwo) {
+  Gen2LinkConfig link;
+  for (const unsigned m : {1u, 2u, 4u, 8u}) {
+    link.miller = m;
+    EXPECT_NO_THROW(link.validate());
+  }
+  for (const unsigned m : {0u, 3u, 16u}) {
+    link.miller = m;
+    EXPECT_THROW(link.validate(), PreconditionError);
+  }
+}
+
+TEST(Gen2TimingBounds, TrcalMultiplierEndpoints) {
+  Gen2LinkConfig link;
+  link.trcal_multiplier = 1.1;
+  EXPECT_NO_THROW(link.validate());
+  link.trcal_multiplier = 3.0;
+  EXPECT_NO_THROW(link.validate());
+  link.trcal_multiplier = 1.0;
+  EXPECT_THROW(link.validate(), PreconditionError);
+  link.trcal_multiplier = 3.1;
+  EXPECT_THROW(link.validate(), PreconditionError);
+}
+
+TEST(Gen2TimingBounds, Fm0BitsAreMillerBitsDividedByM) {
+  Gen2LinkConfig fm0;
+  fm0.miller = 1;
+  Gen2LinkConfig miller4;
+  miller4.miller = 4;
+  // Same BLF (Tari/DR/TRcal identical), so one Miller-4 bit takes exactly
+  // four FM0 bit times.
+  EXPECT_DOUBLE_EQ(miller4.tag_bit_us(), 4.0 * fm0.tag_bit_us());
+}
+
+TEST(Gen2TimingSession, ZeroSlotsZeroRoundsCostNothing) {
+  const Gen2LinkConfig link;
+  EXPECT_DOUBLE_EQ(gen2_session_us(link, 0, 0, 22, 16, 0, 32), 0.0);
+}
+
+TEST(Gen2TimingSession, ZeroSlotSessionStillPaysRoundBroadcasts) {
+  const Gen2LinkConfig link;
+  const double one_round = gen2_session_us(link, 0, 0, 22, 16, 1, 32);
+  const double expected =
+      link.preamble_tari * link.tari_us + 32 * link.reader_bit_us();
+  EXPECT_DOUBLE_EQ(one_round, expected);
+  EXPECT_DOUBLE_EQ(gen2_session_us(link, 0, 0, 22, 16, 8, 32),
+                   8.0 * one_round);
+}
+
+TEST(Gen2TimingSession, DecomposesIntoSlotCosts) {
+  const Gen2LinkConfig link;
+  const double busy = gen2_slot_us(link, 22, 16);
+  const double idle = gen2_slot_us(link, 22, 0);
+  const double total = gen2_session_us(link, 3, 5, 22, 16, 0, 0);
+  EXPECT_NEAR(total, 3.0 * busy + 5.0 * idle, 1e-9);
+}
+
+TEST(Gen2CommandAccounting, StandardCommandSizes) {
+  EXPECT_EQ(kGen2CommandBits.query, 22u);
+  EXPECT_EQ(kGen2CommandBits.query_rep, 4u);
+  EXPECT_EQ(kGen2CommandBits.query_adjust, 9u);
+  EXPECT_EQ(kGen2CommandBits.ack, 18u);
+  EXPECT_EQ(kGen2CommandBits.rn16, 16u);
+  EXPECT_EQ(kGen2CommandBits.select(0), 45u);
+  EXPECT_EQ(kGen2CommandBits.select(32), 77u);
+}
+
+TEST(Gen2CommandAccounting, SlotDurationGrowsWithCommandAndReplyBits) {
+  const Gen2LinkConfig link;
+  // One extra downlink bit costs exactly one average PIE bit time.
+  EXPECT_NEAR(gen2_slot_us(link, 23, 0) - gen2_slot_us(link, 22, 0),
+              link.reader_bit_us(), 1e-9);
+  // One extra uplink bit costs exactly one backscatter bit time.
+  EXPECT_NEAR(gen2_slot_us(link, 22, 17) - gen2_slot_us(link, 22, 16),
+              link.tag_bit_us(), 1e-9);
+  // A QueryRep slot is strictly cheaper than a Query slot.
+  EXPECT_LT(gen2_slot_us(link, kGen2CommandBits.query_rep, 16),
+            gen2_slot_us(link, kGen2CommandBits.query, 16));
+}
+
+TEST(Gen2CommandAccounting, ZeroBitCommandIsJustPreambleAndTimeouts) {
+  const Gen2LinkConfig link;
+  const double idle = gen2_slot_us(link, 0, 0);
+  EXPECT_DOUBLE_EQ(idle, link.preamble_tari * link.tari_us + link.t1_us() +
+                             3.0 / link.blf_per_us());
+}
+
+}  // namespace
+}  // namespace pet::sim

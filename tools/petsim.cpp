@@ -5,6 +5,7 @@
 //                   [--search=binary|strict|linear] [--loss=0.1]
 //                   [--readers=4 --overlap=0.3] [--seed=1]
 //                   [--runs=500 --threads=8 --quiet]
+//                   [--mac=ideal|gen2 --capture=0.6]
 //   petsim identify --protocol=dfsa|treewalk --n=20000 [--seed=1]
 //   petsim monitor  --n=10000 --steps=40 [--seed=1]
 //
@@ -42,6 +43,7 @@
 #include "core/planner.hpp"
 #include "core/robust_estimator.hpp"
 #include "core/sketch.hpp"
+#include "gen2/channel.hpp"
 #include "multireader/controller.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -112,6 +114,7 @@ int usage() {
       "--delta=D\n"
       "                  [--search=binary|strict|linear]\n"
       "                  [--fusion=paper|bias-corrected|median-of-means]\n"
+      "                  [--mac=ideal|gen2] [--capture=P]\n"
       "                  [--loss=P] [--robust]\n"
       "                  [--readers=K --overlap=P] [--trace=FILE "
       "--trace-format=csv|jsonl] [--seed=S]\n"
@@ -360,6 +363,95 @@ int cmd_estimate_many(const std::string& protocol, std::uint64_t n,
   return 0;
 }
 
+/// --mac=gen2 --runs=R: the same sweep over the measured EPC C1G2 MAC
+/// (gen2::Gen2PrefixChannel — Select+Query probes, real command bits,
+/// optional capture/loss impairments).  Seed strides mirror
+/// cmd_estimate_many (derive(seed, 2 run) manufacturing, derive(seed,
+/// 2 run + 1) estimation) plus the robustness-bench impairment stream
+/// derive(seed, 500 + run).
+int cmd_estimate_many_gen2(const std::string& protocol, std::uint64_t n,
+                           const stats::AccuracyRequirement& req,
+                           std::uint64_t runs, std::uint64_t seed,
+                           double capture, double loss) {
+  stats::TrialSummary summary(static_cast<double>(n));
+  double total_slots = 0.0;
+  double total_airtime_us = 0.0;
+
+  const auto pop = tags::TagPopulation::generate(n, 0xdecafULL);
+  const std::vector<TagId> ids(pop.ids().begin(), pop.ids().end());
+  const auto start = std::chrono::steady_clock::now();
+  auto& runner = runtime::global_runner();
+  std::uint64_t folded = 0;
+
+  auto fold = [&](std::uint64_t, core::EstimateResult&& result) {
+    summary.add(result.n_hat);
+    total_slots += static_cast<double>(result.ledger.total_slots());
+    total_airtime_us += static_cast<double>(result.ledger.airtime_us);
+  };
+  auto sweep = [&](const auto& estimator) {
+    folded = runner.run<core::EstimateResult>(
+        runs,
+        [&](std::uint64_t run) {
+          gen2::Gen2ChannelConfig config;
+          config.manufacturing_seed = rng::derive_seed(seed, 2 * run);
+          config.impairments.capture.capture_prob = capture;
+          config.impairments.reply_loss_prob = loss;
+          config.impairments.seed = rng::derive_seed(seed, 500 + run);
+          gen2::Gen2PrefixChannel channel(ids, config);
+          return estimator.estimate(channel,
+                                    rng::derive_seed(seed, 2 * run + 1));
+        },
+        fold, protocol + " gen2 trials");
+  };
+
+  if (protocol == "pet") {
+    sweep(core::PetEstimator(core::PetConfig{}, req));
+  } else if (protocol == "fneb") {
+    sweep(proto::FnebEstimator(proto::FnebConfig{}, req));
+  } else if (protocol == "lof") {
+    sweep(proto::LofEstimator(proto::LofConfig{}, req));
+  } else if (protocol == "upe") {
+    proto::UpeConfig config;
+    config.expected_n = static_cast<double>(n);
+    sweep(proto::UpeEstimator(config, req));
+  } else if (protocol == "ezb") {
+    sweep(proto::EzbEstimator(proto::EzbConfig{}, req));
+  } else {
+    return usage();
+  }
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (folded == 0) {
+    std::printf("%s gen2 sweep: interrupted before any trial folded\n",
+                protocol.c_str());
+    return 130;
+  }
+  std::printf("%s gen2 sweep: %llu trials, %u threads (capture %.2f, "
+              "loss %.2f)\n",
+              protocol.c_str(), static_cast<unsigned long long>(folded),
+              runner.thread_count(), capture, loss);
+  if (folded < runs) {
+    std::printf("truncated    : %llu of %llu trials folded (shutdown)\n",
+                static_cast<unsigned long long>(folded),
+                static_cast<unsigned long long>(runs));
+  }
+  std::printf("mean nhat    : %.0f   (true %llu, accuracy %.4f)\n",
+              summary.accuracy() * static_cast<double>(n),
+              static_cast<unsigned long long>(n), summary.accuracy());
+  std::printf("normalized sigma: %.4f\n", summary.normalized_deviation());
+  std::printf("within eps   : %.3f (contract needs >= %.3f)\n",
+              summary.fraction_within(req.epsilon), 1.0 - req.delta);
+  std::printf("mean slots   : %.1f per estimate\n",
+              total_slots / static_cast<double>(folded));
+  std::printf("mean airtime : %.3f s per estimate (Tari 6.25us Miller-4)\n",
+              total_airtime_us / static_cast<double>(folded) / 1e6);
+  std::printf("wall time    : %.3f s (%.1f trials/s)\n", wall,
+              static_cast<double>(folded) / wall);
+  return 0;
+}
+
 /// --robust --runs=R: the hardened pipeline on the device-level channel
 /// with optional iid reply loss.  Seed streams mirror
 /// bench/robustness_bench.cpp (derive(seed, run) manufacturing,
@@ -442,6 +534,17 @@ int cmd_estimate(const Args& args) {
   const bool quiet = args.kv.count("quiet") != 0;
   runtime::global_runner().configure(threads, !quiet && runs > 1);
 
+  // --mac=gen2 swaps the ideal perfect-detection channels for the measured
+  // EPC C1G2 MAC (docs/gen2.md); --capture then sets the capture-effect
+  // probability on that link.
+  const std::string mac = args.get("mac", "ideal");
+  if (mac != "ideal" && mac != "gen2") {
+    std::fprintf(stderr, "petsim: --mac must be ideal or gen2\n");
+    return 2;
+  }
+  const bool gen2_mac = mac == "gen2";
+  const double capture = args.get("capture", 0.0);
+
   core::EstimateResult result;
   std::uint64_t rounds = 0;
 
@@ -457,7 +560,18 @@ int cmd_estimate(const Args& args) {
       config.fusion = core::FusionRule::kMedianOfMeans;
     }
     const bool robust = args.kv.count("robust") != 0;
+    if (gen2_mac && (robust || args.get("readers", std::uint64_t{1}) > 1 ||
+                     !args.get("trace", "").empty())) {
+      std::fprintf(stderr,
+                   "petsim: --mac=gen2 supports only the plain single-reader "
+                   "estimate\n");
+      return 2;
+    }
     if (runs > 1) {
+      if (gen2_mac) {
+        return cmd_estimate_many_gen2(protocol, n, req, runs, seed, capture,
+                                      args.get("loss", 0.0));
+      }
       if (robust) {
         core::RobustPetConfig robust_config;
         robust_config.base = config;
@@ -514,6 +628,15 @@ int cmd_estimate(const Args& args) {
                   robust_result.retry_budget_exhausted
                       ? " (budget exhausted)"
                       : "");
+    } else if (gen2_mac) {
+      gen2::Gen2ChannelConfig gen2_config;
+      gen2_config.manufacturing_seed = rng::derive_seed(seed, 0);
+      gen2_config.impairments.capture.capture_prob = capture;
+      gen2_config.impairments.reply_loss_prob = loss;
+      gen2_config.impairments.seed = rng::derive_seed(seed, 2);
+      gen2::Gen2PrefixChannel channel(
+          {pop.ids().begin(), pop.ids().end()}, gen2_config);
+      result = estimator.estimate(channel, seed);
     } else if (loss > 0.0 || !trace_path.empty()) {
       // Lossy links and per-slot tracing need the device-level channel.
       chan::DeviceChannelConfig device;
@@ -570,27 +693,51 @@ int cmd_estimate(const Args& args) {
     }
   } else {
     if (runs > 1) {
+      if (gen2_mac) {
+        return cmd_estimate_many_gen2(protocol, n, req, runs, seed, capture,
+                                      args.get("loss", 0.0));
+      }
       return cmd_estimate_many(protocol, n, req, core::PetConfig{}, runs,
                                seed);
     }
-    chan::SampledChannel channel(n, seed);
+    // Single run: the ideal occupancy-sampled channel, or the measured MAC
+    // (Gen2PrefixChannel implements every baseline's channel contract).
+    std::optional<chan::SampledChannel> sampled;
+    std::optional<gen2::Gen2PrefixChannel> over_gen2;
+    if (gen2_mac) {
+      const auto pop = tags::TagPopulation::generate(n, seed);
+      gen2::Gen2ChannelConfig gen2_config;
+      gen2_config.manufacturing_seed = rng::derive_seed(seed, 0);
+      gen2_config.impairments.capture.capture_prob = capture;
+      gen2_config.impairments.reply_loss_prob = args.get("loss", 0.0);
+      gen2_config.impairments.seed = rng::derive_seed(seed, 2);
+      over_gen2.emplace(
+          std::vector<TagId>(pop.ids().begin(), pop.ids().end()),
+          gen2_config);
+    } else {
+      sampled.emplace(n, seed);
+    }
+    auto run_estimator = [&](const auto& estimator) {
+      return gen2_mac ? estimator.estimate(*over_gen2, seed)
+                      : estimator.estimate(*sampled, seed);
+    };
     if (protocol == "fneb") {
       const proto::FnebEstimator estimator(proto::FnebConfig{}, req);
       rounds = estimator.planned_rounds();
-      result = estimator.estimate(channel, seed);
+      result = run_estimator(estimator);
     } else if (protocol == "lof") {
       const proto::LofEstimator estimator(proto::LofConfig{}, req);
       rounds = estimator.planned_rounds();
-      result = estimator.estimate(channel, seed);
+      result = run_estimator(estimator);
     } else if (protocol == "upe") {
       proto::UpeConfig config;
       config.expected_n = static_cast<double>(n);
       const proto::UpeEstimator estimator(config, req);
       rounds = estimator.planned_rounds();
-      result = estimator.estimate(channel, seed);
+      result = run_estimator(estimator);
     } else if (protocol == "ezb") {
       const proto::EzbEstimator estimator(proto::EzbConfig{}, req);
-      result = estimator.estimate(channel, seed);
+      result = run_estimator(estimator);
       rounds = result.rounds;
     } else {
       return usage();
@@ -607,8 +754,12 @@ int cmd_estimate(const Args& args) {
               static_cast<unsigned long long>(
                   result.ledger.singleton_slots +
                   result.ledger.collision_slots));
-  std::printf("gen2 airtime : %.2f s (Tari 6.25 us, Miller-4)\n",
-              gen2_seconds(result.ledger, rounds));
+  // Under --mac=gen2 the ledger carries the airtime actually accumulated by
+  // the measured MAC; otherwise convert the slot mix analytically.
+  std::printf("gen2 airtime : %.2f s (Tari 6.25 us, Miller-4%s)\n",
+              gen2_mac ? static_cast<double>(result.ledger.airtime_us) / 1e6
+                       : gen2_seconds(result.ledger, rounds),
+              gen2_mac ? ", measured" : "");
   return 0;
 }
 
