@@ -7,15 +7,32 @@
 //   * tree-walking identification   (Theta(n)).
 //
 // This regenerates the paper's headline complexity claim as data.
+//
+// The second table benchmarks the construction path itself — the SIMD
+// batch hash plus the (optionally parallel) radix sort behind
+// SortedPetChannel::rebuild — at populations up to 10^8 (docs/
+// performance.md).  Its golden-gated cells are the deterministic ones
+// (n, rebuilds, a checksum of the sorted code array, identical across
+// SIMD tiers and --threads); tags/sec is machine profile and goes to
+// stderr plus the benchdiff-ignored obs metrics only.
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <vector>
 
+#include "channel/sorted_pet_channel.hpp"
+#include "common/parallel.hpp"
+#include "common/radix.hpp"
+#include "common/simd.hpp"
 #include "core/estimator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
 #include "harness/report.hpp"
 #include "harness/table.hpp"
 #include "protocols/identification.hpp"
+#include "rng/hash_family.hpp"
 #include "runtime/trial_runner.hpp"
+#include "tags/population.hpp"
 
 namespace {
 
@@ -23,6 +40,20 @@ struct IdentifySlots {
   double dfsa = 0;
   double tree = 0;
 };
+
+// FNV-1a over the sorted code values: any reordering or single-bit drift in
+// the build output changes the cell, so the golden gate pins byte-identity
+// of the whole array without storing it.
+std::string code_checksum(const std::vector<std::uint64_t>& values) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint64_t v : values) {
+    h = (h ^ v) * 1099511628211ULL;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
 
 }  // namespace
 
@@ -99,5 +130,62 @@ int main(int argc, char** argv) {
                    bench::TablePrinter::num(tree_slots, 0)});
   }
   table.print();
+
+  // --- Build throughput -------------------------------------------------
+  // Full runs take the 10^6/10^7/10^8 points; --quick (which is what
+  // generates bench/golden/) stays at sizes the gate can afford.
+  const bool quick = options.runs <= 30;
+  const std::vector<std::uint64_t> build_sizes =
+      quick ? std::vector<std::uint64_t>{200000ull, 1000000ull}
+            : std::vector<std::uint64_t>{1000000ull, 10000000ull,
+                                         100000000ull};
+  bench::TablePrinter build_table(
+      "Build throughput: SIMD batch hash + radix-sorted codes (H=64)",
+      {"n", "rebuilds", "codes checksum"}, options.csv);
+  build_table.bind(&session.report());
+
+  for (const std::uint64_t n : build_sizes) {
+    const auto pop = tags::TagPopulation::generate(n, options.seed + 77);
+    const std::vector<TagId> tags(pop.ids().begin(), pop.ids().end());
+    const std::uint64_t rebuilds = n >= 100000000ull ? 2 : 5;
+
+    chan::SortedPetChannelConfig config;
+    config.tree_height = 64;
+    config.manufacturing_seed = options.seed + 7000;
+    const auto start = std::chrono::steady_clock::now();
+    chan::SortedPetChannel channel(tags, config);
+    for (std::uint64_t r = 1; r < rebuilds; ++r) {
+      channel.rebuild(options.seed + 7000 + r);
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    // The checksum re-derives the final rebuild's sorted code array through
+    // the same batch-hash + parallel-partition kernels the channel uses.
+    std::vector<std::uint64_t> codes;
+    rng::uniform_code_batch(config.hash, options.seed + 7000 + rebuilds - 1,
+                            pop.ids(), config.tree_height, codes);
+    std::vector<std::uint64_t> scratch;
+    radix_sort_u64_parallel(codes, scratch, config.tree_height,
+                            build_parallel_for());
+
+    build_table.add_row({bench::TablePrinter::num(n),
+                         bench::TablePrinter::num(rebuilds),
+                         code_checksum(codes)});
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "build n=%llu: %.0f tags/s over %llu builds (%s, %u "
+                   "build threads)\n",
+                   static_cast<unsigned long long>(n),
+                   static_cast<double>(n * rebuilds) / wall,
+                   static_cast<unsigned long long>(rebuilds),
+                   to_string(simd_tier()).data(),
+                   build_parallel_for() != nullptr
+                       ? build_parallel_for()->workers()
+                       : 1u);
+    }
+  }
+  build_table.print();
   return 0;
 }

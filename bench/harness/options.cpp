@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "runtime/cancel.hpp"
+#include "runtime/parallel_exec.hpp"
 #include "runtime/trial_runner.hpp"
 
 namespace pet::bench {
@@ -84,6 +85,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
     }
   }
   runtime::global_runner().configure(options.threads, !options.quiet);
+  // Intra-trial parallel radix partition shares the same --threads budget.
+  // Builds issued from pool workers stay serial (cross-trial parallelism
+  // already owns the cores), so this only engages for foreground builds.
+  runtime::configure_build_parallelism(options.threads);
   // Graceful SIGINT/SIGTERM: the first signal trips the shutdown latch, the
   // trial runner folds the trials already finished, and BenchSession flushes
   // a partial artifact marked "truncated": true.  A second signal force-

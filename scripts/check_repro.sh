@@ -156,5 +156,18 @@ assert float(noisy_pet[3]) < float(clean_pet[3]), \
 print("ok: capture invariant, noise degrading, artifacts match golden")
 EOF
 
+echo "== claim 9: SIMD batch hashing is bit-identical to scalar dispatch =="
+# Same build, same seeds, PET_SIMD=off pinning the scalar fallback; the
+# rows must agree exactly (rtol 0).  Runs on top of --fast-path=on so the
+# gate covers the production pipeline end to end: batch hash -> radix
+# partition -> oracle rounds (docs/performance.md).  The on-dispatch
+# artifact reuses claim 6's run.
+PET_SIMD=off "$BENCH/table3_pet_slots" --quick --quiet --fast-path=on \
+    --json="$WORK/BENCH_t3_simd_off.json" > /dev/null
+"$BENCHDIFF" "$WORK/BENCH_t3_fast_on.json" "$WORK/BENCH_t3_simd_off.json" \
+    --rtol=0 --atol=0 \
+    || fail "SIMD on/off artifacts diverge (see docs/performance.md)"
+echo "ok: SIMD dispatch reproduces the scalar sweep bit for bit"
+
 echo
 echo "ALL REPRODUCTION CLAIMS HOLD"

@@ -34,6 +34,14 @@ ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
 find "$BUILD_DIR/src" -path '*gen2*' -name '*.gcda' | grep -q . ||
     { echo "coverage: no gcov data for src/gen2 — were the gen2 tests run?" >&2; exit 1; }
 
+# Same for the construction fast path: the SIMD hash tiers, the dispatch
+# cap, the parallel radix partition and its pool executor are covered by
+# tests/simd_parity_test and tests/parallel_build_test (label `simd`).
+for unit in hash_simd simd radix parallel_exec; do
+    find "$BUILD_DIR/src" -name "${unit}.cpp.gcda" -o -name "${unit}*.gcda" | grep -q . ||
+        { echo "coverage: no gcov data for ${unit}.cpp — were the simd tests run?" >&2; exit 1; }
+done
+
 # Sum "Lines executed" over every instrumented object in src/.
 find "$BUILD_DIR/src" -name '*.gcda' -print0 |
     xargs -0 gcov -n 2>/dev/null |

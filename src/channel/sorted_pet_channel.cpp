@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/ensure.hpp"
 #include "common/fastpath.hpp"
+#include "common/parallel.hpp"
 #include "common/radix.hpp"
+#include "common/simd.hpp"
 #include "obs/instruments.hpp"
 #include "obs/trace.hpp"
 
@@ -28,14 +31,51 @@ SortedPetChannel::SortedPetChannel(const std::vector<TagId>& tags,
 }
 
 // Hash + sort the preloaded codes.  The fast path batches the hashing (seed
-// mix hoisted) and radix-sorts; both produce the same sorted value array as
-// the element-wise hash + std::sort they replace, so every downstream probe
-// answer is unchanged (tests/fastpath_test.cpp).
+// mix hoisted, SIMD lanes at the active pet::simd_tier()) and radix-sorts —
+// through the parallel MSB partition when a build executor is registered
+// (runtime::configure_build_parallelism).  Every variant produces the same
+// sorted value array as the element-wise hash + std::sort they replace, so
+// every downstream probe answer is unchanged (tests/fastpath_test.cpp,
+// tests/simd_parity_test.cpp, tests/parallel_build_test.cpp).
 void SortedPetChannel::build_codes() {
   if (fast_path_enabled()) {
+    if (!obs::counters_enabled()) {
+      rng::uniform_code_batch(config_.hash, config_.manufacturing_seed,
+                              *tags_, config_.tree_height, code_values_);
+      radix_sort_u64_parallel(code_values_, sort_scratch_,
+                              config_.tree_height, build_parallel_for());
+      return;
+    }
+    // Instrumented build: same calls, bracketed by the pet.build.* bundle
+    // (one clock pair per *build*, not per element — well under the obs
+    // hot-path budget, and only on the enabled branch).
+    using Clock = std::chrono::steady_clock;
+    const obs::BuildInstruments& bi = obs::build_instruments();
+    const auto t0 = Clock::now();
     rng::uniform_code_batch(config_.hash, config_.manufacturing_seed, *tags_,
                             config_.tree_height, code_values_);
-    radix_sort_u64(code_values_, sort_scratch_, config_.tree_height);
+    const auto t1 = Clock::now();
+    RadixPartitionStats stats;
+    radix_sort_u64_parallel(code_values_, sort_scratch_, config_.tree_height,
+                            build_parallel_for(), &stats);
+    const auto t2 = Clock::now();
+    const auto us = [](Clock::duration d) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+    };
+    bi.builds.add();
+    bi.codes.add(code_values_.size());
+    bi.hash_us.add(us(t1 - t0));
+    bi.sort_us.add(us(t2 - t1));
+    bi.simd_lanes.set(simd_lanes(simd_tier()));
+    bi.partition_workers.set(stats.workers);
+    if (stats.workers > 1 && stats.buckets_used > 0) {
+      bi.partition_buckets.set(stats.buckets_used);
+      const double mean = static_cast<double>(code_values_.size()) /
+                          static_cast<double>(stats.buckets_used);
+      bi.bucket_skew_milli.set(1000.0 *
+                               static_cast<double>(stats.max_bucket) / mean);
+    }
     return;
   }
   code_values_.clear();

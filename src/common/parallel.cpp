@@ -1,0 +1,24 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+
+namespace pet {
+
+namespace {
+
+std::atomic<ParallelFor*>& registry() noexcept {
+  static std::atomic<ParallelFor*> executor{nullptr};
+  return executor;
+}
+
+}  // namespace
+
+ParallelFor* build_parallel_for() noexcept {
+  return registry().load(std::memory_order_acquire);
+}
+
+void set_build_parallel_for(ParallelFor* executor) noexcept {
+  registry().store(executor, std::memory_order_release);
+}
+
+}  // namespace pet

@@ -138,6 +138,43 @@ inline void record_ledger_slot(std::size_t responders, unsigned downlink_bits,
   li.tag_bits.add(tag_bits);
 }
 
+/// SortedPetChannel construction — the per-trial re-keying hot path
+/// (docs/performance.md).  builds/codes fold deterministically; everything
+/// else describes *how* the most recent build ran (SIMD tier, partition
+/// shape, phase timing), which depends on the host CPU, PET_SIMD, and the
+/// configured build parallelism — Domain::kProfile by the usual rule.
+struct BuildInstruments {
+  Counter builds;            ///< pet.build.builds (channel (re)builds)
+  Counter codes;             ///< pet.build.codes (codes hashed + sorted)
+  Gauge simd_lanes;          ///< pet.build.simd_lanes (profile: 1/2/4/8)
+  Gauge partition_workers;   ///< pet.build.partition_workers (profile)
+  Gauge partition_buckets;   ///< pet.build.partition_buckets (profile)
+  Gauge bucket_skew_milli;   ///< pet.build.bucket_skew_milli (profile:
+                             ///  1000 * max_bucket / mean_bucket)
+  Counter hash_us;           ///< pet.build.hash_us (profile phase split)
+  Counter sort_us;           ///< pet.build.sort_us (profile phase split)
+};
+
+inline const BuildInstruments& build_instruments() {
+  static const BuildInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    BuildInstruments b;
+    b.builds = reg.counter("pet.build.builds");
+    b.codes = reg.counter("pet.build.codes");
+    b.simd_lanes = reg.gauge("pet.build.simd_lanes", Domain::kProfile);
+    b.partition_workers =
+        reg.gauge("pet.build.partition_workers", Domain::kProfile);
+    b.partition_buckets =
+        reg.gauge("pet.build.partition_buckets", Domain::kProfile);
+    b.bucket_skew_milli =
+        reg.gauge("pet.build.bucket_skew_milli", Domain::kProfile);
+    b.hash_us = reg.counter("pet.build.hash_us", Domain::kProfile);
+    b.sort_us = reg.counter("pet.build.sort_us", Domain::kProfile);
+    return b;
+  }();
+  return bundle;
+}
+
 /// pet::gen2 MAC layer: slot-outcome splits as the Gen2 reader decodes
 /// them, Select/Query command census, Q-adaptation trajectory, and session
 /// inventoried-flag dynamics.  `q_last` tracks whatever frame finished most

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/ensure.hpp"
+#include "rng/hash_simd.hpp"
 #include "rng/md5.hpp"
 #include "rng/prng.hpp"
 #include "rng/sha1.hpp"
@@ -78,17 +79,27 @@ void uniform_code_batch(HashKind kind, std::uint64_t seed,
                         std::vector<std::uint64_t>& out) {
   expects(width >= 1 && width <= BitCode::kMaxWidth,
           "uniform_code_batch width must be in [1, 64]");
-  out.clear();
-  out.reserve(ids.size());
   if (kind == HashKind::kMix64) {
-    // Same two-round mix as uniform64, with the seed round hoisted.
+    // Same two-round mix as uniform64, with the seed round hoisted.  The
+    // SIMD tiers (hash_simd.cpp) evaluate the identical integer expression
+    // on wider lanes, so the bytes written are the same at every tier.
     const std::uint64_t seed_mix = mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+    out.resize(ids.size());
+    static_assert(sizeof(TagId) == sizeof(std::uint64_t));
+    if (detail::mix64_code_batch_simd(
+            seed_mix, reinterpret_cast<const std::uint64_t*>(ids.data()),
+            ids.size(), width, out.data())) {
+      return;
+    }
+    std::size_t i = 0;
     for (const TagId id : ids) {
       const std::uint64_t h = mix64(seed_mix ^ mix64(to_underlying(id)));
-      out.push_back((width == 64) ? h : (h >> (64 - width)));
+      out[i++] = (width == 64) ? h : (h >> (64 - width));
     }
     return;
   }
+  out.clear();
+  out.reserve(ids.size());
   for (const TagId id : ids) {
     out.push_back(uniform_code(kind, seed, id, width).value());
   }

@@ -1,0 +1,98 @@
+#include "runtime/parallel_exec.hpp"
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace pet::runtime {
+
+namespace {
+
+class PoolParallelFor final : public ParallelFor {
+ public:
+  explicit PoolParallelFor(unsigned threads) : pool_(threads) {}
+
+  [[nodiscard]] unsigned workers() const noexcept override {
+    // Nested context: report no parallelism so callers take their serial
+    // path instead of queueing behind the sweep that called them.
+    if (ThreadPool::on_worker_thread()) return 1;
+    return pool_.thread_count();
+  }
+
+  void run(std::size_t n,
+           const std::function<void(unsigned, std::size_t, std::size_t)>& fn)
+      override {
+    const unsigned total = workers();
+    if (total <= 1) {
+      fn(0, 0, n);
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(total);
+    for (unsigned w = 0; w < total; ++w) {
+      const std::size_t begin = chunk_begin(n, total, w);
+      const std::size_t end = chunk_begin(n, total, w + 1);
+      if (begin == end) continue;  // callers zero-init per-chunk state
+      futures.push_back(pool_.submit([&fn, w, begin, end] {
+        fn(w, begin, end);
+      }));
+    }
+    std::exception_ptr first_failure;
+    for (auto& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+// Unregister before the pool dies so a build racing process teardown sees
+// "serial" rather than a dangling executor.
+struct BuildExecutorHolder {
+  std::unique_ptr<PoolParallelFor> executor;
+  ~BuildExecutorHolder() { set_build_parallel_for(nullptr); }
+};
+
+std::mutex& config_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+BuildExecutorHolder& holder() {
+  static BuildExecutorHolder instance;
+  return instance;
+}
+
+unsigned g_threads = 1;
+
+}  // namespace
+
+void configure_build_parallelism(unsigned threads) {
+  if (threads == 0) threads = ThreadPool::hardware_threads();
+  const std::lock_guard<std::mutex> lock(config_mutex());
+  if (threads == g_threads) return;
+  set_build_parallel_for(nullptr);
+  holder().executor.reset();  // joins the old pool
+  if (threads > 1) {
+    holder().executor = std::make_unique<PoolParallelFor>(threads);
+    set_build_parallel_for(holder().executor.get());
+  }
+  g_threads = threads;
+}
+
+unsigned build_parallelism() noexcept {
+  ParallelFor* executor = build_parallel_for();
+  return executor == nullptr ? 1 : executor->workers();
+}
+
+}  // namespace pet::runtime

@@ -1,5 +1,6 @@
 #include "verify/conformance.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -7,10 +8,16 @@
 #include <initializer_list>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "common/parallel.hpp"
+#include "common/radix.hpp"
+#include "common/simd.hpp"
 #include "core/constants.hpp"
 #include "core/theory.hpp"
+#include "rng/hash_family.hpp"
 #include "rng/prng.hpp"
+#include "tags/population.hpp"
 #include "verify/calibration.hpp"
 #include "verify/depth_sampling.hpp"
 #include "verify/gof.hpp"
@@ -120,6 +127,86 @@ CheckResult check_theory(const Context&) {
                       ? fmt("identities hold; asymptotic drift %.4f, "
                             "Eq.6 drift %.4f", drift, eq6_drift)
                       : errors;
+  return result;
+}
+
+// ----------------------------------------------------------------- build --
+
+/// Deterministic byte-identity of the construction fast path: the SIMD
+/// batch hash + parallel MSB radix partition must reproduce the scalar
+/// serial build and the element-wise uniform_code oracle exactly.  Not a
+/// hypothesis test (no sampling distribution), so it stays outside the
+/// kGofTestCount Bonferroni family.
+CheckResult check_build_identity(const Context& ctx) {
+  CheckResult result;
+  result.name = "build/simd-parallel-identity";
+  std::string errors;
+
+  // Deterministic in-caller executor: exercises the parallel partition's
+  // chunking and merge order without depending on thread scheduling.
+  class InlineParallelFor final : public ParallelFor {
+   public:
+    [[nodiscard]] unsigned workers() const noexcept override { return 4; }
+    void run(std::size_t n,
+             const std::function<void(unsigned, std::size_t, std::size_t)>&
+                 fn) override {
+      for (unsigned w = 0; w < 4; ++w) {
+        const std::size_t lo = chunk_begin(n, 4, w);
+        const std::size_t hi = chunk_begin(n, 4, w + 1);
+        if (lo < hi) fn(w, lo, hi);
+      }
+    }
+  } executor;
+
+  const SimdTier restore = simd_tier();
+  const std::uint64_t n = ctx.scaled(200000, 30000);
+  const auto population =
+      tags::TagPopulation::generate(n, ctx.check_seed(40));
+  const std::uint64_t seed = ctx.check_seed(41);
+
+  for (const unsigned height : {13u, 32u, 64u}) {
+    // Element-wise oracle, sorted by the standard library.
+    std::vector<std::uint64_t> oracle;
+    oracle.reserve(n);
+    for (const TagId id : population.ids()) {
+      oracle.push_back(
+          rng::uniform_code(rng::HashKind::kMix64, seed, id, height).value());
+    }
+    std::sort(oracle.begin(), oracle.end());
+
+    set_simd(false);
+    std::vector<std::uint64_t> scalar_codes;
+    rng::uniform_code_batch(rng::HashKind::kMix64, seed, population.ids(),
+                            height, scalar_codes);
+    std::vector<std::uint64_t> scratch;
+    radix_sort_u64(scalar_codes, scratch, height);
+
+    set_simd(true);
+    std::vector<std::uint64_t> simd_codes;
+    rng::uniform_code_batch(rng::HashKind::kMix64, seed, population.ids(),
+                            height, simd_codes);
+    RadixPartitionStats stats;
+    radix_sort_u64_parallel(simd_codes, scratch, height, &executor, &stats);
+
+    if (scalar_codes != oracle) {
+      errors += fmt(" scalar batch diverges from oracle at H=%u;", height);
+    }
+    if (simd_codes != oracle) {
+      errors += fmt(" simd/parallel build diverges from oracle at H=%u "
+                    "(tier %s, %u partition workers);",
+                    height, to_string(simd_tier()).data(), stats.workers);
+    }
+  }
+  set_simd(restore);
+
+  result.passed = errors.empty();
+  result.detail =
+      errors.empty()
+          ? fmt("sorted codes byte-identical (oracle/scalar/%s+parallel) "
+                "at n=%llu, H in {13,32,64}",
+                to_string(simd_tier()).data(),
+                static_cast<unsigned long long>(n))
+          : errors;
   return result;
 }
 
@@ -249,6 +336,8 @@ std::vector<Check> build_registry(const Context& ctx) {
   };
 
   add("theory/self-consistency", [&ctx] { return check_theory(ctx); });
+  add("build/simd-parallel-identity",
+      [&ctx] { return check_build_identity(ctx); });
 
   // Clean GoF: the estimating-tree law must hold on every backend.
   const std::pair<const char*, DepthBackend> clean[] = {

@@ -1,10 +1,17 @@
-// Unit tests for src/common: BitCode semantics, strong types, contracts.
+// Unit tests for src/common: BitCode semantics, strong types, contracts,
+// and the radix sort's constant-digit skip at key widths that are not a
+// multiple of 8 (the partial top digit is exactly where a skip off-by-one
+// would hide — see docs/performance.md).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "common/bitcode.hpp"
 #include "common/ensure.hpp"
+#include "common/radix.hpp"
 #include "common/types.hpp"
 
 namespace pet {
@@ -185,6 +192,116 @@ TEST(Ensure, ExpectsThrowsWithLocation) {
 
 TEST(Ensure, ExpectsPassesSilently) {
   EXPECT_NO_THROW(expects(true, "never"));
+}
+
+// ---------------------------------------------------------------------------
+// radix_sort_u64: the constant-digit skip at key_bits not a multiple of 8.
+// The skip fires when src[0]'s digit bucket holds all n keys; these cases
+// pin it for partial top digits, for skips decided *after* a buffer swap,
+// and for near-constant digits that must NOT be skipped.
+
+namespace {
+void expect_radix_sorts(std::vector<std::uint64_t> values,
+                        unsigned key_bits) {
+  std::vector<std::uint64_t> want = values;
+  std::sort(want.begin(), want.end());
+  std::vector<std::uint64_t> scratch;
+  radix_sort_u64(values, scratch, key_bits);
+  ASSERT_EQ(values, want) << "key_bits=" << key_bits;
+}
+
+// Deterministic scramble so the cases need no rng dependency.
+constexpr std::uint64_t scramble(std::uint64_t x) {
+  x ^= x >> 12;
+  x *= 0x2545f4914f6cdd1dULL;
+  x ^= x >> 27;
+  return x;
+}
+}  // namespace
+
+TEST(Radix, PartialTopDigitConstantIsSkippedCorrectly) {
+  // key_bits = 13: digit 1 covers bits 8..15 but only 8..12 carry weight.
+  // Fix those bits; only the low byte discriminates, so the second pass is
+  // the skip path and the sorted run must still land back in `values`.
+  for (const unsigned key_bits : {9u, 13u, 17u, 23u, 33u, 63u}) {
+    const unsigned top_shift = 8 * ((key_bits - 1) / 8);
+    const std::uint64_t top = (std::uint64_t{1} << (key_bits - 1)) |
+                              (std::uint64_t{0x15} << top_shift) %
+                                  (std::uint64_t{1} << key_bits);
+    std::vector<std::uint64_t> values(777);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = (top & ~std::uint64_t{0xff}) | (scramble(i) & 0xff);
+    }
+    expect_radix_sorts(std::move(values), key_bits);
+  }
+}
+
+TEST(Radix, ConstantLowByteSkipsFirstPassOnly) {
+  // Low byte fixed, everything above it varies: pass 0 skips, the higher
+  // passes still run, including the partial top digit.
+  for (const unsigned key_bits : {13u, 29u, 47u, 63u}) {
+    const std::uint64_t mask = (std::uint64_t{1} << key_bits) - 1;
+    std::vector<std::uint64_t> values(500);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = ((scramble(i) & mask) & ~std::uint64_t{0xff}) | 0x42;
+    }
+    expect_radix_sorts(std::move(values), key_bits);
+  }
+}
+
+TEST(Radix, SkipDecisionAfterBufferSwapUsesSwappedFront) {
+  // key_bits = 24 with a constant *middle* digit: pass 0 scatters (buffers
+  // swap), then the pass-1 skip must consult the swapped front element.
+  std::vector<std::uint64_t> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = ((scramble(i) & 0xff) << 16) | (std::uint64_t{0x77} << 8) |
+                (scramble(i ^ 0xabc) & 0xff);
+  }
+  expect_radix_sorts(std::move(values), 24);
+}
+
+TEST(Radix, NearConstantDigitIsNotSkipped) {
+  // All but one key share the front element's top digit: the skip must not
+  // fire, and the one outlier has to travel to its sorted position.
+  for (const unsigned key_bits : {13u, 21u, 63u}) {
+    std::vector<std::uint64_t> values(300, std::uint64_t{1});
+    values[257] = (std::uint64_t{1} << (key_bits - 1)) | 1u;  // top bit set
+    expect_radix_sorts(std::move(values), key_bits);
+  }
+}
+
+TEST(Radix, SubByteKeyWidths) {
+  // key_bits < 8: a single partial digit, both the varying and the
+  // all-equal (fully skipped) shapes.
+  for (const unsigned key_bits : {1u, 3u, 5u, 7u}) {
+    const std::uint64_t mask = (std::uint64_t{1} << key_bits) - 1;
+    std::vector<std::uint64_t> varying(257);
+    for (std::size_t i = 0; i < varying.size(); ++i) {
+      varying[i] = scramble(i) & mask;
+    }
+    expect_radix_sorts(std::move(varying), key_bits);
+    expect_radix_sorts(
+        std::vector<std::uint64_t>(64, std::uint64_t{1} & mask), key_bits);
+  }
+}
+
+TEST(Radix, EveryKeyWidthSortsDenseAndSparseShapes) {
+  // Sweep every key_bits 1..64: dense low values (top digits constant 0)
+  // and sparse values pinned at the top of the range (low digits mostly
+  // constant).  Catches any width where digit count or skip misclassifies.
+  for (unsigned key_bits = 1; key_bits <= 64; ++key_bits) {
+    const std::uint64_t mask = key_bits == 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << key_bits) - 1;
+    std::vector<std::uint64_t> dense(123);
+    std::vector<std::uint64_t> sparse(123);
+    for (std::size_t i = 0; i < dense.size(); ++i) {
+      dense[i] = scramble(i) % 7;
+      sparse[i] = mask - (scramble(i) % 7);
+    }
+    expect_radix_sorts(std::move(dense), key_bits);
+    expect_radix_sorts(std::move(sparse), key_bits);
+  }
 }
 
 }  // namespace

@@ -56,6 +56,7 @@
 #include "protocols/upe.hpp"
 #include "rng/prng.hpp"
 #include "runtime/cancel.hpp"
+#include "runtime/parallel_exec.hpp"
 #include "runtime/trial_runner.hpp"
 #include "sim/gen2_timing.hpp"
 #include "sim/trace.hpp"
@@ -533,6 +534,9 @@ int cmd_estimate(const Args& args) {
       static_cast<unsigned>(args.get("threads", std::uint64_t{0}));
   const bool quiet = args.kv.count("quiet") != 0;
   runtime::global_runner().configure(threads, !quiet && runs > 1);
+  // The intra-trial parallel radix partition follows the same --threads
+  // budget; pool-worker builds clamp to serial (runtime/parallel_exec.hpp).
+  runtime::configure_build_parallelism(threads);
 
   // --mac=gen2 swaps the ideal perfect-detection channels for the measured
   // EPC C1G2 MAC (docs/gen2.md); --capture then sets the capture-effect
