@@ -1,17 +1,26 @@
 // Extra bench — the pet::svc estimation service under load (docs/service.md).
 //
-// Three tables:
+// Four tables:
 //   (1) "load": sustained request throughput and client-observed latency
 //       percentiles (p50/p99) against >= 1k concurrently registered
 //       populations, driven by parallel client threads through the full
 //       frame-encode -> submit -> pool -> frame-decode path.  Timing rows:
-//       they describe this machine, not the protocol, and are NOT golden.
-//   (2) "overload": a deliberate burst far past the admission cap; reports
+//       they describe this machine, not the protocol, and are NOT golden
+//       (stdout only, unbound from the artifact).
+//   (2) "service observability": the registry's per-population fold right
+//       after the load phase — request/round/slot totals and slot-unit
+//       latency quantiles.  Deterministic at any --threads, so it IS bound
+//       to the artifact and golden-gated.
+//   (3) "overload": a deliberate burst far past the admission cap; reports
 //       how much was shed with typed RESOURCE_EXHAUSTED frames vs served.
-//   (3) "degradation": the deterministic deadline ladder — how the service
+//       The served/shed split is timing-dependent: stdout only.
+//   (4) "degradation": the deterministic deadline ladder — how the service
 //       trades rounds for deadline slack, when it flags degraded, and when
 //       it refuses with DEADLINE_EXCEEDED.  Same seed => byte-identical
 //       rows at any --threads.
+//
+// The artifact also carries the obs "metrics" member (benchdiff-ignored),
+// which includes the pet.svc.pop.* / pet.svc.conn.* bundles for obscheck.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -23,8 +32,10 @@
 #include "harness/options.hpp"
 #include "harness/report.hpp"
 #include "harness/table.hpp"
+#include "obs/instruments.hpp"
 #include "rng/prng.hpp"
 #include "service/messages.hpp"
+#include "service/registry.hpp"
 #include "service/service.hpp"
 #include "stats/accuracy.hpp"
 
@@ -47,6 +58,30 @@ using namespace pet;
   request.seed = seed;
   request.deadline_slots = deadline_slots;
   return svc::make_request(svc::CommandId::kEstimate, svc::encode(request));
+}
+
+/// Quantile over the slot-unit latency histogram: upper bound of the bucket
+/// holding quantile q (">B" for the overflow bucket, "-" when empty).
+[[nodiscard]] std::string slot_quantile(
+    const std::array<std::uint64_t, svc::PopulationStats::kLatencyBuckets>&
+        counts,
+    double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return "-";
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      if (i < obs::kSvcLatencySlotBounds.size()) {
+        return bench::TablePrinter::num(obs::kSvcLatencySlotBounds[i], 0);
+      }
+      return ">" +
+             bench::TablePrinter::num(obs::kSvcLatencySlotBounds.back(), 0);
+    }
+  }
+  return "-";
 }
 
 }  // namespace
@@ -129,12 +164,13 @@ int main(int argc, char** argv) {
   std::sort(all_latencies.begin(), all_latencies.end());
   const std::uint64_t served = all_latencies.size();
 
+  // Timing table: stdout only.  Binding it would make the artifact diff
+  // machine-dependent.
   bench::TablePrinter load_table(
       "service load (timing: NOT golden)",
       {"populations", "clients", "requests", "req/s", "p50 us", "p99 us",
        "register s"},
       options.csv);
-  load_table.bind(&session.report());
   load_table.add_row({bench::TablePrinter::num(populations),
                       bench::TablePrinter::num(std::uint64_t{clients}),
                       bench::TablePrinter::num(served),
@@ -146,6 +182,29 @@ int main(int argc, char** argv) {
                                                1),
                       bench::TablePrinter::num(register_seconds, 2)});
   load_table.print();
+
+  // --- Service observability fold (deterministic) ---------------------------
+  // Snapshot the registry's per-population fold now: the load phase is a
+  // fixed seeded request script, so these totals are byte-identical at any
+  // --threads.  The overload burst below is timing-dependent and must not
+  // leak into this table — hence the snapshot happens first.
+  {
+    const svc::PopulationStatsSnapshot fold = service.registry().fold_stats();
+    bench::TablePrinter obs_table(
+        "service observability fold (deterministic; post-load snapshot)",
+        {"requests", "ok", "degraded", "query slots", "rounds",
+         "p50 slots", "p99 slots"},
+        options.csv);
+    obs_table.bind(&session.report());
+    obs_table.add_row({bench::TablePrinter::num(fold.requests),
+                       bench::TablePrinter::num(fold.ok),
+                       bench::TablePrinter::num(fold.degraded),
+                       bench::TablePrinter::num(fold.query_slots),
+                       bench::TablePrinter::num(fold.rounds),
+                       slot_quantile(fold.latency_slots, 0.50),
+                       slot_quantile(fold.latency_slots, 0.99)});
+    obs_table.print();
+  }
 
   // --- Overload: burst far past the admission cap ---------------------------
   const std::uint64_t burst = config.max_inflight * 4;
@@ -165,10 +224,10 @@ int main(int argc, char** argv) {
       ++burst_shed;
     }
   }
+  // Timing-dependent served/shed split: stdout only, like the load table.
   bench::TablePrinter overload_table(
       "overload burst (timing-dependent split; every request answered)",
       {"burst", "served", "shed"}, options.csv);
-  overload_table.bind(&session.report());
   overload_table.add_row({bench::TablePrinter::num(burst),
                           bench::TablePrinter::num(burst_ok),
                           bench::TablePrinter::num(burst_shed)});

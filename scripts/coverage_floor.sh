@@ -42,6 +42,14 @@ for unit in hash_simd simd radix parallel_exec; do
         { echo "coverage: no gcov data for ${unit}.cpp — were the simd tests run?" >&2; exit 1; }
 done
 
+# And for the service observability plane: the flight recorder, the
+# kMetrics document renderer, and the Prometheus exposition writer are
+# covered by tests/service_test and tests/obs_test (labels service/obs).
+for unit in flight metrics_export prom; do
+    find "$BUILD_DIR/src" -name "${unit}.cpp.gcda" -o -name "${unit}*.gcda" | grep -q . ||
+        { echo "coverage: no gcov data for ${unit}.cpp — were the service/obs tests run?" >&2; exit 1; }
+done
+
 # Sum "Lines executed" over every instrumented object in src/.
 find "$BUILD_DIR/src" -name '*.gcda' -print0 |
     xargs -0 gcov -n 2>/dev/null |

@@ -5,26 +5,32 @@
 # a clean exit.  Pass criteria:
 #   * petctl soak exits 0 (server answered liveness pings throughout —
 #     no crash, no hang, typed errors only);
+#   * petctl top --once renders the live kMetrics dashboard (or reports the
+#     export as unavailable on a PET_OBS=OFF build — also exit 0);
+#   * SIGUSR1 produces a non-empty Prometheus exposition dump, validated by
+#     obscheck --prom when an obscheck binary is supplied;
 #   * petd exits 0 after SIGTERM within the watchdog budget (graceful
 #     drain, socket unlinked).
 # Run under ASan (the sanitizers CI job builds the same binaries) this is
 # the memory-safety soak the service ctest label wires in.
 #
-# usage: service_soak.sh <petd> <petctl> [seconds]
+# usage: service_soak.sh <petd> <petctl> [obscheck]
 #   SOAK_SECONDS overrides the default 5 s budget (CI uses 30).
 set -euo pipefail
 
-PETD=${1:?usage: service_soak.sh <petd> <petctl> [seconds]}
-PETCTL=${2:?usage: service_soak.sh <petd> <petctl> [seconds]}
-BUDGET=${3:-${SOAK_SECONDS:-5}}
+PETD=${1:?usage: service_soak.sh <petd> <petctl> [obscheck]}
+PETCTL=${2:?usage: service_soak.sh <petd> <petctl> [obscheck]}
+OBSCHECK=${3:-}
+BUDGET=${SOAK_SECONDS:-5}
 SOCK=$(mktemp -u "${TMPDIR:-/tmp}/petd-soak-XXXXXX.sock")
+PROM_OUT=$(mktemp -u "${TMPDIR:-/tmp}/petd-soak-XXXXXX.prom")
 
 "$PETD" --socket="$SOCK" --max-inflight=64 --retry-attempts=4 \
-        --link-loss=0.05 &
+        --link-loss=0.05 --prom-out="$PROM_OUT" &
 PETD_PID=$!
 cleanup() {
   kill -9 "$PETD_PID" 2>/dev/null || true
-  rm -f "$SOCK"
+  rm -f "$SOCK" "$PROM_OUT"
 }
 trap cleanup EXIT
 
@@ -43,6 +49,25 @@ fi
 
 "$PETCTL" --socket="$SOCK" soak --seconds="$BUDGET" --populations=8 \
           --tags=3000 --chaos-loss=0.15 --chaos-noise=0.15 --chaos-close=0.05
+
+# Observability plane: the live dashboard must render one frame against the
+# still-running daemon (on PET_OBS=OFF builds it prints a notice, exit 0).
+"$PETCTL" --socket="$SOCK" top --once
+
+# SIGUSR1 triggers an atomic Prometheus exposition dump; the accept loop
+# services it within one 200 ms poll tick.
+kill -USR1 "$PETD_PID"
+for _ in $(seq 1 50); do
+  [ -s "$PROM_OUT" ] && break
+  sleep 0.1
+done
+if [ ! -s "$PROM_OUT" ]; then
+  echo "service_soak: SIGUSR1 produced no prometheus dump" >&2
+  exit 1
+fi
+if [ -n "$OBSCHECK" ]; then
+  "$OBSCHECK" --prom="$PROM_OUT"
+fi
 
 # Graceful shutdown: SIGTERM, with a watchdog that turns a hung drain into
 # a hard failure instead of a hung test.

@@ -122,7 +122,8 @@ std::string deterministic_json(const Snapshot& snapshot) {
 
 std::string metrics_json(const Snapshot& snapshot,
                          const std::vector<PhaseProfiler::Phase>& phases,
-                         const std::optional<PoolSample>& pool) {
+                         const std::optional<PoolSample>& pool,
+                         const std::string& extra_members) {
   const auto profile = [](Domain d) { return d == Domain::kProfile; };
   std::string out = "{\"schema\":\"pet.obs.v1\"";
   out += ",\"level\":\"";
@@ -134,7 +135,12 @@ std::string metrics_json(const Snapshot& snapshot,
   out += ",\"gauges\":" + gauges_object(snapshot, profile);
   out += ",\"phases\":" + phases_array(phases);
   if (pool.has_value()) out += ",\"pool\":" + pool_object(*pool);
-  out += "}}";
+  out += "}";
+  if (!extra_members.empty()) {
+    out += ',';
+    out += extra_members;
+  }
+  out += "}";
   return out;
 }
 

@@ -46,11 +46,15 @@ struct PoolSample {
 [[nodiscard]] std::string deterministic_json(const Snapshot& snapshot);
 
 /// The full document.  `phases`/`pool` extend the profile section; either
-/// may be empty/absent.
+/// may be empty/absent.  `extra_members` is a pre-rendered `"key":value`
+/// fragment appended as top-level members after "profile" (the service
+/// layer injects its "service" member this way so obs stays below svc in
+/// the dependency graph); empty means none.
 [[nodiscard]] std::string metrics_json(
     const Snapshot& snapshot,
     const std::vector<PhaseProfiler::Phase>& phases = {},
-    const std::optional<PoolSample>& pool = std::nullopt);
+    const std::optional<PoolSample>& pool = std::nullopt,
+    const std::string& extra_members = {});
 
 /// Convenience: snapshot the global registry, render, and write to `path`.
 /// Throws std::runtime_error when the file cannot be written.

@@ -9,6 +9,7 @@
 // scheduling- or time-dependent must register with Domain::kProfile.
 #pragma once
 
+#include <array>
 #include <string>
 #include <string_view>
 
@@ -291,6 +292,90 @@ inline const SvcInstruments& svc_instruments() {
         "svc.req.latency_us",
         {100.0, 1000.0, 5000.0, 20000.0, 100000.0, 1000000.0},
         Domain::kProfile);
+    return b;
+  }();
+  return bundle;
+}
+
+/// Slot-unit latency bounds shared by the pet.svc.pop.latency_slots
+/// histogram below and the service's per-population aggregates
+/// (svc::PopulationStats) — one histogram shape on both sides of the wire
+/// export, in the deterministic domain (slots, not wall time).
+inline constexpr std::array<double, 7> kSvcLatencySlotBounds = {
+    0.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0};
+
+/// Aggregate over every population the service has handled (the registry's
+/// per-entry cells are the per-population breakdown; this bundle is the
+/// obs-registry mirror that rides along in pet.obs.v1 documents and BENCH
+/// "metrics" members).  Slot-unit and event-count cells only, so the whole
+/// bundle is deterministic at any worker_threads.
+struct SvcPopInstruments {
+  Counter requests;        ///< pet.svc.pop.requests
+  Counter ok;              ///< pet.svc.pop.ok
+  Counter degraded;        ///< pet.svc.pop.degraded
+  Counter truncated;       ///< pet.svc.pop.truncated
+  Counter errors;          ///< pet.svc.pop.errors
+  Counter shed;            ///< pet.svc.pop.shed
+  Counter deadline_misses; ///< pet.svc.pop.deadline_misses
+  Counter retries;         ///< pet.svc.pop.retries
+  Counter backoff_slots;   ///< pet.svc.pop.backoff_slots
+  Counter query_slots;     ///< pet.svc.pop.query_slots
+  Counter rounds;          ///< pet.svc.pop.rounds
+  Counter rounds_planned;  ///< pet.svc.pop.rounds_planned
+  Histogram latency_slots; ///< pet.svc.pop.latency_slots (deterministic)
+};
+
+inline const SvcPopInstruments& svc_pop_instruments() {
+  static const SvcPopInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    SvcPopInstruments b;
+    b.requests = reg.counter("pet.svc.pop.requests");
+    b.ok = reg.counter("pet.svc.pop.ok");
+    b.degraded = reg.counter("pet.svc.pop.degraded");
+    b.truncated = reg.counter("pet.svc.pop.truncated");
+    b.errors = reg.counter("pet.svc.pop.errors");
+    b.shed = reg.counter("pet.svc.pop.shed");
+    b.deadline_misses = reg.counter("pet.svc.pop.deadline_misses");
+    b.retries = reg.counter("pet.svc.pop.retries");
+    b.backoff_slots = reg.counter("pet.svc.pop.backoff_slots");
+    b.query_slots = reg.counter("pet.svc.pop.query_slots");
+    b.rounds = reg.counter("pet.svc.pop.rounds");
+    b.rounds_planned = reg.counter("pet.svc.pop.rounds_planned");
+    b.latency_slots = reg.histogram(
+        "pet.svc.pop.latency_slots",
+        std::vector<double>(kSvcLatencySlotBounds.begin(),
+                            kSvcLatencySlotBounds.end()));
+    return b;
+  }();
+  return bundle;
+}
+
+/// Transport-side connection hygiene reported by the petd accept loop:
+/// session lifetimes, frame/byte volumes, decoder resyncs.  Byte and frame
+/// counts depend on what clients send, so they are deterministic only for
+/// a scripted client; they stay in the default domain because they carry
+/// no timing.
+struct SvcConnInstruments {
+  Counter opened;     ///< pet.svc.conn.opened
+  Counter closed;     ///< pet.svc.conn.closed
+  Counter frames_rx;  ///< pet.svc.conn.frames_rx
+  Counter frames_tx;  ///< pet.svc.conn.frames_tx
+  Counter bytes_rx;   ///< pet.svc.conn.bytes_rx
+  Counter bytes_tx;   ///< pet.svc.conn.bytes_tx
+  Counter resyncs;    ///< pet.svc.conn.resyncs (decoder recoveries)
+};
+
+inline const SvcConnInstruments& svc_conn_instruments() {
+  static const SvcConnInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    SvcConnInstruments b;
+    b.opened = reg.counter("pet.svc.conn.opened");
+    b.closed = reg.counter("pet.svc.conn.closed");
+    b.frames_rx = reg.counter("pet.svc.conn.frames_rx");
+    b.frames_tx = reg.counter("pet.svc.conn.frames_tx");
+    b.bytes_rx = reg.counter("pet.svc.conn.bytes_rx");
+    b.bytes_tx = reg.counter("pet.svc.conn.bytes_tx");
+    b.resyncs = reg.counter("pet.svc.conn.resyncs");
     return b;
   }();
   return bundle;

@@ -1,0 +1,106 @@
+#include "obs/prom.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/json.hpp"
+
+namespace pet::obs {
+
+namespace {
+
+constexpr int kValuePrecision = 6;
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  if (name.rfind("pet.", 0) != 0) out = "pet_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snapshot) {
+  std::string out;
+  for (const Snapshot::CounterValue& c : snapshot.counters) {
+    const std::string name = prom_name(c.name);
+    append_type(out, name, "counter");
+    out += name;
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  for (const Snapshot::GaugeValue& g : snapshot.gauges) {
+    if (!g.assigned) continue;
+    const std::string name = prom_name(g.name);
+    append_type(out, name, "gauge");
+    out += name;
+    out += ' ';
+    out += runtime::json_number(g.value, kValuePrecision);
+    out += '\n';
+  }
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    const std::string name = prom_name(h.name);
+    append_type(out, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name;
+      out += "_bucket{le=\"";
+      out += runtime::json_number(h.bounds[i], kValuePrecision);
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    if (h.counts.size() > h.bounds.size()) {
+      cumulative += h.counts.back();  // overflow bucket
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_prometheus_file_atomic(const std::string& path,
+                                  const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      throw std::runtime_error("obs: cannot open '" + tmp + "' for writing");
+    }
+    file << text;
+    file.flush();
+    if (!file) {
+      throw std::runtime_error("obs: short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("obs: cannot rename '" + tmp + "' over '" +
+                             path + "'");
+  }
+}
+
+}  // namespace pet::obs

@@ -1,0 +1,33 @@
+// Prometheus text-exposition rendering of a metrics Snapshot
+// (docs/observability.md).  This is the pull-less variant: petd writes the
+// exposition to a file (--prom-out) on SIGUSR1 and on drain, and a node
+// exporter's textfile collector (or a curl-less scrape job) picks it up.
+//
+// Mapping rules:
+//   - metric names: dots and other non-[a-zA-Z0-9_] bytes become '_', and
+//     a "pet_" prefix is prepended unless the name already starts with
+//     "pet." (so "svc.req.accepted" -> "pet_svc_req_accepted" and
+//     "pet.svc.pop.requests" -> "pet_svc_pop_requests" — one flat family).
+//   - counters (both domains) render as untyped samples with
+//     `# TYPE <name> counter`; unassigned gauges are skipped.
+//   - histograms render the cumulative `<name>_bucket{le="..."}` series
+//     plus the `le="+Inf"` bucket and `<name>_count` (no `_sum`: the
+//     registry's fixed-bucket histograms do not track one).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pet::obs {
+
+/// Render the whole snapshot as Prometheus text exposition (format 0.0.4).
+[[nodiscard]] std::string prometheus_text(const Snapshot& snapshot);
+
+/// Write `text` to `path` atomically: the content lands in `path + ".tmp"`
+/// first and is renamed into place, so a concurrently-scraping reader
+/// never observes a torn file.  Throws std::runtime_error on I/O failure.
+void write_prometheus_file_atomic(const std::string& path,
+                                  const std::string& text);
+
+}  // namespace pet::obs

@@ -34,6 +34,9 @@ enum class StatusCode : std::uint16_t {
   kUnavailable = 9,        ///< transient faults outlasted the retry policy
   kShuttingDown = 10,      ///< drain in progress; no new work accepted
   kInternal = 11,          ///< invariant failure inside the service
+
+  // Capability errors.
+  kUnsupported = 12,  ///< command compiled out of this build (PET_OBS=OFF)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
@@ -50,6 +53,7 @@ enum class StatusCode : std::uint16_t {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kShuttingDown: return "SHUTTING_DOWN";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
   }
   return "UNKNOWN_STATUS";
 }

@@ -1,0 +1,93 @@
+#include "service/flight.hpp"
+
+#include <array>
+#include <cstdio>
+#include <utility>
+
+namespace pet::svc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_byte(std::uint64_t& hash, std::uint8_t byte) noexcept {
+  hash ^= byte;
+  hash *= kFnvPrime;
+}
+
+}  // namespace
+
+std::uint64_t derive_request_id(const Frame& frame) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  fnv_byte(hash, static_cast<std::uint8_t>(frame.command & 0xFF));
+  fnv_byte(hash, static_cast<std::uint8_t>(frame.command >> 8));
+  for (const std::uint8_t byte : frame.payload) fnv_byte(hash, byte);
+  return hash == 0 ? 1 : hash;
+}
+
+std::string format_request_id(std::uint64_t request_id) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(request_id));
+  return buf;
+}
+
+std::string degrade_mask_to_string(std::uint32_t mask) {
+  static constexpr std::array<std::pair<std::uint32_t, const char*>, 5> kBits =
+      {{{kDegradeTruncated, "truncated"},
+        {kDegradeFitShort, "fit-short"},
+        {kDegradeRetryBudget, "retry-budget"},
+        {kDegradeHealth, "health"},
+        {kDegradeShed, "shed"}}};
+  std::string out;
+  for (const auto& [bit, name] : kBits) {
+    if ((mask & bit) == 0) continue;
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out.empty() ? "-" : out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(const RequestRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<RequestRecord> FlightRecorder::dump(
+    std::uint64_t request_id, std::size_t max_records) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RequestRecord> out;
+  out.reserve(ring_.size());
+  // Oldest record is at next_ once wrapped, at 0 before that.
+  const std::size_t count = ring_.size();
+  const std::size_t start = count < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const RequestRecord& rec = ring_[(start + i) % count];
+    if (request_id != 0 && rec.request_id != request_id) continue;
+    out.push_back(rec);
+  }
+  if (max_records != 0 && out.size() > max_records) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(out.size() - max_records));
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+}  // namespace pet::svc

@@ -30,7 +30,9 @@ namespace pet::svc {
 
 inline constexpr std::uint8_t kSof = 0xA5;
 inline constexpr std::uint8_t kProtocolMajor = 1;
-inline constexpr std::uint8_t kProtocolMinor = 0;
+/// Minor 1 added kMetrics / kFlightDump (additive commands only; every
+/// v1.0 payload layout is frozen, so v1.0 clients parse v1.1 replies).
+inline constexpr std::uint8_t kProtocolMinor = 1;
 inline constexpr std::size_t kHeaderSize = 12;  ///< SOF through header LRC
 /// Ceiling on a frame payload.  Large enough for any pet::svc message
 /// (responses are O(100) bytes), small enough that a hostile length field

@@ -11,6 +11,8 @@ std::string_view to_string(CommandId command) noexcept {
     case CommandId::kUnregister: return "unregister";
     case CommandId::kEstimate: return "estimate";
     case CommandId::kMonitor: return "monitor";
+    case CommandId::kMetrics: return "metrics";
+    case CommandId::kFlightDump: return "flight-dump";
   }
   return "unknown";
 }
@@ -147,6 +149,41 @@ std::vector<std::uint8_t> encode(const MonitorReply& msg) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode(const MetricsRequest& msg) {
+  WireWriter w;
+  w.u8(msg.scope);
+  w.u64(msg.population_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const FlightDumpRequest& msg) {
+  WireWriter w;
+  w.u64(msg.request_id);
+  w.u32(msg.max_records);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const FlightDumpReply& msg) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(msg.records.size()));
+  for (const RequestRecord& rec : msg.records) {
+    w.u64(rec.request_id);
+    w.u64(rec.population_id);
+    w.u16(rec.command);
+    w.u16(rec.status);
+    w.u32(rec.degrade_mask);
+    w.u64(rec.planned_rounds);
+    w.u64(rec.rounds);
+    w.u32(rec.retries);
+    w.u64(rec.backoff_slots);
+    w.u64(rec.query_slots);
+    w.u64(rec.latency_slots);
+    w.u64(rec.queue_us);
+    w.u64(rec.handle_us);
+  }
+  return w.take();
+}
+
 // --- parse -----------------------------------------------------------------
 
 namespace {
@@ -232,6 +269,59 @@ std::optional<MonitorReply> parse_monitor_reply(
   msg.deadline_misses = r.u64();
   msg.retries = r.u64();
   msg.malformed_frames = r.u64();
+  return finish(r, msg);
+}
+
+std::optional<MetricsRequest> parse_metrics_request(
+    const std::vector<std::uint8_t>& payload) {
+  // An empty payload is the v1.1 shorthand for "full snapshot" so monitor-
+  // style callers don't need to build a body.
+  if (payload.empty()) return MetricsRequest{};
+  WireReader r(payload);
+  MetricsRequest msg;
+  msg.scope = r.u8();
+  msg.population_id = r.u64();
+  return finish(r, msg);
+}
+
+std::optional<FlightDumpRequest> parse_flight_dump_request(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.empty()) return FlightDumpRequest{};
+  WireReader r(payload);
+  FlightDumpRequest msg;
+  msg.request_id = r.u64();
+  msg.max_records = r.u32();
+  return finish(r, msg);
+}
+
+std::optional<FlightDumpReply> parse_flight_dump_reply(
+    const std::vector<std::uint8_t>& payload) {
+  WireReader r(payload);
+  FlightDumpReply msg;
+  const std::uint32_t count = r.u32();
+  // Record size is fixed (84 bytes), so a hostile count field is caught
+  // before reserving: the payload must be exactly 4 + 84 * count bytes.
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * 84) {
+    return std::nullopt;
+  }
+  msg.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RequestRecord rec;
+    rec.request_id = r.u64();
+    rec.population_id = r.u64();
+    rec.command = r.u16();
+    rec.status = r.u16();
+    rec.degrade_mask = r.u32();
+    rec.planned_rounds = r.u64();
+    rec.rounds = r.u64();
+    rec.retries = r.u32();
+    rec.backoff_slots = r.u64();
+    rec.query_slots = r.u64();
+    rec.latency_slots = r.u64();
+    rec.queue_us = r.u64();
+    rec.handle_us = r.u64();
+    msg.records.push_back(rec);
+  }
   return finish(r, msg);
 }
 

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "service/flight.hpp"
 #include "service/frame.hpp"
 
 namespace pet::svc {
@@ -26,6 +27,9 @@ enum class CommandId : std::uint16_t {
   kUnregister = 3,  ///< UnregisterRequest -> empty
   kEstimate = 4,    ///< EstimateRequest -> EstimateReply
   kMonitor = 5,     ///< empty -> MonitorReply (service-wide stats)
+  // v1.1 additions (observability plane; UNSUPPORTED under PET_OBS=OFF).
+  kMetrics = 6,     ///< MetricsRequest -> pet.obs.v1 JSON payload (UTF-8)
+  kFlightDump = 7,  ///< FlightDumpRequest -> FlightDumpReply
 };
 
 [[nodiscard]] std::string_view to_string(CommandId command) noexcept;
@@ -125,6 +129,10 @@ struct EstimateReply {
   std::uint8_t health = 0;     ///< core::ChannelHealth of the winning attempt
 };
 
+/// Wire layout FROZEN at the v1.0 shape (9 u64 fields, 72 bytes): minor
+/// version bumps may add commands but never grow this payload, so a v1.0
+/// client's exhaustion-checking parser keeps working against a v1.1 petd
+/// (pinned by Messages.MonitorReplyWireLayoutFrozenForOldClients).
 struct MonitorReply {
   std::uint64_t populations = 0;
   std::uint64_t inflight = 0;
@@ -137,6 +145,32 @@ struct MonitorReply {
   std::uint64_t malformed_frames = 0;
 };
 
+/// What slice of the observability plane a kMetrics call wants.
+enum class MetricsScope : std::uint8_t {
+  kFull = 0,           ///< whole pet.obs.v1 document (deterministic + profile)
+  kDeterministic = 1,  ///< Domain::kDeterministic only — byte-identical at
+                       ///< any worker_threads for the same request script
+  kPopulation = 2,     ///< one population's pet.svc.pop.* slice
+};
+
+/// Empty payload is a valid kMetrics request and means scope kFull.
+struct MetricsRequest {
+  std::uint8_t scope = 0;           ///< MetricsScope
+  std::uint64_t population_id = 0;  ///< used by kPopulation, 0 otherwise
+};
+
+struct FlightDumpRequest {
+  std::uint64_t request_id = 0;   ///< 0: every record; else exact match
+  std::uint32_t max_records = 0;  ///< 0: no cap; else newest N matches
+};
+
+/// RequestRecord (flight.hpp) has the frozen encoding used here: each
+/// record is 84 bytes of fixed little-endian fields in declaration order,
+/// prefixed by a u32 record count.
+struct FlightDumpReply {
+  std::vector<RequestRecord> records;  ///< oldest to newest
+};
+
 // --- encode / decode -------------------------------------------------------
 // encode_* returns the payload bytes; parse_* returns nullopt on any
 // short/overlong/corrupt payload.
@@ -147,6 +181,9 @@ struct MonitorReply {
 [[nodiscard]] std::vector<std::uint8_t> encode(const EstimateRequest& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode(const EstimateReply& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode(const MonitorReply& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const MetricsRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const FlightDumpRequest& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode(const FlightDumpReply& msg);
 
 [[nodiscard]] std::optional<RegisterRequest> parse_register_request(
     const std::vector<std::uint8_t>& payload);
@@ -159,6 +196,12 @@ struct MonitorReply {
 [[nodiscard]] std::optional<EstimateReply> parse_estimate_reply(
     const std::vector<std::uint8_t>& payload);
 [[nodiscard]] std::optional<MonitorReply> parse_monitor_reply(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<MetricsRequest> parse_metrics_request(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<FlightDumpRequest> parse_flight_dump_request(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::optional<FlightDumpReply> parse_flight_dump_reply(
     const std::vector<std::uint8_t>& payload);
 
 /// Build a request frame (status 0) around an encoded payload.

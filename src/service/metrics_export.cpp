@@ -1,0 +1,144 @@
+#include "service/metrics_export.hpp"
+
+#include "obs/export.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/json.hpp"
+#include "service/service.hpp"
+
+namespace pet::svc {
+
+namespace {
+
+constexpr int kBoundPrecision = 6;
+
+void append_field(std::string& out, const char* key, std::uint64_t value,
+                  bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+std::string latency_histogram_object(
+    const std::array<std::uint64_t, PopulationStats::kLatencyBuckets>&
+        counts) {
+  std::string out = "{\"bounds\":[";
+  for (std::size_t i = 0; i < obs::kSvcLatencySlotBounds.size(); ++i) {
+    if (i != 0) out += ',';
+    out += runtime::json_number(obs::kSvcLatencySlotBounds[i],
+                                kBoundPrecision);
+  }
+  out += "],\"counts\":[";
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(counts[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string stats_object(const PopulationStatsSnapshot& s) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "requests", s.requests, first);
+  append_field(out, "ok", s.ok, first);
+  append_field(out, "degraded", s.degraded, first);
+  append_field(out, "truncated", s.truncated, first);
+  append_field(out, "errors", s.errors, first);
+  append_field(out, "shed", s.shed, first);
+  append_field(out, "deadline_misses", s.deadline_misses, first);
+  append_field(out, "retries", s.retries, first);
+  append_field(out, "backoff_slots", s.backoff_slots, first);
+  append_field(out, "query_slots", s.query_slots, first);
+  append_field(out, "rounds", s.rounds, first);
+  append_field(out, "rounds_planned", s.rounds_planned, first);
+  out += ",\"latency_slots\":";
+  out += latency_histogram_object(s.latency_slots);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string render_service_member(const EstimationService& service) {
+  const PopulationRegistry& registry = service.registry();
+  std::string out = "\"service\":{\"populations\":{";
+  bool first = true;
+  for (const auto& [id, snap] : registry.snapshot_stats()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += std::to_string(id);
+    out += "\":";
+    out += stats_object(snap);
+  }
+  out += "},\"totals\":";
+  out += stats_object(registry.fold_stats());
+  const EstimationService::ConnectionTotals conn =
+      service.connection_totals();
+  out += ",\"connections\":{";
+  bool cfirst = true;
+  append_field(out, "opened", conn.opened, cfirst);
+  append_field(out, "closed", conn.closed, cfirst);
+  append_field(out, "frames_rx", conn.frames_rx, cfirst);
+  append_field(out, "frames_tx", conn.frames_tx, cfirst);
+  append_field(out, "bytes_rx", conn.bytes_rx, cfirst);
+  append_field(out, "bytes_tx", conn.bytes_tx, cfirst);
+  append_field(out, "resyncs", conn.resyncs, cfirst);
+  out += "},\"flight\":{";
+  bool ffirst = true;
+  append_field(out, "capacity", service.flight().capacity(), ffirst);
+  append_field(out, "recorded", service.flight().recorded(), ffirst);
+  out += "}}";
+  return out;
+}
+
+std::string render_metrics_document(const EstimationService& service,
+                                    bool deterministic_only) {
+  const obs::Snapshot snapshot = obs::MetricsRegistry::instance().snapshot();
+  const std::string service_member = render_service_member(service);
+  if (!deterministic_only) {
+    return obs::metrics_json(snapshot, {}, std::nullopt, service_member);
+  }
+  std::string out = "{\"schema\":\"pet.obs.v1\",\"level\":\"";
+  out += obs::to_string(obs::level());
+  out += "\",";
+  out += obs::deterministic_json(snapshot);
+  out += ',';
+  out += service_member;
+  out += "}";
+  return out;
+}
+
+std::string render_population_document(
+    std::uint64_t population_id, const PopulationStatsSnapshot& stats) {
+  std::string out = "{\"schema\":\"pet.obs.v1\",\"level\":\"";
+  out += obs::to_string(obs::level());
+  out += "\",\"population\":";
+  out += std::to_string(population_id);
+  out += ",\"counters\":{";
+  bool first = true;
+  append_field(out, "pet.svc.pop.requests", stats.requests, first);
+  append_field(out, "pet.svc.pop.ok", stats.ok, first);
+  append_field(out, "pet.svc.pop.degraded", stats.degraded, first);
+  append_field(out, "pet.svc.pop.truncated", stats.truncated, first);
+  append_field(out, "pet.svc.pop.errors", stats.errors, first);
+  append_field(out, "pet.svc.pop.shed", stats.shed, first);
+  append_field(out, "pet.svc.pop.deadline_misses", stats.deadline_misses,
+               first);
+  append_field(out, "pet.svc.pop.retries", stats.retries, first);
+  append_field(out, "pet.svc.pop.backoff_slots", stats.backoff_slots, first);
+  append_field(out, "pet.svc.pop.query_slots", stats.query_slots, first);
+  append_field(out, "pet.svc.pop.rounds", stats.rounds, first);
+  append_field(out, "pet.svc.pop.rounds_planned", stats.rounds_planned,
+               first);
+  out += "},\"gauges\":{},\"histograms\":{\"pet.svc.pop.latency_slots\":";
+  out += latency_histogram_object(stats.latency_slots);
+  out += "}}";
+  return out;
+}
+
+}  // namespace pet::svc

@@ -1,0 +1,42 @@
+// Rendering of the kMetrics wire command's JSON payloads (docs/service.md).
+//
+// Three document shapes, all under the pet.obs.v1 schema tag:
+//
+//   scope kFull          — the standard obs::metrics_json document with one
+//                          extra top-level "service" member,
+//   scope kDeterministic — schema/level + the Domain::kDeterministic
+//                          fragments + "service"; no "profile".  This is
+//                          the payload compared byte-for-byte across
+//                          worker_threads in service_test,
+//   scope kPopulation    — one population's pet.svc.pop.* slice rendered
+//                          from its registry cells.
+//
+// The "service" member is rendered from the always-on service/registry
+// cells (PopulationStats, ConnectionTotals, FlightRecorder), which are the
+// same cells kMonitor folds — one source of truth on both commands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/registry.hpp"
+
+namespace pet::svc {
+
+class EstimationService;
+
+/// The `"service":{...}` top-level member fragment: per-population stats,
+/// fold totals, connection totals, flight-recorder occupancy.
+[[nodiscard]] std::string render_service_member(
+    const EstimationService& service);
+
+/// Full pet.obs.v1 document for scope kFull (deterministic_only=false) or
+/// kDeterministic (=true).
+[[nodiscard]] std::string render_metrics_document(
+    const EstimationService& service, bool deterministic_only);
+
+/// Single-population document for scope kPopulation.
+[[nodiscard]] std::string render_population_document(
+    std::uint64_t population_id, const PopulationStatsSnapshot& stats);
+
+}  // namespace pet::svc

@@ -1,5 +1,6 @@
 #include "service/registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -7,6 +8,36 @@
 #include "tags/population.hpp"
 
 namespace pet::svc {
+
+void PopulationStats::observe_latency_slots(std::uint64_t slots) noexcept {
+  std::size_t bucket = 0;
+  while (bucket < obs::kSvcLatencySlotBounds.size() &&
+         static_cast<double>(slots) > obs::kSvcLatencySlotBounds[bucket]) {
+    ++bucket;
+  }
+  latency_slots[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void PopulationStatsSnapshot::accumulate(const PopulationStats& stats) noexcept {
+  const auto load = [](const std::atomic<std::uint64_t>& cell) {
+    return cell.load(std::memory_order_relaxed);
+  };
+  requests += load(stats.requests);
+  ok += load(stats.ok);
+  degraded += load(stats.degraded);
+  truncated += load(stats.truncated);
+  errors += load(stats.errors);
+  shed += load(stats.shed);
+  deadline_misses += load(stats.deadline_misses);
+  retries += load(stats.retries);
+  backoff_slots += load(stats.backoff_slots);
+  query_slots += load(stats.query_slots);
+  rounds += load(stats.rounds);
+  rounds_planned += load(stats.rounds_planned);
+  for (std::size_t i = 0; i < latency_slots.size(); ++i) {
+    latency_slots[i] += load(stats.latency_slots[i]);
+  }
+}
 
 PopulationRegistry::PopulationRegistry(RegistryConfig config)
     : config_(config) {
@@ -47,7 +78,13 @@ PopulationRegistry::RegisterOutcome PopulationRegistry::register_population(
 
 bool PopulationRegistry::unregister_population(std::uint64_t id) {
   std::lock_guard lock(mutex_);
-  return entries_.erase(id) > 0;
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  // Fold the leaving population's totals into the retired accumulator so
+  // fold_stats() (and therefore kMonitor) is monotone across churn.
+  retired_.accumulate(it->second->stats);
+  entries_.erase(it);
+  return true;
 }
 
 std::shared_ptr<PopulationRegistry::Entry> PopulationRegistry::find(
@@ -60,6 +97,31 @@ std::shared_ptr<PopulationRegistry::Entry> PopulationRegistry::find(
 std::size_t PopulationRegistry::size() const {
   std::lock_guard lock(mutex_);
   return entries_.size();
+}
+
+PopulationStatsSnapshot PopulationRegistry::fold_stats() const {
+  std::lock_guard lock(mutex_);
+  PopulationStatsSnapshot total = retired_;
+  for (const auto& [id, entry] : entries_) {
+    (void)id;
+    total.accumulate(entry->stats);
+  }
+  return total;
+}
+
+std::vector<std::pair<std::uint64_t, PopulationStatsSnapshot>>
+PopulationRegistry::snapshot_stats() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::uint64_t, PopulationStatsSnapshot>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    PopulationStatsSnapshot snap;
+    snap.accumulate(entry->stats);
+    out.emplace_back(id, snap);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace pet::svc

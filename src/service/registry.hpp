@@ -9,16 +9,70 @@
 // stateful across rounds); different populations proceed in parallel.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "channel/sorted_pet_channel.hpp"
 #include "common/types.hpp"
+#include "obs/instruments.hpp"
 
 namespace pet::svc {
+
+/// Per-population request totals, updated by the service on every estimate
+/// that resolved to this entry.  Always compiled (unlike the pet.svc.pop.*
+/// obs mirror): kMonitor's aggregate counters and the kMetrics export both
+/// fold THESE cells, so the two commands can never disagree.  Everything
+/// here is in slot units or event counts — deterministic for a given
+/// request script at any worker_threads.
+struct PopulationStats {
+  /// Bucket count of the slot-unit latency histogram (shared bounds in
+  /// obs::kSvcLatencySlotBounds; last bucket is overflow).
+  static constexpr std::size_t kLatencyBuckets =
+      obs::kSvcLatencySlotBounds.size() + 1;
+
+  std::atomic<std::uint64_t> requests{0};   ///< estimates that found the entry
+  std::atomic<std::uint64_t> ok{0};         ///< kOk replies (incl. degraded)
+  std::atomic<std::uint64_t> degraded{0};   ///< kOk with a nonzero degrade mask
+  std::atomic<std::uint64_t> truncated{0};  ///< deadline stopped the round loop
+  std::atomic<std::uint64_t> errors{0};     ///< typed error replies
+  std::atomic<std::uint64_t> shed{0};       ///< refused at admission
+  std::atomic<std::uint64_t> deadline_misses{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> backoff_slots{0};
+  std::atomic<std::uint64_t> query_slots{0};
+  std::atomic<std::uint64_t> rounds{0};
+  std::atomic<std::uint64_t> rounds_planned{0};
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_slots{};
+
+  /// Bucket (backoff + query) slots into the latency histogram.
+  void observe_latency_slots(std::uint64_t slots) noexcept;
+};
+
+/// Plain-value snapshot of PopulationStats, addable so the registry can
+/// fold live entries plus already-unregistered ones into one total.
+struct PopulationStatsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_slots = 0;
+  std::uint64_t query_slots = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t rounds_planned = 0;
+  std::array<std::uint64_t, PopulationStats::kLatencyBuckets> latency_slots{};
+
+  void accumulate(const PopulationStats& stats) noexcept;
+};
 
 struct RegistryConfig {
   std::size_t max_populations = 65536;  ///< register beyond this is shed
@@ -35,6 +89,7 @@ class PopulationRegistry {
     std::vector<TagId> tags;
     std::unique_ptr<chan::SortedPetChannel> channel;
     std::mutex mutex;  ///< serializes channel use across requests
+    PopulationStats stats;  ///< request totals (lock-free, always compiled)
   };
 
   explicit PopulationRegistry(RegistryConfig config = {});
@@ -65,10 +120,21 @@ class PopulationRegistry {
     return config_;
   }
 
+  /// Grand total over every population this registry has ever served:
+  /// live entries plus the retired accumulator (folded on unregister), so
+  /// aggregate counters never go backwards when a population leaves.
+  [[nodiscard]] PopulationStatsSnapshot fold_stats() const;
+
+  /// Per-live-population snapshots sorted by id (deterministic iteration
+  /// order for the kMetrics JSON export).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, PopulationStatsSnapshot>>
+  snapshot_stats() const;
+
  private:
   RegistryConfig config_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> entries_;
+  PopulationStatsSnapshot retired_;  ///< totals of unregistered populations
 };
 
 }  // namespace pet::svc

@@ -12,6 +12,7 @@
 #include "obs/instruments.hpp"
 #include "obs/trace.hpp"
 #include "rng/prng.hpp"
+#include "service/metrics_export.hpp"
 
 namespace pet::svc {
 
@@ -36,6 +37,28 @@ constexpr std::uint64_t kBackoffStream = 0x5bacull;
   return std::isfinite(v) && v > 0.0 && v < 1.0;
 }
 
+[[nodiscard]] std::vector<std::uint8_t> utf8_bytes(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+/// Typed-error estimate outcome: fold what the attempt consumed into the
+/// population's cells (and their obs mirror) so failed requests are just
+/// as visible as successes.
+void note_estimate_failure(PopulationStats& pop, const RequestRecord& record) {
+  pop.errors.fetch_add(1, std::memory_order_relaxed);
+  pop.retries.fetch_add(record.retries, std::memory_order_relaxed);
+  pop.backoff_slots.fetch_add(record.backoff_slots,
+                              std::memory_order_relaxed);
+  pop.observe_latency_slots(record.latency_slots);
+  if (obs::counters_enabled()) {
+    const obs::SvcPopInstruments& bundle = obs::svc_pop_instruments();
+    bundle.errors.add();
+    bundle.retries.add(record.retries);
+    bundle.backoff_slots.add(record.backoff_slots);
+    bundle.latency_slots.observe(static_cast<double>(record.latency_slots));
+  }
+}
+
 }  // namespace
 
 void ServiceConfig::validate() const {
@@ -46,12 +69,25 @@ void ServiceConfig::validate() const {
           "ServiceConfig: vote_reads must be in [1, 15]");
   expects(vote_quorum >= 1 && vote_quorum <= vote_reads,
           "ServiceConfig: vote_quorum must be in [1, vote_reads]");
+  // 84 bytes per record + 4-byte count must fit one kFlightDump payload.
+  expects(flight_capacity >= 1 && flight_capacity <= 8192,
+          "ServiceConfig: flight_capacity must be in [1, 8192]");
 }
 
 EstimationService::EstimationService(ServiceConfig config)
-    : config_(std::move(config)), registry_(config_.registry) {
+    : config_(std::move(config)),
+      registry_(config_.registry),
+      flight_(config_.flight_capacity) {
   config_.validate();
   pool_ = std::make_unique<runtime::ThreadPool>(config_.worker_threads);
+#if PET_OBS_COMPILED
+  // Touch the service bundles so their names exist (at zero) in every
+  // export — obscheck's --require probes and Prometheus scrapes see the
+  // full catalogue even before the first request.
+  (void)obs::svc_instruments();
+  (void)obs::svc_pop_instruments();
+  (void)obs::svc_conn_instruments();
+#endif
 }
 
 EstimationService::~EstimationService() {
@@ -66,7 +102,53 @@ void EstimationService::begin_shutdown() noexcept {
 
 void EstimationService::note_malformed_frame() noexcept {
   malformed_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) {
+    obs::svc_instruments().frame_malformed.add();
+    obs::svc_conn_instruments().resyncs.add();
+  }
+}
+
+void EstimationService::note_connection_opened() noexcept {
+  conn_opened_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_conn_instruments().opened.add();
+}
+
+void EstimationService::note_connection_closed() noexcept {
+  conn_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_conn_instruments().closed.add();
+}
+
+void EstimationService::note_bytes_received(std::size_t bytes) noexcept {
+  bytes_rx_.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_conn_instruments().bytes_rx.add(bytes);
+}
+
+void EstimationService::note_frame_received() noexcept {
+  frames_rx_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_conn_instruments().frames_rx.add();
+}
+
+void EstimationService::note_frame_sent(std::size_t wire_bytes) noexcept {
+  frames_tx_.fetch_add(1, std::memory_order_relaxed);
+  bytes_tx_.fetch_add(wire_bytes, std::memory_order_relaxed);
+  if (obs::counters_enabled()) {
+    obs::svc_conn_instruments().frames_tx.add();
+    obs::svc_conn_instruments().bytes_tx.add(wire_bytes);
+  }
+}
+
+EstimationService::ConnectionTotals EstimationService::connection_totals()
+    const noexcept {
+  ConnectionTotals totals;
+  totals.opened = conn_opened_.load(std::memory_order_relaxed);
+  totals.closed = conn_closed_.load(std::memory_order_relaxed);
+  totals.frames_rx = frames_rx_.load(std::memory_order_relaxed);
+  totals.frames_tx = frames_tx_.load(std::memory_order_relaxed);
+  totals.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
+  totals.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
+  totals.resyncs = resyncs_.load(std::memory_order_relaxed);
+  return totals;
 }
 
 EstimationService::InflightHold::InflightHold(EstimationService& service,
@@ -79,31 +161,58 @@ EstimationService::InflightHold::~InflightHold() {
   service_.inflight_.fetch_sub(slots_, std::memory_order_acq_rel);
 }
 
+std::string EstimationService::note_shed(const Frame& request,
+                                         StatusCode status) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_instruments().req_shed.add();
+
+  RequestRecord record;
+  record.request_id = derive_request_id(request);
+  record.command = request.command;
+  record.status = static_cast<std::uint16_t>(status);
+  record.degrade_mask = kDegradeShed;
+  if (static_cast<CommandId>(request.command) == CommandId::kEstimate) {
+    if (const auto req = parse_estimate_request(request.payload)) {
+      record.population_id = req->population_id;
+      if (const auto entry = registry_.find(req->population_id)) {
+        entry->stats.shed.fetch_add(1, std::memory_order_relaxed);
+        if (obs::counters_enabled()) obs::svc_pop_instruments().shed.add();
+      }
+    }
+  }
+#if PET_OBS_COMPILED
+  flight_.record(record);
+#endif
+  return " [request-id=" + format_request_id(record.request_id) + "]";
+}
+
 std::future<Frame> EstimationService::submit(Frame request) {
   const auto command = static_cast<CommandId>(request.command);
   if (draining()) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::counters_enabled()) obs::svc_instruments().req_shed.add();
-    return ready_future(
-        ready_error(command, StatusCode::kShuttingDown, "service draining"));
+    const std::string suffix = note_shed(request, StatusCode::kShuttingDown);
+    return ready_future(ready_error(command, StatusCode::kShuttingDown,
+                                    "service draining" + suffix));
   }
   // Optimistic admission: grab a slot, give it back if we were over the
-  // cap.  Monitor/ping are control-plane and always admitted — an operator
-  // must be able to observe an overloaded server.
+  // cap.  Monitor/ping and the observability exports are control-plane and
+  // always admitted — an operator must be able to observe an overloaded
+  // server.
   const bool control_plane =
-      command == CommandId::kPing || command == CommandId::kMonitor;
+      command == CommandId::kPing || command == CommandId::kMonitor ||
+      command == CommandId::kMetrics || command == CommandId::kFlightDump;
   const std::size_t occupied =
       inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (!control_plane && occupied > config_.max_inflight) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    const std::string suffix =
+        note_shed(request, StatusCode::kResourceExhausted);
     if (obs::counters_enabled()) {
-      obs::svc_instruments().req_shed.add();
       obs::svc_instruments().queue_depth.set(
           static_cast<double>(occupied - 1));
     }
-    return ready_future(ready_error(command, StatusCode::kResourceExhausted,
-                                    "inflight cap reached; retry with backoff"));
+    return ready_future(
+        ready_error(command, StatusCode::kResourceExhausted,
+                    "inflight cap reached; retry with backoff" + suffix));
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (obs::counters_enabled()) {
@@ -113,8 +222,14 @@ std::future<Frame> EstimationService::submit(Frame request) {
 
   auto promise = std::make_shared<std::promise<Frame>>();
   std::future<Frame> future = promise->get_future();
-  pool_->submit([this, promise, request = std::move(request)]() mutable {
-    promise->set_value(handle(request));
+  const auto enqueued = std::chrono::steady_clock::now();
+  pool_->submit([this, promise, enqueued,
+                 request = std::move(request)]() mutable {
+    const auto queue_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueued);
+    promise->set_value(handle_request(
+        request, static_cast<std::uint64_t>(queue_us.count())));
     const std::size_t now_inflight =
         inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
     if (obs::counters_enabled()) {
@@ -126,8 +241,30 @@ std::future<Frame> EstimationService::submit(Frame request) {
 }
 
 Frame EstimationService::handle(const Frame& request) {
+  return handle_request(request, 0);
+}
+
+Frame EstimationService::handle_request(const Frame& request,
+                                        std::uint64_t queue_us) {
   const auto started = std::chrono::steady_clock::now();
   const auto command = static_cast<CommandId>(request.command);
+
+  // Every request gets a deterministic content-addressed ID (flight.hpp)
+  // and leaves one flight-recorder record behind; under full tracing the
+  // ID also becomes the span's trial coordinate so JSONL traces and
+  // kFlightDump records join on it.
+  RequestRecord record;
+  record.request_id = derive_request_id(request);
+  record.command = request.command;
+  record.queue_us = queue_us;
+  std::optional<obs::ScopedSpan> span;
+  if (obs::full_enabled()) {
+    obs::set_trace_trial(record.request_id);
+    span.emplace("svc.request");
+    span->add("request_id",
+              obs::json_token(format_request_id(record.request_id)));
+    span->add("command", obs::json_token(to_string(command)));
+  }
 
   Frame response;
   if (request.ver_major != kProtocolMajor) {
@@ -144,8 +281,16 @@ Frame EstimationService::handle(const Frame& request) {
       case CommandId::kUnregister:
         response = handle_unregister(request);
         break;
-      case CommandId::kEstimate: response = handle_estimate(request); break;
+      case CommandId::kEstimate:
+        response = handle_estimate(request, record);
+        break;
       case CommandId::kMonitor: response = handle_monitor(request); break;
+      case CommandId::kMetrics:
+        response = handle_metrics(request, record);
+        break;
+      case CommandId::kFlightDump:
+        response = handle_flight_dump(request);
+        break;
       default:
         if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
         response = ready_error(command, StatusCode::kUnknownCommand,
@@ -154,14 +299,30 @@ Frame EstimationService::handle(const Frame& request) {
     }
   }
 
+  record.status = response.status;
+  if (record.status ==
+      static_cast<std::uint16_t>(StatusCode::kResourceExhausted)) {
+    record.degrade_mask |= kDegradeShed;
+  }
+
   completed_.fetch_add(1, std::memory_order_relaxed);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  record.handle_us = static_cast<std::uint64_t>(elapsed.count());
   if (obs::counters_enabled()) {
     obs::svc_instruments().req_completed.add();
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - started);
     obs::svc_instruments().latency_us.observe(
         static_cast<double>(elapsed.count()));
   }
+  if (span) {
+    span->add("status", obs::json_token(to_string(
+                            static_cast<StatusCode>(record.status))));
+    span->add("population", std::to_string(record.population_id));
+    span->add("degrade_mask", std::to_string(record.degrade_mask));
+  }
+#if PET_OBS_COMPILED
+  flight_.record(record);
+#endif
   return response;
 }
 
@@ -232,20 +393,93 @@ Frame EstimationService::handle_monitor(const Frame& request) {
 }
 
 MonitorReply EstimationService::stats() const {
+  // Single source of truth: the degraded / deadline-miss / retry totals
+  // are folded from the same per-population cells the kMetrics export
+  // renders, so the two commands can never drift apart.
+  const PopulationStatsSnapshot pops = registry_.fold_stats();
   MonitorReply reply;
   reply.populations = registry_.size();
   reply.inflight = inflight_.load(std::memory_order_acquire);
   reply.accepted = accepted_.load(std::memory_order_relaxed);
   reply.completed = completed_.load(std::memory_order_relaxed);
   reply.shed = shed_.load(std::memory_order_relaxed);
-  reply.degraded = degraded_.load(std::memory_order_relaxed);
-  reply.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
-  reply.retries = retries_.load(std::memory_order_relaxed);
+  reply.degraded = pops.degraded;
+  reply.deadline_misses = pops.deadline_misses;
+  reply.retries = pops.retries;
   reply.malformed_frames = malformed_.load(std::memory_order_relaxed);
   return reply;
 }
 
-Frame EstimationService::handle_estimate(const Frame& request) {
+Frame EstimationService::handle_metrics(const Frame& request,
+                                        RequestRecord& record) {
+#if !PET_OBS_COMPILED
+  (void)record;
+  (void)request;
+  if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+  return ready_error(CommandId::kMetrics, StatusCode::kUnsupported,
+                     "metrics export compiled out (PET_OBS=OFF)");
+#else
+  const auto req = parse_metrics_request(request.payload);
+  if (!req) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+    return ready_error(CommandId::kMetrics, StatusCode::kMalformedFrame,
+                       "metrics payload did not parse");
+  }
+  switch (static_cast<MetricsScope>(req->scope)) {
+    case MetricsScope::kFull:
+      return make_response(
+          CommandId::kMetrics, static_cast<std::uint16_t>(StatusCode::kOk),
+          utf8_bytes(render_metrics_document(*this, false)));
+    case MetricsScope::kDeterministic:
+      return make_response(
+          CommandId::kMetrics, static_cast<std::uint16_t>(StatusCode::kOk),
+          utf8_bytes(render_metrics_document(*this, true)));
+    case MetricsScope::kPopulation: {
+      record.population_id = req->population_id;
+      const auto entry = registry_.find(req->population_id);
+      if (entry == nullptr) {
+        if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+        return ready_error(CommandId::kMetrics, StatusCode::kNotFound,
+                           "population id not registered");
+      }
+      PopulationStatsSnapshot snap;
+      snap.accumulate(entry->stats);
+      return make_response(
+          CommandId::kMetrics, static_cast<std::uint16_t>(StatusCode::kOk),
+          utf8_bytes(render_population_document(req->population_id, snap)));
+    }
+  }
+  if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+  return ready_error(CommandId::kMetrics, StatusCode::kInvalidArgument,
+                     "unknown metrics scope");
+#endif
+}
+
+Frame EstimationService::handle_flight_dump(const Frame& request) {
+#if !PET_OBS_COMPILED
+  (void)request;
+  if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
+  return ready_error(CommandId::kFlightDump, StatusCode::kUnsupported,
+                     "flight recorder compiled out (PET_OBS=OFF)");
+#else
+  const auto req = parse_flight_dump_request(request.payload);
+  if (!req) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().frame_malformed.add();
+    return ready_error(CommandId::kFlightDump, StatusCode::kMalformedFrame,
+                       "flight-dump payload did not parse");
+  }
+  FlightDumpReply reply;
+  reply.records = flight_.dump(req->request_id, req->max_records);
+  return make_response(CommandId::kFlightDump,
+                       static_cast<std::uint16_t>(StatusCode::kOk),
+                       encode(reply));
+#endif
+}
+
+Frame EstimationService::handle_estimate(const Frame& request,
+                                         RequestRecord& record) {
   const auto req = parse_estimate_request(request.payload);
   if (!req) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +487,9 @@ Frame EstimationService::handle_estimate(const Frame& request) {
     return ready_error(CommandId::kEstimate, StatusCode::kMalformedFrame,
                        "estimate payload did not parse");
   }
+  record.population_id = req->population_id;
+  const std::string id_suffix =
+      " [request-id=" + format_request_id(record.request_id) + "]";
   if (!valid_fraction(req->epsilon) || !valid_fraction(req->delta) ||
       req->robust > 1) {
     if (obs::counters_enabled()) obs::svc_instruments().req_rejected.add();
@@ -265,6 +502,9 @@ Frame EstimationService::handle_estimate(const Frame& request) {
     return ready_error(CommandId::kEstimate, StatusCode::kNotFound,
                        "population id not registered");
   }
+  PopulationStats& pop = entry->stats;
+  pop.requests.fetch_add(1, std::memory_order_relaxed);
+  if (obs::counters_enabled()) obs::svc_pop_instruments().requests.add();
 
   // --- Transient link faults: seeded retry with capped backoff -----------
   // One FaultModel per request, seeded from (service fault seed, request
@@ -285,13 +525,17 @@ Frame EstimationService::handle_estimate(const Frame& request) {
         fault_model.reader_down() || fault_model.erases_reply();
     if (!link_fault) break;
     if (!schedule.allows_retry(attempt)) {
-      retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
+      record.retries = schedule.retries();
+      record.backoff_slots = backoff_spent;
+      record.latency_slots = backoff_spent;
+      note_estimate_failure(pop, record);
       if (obs::counters_enabled()) {
         obs::svc_instruments().retry_exhausted.add();
         obs::svc_instruments().req_rejected.add();
       }
-      return ready_error(CommandId::kEstimate, StatusCode::kUnavailable,
-                         "transient link faults outlasted the retry policy");
+      return ready_error(
+          CommandId::kEstimate, StatusCode::kUnavailable,
+          "transient link faults outlasted the retry policy" + id_suffix);
     }
     const std::uint64_t wait = schedule.next_backoff_slots();
     backoff_spent += wait;
@@ -300,17 +544,23 @@ Frame EstimationService::handle_estimate(const Frame& request) {
       obs::svc_instruments().retry_backoff_slots.add(wait);
     }
     if (budget > 0 && backoff_spent >= budget) {
-      retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      record.retries = schedule.retries();
+      record.backoff_slots = backoff_spent;
+      record.latency_slots = backoff_spent;
+      note_estimate_failure(pop, record);
+      pop.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       if (obs::counters_enabled()) {
+        obs::svc_pop_instruments().deadline_misses.add();
         obs::svc_instruments().deadline_misses.add();
         obs::svc_instruments().req_rejected.add();
       }
-      return ready_error(CommandId::kEstimate, StatusCode::kDeadlineExceeded,
-                         "retry backoff consumed the deadline budget");
+      return ready_error(
+          CommandId::kEstimate, StatusCode::kDeadlineExceeded,
+          "retry backoff consumed the deadline budget" + id_suffix);
     }
   }
-  retries_.fetch_add(schedule.retries(), std::memory_order_relaxed);
+  record.retries = schedule.retries();
+  record.backoff_slots = backoff_spent;
 
   // --- Deadline fit: decide the degrade level before estimating ----------
   const stats::AccuracyRequirement requirement{req->epsilon, req->delta};
@@ -340,18 +590,23 @@ Frame EstimationService::handle_estimate(const Frame& request) {
     slots_per_round = base.worst_case_slots_per_round();
   }
 
+  record.planned_rounds = planned;
   const std::uint64_t remaining = budget > 0 ? budget - backoff_spent : 0;
   std::uint64_t fit_rounds = planned;
   if (budget > 0) {
     fit_rounds = std::min<std::uint64_t>(planned, remaining / slots_per_round);
     if (fit_rounds == 0) {
-      deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      record.latency_slots = backoff_spent;
+      note_estimate_failure(pop, record);
+      pop.deadline_misses.fetch_add(1, std::memory_order_relaxed);
       if (obs::counters_enabled()) {
+        obs::svc_pop_instruments().deadline_misses.add();
         obs::svc_instruments().deadline_misses.add();
         obs::svc_instruments().req_rejected.add();
       }
-      return ready_error(CommandId::kEstimate, StatusCode::kDeadlineExceeded,
-                         "deadline budget cannot fit a single round");
+      return ready_error(
+          CommandId::kEstimate, StatusCode::kDeadlineExceeded,
+          "deadline budget cannot fit a single round" + id_suffix);
     }
   }
 
@@ -398,11 +653,14 @@ Frame EstimationService::handle_estimate(const Frame& request) {
       reply.health = static_cast<std::uint8_t>(result.diagnostic.health);
       const sim::SlotLedger& led = result.base.ledger;
       reply.query_slots = led.total_slots() + led.retry_slots;
-      reply.degraded = (result.base.truncated || fit_rounds < planned ||
-                        result.retry_budget_exhausted ||
-                        result.diagnostic.contract_at_risk())
-                           ? 1
-                           : 0;
+      if (result.base.truncated) record.degrade_mask |= kDegradeTruncated;
+      if (fit_rounds < planned) record.degrade_mask |= kDegradeFitShort;
+      if (result.retry_budget_exhausted) {
+        record.degrade_mask |= kDegradeRetryBudget;
+      }
+      if (result.diagnostic.contract_at_risk()) {
+        record.degrade_mask |= kDegradeHealth;
+      }
     } else {
       const core::EstimateResult result =
           vanilla_estimator->estimate_with_rounds(channel, fit_rounds,
@@ -415,21 +673,50 @@ Frame EstimationService::handle_estimate(const Frame& request) {
       reply.rounds = result.rounds;
       reply.truncated = result.truncated ? 1 : 0;
       reply.query_slots = result.ledger.total_slots();
-      reply.degraded =
-          (result.truncated || fit_rounds < planned) ? 1 : 0;
+      if (result.truncated) record.degrade_mask |= kDegradeTruncated;
+      if (fit_rounds < planned) record.degrade_mask |= kDegradeFitShort;
     }
+    reply.degraded = record.degrade_mask != 0 ? 1 : 0;
     channel.flush_obs();
   }
 
+  record.rounds = reply.rounds;
+  record.query_slots = reply.query_slots;
+  record.latency_slots = reply.backoff_slots + reply.query_slots;
+
+  // --- Per-population fold (the cells kMonitor and kMetrics both read) ----
+  pop.ok.fetch_add(1, std::memory_order_relaxed);
+  pop.retries.fetch_add(reply.retries, std::memory_order_relaxed);
+  pop.backoff_slots.fetch_add(reply.backoff_slots, std::memory_order_relaxed);
+  pop.query_slots.fetch_add(reply.query_slots, std::memory_order_relaxed);
+  pop.rounds.fetch_add(reply.rounds, std::memory_order_relaxed);
+  pop.rounds_planned.fetch_add(planned, std::memory_order_relaxed);
+  pop.observe_latency_slots(record.latency_slots);
+  if (reply.truncated != 0) {
+    pop.truncated.fetch_add(1, std::memory_order_relaxed);
+  }
   if (reply.truncated != 0 && budget > 0) {
     // The slot budget stopped the round loop early: a deadline miss that
     // still produced a (degraded) answer.
-    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    pop.deadline_misses.fetch_add(1, std::memory_order_relaxed);
     if (obs::counters_enabled()) obs::svc_instruments().deadline_misses.add();
   }
   if (reply.degraded != 0) {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
+    pop.degraded.fetch_add(1, std::memory_order_relaxed);
     if (obs::counters_enabled()) obs::svc_instruments().req_degraded.add();
+  }
+  if (obs::counters_enabled()) {
+    const obs::SvcPopInstruments& bundle = obs::svc_pop_instruments();
+    bundle.ok.add();
+    bundle.retries.add(reply.retries);
+    bundle.backoff_slots.add(reply.backoff_slots);
+    bundle.query_slots.add(reply.query_slots);
+    bundle.rounds.add(reply.rounds);
+    bundle.rounds_planned.add(planned);
+    bundle.latency_slots.observe(static_cast<double>(record.latency_slots));
+    if (reply.truncated != 0) bundle.truncated.add();
+    if (reply.truncated != 0 && budget > 0) bundle.deadline_misses.add();
+    if (reply.degraded != 0) bundle.degraded.add();
   }
   if (obs::full_enabled()) {
     obs::trace_event("svc.estimate",

@@ -31,6 +31,7 @@
 
 #include "runtime/thread_pool.hpp"
 #include "service/errors.hpp"
+#include "service/flight.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
 #include "service/registry.hpp"
@@ -71,6 +72,11 @@ struct ServiceConfig {
   /// bit-determinism by design; keep 0 in tests and benches.
   std::uint64_t slot_us = 0;
 
+  /// Ring size of the flight recorder (last N per-request records, see
+  /// flight.hpp).  Capped so a full kFlightDump reply always fits
+  /// kMaxPayload.
+  std::size_t flight_capacity = 256;
+
   void validate() const;
 };
 
@@ -101,17 +107,50 @@ class EstimationService {
     return draining_.load(std::memory_order_acquire);
   }
 
-  /// Service-wide lifecycle totals (the kMonitor payload).
+  /// Service-wide lifecycle totals (the kMonitor payload).  The degraded /
+  /// deadline-miss / retry totals are folded from the per-population cells
+  /// in the registry — the same cells the kMetrics export renders — so
+  /// kMonitor and kMetrics cannot disagree.
   [[nodiscard]] MonitorReply stats() const;
 
   [[nodiscard]] PopulationRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const PopulationRegistry& registry() const noexcept {
+    return registry_;
+  }
   [[nodiscard]] const ServiceConfig& config() const noexcept {
     return config_;
+  }
+  [[nodiscard]] const FlightRecorder& flight() const noexcept {
+    return flight_;
   }
 
   /// Count a malformed *frame* (decode-level garbage the session layer
   /// already resynced past); parse-level errors are counted inside handle().
+  /// Every such event is also a decoder resync, so it feeds
+  /// pet.svc.conn.resyncs.
   void note_malformed_frame() noexcept;
+
+  // Transport accounting hooks for the session layer (petd's accept loop).
+  // They feed the always-on connection totals plus the pet.svc.conn.*
+  // bundle; a transport that doesn't call them simply exports zeros.
+  void note_connection_opened() noexcept;
+  void note_connection_closed() noexcept;
+  void note_bytes_received(std::size_t bytes) noexcept;
+  void note_frame_received() noexcept;
+  void note_frame_sent(std::size_t wire_bytes) noexcept;
+
+  /// Plain-value snapshot of the transport counters (kMetrics "connections"
+  /// member).
+  struct ConnectionTotals {
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t frames_rx = 0;
+    std::uint64_t frames_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t resyncs = 0;
+  };
+  [[nodiscard]] ConnectionTotals connection_totals() const noexcept;
 
   /// Test hook: RAII occupation of `slots` admission slots, for driving the
   /// shed path deterministically without timing games.
@@ -128,27 +167,44 @@ class EstimationService {
   };
 
  private:
+  Frame handle_request(const Frame& request, std::uint64_t queue_us);
   Frame handle_ping(const Frame& request);
   Frame handle_register(const Frame& request);
   Frame handle_unregister(const Frame& request);
-  Frame handle_estimate(const Frame& request);
+  Frame handle_estimate(const Frame& request, RequestRecord& record);
   Frame handle_monitor(const Frame& request);
+  Frame handle_metrics(const Frame& request, RequestRecord& record);
+  Frame handle_flight_dump(const Frame& request);
+
+  /// Shed bookkeeping shared by the drain and inflight-cap paths: counts,
+  /// population attribution, flight record; returns the " [request-id=...]"
+  /// suffix for the error detail.
+  std::string note_shed(const Frame& request, StatusCode status);
 
   ServiceConfig config_;
   PopulationRegistry registry_;
   std::unique_ptr<runtime::ThreadPool> pool_;
+  FlightRecorder flight_;
 
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
 
   // Lifecycle totals (relaxed: monotone counters, snapshot via stats()).
+  // Degraded/deadline/retry totals live in the registry's per-population
+  // cells, not here — stats() folds them so there is one source of truth.
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> deadline_misses_{0};
-  std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> malformed_{0};
+
+  // Transport totals fed by the note_connection_* / note_frame_* hooks.
+  std::atomic<std::uint64_t> conn_opened_{0};
+  std::atomic<std::uint64_t> conn_closed_{0};
+  std::atomic<std::uint64_t> frames_rx_{0};
+  std::atomic<std::uint64_t> frames_tx_{0};
+  std::atomic<std::uint64_t> bytes_rx_{0};
+  std::atomic<std::uint64_t> bytes_tx_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
 };
 
 }  // namespace pet::svc

@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "obs/jsonlite.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
 #include "rng/prng.hpp"
 #include "runtime/json.hpp"
@@ -331,6 +334,87 @@ TEST(MetricsExport, DocumentParsesAndSeparatesDomains) {
   EXPECT_EQ(phases->array[0].find("name")->string, "unit-phase");
   EXPECT_EQ(phases->array[0].find("slots")->number, 1000.0);
   EXPECT_EQ(profile->find("pool")->find("threads")->number, 2.0);
+}
+
+TEST(MetricsExport, ExtraMembersLandAtTopLevel) {
+  // The kMetrics wire command rides its "service" member in through this
+  // hook; the fragment must append verbatim after "profile".
+  ObsGuard guard(obs::Level::kCounters);
+  if (!obs::counters_enabled()) GTEST_SKIP() << "obs compiled out";
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test.extra.det").add(1);
+
+  const std::string document =
+      obs::metrics_json(registry.snapshot(), {}, std::nullopt,
+                        "\"service\":{\"totals\":{\"requests\":3}}");
+  const obs::JsonValue root = obs::parse_json(document);
+  ASSERT_TRUE(root.is_object());
+  const obs::JsonValue* service = root.find("service");
+  ASSERT_NE(service, nullptr);
+  const obs::JsonValue* totals = service->find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->find("requests")->number, 3.0);
+  // Default (no extra member) keeps the historical document shape.
+  EXPECT_EQ(obs::parse_json(obs::metrics_json(registry.snapshot()))
+                .find("service"),
+            nullptr);
+}
+
+TEST(Prometheus, TextExpositionRendersCountersGaugesHistograms) {
+  ObsGuard guard(obs::Level::kCounters);
+  if (!obs::counters_enabled()) GTEST_SKIP() << "obs compiled out";
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test.prom.det").add(4);
+  registry.counter("pet.svc.pop.requests").add(7);
+  registry.counter("test.prom.prof", obs::Domain::kProfile).add(2);
+  registry.gauge("test.prom.gauge").set(0.5);
+  auto hist = registry.histogram("test.prom.lat", {1.0, 10.0});
+  hist.observe(0.5);
+  hist.observe(5.0);
+  hist.observe(100.0);
+
+  const std::string text = obs::prometheus_text(registry.snapshot());
+  // Name mangling: dots to underscores, "pet_" prepended except for names
+  // already in the pet. family.
+  EXPECT_NE(text.find("# TYPE pet_test_prom_det counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pet_test_prom_det 4"), std::string::npos);
+  EXPECT_NE(text.find("pet_svc_pop_requests 7"), std::string::npos);
+  EXPECT_EQ(text.find("pet_pet_svc"), std::string::npos)
+      << "pet. names must not be double-prefixed";
+  // Profile-domain counters export too (Prometheus has no domain split).
+  EXPECT_NE(text.find("pet_test_prom_prof 2"), std::string::npos);
+  EXPECT_NE(text.find("pet_test_prom_gauge 0.500000"), std::string::npos);
+  // Cumulative buckets plus +Inf plus _count, no _sum.
+  EXPECT_NE(text.find("pet_test_prom_lat_bucket{le=\"1.000000\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pet_test_prom_lat_bucket{le=\"10.000000\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pet_test_prom_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("pet_test_prom_lat_count 3"), std::string::npos);
+  EXPECT_EQ(text.find("pet_test_prom_lat_sum"), std::string::npos);
+}
+
+TEST(Prometheus, AtomicFileWriteLandsCompleteAndTmpIsGone) {
+  ObsGuard guard(obs::Level::kCounters);
+  if (!obs::counters_enabled()) GTEST_SKIP() << "obs compiled out";
+  obs::MetricsRegistry::instance().counter("test.prom.file").add(1);
+  const std::string text =
+      obs::prometheus_text(obs::MetricsRegistry::instance().snapshot());
+  const std::string path =
+      testing::TempDir() + "obs_prom_atomic_test.prom";
+  obs::write_prometheus_file_atomic(path, text);
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), text);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "tmp staging file must be renamed away";
+  std::remove(path.c_str());
 }
 
 TEST(BenchMetrics, ArtifactRoundTripsAndDiffIgnoresMetrics) {

@@ -18,14 +18,18 @@
 #include <cstdint>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/jsonlite.hpp"
+#include "obs/metrics.hpp"
 #include "rng/prng.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/json.hpp"
 #include "runtime/trial_runner.hpp"
 #include "service/chaos.hpp"
 #include "service/errors.hpp"
+#include "service/flight.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
 #include "service/registry.hpp"
@@ -360,6 +364,142 @@ TEST(Messages, ErrorFramesCarryDetailStrings) {
   EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kInvalidArgument));
 }
 
+TEST(Messages, RoundTripObservabilityMessages) {
+  svc::MetricsRequest metrics;
+  metrics.scope = static_cast<std::uint8_t>(svc::MetricsScope::kPopulation);
+  metrics.population_id = 42;
+  const auto metrics_rt = svc::parse_metrics_request(svc::encode(metrics));
+  ASSERT_TRUE(metrics_rt.has_value());
+  EXPECT_EQ(metrics_rt->scope, metrics.scope);
+  EXPECT_EQ(metrics_rt->population_id, metrics.population_id);
+
+  // Empty payload = defaults (scope kFull, all populations): the bare
+  // `petctl top` request frame.
+  const auto default_rt = svc::parse_metrics_request({});
+  ASSERT_TRUE(default_rt.has_value());
+  EXPECT_EQ(default_rt->scope,
+            static_cast<std::uint8_t>(svc::MetricsScope::kFull));
+
+  svc::FlightDumpRequest dump;
+  dump.request_id = 0xDEAD;
+  dump.max_records = 7;
+  const auto dump_rt = svc::parse_flight_dump_request(svc::encode(dump));
+  ASSERT_TRUE(dump_rt.has_value());
+  EXPECT_EQ(dump_rt->request_id, dump.request_id);
+  EXPECT_EQ(dump_rt->max_records, dump.max_records);
+  EXPECT_TRUE(svc::parse_flight_dump_request({}).has_value());
+
+  svc::FlightDumpReply reply;
+  svc::RequestRecord record;
+  record.request_id = 0x1234;
+  record.population_id = 9;
+  record.command = static_cast<std::uint16_t>(svc::CommandId::kEstimate);
+  record.status = static_cast<std::uint16_t>(svc::StatusCode::kOk);
+  record.degrade_mask = svc::kDegradeTruncated | svc::kDegradeFitShort;
+  record.planned_rounds = 40;
+  record.rounds = 31;
+  record.retries = 2;
+  record.backoff_slots = 24;
+  record.query_slots = 992;
+  record.latency_slots = 1016;
+  record.queue_us = 120;
+  record.handle_us = 800;
+  reply.records.push_back(record);
+  const auto reply_rt = svc::parse_flight_dump_reply(svc::encode(reply));
+  ASSERT_TRUE(reply_rt.has_value());
+  ASSERT_EQ(reply_rt->records.size(), 1u);
+  EXPECT_EQ(reply_rt->records[0].request_id, record.request_id);
+  EXPECT_EQ(reply_rt->records[0].degrade_mask, record.degrade_mask);
+  EXPECT_EQ(reply_rt->records[0].latency_slots, record.latency_slots);
+  EXPECT_EQ(reply_rt->records[0].queue_us, record.queue_us);
+  EXPECT_EQ(reply_rt->records[0].handle_us, record.handle_us);
+
+  // Truncated record arrays are malformed, not partially parsed.
+  std::vector<std::uint8_t> truncated = svc::encode(reply);
+  truncated.pop_back();
+  EXPECT_FALSE(svc::parse_flight_dump_reply(truncated).has_value());
+}
+
+TEST(Messages, MonitorReplyWireLayoutFrozenForOldClients) {
+  // Semver story: minor 1 added commands only — every v1.0 payload layout
+  // is frozen.  This inline parser IS the v1.0 client; if MonitorReply ever
+  // grows a field, this test fails before any deployed client does.
+  EXPECT_EQ(svc::kProtocolMinor, 1);
+  svc::MonitorReply monitor;
+  monitor.populations = 3;
+  monitor.inflight = 1;
+  monitor.accepted = 100;
+  monitor.completed = 90;
+  monitor.shed = 4;
+  monitor.degraded = 7;
+  monitor.deadline_misses = 2;
+  monitor.retries = 11;
+  monitor.malformed_frames = 5;
+  const std::vector<std::uint8_t> bytes = svc::encode(monitor);
+  ASSERT_EQ(bytes.size(), 72u) << "MonitorReply is frozen at 9 x u64";
+  const auto read_u64 = [&](std::size_t index) {
+    std::uint64_t value = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      value |= static_cast<std::uint64_t>(bytes[index * 8 + b]) << (8 * b);
+    }
+    return value;
+  };
+  EXPECT_EQ(read_u64(0), monitor.populations);
+  EXPECT_EQ(read_u64(1), monitor.inflight);
+  EXPECT_EQ(read_u64(2), monitor.accepted);
+  EXPECT_EQ(read_u64(3), monitor.completed);
+  EXPECT_EQ(read_u64(4), monitor.shed);
+  EXPECT_EQ(read_u64(5), monitor.degraded);
+  EXPECT_EQ(read_u64(6), monitor.deadline_misses);
+  EXPECT_EQ(read_u64(7), monitor.retries);
+  EXPECT_EQ(read_u64(8), monitor.malformed_frames);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+TEST(Flight, RequestIdIsDeterministicContentAddressedAndNonZero) {
+  const svc::Frame a = test_frame(3, {1, 2, 3});
+  const svc::Frame b = test_frame(3, {1, 2, 3});
+  const svc::Frame c = test_frame(3, {1, 2, 4});
+  EXPECT_EQ(svc::derive_request_id(a), svc::derive_request_id(b));
+  EXPECT_NE(svc::derive_request_id(a), svc::derive_request_id(c));
+  EXPECT_NE(svc::derive_request_id(a), 0u) << "0 is the wildcard filter";
+  const std::string rendered = svc::format_request_id(0xABCDull);
+  EXPECT_EQ(rendered, "0x000000000000abcd");
+}
+
+TEST(Flight, DegradeMaskRendersBitNames) {
+  EXPECT_EQ(svc::degrade_mask_to_string(0), "-");
+  EXPECT_EQ(svc::degrade_mask_to_string(svc::kDegradeTruncated |
+                                        svc::kDegradeFitShort),
+            "truncated|fit-short");
+  EXPECT_EQ(svc::degrade_mask_to_string(svc::kDegradeShed), "shed");
+}
+
+TEST(Flight, RingWrapsKeepingNewestAndCountsLifetime) {
+  svc::FlightRecorder recorder(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    svc::RequestRecord record;
+    record.request_id = i;
+    recorder.record(record);
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u) << "lifetime count, not occupancy";
+  const std::vector<svc::RequestRecord> all = recorder.dump(0, 0);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.front().request_id, 7u);
+  EXPECT_EQ(all.back().request_id, 10u);
+
+  // max_records keeps the NEWEST n; the id filter selects exactly.
+  const std::vector<svc::RequestRecord> newest = recorder.dump(0, 2);
+  ASSERT_EQ(newest.size(), 2u);
+  EXPECT_EQ(newest.front().request_id, 9u);
+  const std::vector<svc::RequestRecord> one = recorder.dump(8, 0);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.front().request_id, 8u);
+  EXPECT_TRUE(recorder.dump(99, 0).empty());
+}
+
 // --- retry policy ----------------------------------------------------------
 
 TEST(Retry, ZeroJitterLadderIsTheCappedExponential) {
@@ -678,6 +818,324 @@ TEST(Service, ShutdownRefusesNewWorkWithTypedStatus) {
   EXPECT_EQ(status_of(refused), svc::StatusCode::kShuttingDown);
   EXPECT_TRUE(svc::is_retryable(status_of(refused)));
 }
+
+// --- service observability plane -------------------------------------------
+
+#if PET_OBS_COMPILED
+
+TEST(ServiceObs, MetricsDeterministicDomainByteIdenticalAcrossThreads) {
+  // The ISSUE acceptance clause: the kDeterministic scope of a kMetrics
+  // snapshot — obs counters, slot-unit histograms, and the "service"
+  // member — is byte-identical at worker_threads 1, 2, and 8 after an
+  // identical seeded request script (deadline misses, retries, degraded
+  // responses included).  The payload bytes ARE the comparison.
+  using namespace service_helpers;
+  const obs::Level saved_level = obs::level();
+  obs::set_level(obs::Level::kCounters);
+
+  const auto run = [&](unsigned workers) {
+    obs::MetricsRegistry::instance().reset();
+    svc::ServiceConfig config;
+    config.worker_threads = workers;
+    config.link_faults.reply_loss_prob = 0.3;  // exercise the retry plane
+    svc::EstimationService service(config);
+    EXPECT_EQ(status_of(service.handle(register_frame(3, 900, 0xFEED))),
+              svc::StatusCode::kOk);
+    EXPECT_EQ(status_of(service.handle(register_frame(4, 700, 0xFEE0))),
+              svc::StatusCode::kOk);
+    std::vector<std::future<svc::Frame>> pending;
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      // Mix of unlimited and tight deadlines: clean, degraded, and
+      // DEADLINE_EXCEEDED outcomes all feed the per-population cells.
+      const std::uint64_t deadline = (i % 3 == 0) ? 60 : 0;
+      pending.push_back(service.submit(estimate_frame(
+          3 + (i & 1), rng::derive_seed(0x0B5, i), deadline)));
+    }
+    for (std::future<svc::Frame>& future : pending) (void)future.get();
+
+    svc::MetricsRequest request;
+    request.scope =
+        static_cast<std::uint8_t>(svc::MetricsScope::kDeterministic);
+    const svc::Frame response = service.handle(svc::make_request(
+        svc::CommandId::kMetrics, svc::encode(request)));
+    EXPECT_EQ(status_of(response), svc::StatusCode::kOk);
+    return response.payload;
+  };
+
+  const std::vector<std::uint8_t> t1 = run(1);
+  const std::vector<std::uint8_t> t2 = run(2);
+  const std::vector<std::uint8_t> t8 = run(8);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2) << "kDeterministic snapshot drifted at 2 workers";
+  EXPECT_EQ(t1, t8) << "kDeterministic snapshot drifted at 8 workers";
+
+  // And it is a valid pet.obs.v1 document carrying the service member.
+  const obs::JsonValue root = obs::parse_json(
+      std::string(t1.begin(), t1.end()));
+  const obs::JsonValue* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "pet.obs.v1");
+  EXPECT_EQ(root.find("profile"), nullptr)
+      << "deterministic scope must omit the wall-clock profile";
+  const obs::JsonValue* service_member = root.find("service");
+  ASSERT_NE(service_member, nullptr);
+  const obs::JsonValue* populations = service_member->find("populations");
+  ASSERT_NE(populations, nullptr);
+  EXPECT_EQ(populations->object.size(), 2u);
+  obs::set_level(saved_level);
+}
+
+TEST(ServiceObs, FlightRecorderCapturesDegradationBitmaskAndRequestId) {
+  using namespace service_helpers;
+  svc::EstimationService service;
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 3000, 17))),
+            svc::StatusCode::kOk);
+
+  // Full-budget run tells us the plan's appetite; half of that forces the
+  // deadline planner to degrade (same shape as DeadlineDegradesBeforeRefusing).
+  const svc::Frame full_response = service.handle(estimate_frame(1, 0xD15C));
+  ASSERT_EQ(status_of(full_response), svc::StatusCode::kOk);
+  const auto full = svc::parse_estimate_reply(full_response.payload);
+  ASSERT_TRUE(full.has_value());
+
+  const svc::Frame tight_request =
+      estimate_frame(1, 0xD15C, full->query_slots / 2);
+  const std::uint64_t request_id = svc::derive_request_id(tight_request);
+  const svc::Frame tight_response = service.handle(tight_request);
+  ASSERT_EQ(status_of(tight_response), svc::StatusCode::kOk);
+  const auto tight = svc::parse_estimate_reply(tight_response.payload);
+  ASSERT_TRUE(tight.has_value());
+  ASSERT_EQ(tight->degraded, 1u);
+
+  svc::FlightDumpRequest filter;
+  filter.request_id = request_id;
+  const svc::Frame dumped = service.handle(svc::make_request(
+      svc::CommandId::kFlightDump, svc::encode(filter)));
+  ASSERT_EQ(status_of(dumped), svc::StatusCode::kOk);
+  const auto reply = svc::parse_flight_dump_reply(dumped.payload);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->records.size(), 1u);
+  const svc::RequestRecord& record = reply->records[0];
+  EXPECT_EQ(record.request_id, request_id);
+  EXPECT_EQ(record.population_id, 1u);
+  EXPECT_EQ(record.command,
+            static_cast<std::uint16_t>(svc::CommandId::kEstimate));
+  EXPECT_EQ(record.status, static_cast<std::uint16_t>(svc::StatusCode::kOk));
+  EXPECT_NE(record.degrade_mask, 0u);
+  // The mask decomposes the reply's single degraded bit: the truncation
+  // bit mirrors the reply's flag, and a deadline-driven degrade must have
+  // set truncation and/or the fit-shortfall bit.
+  EXPECT_EQ((record.degrade_mask & svc::kDegradeTruncated) != 0,
+            tight->truncated != 0);
+  EXPECT_NE(record.degrade_mask &
+                (svc::kDegradeTruncated | svc::kDegradeFitShort),
+            0u);
+  EXPECT_EQ(record.rounds, tight->rounds);
+  EXPECT_EQ(record.latency_slots, tight->backoff_slots + tight->query_slots);
+}
+
+TEST(ServiceObs, FlightRecorderWrapsAroundThroughTheWireCommand) {
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.flight_capacity = 4;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(2, 300, 5))),
+            svc::StatusCode::kOk);
+
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const svc::Frame request = estimate_frame(2, 1000 + i);
+    ids.push_back(svc::derive_request_id(request));
+    ASSERT_EQ(status_of(service.handle(request)), svc::StatusCode::kOk);
+  }
+  // 1 register + 10 estimates recorded; ring holds only the newest 4.
+  EXPECT_EQ(service.flight().recorded(), 11u);
+
+  const svc::Frame dumped = service.handle(
+      svc::make_request(svc::CommandId::kFlightDump));
+  ASSERT_EQ(status_of(dumped), svc::StatusCode::kOk);
+  const auto reply = svc::parse_flight_dump_reply(dumped.payload);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(reply->records[i].request_id, ids[6 + i])
+        << "ring must keep the newest records in arrival order";
+  }
+}
+
+TEST(ServiceObs, ShedErrorCarriesRequestIdAndShedBit) {
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.max_inflight = 2;
+  config.worker_threads = 1;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 200, 3))),
+            svc::StatusCode::kOk);
+
+  const svc::Frame request = estimate_frame(1, 77);
+  const std::uint64_t request_id = svc::derive_request_id(request);
+  {
+    svc::EstimationService::InflightHold hold(service, config.max_inflight);
+    const svc::Frame shed = service.submit(request).get();
+    ASSERT_EQ(status_of(shed), svc::StatusCode::kResourceExhausted);
+    const std::string detail = svc::error_detail(shed);
+    EXPECT_NE(detail.find("request-id="), std::string::npos) << detail;
+    EXPECT_NE(detail.find(svc::format_request_id(request_id)),
+              std::string::npos)
+        << detail;
+  }
+
+  svc::FlightDumpRequest filter;
+  filter.request_id = request_id;
+  const svc::Frame dumped = service.handle(svc::make_request(
+      svc::CommandId::kFlightDump, svc::encode(filter)));
+  const auto reply = svc::parse_flight_dump_reply(dumped.payload);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->records.size(), 1u);
+  EXPECT_EQ(reply->records[0].degrade_mask & svc::kDegradeShed,
+            svc::kDegradeShed);
+  EXPECT_EQ(reply->records[0].population_id, 1u);
+  EXPECT_EQ(reply->records[0].status,
+            static_cast<std::uint16_t>(svc::StatusCode::kResourceExhausted));
+}
+
+TEST(ServiceObs, MonitorAndMetricsShareOneSourceOfTruth) {
+  // The staleness fix: kMonitor's degraded/deadline-miss/retry totals are
+  // folded from the same registry cells the kMetrics export renders, so
+  // the two commands can never disagree.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.link_faults.reply_loss_prob = 0.4;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 3000, 17))),
+            svc::StatusCode::kOk);
+  const svc::Frame full_response = service.handle(estimate_frame(1, 0xD15C));
+  ASSERT_EQ(status_of(full_response), svc::StatusCode::kOk);
+  const auto full = svc::parse_estimate_reply(full_response.payload);
+  ASSERT_TRUE(full.has_value());
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    (void)service.handle(
+        estimate_frame(1, rng::derive_seed(0xAB, i), full->query_slots / 2));
+  }
+
+  const svc::MonitorReply stats = service.stats();
+  const svc::Frame metrics = service.handle(
+      svc::make_request(svc::CommandId::kMetrics));
+  ASSERT_EQ(status_of(metrics), svc::StatusCode::kOk);
+  const obs::JsonValue root = obs::parse_json(
+      std::string(metrics.payload.begin(), metrics.payload.end()));
+  const obs::JsonValue* service_member = root.find("service");
+  ASSERT_NE(service_member, nullptr);
+  const obs::JsonValue* totals = service_member->find("totals");
+  ASSERT_NE(totals, nullptr);
+  const auto total_of = [&](const char* key) {
+    const obs::JsonValue* value = totals->find(key);
+    return value != nullptr ? static_cast<std::uint64_t>(value->number) : 0u;
+  };
+  EXPECT_GT(stats.degraded, 0u);
+  EXPECT_EQ(total_of("degraded"), stats.degraded);
+  EXPECT_EQ(total_of("deadline_misses"), stats.deadline_misses);
+  EXPECT_EQ(total_of("retries"), stats.retries);
+
+  // Unregistering folds the population into the retired accumulator: the
+  // monotone totals must survive the entry's removal.
+  svc::UnregisterRequest unregister;
+  unregister.population_id = 1;
+  ASSERT_EQ(status_of(service.handle(svc::make_request(
+                svc::CommandId::kUnregister, svc::encode(unregister)))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(service.stats().degraded, stats.degraded);
+  EXPECT_EQ(service.stats().retries, stats.retries);
+}
+
+TEST(ServiceObs, PopulationScopeFiltersKnownAndRejectsUnknown) {
+  using namespace service_helpers;
+  svc::EstimationService service;
+  ASSERT_EQ(status_of(service.handle(register_frame(9, 500, 2))),
+            svc::StatusCode::kOk);
+  ASSERT_EQ(status_of(service.handle(estimate_frame(9, 123))),
+            svc::StatusCode::kOk);
+
+  svc::MetricsRequest request;
+  request.scope = static_cast<std::uint8_t>(svc::MetricsScope::kPopulation);
+  request.population_id = 9;
+  const svc::Frame known = service.handle(svc::make_request(
+      svc::CommandId::kMetrics, svc::encode(request)));
+  ASSERT_EQ(status_of(known), svc::StatusCode::kOk);
+  const obs::JsonValue root = obs::parse_json(
+      std::string(known.payload.begin(), known.payload.end()));
+  const obs::JsonValue* population = root.find("population");
+  ASSERT_NE(population, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(population->number), 9u);
+  const obs::JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* requests = counters->find("pet.svc.pop.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(requests->number), 1u);
+
+  request.population_id = 404;
+  EXPECT_EQ(status_of(service.handle(svc::make_request(
+                svc::CommandId::kMetrics, svc::encode(request)))),
+            svc::StatusCode::kNotFound);
+}
+
+TEST(ServiceObs, MetricsExportConcurrentWithTraffic) {
+  // TSan payload (the service label runs under -fsanitize=thread in CI):
+  // kMetrics/kFlightDump snapshots taken while worker threads hammer the
+  // estimate plane must be data-race free and always well-formed.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.worker_threads = 4;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(1, 400, 3))),
+            svc::StatusCode::kOk);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const svc::Frame metrics = service.handle(
+          svc::make_request(svc::CommandId::kMetrics));
+      EXPECT_EQ(static_cast<svc::StatusCode>(metrics.status),
+                svc::StatusCode::kOk);
+      const svc::Frame dump = service.handle(
+          svc::make_request(svc::CommandId::kFlightDump));
+      EXPECT_EQ(static_cast<svc::StatusCode>(dump.status),
+                svc::StatusCode::kOk);
+    }
+  });
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        (void)service.submit(
+            estimate_frame(1, rng::derive_seed(c, i))).get();
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GE(service.flight().recorded(), 49u);
+}
+
+#else  // !PET_OBS_COMPILED
+
+TEST(ServiceObs, ExportCommandsReturnTypedUnsupportedWhenCompiledOut) {
+  // PET_OBS=OFF builds still speak the full v1.1 command set; the export
+  // commands answer with the typed capability error instead of vanishing.
+  using namespace service_helpers;
+  svc::EstimationService service;
+  const svc::Frame metrics = service.handle(
+      svc::make_request(svc::CommandId::kMetrics));
+  EXPECT_EQ(status_of(metrics), svc::StatusCode::kUnsupported);
+  EXPECT_FALSE(svc::error_detail(metrics).empty());
+  const svc::Frame dump = service.handle(
+      svc::make_request(svc::CommandId::kFlightDump));
+  EXPECT_EQ(status_of(dump), svc::StatusCode::kUnsupported);
+  EXPECT_FALSE(svc::is_retryable(svc::StatusCode::kUnsupported));
+}
+
+#endif  // PET_OBS_COMPILED
 
 // --- chaos link ------------------------------------------------------------
 

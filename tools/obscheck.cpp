@@ -5,6 +5,10 @@
 //   obscheck --bench=FILE     validate the "metrics" member of a
 //                             BENCH_<target>.json artifact
 //   obscheck --jsonl=FILE     validate a span/event/slot JSONL trace
+//   obscheck --svc-metrics=FILE validate a petd kMetrics snapshot ("profile"
+//                             optional — the deterministic scope omits it —
+//                             plus the "service" member's shape)
+//   obscheck --prom=FILE      validate a Prometheus text exposition dump
 //   obscheck --require=PREFIX require at least one counter whose name
 //                             starts with PREFIX (repeatable; applies to
 //                             the last --metrics/--bench document given)
@@ -13,6 +17,7 @@
 // errors.  Checks are structural (types, required keys, histogram shape),
 // not numeric: values are run-dependent by design.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -30,7 +35,8 @@ using pet::obs::JsonValue;
 int usage() {
   std::fprintf(stderr,
                "usage: obscheck [--metrics=FILE] [--bench=FILE] "
-               "[--jsonl=FILE] [--require=PREFIX]...\n");
+               "[--jsonl=FILE] [--svc-metrics=FILE] [--prom=FILE] "
+               "[--require=PREFIX]...\n");
   return 2;
 }
 
@@ -81,9 +87,12 @@ void check_histograms(const JsonValue* histograms, const std::string& where) {
   }
 }
 
-/// Validate one pet.obs.v1 document (already parsed).
+/// Validate one pet.obs.v1 document (already parsed).  The deterministic
+/// scope of a petd kMetrics snapshot legitimately has no "profile" member;
+/// `require_profile=false` relaxes that one check.
 void check_metrics_document(const JsonValue& root, const std::string& where,
-                            const std::vector<std::string>& required) {
+                            const std::vector<std::string>& required,
+                            bool require_profile = true) {
   if (!root.is_object()) {
     fail(where + ": document is not an object");
     return;
@@ -105,7 +114,9 @@ void check_metrics_document(const JsonValue& root, const std::string& where,
 
   const JsonValue* profile = root.find("profile");
   if (profile == nullptr || !profile->is_object()) {
-    fail(where + ": profile missing or not an object");
+    if (require_profile || profile != nullptr) {
+      fail(where + ": profile missing or not an object");
+    }
   } else {
     check_numeric_object(profile->find("counters"), where + ": profile.counters");
     const JsonValue* phases = profile->find("phases");
@@ -140,6 +151,142 @@ void check_metrics_document(const JsonValue& root, const std::string& where,
       fail(where + ": no counter with prefix '" + prefix + "'");
     }
   }
+}
+
+/// Shape of the petd kMetrics "service" member: per-population stats
+/// objects (numeric fields + a latency_slots histogram), numeric totals,
+/// numeric connection counters, and flight-recorder occupancy.
+void check_service_member(const JsonValue* service, const std::string& where) {
+  if (service == nullptr || !service->is_object()) {
+    fail(where + " missing or not an object");
+    return;
+  }
+  const JsonValue* populations = service->find("populations");
+  if (populations == nullptr || !populations->is_object()) {
+    fail(where + ".populations missing or not an object");
+  } else {
+    for (const auto& [id, stats] : populations->object) {
+      const std::string pop_where = where + ".populations." + id;
+      if (!stats.is_object()) {
+        fail(pop_where + " is not an object");
+        continue;
+      }
+      for (const auto& [key, value] : stats.object) {
+        if (key == "latency_slots") continue;
+        if (!value.is_number()) fail(pop_where + "." + key + " is not a number");
+      }
+      const JsonValue* hist = stats.find("latency_slots");
+      if (hist == nullptr) {
+        fail(pop_where + " has no latency_slots histogram");
+      } else {
+        // Reuse the histogram shape check via a one-entry wrapper object.
+        JsonValue wrapper;
+        wrapper.kind = JsonValue::Kind::kObject;
+        wrapper.object.emplace_back("latency_slots", *hist);
+        check_histograms(&wrapper, pop_where);
+      }
+    }
+  }
+  const JsonValue* totals = service->find("totals");
+  if (totals == nullptr || !totals->is_object()) {
+    fail(where + ".totals missing or not an object");
+  } else {
+    for (const auto& [key, value] : totals->object) {
+      if (key == "latency_slots") continue;
+      if (!value.is_number()) fail(where + ".totals." + key + " is not a number");
+    }
+  }
+  check_numeric_object(service->find("connections"), where + ".connections");
+  const JsonValue* flight = service->find("flight");
+  if (flight == nullptr || !flight->is_object() ||
+      flight->find("capacity") == nullptr ||
+      flight->find("recorded") == nullptr) {
+    fail(where + ".flight needs capacity/recorded");
+  }
+}
+
+/// A petd kMetrics snapshot: pet.obs.v1 shape with "profile" optional (the
+/// deterministic scope omits it) and, when present, a well-formed "service"
+/// member.  Population-scope documents have neither — both stay optional.
+void check_svc_metrics_document(const JsonValue& root, const std::string& where,
+                                const std::vector<std::string>& required) {
+  check_metrics_document(root, where, required, /*require_profile=*/false);
+  if (!root.is_object()) return;
+  const JsonValue* service = root.find("service");
+  if (service != nullptr) check_service_member(service, where + ": service");
+}
+
+/// Prometheus text exposition: every non-comment line must be
+/// `name[{labels}] value`, names restricted to [a-zA-Z_:][a-zA-Z0-9_:]*,
+/// values numeric (or +Inf/-Inf/NaN), and at least one sample present.
+void check_prometheus(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    fail("cannot open '" + path + "'");
+    return;
+  }
+  const auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':';
+      const bool digit = c >= '0' && c <= '9';
+      if (!(alpha || (digit && i > 0))) return false;
+    }
+    return true;
+  };
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t samples = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const std::string where = path + ":" + std::to_string(line_number);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE name kind" and "# HELP name text" comments are emitted.
+      std::istringstream comment(line);
+      std::string hash, keyword, name;
+      comment >> hash >> keyword >> name;
+      if (keyword != "TYPE" && keyword != "HELP") {
+        fail(where + ": unknown comment keyword '" + keyword + "'");
+      } else if (!valid_name(name)) {
+        fail(where + ": invalid metric name '" + name + "'");
+      }
+      continue;
+    }
+    // Sample: name or name{labels}, one space, value.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      fail(where + ": sample is not 'name value'");
+      continue;
+    }
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') {
+        fail(where + ": unterminated label set");
+        continue;
+      }
+      name = name.substr(0, brace);
+    }
+    if (!valid_name(name)) {
+      fail(where + ": invalid metric name '" + name + "'");
+      continue;
+    }
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        fail(where + ": sample value '" + value + "' is not numeric");
+        continue;
+      }
+    }
+    ++samples;
+  }
+  if (samples == 0) fail(path + ": no samples");
 }
 
 void check_jsonl(const std::string& path) {
@@ -230,6 +377,14 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--jsonl=", 0) == 0) {
         saw_input = true;
         check_jsonl(arg.substr(8));
+      } else if (arg.rfind("--svc-metrics=", 0) == 0) {
+        saw_input = true;
+        const std::string path = arg.substr(14);
+        check_svc_metrics_document(pet::obs::parse_json(read_file(path)),
+                                   path, required);
+      } else if (arg.rfind("--prom=", 0) == 0) {
+        saw_input = true;
+        check_prometheus(arg.substr(7));
       } else if (arg.rfind("--require=", 0) == 0) {
         // collected above
       } else {

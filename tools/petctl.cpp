@@ -18,14 +18,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "obs/jsonlite.hpp"
 #include "rng/prng.hpp"
 #include "service/chaos.hpp"
 #include "service/errors.hpp"
+#include "service/flight.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
 
@@ -45,6 +50,9 @@ int usage() {
       "  estimate   --id=I [--seed=S] [--eps=E] [--delta=D]\n"
       "             [--deadline-slots=N] [--vanilla]\n"
       "  monitor\n"
+      "  top        [--interval=SECONDS] [--once]\n"
+      "  trace      REQUEST_ID   (hex 0x... or decimal; from error details\n"
+      "             or a flight dump)\n"
       "  soak       [--seconds=T] [--populations=N] [--tags=N] [--seed=S]\n"
       "             [--chaos-loss=P] [--chaos-noise=P] [--chaos-close=P]\n"
       "             [--deadline-slots=N]\n");
@@ -55,6 +63,7 @@ int usage() {
 struct Args {
   std::string socket_path;
   std::string command;
+  std::string operand;  ///< positional argument after the command (trace)
   std::vector<std::pair<std::string, std::string>> kv;
 
   [[nodiscard]] std::string get(const std::string& key,
@@ -274,6 +283,207 @@ int cmd_monitor(Connection& conn) {
   return 0;
 }
 
+// ---- kMetrics helpers (top / trace / soak summary) -----------------------
+
+/// Numeric member lookup with a 0.0 default; jsonlite objects only.
+double num_or(const obs::JsonValue* object, const char* key) {
+  if (object == nullptr || !object->is_object()) return 0.0;
+  const obs::JsonValue* value = object->find(key);
+  return (value != nullptr && value->is_number()) ? value->number : 0.0;
+}
+
+/// Quantile label for a {"bounds":[...],"counts":[...]} latency histogram:
+/// the upper slot bound of the bucket holding quantile q, ">B" for the
+/// overflow bucket, "-" when the histogram is empty.
+std::string latency_quantile(const obs::JsonValue* hist, double q) {
+  if (hist == nullptr || !hist->is_object()) return "-";
+  const obs::JsonValue* bounds = hist->find("bounds");
+  const obs::JsonValue* counts = hist->find("counts");
+  if (bounds == nullptr || counts == nullptr || !bounds->is_array() ||
+      !counts->is_array()) {
+    return "-";
+  }
+  double total = 0.0;
+  for (const obs::JsonValue& c : counts->array) total += c.number;
+  if (total <= 0.0) return "-";
+  const double target = q * total;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts->array.size(); ++i) {
+    seen += counts->array[i].number;
+    if (seen >= target) {
+      if (i < bounds->array.size()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", bounds->array[i].number);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ">%.0f",
+                    bounds->array.back().number);
+      return buf;
+    }
+  }
+  return "-";
+}
+
+/// One kMetrics round trip, parsed.  Returns nullopt on transport/parse
+/// failure; `unsupported` is set when the daemon is a PET_OBS=OFF build.
+std::optional<obs::JsonValue> fetch_metrics(Connection& conn,
+                                            bool& unsupported) {
+  unsupported = false;
+  const auto response =
+      conn.call(svc::make_request(svc::CommandId::kMetrics), 10000);
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to metrics\n");
+    return std::nullopt;
+  }
+  if (static_cast<svc::StatusCode>(response->status) ==
+      svc::StatusCode::kUnsupported) {
+    unsupported = true;
+    return std::nullopt;
+  }
+  if (response->status != 0) {
+    print_status(*response);
+    return std::nullopt;
+  }
+  try {
+    return obs::parse_json(std::string(response->payload.begin(),
+                                       response->payload.end()));
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "petctl: metrics payload did not parse: %s\n",
+                 error.what());
+    return std::nullopt;
+  }
+}
+
+/// Live per-population dashboard over kMetrics.  Renders req/s from the
+/// delta between successive snapshots; p50/p99 come from the cumulative
+/// slot-latency histograms (lifetime, not windowed — they are counters).
+int cmd_top(Connection& conn, const Args& args) {
+  const double interval = args.get("interval", 2.0);
+  const bool once = !args.get("once", std::string()).empty();
+
+  std::map<std::string, double> prev_requests;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  for (;;) {
+    bool unsupported = false;
+    const auto root = fetch_metrics(conn, unsupported);
+    if (unsupported) {
+      std::fprintf(stderr,
+                   "petctl: metrics export unavailable (PET_OBS=OFF build)\n");
+      return 0;
+    }
+    if (!root) return 1;
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - prev_time).count();
+
+    const obs::JsonValue* service = root->find("service");
+    const obs::JsonValue* totals =
+        service != nullptr ? service->find("totals") : nullptr;
+    const obs::JsonValue* pops =
+        service != nullptr ? service->find("populations") : nullptr;
+    const obs::JsonValue* connections =
+        service != nullptr ? service->find("connections") : nullptr;
+    if (totals == nullptr || pops == nullptr || !pops->is_object()) {
+      std::fprintf(stderr, "petctl: metrics document has no service member\n");
+      return 1;
+    }
+
+    if (!once) std::printf("\x1b[2J\x1b[H");
+    const double total_requests = num_or(totals, "requests");
+    const double total_degraded = num_or(totals, "degraded");
+    const double total_shed = num_or(totals, "shed");
+    std::printf("petd top  populations %zu  requests %.0f  degraded %.1f%%  "
+                "shed %.1f%%  resyncs %.0f\n",
+                pops->object.size(), total_requests,
+                total_requests > 0 ? 100.0 * total_degraded / total_requests
+                                   : 0.0,
+                total_requests > 0 ? 100.0 * total_shed / total_requests
+                                   : 0.0,
+                num_or(connections, "resyncs"));
+    std::printf("%-12s %10s %8s %10s %10s %9s %7s\n", "population", "reqs",
+                "req/s", "p50(slot)", "p99(slot)", "degraded%", "shed%");
+    for (const auto& [id, stats] : pops->object) {
+      const double requests = num_or(&stats, "requests");
+      double rate = 0.0;
+      if (have_prev && dt > 0.0) {
+        const auto it = prev_requests.find(id);
+        const double before = it != prev_requests.end() ? it->second : 0.0;
+        rate = (requests - before) / dt;
+      }
+      const double degraded = num_or(&stats, "degraded");
+      const double shed = num_or(&stats, "shed");
+      const obs::JsonValue* hist = stats.find("latency_slots");
+      std::printf("%-12s %10.0f %8.1f %10s %10s %8.1f%% %6.1f%%\n",
+                  id.c_str(), requests, rate,
+                  latency_quantile(hist, 0.50).c_str(),
+                  latency_quantile(hist, 0.99).c_str(),
+                  requests > 0 ? 100.0 * degraded / requests : 0.0,
+                  requests > 0 ? 100.0 * shed / requests : 0.0);
+      prev_requests[id] = requests;
+    }
+    prev_time = now;
+    have_prev = true;
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}
+
+/// Fetch one request's flight-recorder records (or all with id 0).
+int cmd_trace(Connection& conn, const Args& args) {
+  svc::FlightDumpRequest request;
+  if (!args.operand.empty()) {
+    request.request_id = std::strtoull(args.operand.c_str(), nullptr, 0);
+  }
+  const auto response = conn.call(svc::make_request(
+      svc::CommandId::kFlightDump, svc::encode(request)));
+  if (!response) {
+    std::fprintf(stderr, "petctl: no response to flight-dump\n");
+    return 1;
+  }
+  if (static_cast<svc::StatusCode>(response->status) ==
+      svc::StatusCode::kUnsupported) {
+    std::fprintf(stderr,
+                 "petctl: flight recorder unavailable (PET_OBS=OFF build)\n");
+    return 0;
+  }
+  print_status(*response);
+  if (response->status != 0) return 1;
+  const auto reply = svc::parse_flight_dump_reply(response->payload);
+  if (!reply) {
+    std::fprintf(stderr, "petctl: flight-dump reply did not parse\n");
+    return 1;
+  }
+  if (reply->records.empty()) {
+    std::printf("no flight records%s\n",
+                request.request_id != 0 ? " for that request id" : "");
+    return request.request_id != 0 ? 1 : 0;
+  }
+  for (const svc::RequestRecord& record : reply->records) {
+    std::printf(
+        "%s cmd=%s status=%s pop=%llu degrade=%s rounds=%llu/%llu "
+        "retries=%u backoff=%llu query=%llu latency=%llu slots "
+        "queue=%lluus handle=%lluus\n",
+        svc::format_request_id(record.request_id).c_str(),
+        std::string(svc::to_string(
+            static_cast<svc::CommandId>(record.command))).c_str(),
+        std::string(svc::to_string(
+            static_cast<svc::StatusCode>(record.status))).c_str(),
+        static_cast<unsigned long long>(record.population_id),
+        svc::degrade_mask_to_string(record.degrade_mask).c_str(),
+        static_cast<unsigned long long>(record.rounds),
+        static_cast<unsigned long long>(record.planned_rounds),
+        record.retries,
+        static_cast<unsigned long long>(record.backoff_slots),
+        static_cast<unsigned long long>(record.query_slots),
+        static_cast<unsigned long long>(record.latency_slots),
+        static_cast<unsigned long long>(record.queue_us),
+        static_cast<unsigned long long>(record.handle_us));
+  }
+  return 0;
+}
+
 /// Chaos soak: estimate traffic through a seeded ChaosLink.  The ChaosLink
 /// sits on the request path — drops, bit flips, and closes are exactly the
 /// garbage a hostile or flaky client would send — so the server-side
@@ -411,6 +621,25 @@ int cmd_soak(const Args& args) {
               static_cast<unsigned long long>(stats->shed),
               static_cast<unsigned long long>(stats->degraded),
               static_cast<unsigned long long>(stats->malformed_frames));
+
+  // Surface the chaos run's retry/resync story from the kMetrics export.
+  // A PET_OBS=OFF daemon answers UNSUPPORTED; the soak verdict is about
+  // liveness, so that (and any metrics hiccup) never fails the run.
+  bool unsupported = false;
+  if (const auto metrics = fetch_metrics(clean_conn, unsupported)) {
+    const obs::JsonValue* counters = metrics->find("counters");
+    const obs::JsonValue* service = metrics->find("service");
+    const obs::JsonValue* connections =
+        service != nullptr ? service->find("connections") : nullptr;
+    std::printf("link: %.0f resyncs, %.0f retry attempts, %.0f backoff "
+                "slots, %.0f retry-exhausted\n",
+                num_or(connections, "resyncs"),
+                num_or(counters, "svc.retry.attempts"),
+                num_or(counters, "svc.retry.backoff_slots"),
+                num_or(counters, "svc.retry.exhausted"));
+  } else if (unsupported) {
+    std::printf("link: metrics export unavailable (PET_OBS=OFF build)\n");
+  }
   return 0;
 }
 
@@ -433,6 +662,8 @@ int main(int argc, char** argv) {
       }
     } else if (args.command.empty()) {
       args.command = std::string(arg);
+    } else if (args.operand.empty()) {
+      args.operand = std::string(arg);
     } else {
       return usage();
     }
@@ -452,5 +683,7 @@ int main(int argc, char** argv) {
   if (args.command == "unregister") return cmd_unregister(conn, args);
   if (args.command == "estimate") return cmd_estimate(conn, args);
   if (args.command == "monitor") return cmd_monitor(conn);
+  if (args.command == "top") return cmd_top(conn, args);
+  if (args.command == "trace") return cmd_trace(conn, args);
   return usage();
 }

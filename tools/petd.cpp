@@ -16,6 +16,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdint>
+#include <exception>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "runtime/cancel.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
@@ -49,15 +52,42 @@ int usage() {
       "  --fault-seed=S       link-fault stream seed (default 0x10551055)\n"
       "  --slot-us=U          wall-clock backstop: microseconds per slot\n"
       "                       (default 0 = slot budgets only, deterministic)\n"
+      "  --flight-capacity=N  flight-recorder ring size (default 256)\n"
+      "  --obs=LEVEL          metrics level: off|counters|full (default\n"
+      "                       counters; exports serve zeros at off)\n"
+      "  --prom-out=PATH      write Prometheus text exposition to PATH\n"
+      "                       (atomically, on SIGUSR1 and on drain)\n"
       "  --quiet              suppress per-connection logging\n");
   return 2;
 }
 
 struct Options {
   std::string socket_path;
+  std::string prom_out;
   svc::ServiceConfig service;
   bool quiet = false;
 };
+
+/// SIGUSR1 latch for the Prometheus dump; checked by the accept loop every
+/// poll tick (a dump must not run inside the signal handler).
+volatile std::sig_atomic_t g_prom_dump_requested = 0;
+
+void on_sigusr1(int) { g_prom_dump_requested = 1; }
+
+void dump_prometheus(const Options& options) {
+  if (options.prom_out.empty()) return;
+  try {
+    obs::write_prometheus_file_atomic(
+        options.prom_out,
+        obs::prometheus_text(obs::MetricsRegistry::instance().snapshot()));
+    if (!options.quiet) {
+      std::fprintf(stderr, "petd: wrote prometheus exposition to %s\n",
+                   options.prom_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "petd: prometheus dump failed: %s\n", e.what());
+  }
+}
 
 bool parse_u64(std::string_view arg, std::string_view prefix,
                std::uint64_t& out) {
@@ -106,6 +136,17 @@ int parse(int argc, char** argv, Options& options) {
       options.service.link_faults.seed = u;
     } else if (parse_u64(arg, "--slot-us=", u)) {
       options.service.slot_us = u;
+    } else if (parse_u64(arg, "--flight-capacity=", u)) {
+      options.service.flight_capacity = static_cast<std::size_t>(u);
+    } else if (arg.rfind("--obs=", 0) == 0) {
+      try {
+        obs::set_level(obs::parse_level(arg.substr(6)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "petd: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg.rfind("--prom-out=", 0) == 0) {
+      options.prom_out = std::string(arg.substr(11));
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -144,6 +185,7 @@ void serve_connection(int fd, svc::EstimationService& service, bool quiet) {
   svc::Decoder decoder;
   svc::Frame frame;
   std::uint8_t buffer[4096];
+  service.note_connection_opened();
   for (;;) {
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
@@ -160,12 +202,14 @@ void serve_connection(int fd, svc::EstimationService& service, bool quiet) {
       break;
     }
     decoder.feed(buffer, static_cast<std::size_t>(n));
+    service.note_bytes_received(static_cast<std::size_t>(n));
     bool peer_alive = true;
     for (;;) {
       const svc::DecodeStatus status = decoder.next(frame);
       if (status == svc::DecodeStatus::kNeedMoreData) break;
       std::vector<std::uint8_t> wire;
       if (status == svc::DecodeStatus::kFrame) {
+        service.note_frame_received();
         wire = svc::encode_frame(service.submit(std::move(frame)).get());
       } else {
         service.note_malformed_frame();
@@ -178,22 +222,29 @@ void serve_connection(int fd, svc::EstimationService& service, bool quiet) {
         peer_alive = false;
         break;
       }
+      service.note_frame_sent(wire.size());
     }
     if (!peer_alive) break;
   }
   ::close(fd);
+  service.note_connection_closed();
   if (!quiet) std::fprintf(stderr, "petd: connection closed\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A daemon whose exports serve zeros is useless, so counters are the
+  // default; an explicit --obs=off during parse overrides this.
+  obs::set_level(obs::Level::kCounters);
   Options options;
   if (const int rc = parse(argc, argv, options); rc != 0) return rc;
 
   runtime::install_shutdown_handlers();
   // Writes to half-closed sockets must surface as EPIPE, not kill petd.
   ::signal(SIGPIPE, SIG_IGN);
+  // SIGUSR1 requests a Prometheus exposition dump at the next accept tick.
+  std::signal(SIGUSR1, on_sigusr1);
 
   if (options.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     std::fprintf(stderr, "petd: socket path too long\n");
@@ -229,6 +280,10 @@ int main(int argc, char** argv) {
   std::vector<std::thread> sessions;
   std::mutex sessions_mutex;
   while (!runtime::shutdown_requested()) {
+    if (g_prom_dump_requested) {
+      g_prom_dump_requested = 0;
+      dump_prometheus(options);
+    }
     pollfd pfd{listen_fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (ready <= 0) continue;  // timeout, EINTR, or spurious wake: recheck
@@ -251,6 +306,7 @@ int main(int argc, char** argv) {
     for (std::thread& session : sessions) session.join();
   }
   ::unlink(options.socket_path.c_str());
+  dump_prometheus(options);  // final exposition reflects the drained totals
   if (!options.quiet) {
     const svc::MonitorReply stats = service.stats();
     std::fprintf(stderr,
