@@ -18,10 +18,21 @@
 //       trades rounds for deadline slack, when it flags degraded, and when
 //       it refuses with DEADLINE_EXCEEDED.  Same seed => byte-identical
 //       rows at any --threads.
+//   (5) "scale: 10k populations": the sharded registry + channel arenas at
+//       10240 concurrently registered populations, one estimate each.  The
+//       fold cells are deterministic (golden); timing goes to stdout.
+//   (6) "hot/cold isolation": one hammered population vs a fixed cold
+//       request script at shards=4 — the tentpole's p99-isolation claim.
+//       The cold fold is deterministic (golden); the baseline-vs-contended
+//       wall p99 ratio is machine profile (stdout).
+//   (7) "result cache": serial repeated-seed script against the bounded
+//       LRU — hits/misses/entries and the cache-invariant fold are golden;
+//       the hit-vs-miss wall p50 speedup is stdout.
 //
 // The artifact also carries the obs "metrics" member (benchdiff-ignored),
 // which includes the pet.svc.pop.* / pet.svc.conn.* bundles for obscheck.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -37,6 +48,7 @@
 #include "service/messages.hpp"
 #include "service/registry.hpp"
 #include "service/service.hpp"
+#include "service/shard.hpp"
 #include "stats/accuracy.hpp"
 
 namespace {
@@ -272,5 +284,291 @@ int main(int argc, char** argv) {
                            planned, degraded, truncated, accuracy, width});
   }
   degrade_table.print();
+
+  // --- Scale: 10k populations (deterministic fold) --------------------------
+  // A fresh service carrying 10240 registered populations — 10x the load
+  // arena — with one estimate per population driven through the sharded
+  // submit path.  The fold totals are a pure function of the request script
+  // (golden); registration and serving rates describe this machine (stdout).
+  {
+    const std::uint64_t scale_populations = 10240;
+    const std::uint64_t scale_tags = quick ? 200 : 1000;
+    svc::ServiceConfig scale_config;
+    scale_config.max_inflight = 256;
+    scale_config.worker_threads = options.threads;
+    svc::EstimationService scale_service(scale_config);
+
+    const auto scale_register_start = std::chrono::steady_clock::now();
+    for (std::uint64_t id = 0; id < scale_populations; ++id) {
+      svc::RegisterRequest request;
+      request.population_id = id;
+      request.tag_count = scale_tags;
+      request.population_seed = rng::derive_seed(options.seed, 40000 + id);
+      const svc::Frame response = scale_service.handle(svc::make_request(
+          svc::CommandId::kRegister, svc::encode(request)));
+      if (response.status != 0) {
+        std::fprintf(stderr, "service_bench: scale register %llu failed\n",
+                     static_cast<unsigned long long>(id));
+        return 1;
+      }
+    }
+    const double scale_register_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scale_register_start)
+            .count();
+
+    const auto scale_load_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(clients);
+      for (unsigned c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::uint64_t id = c; id < scale_populations; id += clients) {
+            (void)scale_service
+                .submit(estimate_request(
+                    id, rng::derive_seed(options.seed, 50000 + id), 0))
+                .get();
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    const double scale_load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scale_load_start)
+            .count();
+
+    const svc::PopulationStatsSnapshot fold =
+        scale_service.registry().fold_stats();
+    bench::TablePrinter scale_table(
+        "scale: 10k populations (deterministic fold)",
+        {"populations", "requests", "ok", "query slots", "rounds",
+         "p99 slots"},
+        options.csv);
+    scale_table.bind(&session.report());
+    scale_table.add_row({bench::TablePrinter::num(scale_populations),
+                         bench::TablePrinter::num(fold.requests),
+                         bench::TablePrinter::num(fold.ok),
+                         bench::TablePrinter::num(fold.query_slots),
+                         bench::TablePrinter::num(fold.rounds),
+                         slot_quantile(fold.latency_slots, 0.99)});
+    scale_table.print();
+    if (!options.quiet) {
+      std::fprintf(stderr,
+                   "scale: registered 10240 pops in %.2fs, served %llu "
+                   "estimates at %.0f req/s (%u shards)\n",
+                   scale_register_seconds,
+                   static_cast<unsigned long long>(fold.requests),
+                   static_cast<double>(fold.requests) / scale_load_seconds,
+                   scale_service.shard_count());
+    }
+  }
+
+  // --- Hot/cold isolation across shards -------------------------------------
+  // One population is hammered with fire-and-forget load while a fixed cold
+  // request script runs against populations on the other shards.  Per-shard
+  // admission means the hammer can only exhaust its own shard's budget, so
+  // the cold script's fold (golden) and its wall p99 (stdout; the tentpole's
+  // "within 2x" claim) stay insulated.
+  {
+    const unsigned iso_shards = 4;
+    svc::ServiceConfig iso_config;
+    iso_config.shards = iso_shards;
+    iso_config.worker_threads = 4;
+    iso_config.max_inflight = 64;
+    svc::EstimationService iso_service(iso_config);
+
+    const std::uint64_t hot = 1;  // large population: expensive estimates
+    const unsigned hot_shard = svc::shard_of(hot, iso_shards);
+    std::vector<std::uint64_t> cold_ids;
+    for (std::uint64_t id = 2; cold_ids.size() < 12; ++id) {
+      if (svc::shard_of(id, iso_shards) != hot_shard) cold_ids.push_back(id);
+    }
+    const auto register_one = [&](std::uint64_t id, std::uint64_t tags) {
+      svc::RegisterRequest request;
+      request.population_id = id;
+      request.tag_count = tags;
+      request.population_seed = rng::derive_seed(options.seed, 60000 + id);
+      return iso_service
+          .handle(svc::make_request(svc::CommandId::kRegister,
+                                    svc::encode(request)))
+          .status == 0;
+    };
+    if (!register_one(hot, quick ? 4000 : 8000)) return 1;
+    for (const std::uint64_t id : cold_ids) {
+      if (!register_one(id, 300)) return 1;
+    }
+
+    // One fixed cold script, run twice: alone (baseline), then against the
+    // hammer (contended).  Two serial clients keep the cold shards far
+    // under their admission budget, so every cold request is served.
+    const std::uint64_t cold_requests = quick ? 96 : 384;
+    const auto run_cold_script = [&](std::vector<double>& wall_us) {
+      std::vector<std::thread> workers;
+      std::vector<std::vector<double>> parts(2);
+      for (unsigned c = 0; c < 2; ++c) {
+        workers.emplace_back([&, c] {
+          for (std::uint64_t i = c; i < cold_requests; i += 2) {
+            const svc::Frame request = estimate_request(
+                cold_ids[i % cold_ids.size()],
+                rng::derive_seed(options.seed, 70000 + i), 0);
+            const auto start = std::chrono::steady_clock::now();
+            (void)iso_service.submit(request).get();
+            parts[c].push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+          }
+        });
+      }
+      for (std::thread& worker : workers) worker.join();
+      for (const std::vector<double>& part : parts) {
+        wall_us.insert(wall_us.end(), part.begin(), part.end());
+      }
+      std::sort(wall_us.begin(), wall_us.end());
+    };
+
+    std::vector<double> baseline_us;
+    run_cold_script(baseline_us);
+
+    std::atomic<bool> hammer_stop{false};
+    std::vector<std::future<svc::Frame>> hammer_pending;
+    std::thread hammer([&] {
+      // Fire-and-forget: keep the hot shard saturated (its admissions shed
+      // with typed frames once the per-shard budget fills).  Futures are
+      // drained after the cold script so shutdown never abandons work.
+      std::uint64_t i = 0;
+      while (!hammer_stop.load(std::memory_order_acquire) && i < 100000) {
+        hammer_pending.push_back(iso_service.submit(estimate_request(
+            hot, rng::derive_seed(options.seed, 80000 + i), 0)));
+        ++i;
+        if (hammer_pending.size() % 64 == 0) std::this_thread::yield();
+      }
+    });
+
+    std::vector<double> contended_us;
+    run_cold_script(contended_us);
+    hammer_stop.store(true, std::memory_order_release);
+    hammer.join();
+    std::uint64_t hammer_served = 0, hammer_shed = 0;
+    for (std::future<svc::Frame>& future : hammer_pending) {
+      if (future.get().status == 0) {
+        ++hammer_served;
+      } else {
+        ++hammer_shed;
+      }
+    }
+
+    // Golden: the cold populations' fold only — a pure function of the cold
+    // script (the hammer touches a disjoint population on a disjoint shard).
+    svc::PopulationStatsSnapshot cold_fold;
+    for (const std::uint64_t id : cold_ids) {
+      if (const auto entry = iso_service.registry().find(id)) {
+        cold_fold.accumulate(entry->stats);
+      }
+    }
+    bench::TablePrinter iso_table(
+        "hot/cold isolation: cold fold at shards=4 (deterministic)",
+        {"cold pops", "requests", "ok", "shed", "query slots", "rounds"},
+        options.csv);
+    iso_table.bind(&session.report());
+    iso_table.add_row(
+        {bench::TablePrinter::num(std::uint64_t{cold_ids.size()}),
+         bench::TablePrinter::num(cold_fold.requests),
+         bench::TablePrinter::num(cold_fold.ok),
+         bench::TablePrinter::num(cold_fold.shed),
+         bench::TablePrinter::num(cold_fold.query_slots),
+         bench::TablePrinter::num(cold_fold.rounds)});
+    iso_table.print();
+
+    // Machine profile: the isolation ratio itself (acceptance: < 2x).
+    const double baseline_p99 = percentile(baseline_us, 0.99);
+    const double contended_p99 = percentile(contended_us, 0.99);
+    bench::TablePrinter iso_timing(
+        "hot/cold isolation timing (NOT golden)",
+        {"cold p99 us (alone)", "cold p99 us (hammered)", "ratio",
+         "hammer served", "hammer shed"},
+        options.csv);
+    iso_timing.add_row(
+        {bench::TablePrinter::num(baseline_p99, 1),
+         bench::TablePrinter::num(contended_p99, 1),
+         bench::TablePrinter::num(
+             baseline_p99 > 0.0 ? contended_p99 / baseline_p99 : 0.0, 2),
+         bench::TablePrinter::num(hammer_served),
+         bench::TablePrinter::num(hammer_shed)});
+    iso_timing.print();
+  }
+
+  // --- Result cache: repeated-seed script ------------------------------------
+  // Serial handle() keeps the hit pattern deterministic: pass 0 misses per
+  // (population, seed) key, passes 1..3 hit.  Counters and the fold are
+  // golden (the fold must be cache-invariant: ok counts every pass); the
+  // hit-vs-miss wall p50 speedup is the measured saving (stdout).
+  {
+    svc::ServiceConfig cache_config;
+    cache_config.worker_threads = 1;
+    cache_config.cache_entries = 512;
+    svc::EstimationService cache_service(cache_config);
+    const std::uint64_t cache_pops = 3;
+    const std::uint64_t cache_seeds = 32;
+    const std::uint64_t passes = 4;
+    for (std::uint64_t id = 0; id < cache_pops; ++id) {
+      svc::RegisterRequest request;
+      request.population_id = id;
+      request.tag_count = 600;
+      request.population_seed = rng::derive_seed(options.seed, 90000 + id);
+      if (cache_service
+              .handle(svc::make_request(svc::CommandId::kRegister,
+                                        svc::encode(request)))
+              .status != 0) {
+        return 1;
+      }
+    }
+    std::vector<double> miss_us, hit_us;
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+      for (std::uint64_t id = 0; id < cache_pops; ++id) {
+        for (std::uint64_t s = 0; s < cache_seeds; ++s) {
+          const svc::Frame request = estimate_request(
+              id, rng::derive_seed(options.seed, 95000 + s), 0);
+          const auto start = std::chrono::steady_clock::now();
+          const svc::Frame response = cache_service.handle(request);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+          if (response.status != 0) return 1;
+          (pass == 0 ? miss_us : hit_us).push_back(us);
+        }
+      }
+    }
+    const svc::ResultCacheStats cache_stats = cache_service.cache_stats();
+    const svc::PopulationStatsSnapshot fold =
+        cache_service.registry().fold_stats();
+    bench::TablePrinter cache_table(
+        "result cache: repeated-seed script (deterministic)",
+        {"hits", "misses", "evictions", "entries", "fold ok", "fold rounds"},
+        options.csv);
+    cache_table.bind(&session.report());
+    cache_table.add_row({bench::TablePrinter::num(cache_stats.hits),
+                         bench::TablePrinter::num(cache_stats.misses),
+                         bench::TablePrinter::num(cache_stats.evictions),
+                         bench::TablePrinter::num(cache_stats.entries),
+                         bench::TablePrinter::num(fold.ok),
+                         bench::TablePrinter::num(fold.rounds)});
+    cache_table.print();
+
+    std::sort(miss_us.begin(), miss_us.end());
+    std::sort(hit_us.begin(), hit_us.end());
+    const double miss_p50 = percentile(miss_us, 0.50);
+    const double hit_p50 = percentile(hit_us, 0.50);
+    bench::TablePrinter cache_timing(
+        "result cache timing (NOT golden)",
+        {"miss p50 us", "hit p50 us", "speedup", "cache bytes"}, options.csv);
+    cache_timing.add_row(
+        {bench::TablePrinter::num(miss_p50, 2),
+         bench::TablePrinter::num(hit_p50, 2),
+         bench::TablePrinter::num(hit_p50 > 0.0 ? miss_p50 / hit_p50 : 0.0,
+                                  1),
+         bench::TablePrinter::num(cache_stats.bytes)});
+    cache_timing.print();
+  }
   return 0;
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Root-artifact drift guard: bench binaries drop BENCH_*.json into their
+# working directory, so running one from the repo root leaves an untracked
+# copy behind.  A stale root copy that disagrees with bench/golden/ is a
+# trap — a later `cp` into bench/golden/ or an accidental `git add` would
+# smuggle drifted numbers past the benchdiff accept gates.  This guard
+# diffs every root BENCH_*.json that has a golden counterpart through
+# benchdiff (same tolerance, same metrics-ignore rule) and fails on any
+# mismatch; a clean root passes trivially.
+#
+# usage: check_root_artifacts.sh <benchdiff-binary>
+set -euo pipefail
+
+BENCHDIFF=${1:?usage: check_root_artifacts.sh <benchdiff-binary>}
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+GOLDEN_DIR="$ROOT/bench/golden"
+
+status=0
+found=0
+for artifact in "$ROOT"/BENCH_*.json; do
+    [ -e "$artifact" ] || continue
+    found=1
+    name=$(basename "$artifact")
+    golden="$GOLDEN_DIR/$name"
+    if [ ! -f "$golden" ]; then
+        echo "warn: root $name has no golden counterpart — new bench?" \
+             "(check it into bench/golden/ or delete the stray copy)" >&2
+        continue
+    fi
+    if "$BENCHDIFF" "$golden" "$artifact" >/dev/null; then
+        echo "ok: root $name matches bench/golden/$name"
+    else
+        echo "FAIL: root $name drifted from bench/golden/$name — delete" \
+             "the stale copy or regenerate the golden deliberately" >&2
+        status=1
+    fi
+done
+if [ "$found" -eq 0 ]; then
+    echo "ok: no untracked BENCH_*.json at the repo root"
+fi
+exit $status

@@ -50,6 +50,14 @@ for unit in flight metrics_export prom; do
         { echo "coverage: no gcov data for ${unit}.cpp — were the service/obs tests run?" >&2; exit 1; }
 done
 
+# And for the sharded execution plane: the population-affine shard set and
+# the deterministic result cache are covered by tests/service_test (the
+# byte-identity, isolation, churn-race and eviction cases).
+for unit in shard cache; do
+    find "$BUILD_DIR/src" -name "${unit}.cpp.gcda" -o -name "${unit}*.gcda" | grep -q . ||
+        { echo "coverage: no gcov data for ${unit}.cpp — were the sharding tests run?" >&2; exit 1; }
+done
+
 # Sum "Lines executed" over every instrumented object in src/.
 find "$BUILD_DIR/src" -name '*.gcda' -print0 |
     xargs -0 gcov -n 2>/dev/null |

@@ -322,6 +322,7 @@ struct SvcPopInstruments {
   Counter query_slots;     ///< pet.svc.pop.query_slots
   Counter rounds;          ///< pet.svc.pop.rounds
   Counter rounds_planned;  ///< pet.svc.pop.rounds_planned
+  Counter cache_hits;      ///< pet.svc.pop.cache_hits
   Histogram latency_slots; ///< pet.svc.pop.latency_slots (deterministic)
 };
 
@@ -341,10 +342,62 @@ inline const SvcPopInstruments& svc_pop_instruments() {
     b.query_slots = reg.counter("pet.svc.pop.query_slots");
     b.rounds = reg.counter("pet.svc.pop.rounds");
     b.rounds_planned = reg.counter("pet.svc.pop.rounds_planned");
+    b.cache_hits = reg.counter("pet.svc.pop.cache_hits");
     b.latency_slots = reg.histogram(
         "pet.svc.pop.latency_slots",
         std::vector<double>(kSvcLatencySlotBounds.begin(),
                             kSvcLatencySlotBounds.end()));
+    return b;
+  }();
+  return bundle;
+}
+
+/// svc::ResultCache in front of the estimation shards: hit/miss/eviction
+/// traffic and resident size.  Hits, misses, and evictions are pure
+/// functions of the request script (the cache is keyed on deterministic
+/// request content), so the counters stay in the default domain; bytes is a
+/// point-in-time residency gauge and is deterministic for the same reason,
+/// but note that ANY cache counter differs between cache-on and cache-off
+/// runs — the cross-configuration byte-identity contract covers response
+/// frames and registry folds, not this bundle (docs/service.md).
+struct SvcCacheInstruments {
+  Counter hits;       ///< pet.svc.cache.hits
+  Counter misses;     ///< pet.svc.cache.misses
+  Counter evictions;  ///< pet.svc.cache.evictions
+  Gauge bytes;        ///< pet.svc.cache.bytes (resident payload + overhead)
+};
+
+inline const SvcCacheInstruments& svc_cache_instruments() {
+  static const SvcCacheInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    SvcCacheInstruments b;
+    b.hits = reg.counter("pet.svc.cache.hits");
+    b.misses = reg.counter("pet.svc.cache.misses");
+    b.evictions = reg.counter("pet.svc.cache.evictions");
+    b.bytes = reg.gauge("pet.svc.cache.bytes");
+    return b;
+  }();
+  return bundle;
+}
+
+/// Population-affine shard plane (svc::ShardSet): admission pressure and
+/// scheduling behaviour.  Everything here depends on which shard a request
+/// lands on — a function of the configured shard *count* — or on thread
+/// interleaving, so the whole bundle is Domain::kProfile: the deterministic
+/// export must stay byte-identical at shards 1/2/8.
+struct SvcShardInstruments {
+  Gauge depth;    ///< pet.svc.shard.depth (deepest per-shard inflight)
+  Counter shed;   ///< pet.svc.shard.shed (admission sheds charged per shard)
+  Gauge steal;    ///< pet.svc.shard.steal (tasks stolen inside shard pools)
+};
+
+inline const SvcShardInstruments& svc_shard_instruments() {
+  static const SvcShardInstruments bundle = [] {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    SvcShardInstruments b;
+    b.depth = reg.gauge("pet.svc.shard.depth", Domain::kProfile);
+    b.shed = reg.counter("pet.svc.shard.shed", Domain::kProfile);
+    b.steal = reg.gauge("pet.svc.shard.steal", Domain::kProfile);
     return b;
   }();
   return bundle;

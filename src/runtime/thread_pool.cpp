@@ -105,6 +105,14 @@ ThreadPool::Stats ThreadPool::stats() const {
   return out;
 }
 
+std::uint64_t ThreadPool::stolen_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& w : worker_stats_) {
+    total += w->stolen.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void ThreadPool::worker_loop(std::size_t me) {
   tls_on_worker = true;
   for (;;) {

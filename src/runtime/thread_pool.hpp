@@ -65,6 +65,11 @@ class ThreadPool {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Tasks stolen from sibling queues since construction — the one Stats
+  /// field cheap enough to poll per-request (a handful of relaxed loads, no
+  /// allocation).  Profile-domain, like everything in Stats.
+  [[nodiscard]] std::uint64_t stolen_total() const noexcept;
+
  private:
   // One per worker; stealing keeps contention off a single global lock.
   struct Queue {

@@ -57,6 +57,9 @@ struct RequestRecord {
   std::uint64_t latency_slots = 0;     ///< backoff + query (kDeterministic)
   std::uint64_t queue_us = 0;          ///< submit -> handler start (kProfile)
   std::uint64_t handle_us = 0;         ///< handler wall time (kProfile)
+  // v1.2 stamps (grew the wire record from 84 to 88 bytes).
+  std::uint16_t shard = 0;             ///< population-affine shard (shard.hpp)
+  std::uint8_t cache_hit = 0;          ///< 1: reply served from the result cache
 };
 
 /// Deterministic, content-addressed request ID for a frame (never 0 — 0 is

@@ -32,7 +32,12 @@ inline constexpr std::uint8_t kSof = 0xA5;
 inline constexpr std::uint8_t kProtocolMajor = 1;
 /// Minor 1 added kMetrics / kFlightDump (additive commands only; every
 /// v1.0 payload layout is frozen, so v1.0 clients parse v1.1 replies).
-inline constexpr std::uint8_t kProtocolMinor = 1;
+/// Minor 2 stamped flight records with the shard id and a cache-hit flag,
+/// growing the kFlightDump record from 84 to 88 bytes.  Every v1.0 payload
+/// stays frozen (MonitorReply in particular); a v1.1 client keeps working
+/// except that its kFlightDump parser — a diagnostic surface — reports
+/// MALFORMED until it learns the 88-byte record.
+inline constexpr std::uint8_t kProtocolMinor = 2;
 inline constexpr std::size_t kHeaderSize = 12;  ///< SOF through header LRC
 /// Ceiling on a frame payload.  Large enough for any pet::svc message
 /// (responses are O(100) bytes), small enough that a hostile length field

@@ -180,6 +180,9 @@ std::vector<std::uint8_t> encode(const FlightDumpReply& msg) {
     w.u64(rec.latency_slots);
     w.u64(rec.queue_us);
     w.u64(rec.handle_us);
+    w.u16(rec.shard);
+    w.u8(rec.cache_hit != 0 ? std::uint8_t{1} : std::uint8_t{0});
+    w.u8(0);  // reserved (keeps the record u32-aligned for future flags)
   }
   return w.take();
 }
@@ -299,9 +302,9 @@ std::optional<FlightDumpReply> parse_flight_dump_reply(
   WireReader r(payload);
   FlightDumpReply msg;
   const std::uint32_t count = r.u32();
-  // Record size is fixed (84 bytes), so a hostile count field is caught
-  // before reserving: the payload must be exactly 4 + 84 * count bytes.
-  if (payload.size() != 4 + static_cast<std::size_t>(count) * 84) {
+  // Record size is fixed (88 bytes), so a hostile count field is caught
+  // before reserving: the payload must be exactly 4 + 88 * count bytes.
+  if (payload.size() != 4 + static_cast<std::size_t>(count) * 88) {
     return std::nullopt;
   }
   msg.records.reserve(count);
@@ -320,6 +323,9 @@ std::optional<FlightDumpReply> parse_flight_dump_reply(
     rec.latency_slots = r.u64();
     rec.queue_us = r.u64();
     rec.handle_us = r.u64();
+    rec.shard = r.u16();
+    rec.cache_hit = r.u8() & 1;
+    (void)r.u8();  // reserved
     msg.records.push_back(rec);
   }
   return finish(r, msg);

@@ -164,9 +164,10 @@ struct FlightDumpRequest {
   std::uint32_t max_records = 0;  ///< 0: no cap; else newest N matches
 };
 
-/// RequestRecord (flight.hpp) has the frozen encoding used here: each
-/// record is 84 bytes of fixed little-endian fields in declaration order,
-/// prefixed by a u32 record count.
+/// RequestRecord (flight.hpp) has the fixed encoding used here: each record
+/// is 88 bytes — the fixed little-endian fields in declaration order, then
+/// the v1.2 stamp (u16 shard, u8 flags with bit 0 = cache-hit, u8
+/// reserved-zero) — prefixed by a u32 record count.
 struct FlightDumpReply {
   std::vector<RequestRecord> records;  ///< oldest to newest
 };

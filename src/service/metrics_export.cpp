@@ -55,6 +55,7 @@ std::string stats_object(const PopulationStatsSnapshot& s) {
   append_field(out, "query_slots", s.query_slots, first);
   append_field(out, "rounds", s.rounds, first);
   append_field(out, "rounds_planned", s.rounds_planned, first);
+  append_field(out, "cache_hits", s.cache_hits, first);
   out += ",\"latency_slots\":";
   out += latency_histogram_object(s.latency_slots);
   out += "}";
@@ -63,7 +64,8 @@ std::string stats_object(const PopulationStatsSnapshot& s) {
 
 }  // namespace
 
-std::string render_service_member(const EstimationService& service) {
+std::string render_service_member(const EstimationService& service,
+                                  bool include_profile) {
   const PopulationRegistry& registry = service.registry();
   std::string out = "\"service\":{\"populations\":{";
   bool first = true;
@@ -88,18 +90,59 @@ std::string render_service_member(const EstimationService& service) {
   append_field(out, "bytes_rx", conn.bytes_rx, cfirst);
   append_field(out, "bytes_tx", conn.bytes_tx, cfirst);
   append_field(out, "resyncs", conn.resyncs, cfirst);
+  out += "},\"cache\":{";
+  const ResultCacheStats cache = service.cache_stats();
+  bool hfirst = true;
+  append_field(out, "hits", cache.hits, hfirst);
+  append_field(out, "misses", cache.misses, hfirst);
+  append_field(out, "evictions", cache.evictions, hfirst);
+  append_field(out, "entries", cache.entries, hfirst);
+  append_field(out, "bytes", cache.bytes, hfirst);
+  append_field(out, "capacity_entries", service.cache().config().max_entries,
+               hfirst);
+  append_field(out, "capacity_bytes", service.cache().config().max_bytes,
+               hfirst);
   out += "},\"flight\":{";
   bool ffirst = true;
   append_field(out, "capacity", service.flight().capacity(), ffirst);
   append_field(out, "recorded", service.flight().recorded(), ffirst);
-  out += "}}";
+  out += "}";
+  if (include_profile) {
+    // Per-shard breakdown: values depend on the configured shard count and
+    // (for inflight/stolen) on live scheduling, so this member is
+    // kFull-only — the deterministic document must stay byte-identical at
+    // shards 1/2/8 (docs/service.md).
+    const ShardSet& shards = service.shards();
+    out += ",\"shards\":{";
+    bool sfirst = true;
+    append_field(out, "count", shards.count(), sfirst);
+    append_field(out, "threads_per_shard", shards.threads_per_shard(), sfirst);
+    append_field(out, "max_inflight_per_shard",
+                 shards.max_inflight_per_shard(), sfirst);
+    out += ",\"per_shard\":[";
+    bool pfirst = true;
+    for (const ShardSet::Snapshot& snap : shards.snapshot()) {
+      if (!pfirst) out += ',';
+      pfirst = false;
+      out += "{";
+      bool efirst = true;
+      append_field(out, "inflight", snap.inflight, efirst);
+      append_field(out, "shed", snap.shed, efirst);
+      append_field(out, "submitted", snap.submitted, efirst);
+      append_field(out, "stolen", snap.stolen, efirst);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}";
   return out;
 }
 
 std::string render_metrics_document(const EstimationService& service,
                                     bool deterministic_only) {
   const obs::Snapshot snapshot = obs::MetricsRegistry::instance().snapshot();
-  const std::string service_member = render_service_member(service);
+  const std::string service_member =
+      render_service_member(service, /*include_profile=*/!deterministic_only);
   if (!deterministic_only) {
     return obs::metrics_json(snapshot, {}, std::nullopt, service_member);
   }
@@ -135,6 +178,7 @@ std::string render_population_document(
   append_field(out, "pet.svc.pop.rounds", stats.rounds, first);
   append_field(out, "pet.svc.pop.rounds_planned", stats.rounds_planned,
                first);
+  append_field(out, "pet.svc.pop.cache_hits", stats.cache_hits, first);
   out += "},\"gauges\":{},\"histograms\":{\"pet.svc.pop.latency_slots\":";
   out += latency_histogram_object(stats.latency_slots);
   out += "}}";

@@ -26,9 +26,13 @@ namespace pet::svc {
 class EstimationService;
 
 /// The `"service":{...}` top-level member fragment: per-population stats,
-/// fold totals, connection totals, flight-recorder occupancy.
+/// fold totals, connection totals, result-cache counters, flight-recorder
+/// occupancy.  `include_profile` additionally renders the per-shard
+/// breakdown ("shards"), which depends on the configured shard count and
+/// on scheduling — it rides only in scope-kFull documents so the
+/// deterministic export stays byte-identical at shards 1/2/8.
 [[nodiscard]] std::string render_service_member(
-    const EstimationService& service);
+    const EstimationService& service, bool include_profile);
 
 /// Full pet.obs.v1 document for scope kFull (deterministic_only=false) or
 /// kDeterministic (=true).

@@ -5,6 +5,7 @@
 
 #include "common/ensure.hpp"
 #include "rng/prng.hpp"
+#include "service/shard.hpp"
 #include "tags/population.hpp"
 
 namespace pet::svc {
@@ -34,17 +35,57 @@ void PopulationStatsSnapshot::accumulate(const PopulationStats& stats) noexcept 
   query_slots += load(stats.query_slots);
   rounds += load(stats.rounds);
   rounds_planned += load(stats.rounds_planned);
+  cache_hits += load(stats.cache_hits);
   for (std::size_t i = 0; i < latency_slots.size(); ++i) {
     latency_slots[i] += load(stats.latency_slots[i]);
   }
 }
 
-PopulationRegistry::PopulationRegistry(RegistryConfig config)
+namespace {
+
+void accumulate_snapshot(PopulationStatsSnapshot& into,
+                         const PopulationStatsSnapshot& from) noexcept {
+  into.requests += from.requests;
+  into.ok += from.ok;
+  into.degraded += from.degraded;
+  into.truncated += from.truncated;
+  into.errors += from.errors;
+  into.shed += from.shed;
+  into.deadline_misses += from.deadline_misses;
+  into.retries += from.retries;
+  into.backoff_slots += from.backoff_slots;
+  into.query_slots += from.query_slots;
+  into.rounds += from.rounds;
+  into.rounds_planned += from.rounds_planned;
+  into.cache_hits += from.cache_hits;
+  for (std::size_t i = 0; i < into.latency_slots.size(); ++i) {
+    into.latency_slots[i] += from.latency_slots[i];
+  }
+}
+
+}  // namespace
+
+PopulationRegistry::PopulationRegistry(RegistryConfig config, unsigned slices)
     : config_(config) {
   expects(config_.max_populations >= 1,
           "RegistryConfig: max_populations must be >= 1");
   expects(config_.tree_height >= 2 && config_.tree_height <= 64,
           "RegistryConfig: tree_height must be in [2, 64]");
+  expects(slices >= 1, "PopulationRegistry: slices must be >= 1");
+  slices_.reserve(slices);
+  for (unsigned s = 0; s < slices; ++s) {
+    slices_.push_back(std::make_unique<Slice>());
+  }
+}
+
+PopulationRegistry::Slice& PopulationRegistry::slice_for(
+    std::uint64_t id) noexcept {
+  return *slices_[shard_of(id, static_cast<std::uint32_t>(slices_.size()))];
+}
+
+const PopulationRegistry::Slice& PopulationRegistry::slice_for(
+    std::uint64_t id) const noexcept {
+  return *slices_[shard_of(id, static_cast<std::uint32_t>(slices_.size()))];
 }
 
 PopulationRegistry::RegisterOutcome PopulationRegistry::register_population(
@@ -53,7 +94,7 @@ PopulationRegistry::RegisterOutcome PopulationRegistry::register_population(
     return RegisterOutcome::kInvalidRequest;
   }
 
-  // Generate tags and build the sorted channel *outside* the registry lock:
+  // Generate tags and build the sorted channel *outside* the slice lock:
   // registration of a million-tag population must not stall lookups.
   auto entry = std::make_shared<Entry>();
   entry->id = id;
@@ -66,58 +107,73 @@ PopulationRegistry::RegisterOutcome PopulationRegistry::register_population(
   entry->channel = std::make_unique<chan::SortedPetChannel>(entry->tags,
                                                             channel_config);
 
-  std::lock_guard lock(mutex_);
-  if (entries_.size() >= config_.max_populations) {
+  Slice& slice = slice_for(id);
+  std::lock_guard lock(slice.mutex);
+  if (slice.entries.find(id) != slice.entries.end()) {
+    return RegisterOutcome::kAlreadyExists;
+  }
+  // Capacity is global across slices: claim a slot atomically, hand it back
+  // if the claim overshot the cap (two racing registrations on different
+  // slices cannot both squeeze past the limit).
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 >
+      config_.max_populations) {
+    count_.fetch_sub(1, std::memory_order_acq_rel);
     return RegisterOutcome::kFull;
   }
-  const auto [it, inserted] = entries_.emplace(id, std::move(entry));
-  (void)it;
-  return inserted ? RegisterOutcome::kRegistered
-                  : RegisterOutcome::kAlreadyExists;
+  entry->epoch = epoch_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  slice.entries.emplace(id, std::move(entry));
+  return RegisterOutcome::kRegistered;
 }
 
 bool PopulationRegistry::unregister_population(std::uint64_t id) {
-  std::lock_guard lock(mutex_);
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return false;
+  Slice& slice = slice_for(id);
+  std::lock_guard lock(slice.mutex);
+  const auto it = slice.entries.find(id);
+  if (it == slice.entries.end()) return false;
   // Fold the leaving population's totals into the retired accumulator so
   // fold_stats() (and therefore kMonitor) is monotone across churn.
-  retired_.accumulate(it->second->stats);
-  entries_.erase(it);
+  slice.retired.accumulate(it->second->stats);
+  slice.entries.erase(it);
+  count_.fetch_sub(1, std::memory_order_acq_rel);
   return true;
 }
 
 std::shared_ptr<PopulationRegistry::Entry> PopulationRegistry::find(
     std::uint64_t id) const {
-  std::lock_guard lock(mutex_);
-  const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : it->second;
+  const Slice& slice = slice_for(id);
+  std::lock_guard lock(slice.mutex);
+  const auto it = slice.entries.find(id);
+  return it == slice.entries.end() ? nullptr : it->second;
 }
 
 std::size_t PopulationRegistry::size() const {
-  std::lock_guard lock(mutex_);
-  return entries_.size();
+  return count_.load(std::memory_order_acquire);
 }
 
 PopulationStatsSnapshot PopulationRegistry::fold_stats() const {
-  std::lock_guard lock(mutex_);
-  PopulationStatsSnapshot total = retired_;
-  for (const auto& [id, entry] : entries_) {
-    (void)id;
-    total.accumulate(entry->stats);
+  PopulationStatsSnapshot total;
+  for (const auto& slice : slices_) {
+    std::lock_guard lock(slice->mutex);
+    accumulate_snapshot(total, slice->retired);
+    for (const auto& [id, entry] : slice->entries) {
+      (void)id;
+      total.accumulate(entry->stats);
+    }
   }
   return total;
 }
 
 std::vector<std::pair<std::uint64_t, PopulationStatsSnapshot>>
 PopulationRegistry::snapshot_stats() const {
-  std::lock_guard lock(mutex_);
   std::vector<std::pair<std::uint64_t, PopulationStatsSnapshot>> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) {
-    PopulationStatsSnapshot snap;
-    snap.accumulate(entry->stats);
-    out.emplace_back(id, snap);
+  for (const auto& slice : slices_) {
+    std::lock_guard lock(slice->mutex);
+    out.reserve(out.size() + slice->entries.size());
+    for (const auto& [id, entry] : slice->entries) {
+      PopulationStatsSnapshot snap;
+      snap.accumulate(entry->stats);
+      out.emplace_back(id, snap);
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -7,6 +7,20 @@
 // what lets petd hold thousands of concurrent populations.  A per-entry
 // mutex serializes estimates against the same population (the channel is
 // stateful across rounds); different populations proceed in parallel.
+//
+// The registry is internally *sliced* to mirror the service's
+// population-affine shards (shard.hpp): slice index = shard_of(id, slices),
+// so a shard's workers only ever contend on their own slice's mutex and a
+// registration storm against one shard cannot stall lookups on another.
+// Slicing is invisible in every output: fold_stats sums are
+// order-independent and snapshot_stats sorts by id, so all exports are
+// byte-identical at any slice count.
+//
+// Every successful registration is stamped with a registry-global *epoch*
+// (monotone counter, never reused).  The epoch names the population
+// *content*, not the id: re-registering an id mints a fresh epoch, which is
+// what lets the service's result cache key on (epoch, seed, ...) and treat
+// unregister/re-register as implicit invalidation (cache.hpp).
 #pragma once
 
 #include <array>
@@ -48,6 +62,7 @@ struct PopulationStats {
   std::atomic<std::uint64_t> query_slots{0};
   std::atomic<std::uint64_t> rounds{0};
   std::atomic<std::uint64_t> rounds_planned{0};
+  std::atomic<std::uint64_t> cache_hits{0};  ///< ok replies served from cache
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_slots{};
 
   /// Bucket (backoff + query) slots into the latency histogram.
@@ -69,6 +84,7 @@ struct PopulationStatsSnapshot {
   std::uint64_t query_slots = 0;
   std::uint64_t rounds = 0;
   std::uint64_t rounds_planned = 0;
+  std::uint64_t cache_hits = 0;
   std::array<std::uint64_t, PopulationStats::kLatencyBuckets> latency_slots{};
 
   void accumulate(const PopulationStats& stats) noexcept;
@@ -86,13 +102,17 @@ class PopulationRegistry {
   /// the channel is alive (rebuild() rehashes through the reference).
   struct Entry {
     std::uint64_t id = 0;
+    std::uint64_t epoch = 0;  ///< registration epoch (set once, never 0)
     std::vector<TagId> tags;
     std::unique_ptr<chan::SortedPetChannel> channel;
     std::mutex mutex;  ///< serializes channel use across requests
     PopulationStats stats;  ///< request totals (lock-free, always compiled)
   };
 
-  explicit PopulationRegistry(RegistryConfig config = {});
+  /// `slices` is normally the owning service's shard count so a shard's
+  /// lock traffic stays on its own slice; 1 (the default) reproduces the
+  /// single-mutex registry exactly.
+  explicit PopulationRegistry(RegistryConfig config = {}, unsigned slices = 1);
 
   enum class RegisterOutcome : std::uint8_t {
     kRegistered,
@@ -108,7 +128,9 @@ class PopulationRegistry {
                                       std::uint64_t population_seed);
 
   /// Remove a population.  In-flight estimates holding the entry keep it
-  /// alive (shared ownership); new lookups fail immediately.
+  /// alive (shared ownership); new lookups fail immediately.  The entry's
+  /// epoch is retired with it — no future registration reuses it, so cache
+  /// entries keyed on it can never match again.
   bool unregister_population(std::uint64_t id);
 
   /// Shared handle, or nullptr when unknown.  Callers lock entry->mutex for
@@ -118,6 +140,14 @@ class PopulationRegistry {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const RegistryConfig& config() const noexcept {
     return config_;
+  }
+  [[nodiscard]] unsigned slices() const noexcept {
+    return static_cast<unsigned>(slices_.size());
+  }
+  /// Epochs handed out so far (diagnostics; the next registration gets
+  /// epochs() + 1).
+  [[nodiscard]] std::uint64_t epochs() const noexcept {
+    return epoch_counter_.load(std::memory_order_relaxed);
   }
 
   /// Grand total over every population this registry has ever served:
@@ -131,10 +161,21 @@ class PopulationRegistry {
   snapshot_stats() const;
 
  private:
+  /// One shard-affine partition of the id space: its own mutex, map, and
+  /// retired accumulator.
+  struct Slice {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> entries;
+    PopulationStatsSnapshot retired;  ///< totals of unregistered populations
+  };
+
+  [[nodiscard]] Slice& slice_for(std::uint64_t id) noexcept;
+  [[nodiscard]] const Slice& slice_for(std::uint64_t id) const noexcept;
+
   RegistryConfig config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<Entry>> entries_;
-  PopulationStatsSnapshot retired_;  ///< totals of unregistered populations
+  std::vector<std::unique_ptr<Slice>> slices_;
+  std::atomic<std::size_t> count_{0};          ///< live entries, all slices
+  std::atomic<std::uint64_t> epoch_counter_{0};
 };
 
 }  // namespace pet::svc

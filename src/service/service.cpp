@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -41,6 +42,12 @@ constexpr std::uint64_t kBackoffStream = 0x5bacull;
   return {text.begin(), text.end()};
 }
 
+[[nodiscard]] std::uint64_t f64_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 /// Typed-error estimate outcome: fold what the attempt consumed into the
 /// population's cells (and their obs mirror) so failed requests are just
 /// as visible as successes.
@@ -65,21 +72,34 @@ void ServiceConfig::validate() const {
   retry.validate();
   link_faults.validate();
   expects(max_inflight >= 1, "ServiceConfig: max_inflight must be >= 1");
+  expects(shards <= 64, "ServiceConfig: shards must be in [0, 64]");
   expects(vote_reads >= 1 && vote_reads <= 15,
           "ServiceConfig: vote_reads must be in [1, 15]");
   expects(vote_quorum >= 1 && vote_quorum <= vote_reads,
           "ServiceConfig: vote_quorum must be in [1, vote_reads]");
-  // 84 bytes per record + 4-byte count must fit one kFlightDump payload.
+  // 88 bytes per record + 4-byte count must fit one kFlightDump payload.
   expects(flight_capacity >= 1 && flight_capacity <= 8192,
           "ServiceConfig: flight_capacity must be in [1, 8192]");
 }
 
+unsigned ServiceConfig::resolved_worker_threads() const noexcept {
+  return worker_threads != 0 ? worker_threads
+                             : runtime::ThreadPool::hardware_threads();
+}
+
+unsigned ServiceConfig::resolved_shards() const noexcept {
+  return shards != 0 ? shards : derive_shard_count(resolved_worker_threads());
+}
+
 EstimationService::EstimationService(ServiceConfig config)
     : config_(std::move(config)),
-      registry_(config_.registry),
+      registry_(config_.registry, config_.resolved_shards()),
+      cache_(ResultCacheConfig{config_.cache_entries, config_.cache_bytes}),
       flight_(config_.flight_capacity) {
   config_.validate();
-  pool_ = std::make_unique<runtime::ThreadPool>(config_.worker_threads);
+  shards_ = std::make_unique<ShardSet>(config_.resolved_shards(),
+                                       config_.resolved_worker_threads(),
+                                       config_.max_inflight);
 #if PET_OBS_COMPILED
   // Touch the service bundles so their names exist (at zero) in every
   // export — obscheck's --require probes and Prometheus scrapes see the
@@ -87,13 +107,16 @@ EstimationService::EstimationService(ServiceConfig config)
   (void)obs::svc_instruments();
   (void)obs::svc_pop_instruments();
   (void)obs::svc_conn_instruments();
+  (void)obs::svc_cache_instruments();
+  (void)obs::svc_shard_instruments();
 #endif
 }
 
 EstimationService::~EstimationService() {
   begin_shutdown();
-  // ~ThreadPool drains: every submitted request resolves before we return.
-  pool_.reset();
+  // ~ShardSet drains every shard pool: all submitted requests resolve
+  // before we return.
+  shards_.reset();
 }
 
 void EstimationService::begin_shutdown() noexcept {
@@ -153,17 +176,66 @@ EstimationService::ConnectionTotals EstimationService::connection_totals()
 
 EstimationService::InflightHold::InflightHold(EstimationService& service,
                                               std::size_t slots) noexcept
-    : service_(service), slots_(slots) {
-  service_.inflight_.fetch_add(slots_, std::memory_order_acq_rel);
+    : service_(service), slots_(slots), all_shards_(true) {
+  for (unsigned shard = 0; shard < service_.shards_->count(); ++shard) {
+    for (std::size_t i = 0; i < slots_; ++i) {
+      (void)service_.shards_->acquire(shard);
+    }
+  }
+}
+
+EstimationService::InflightHold::InflightHold(
+    EstimationService& service, std::size_t slots,
+    std::uint64_t population_id) noexcept
+    : service_(service),
+      slots_(slots),
+      shard_(service.shards_->route(population_id)) {
+  for (std::size_t i = 0; i < slots_; ++i) {
+    (void)service_.shards_->acquire(shard_);
+  }
 }
 
 EstimationService::InflightHold::~InflightHold() {
-  service_.inflight_.fetch_sub(slots_, std::memory_order_acq_rel);
+  if (all_shards_) {
+    for (unsigned shard = 0; shard < service_.shards_->count(); ++shard) {
+      for (std::size_t i = 0; i < slots_; ++i) {
+        service_.shards_->release(shard);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < slots_; ++i) {
+      service_.shards_->release(shard_);
+    }
+  }
+}
+
+unsigned EstimationService::route_shard(const Frame& request) const noexcept {
+  switch (static_cast<CommandId>(request.command)) {
+    case CommandId::kEstimate:
+    case CommandId::kRegister:
+    case CommandId::kUnregister: {
+      // All three payloads lead with the population id (u64 LE); peeking it
+      // here instead of fully parsing keeps routing O(1).  Short payloads
+      // fall through to shard 0 and fail parsing inside the handler.
+      if (request.payload.size() >= 8) {
+        std::uint64_t id = 0;
+        std::memcpy(&id, request.payload.data(), sizeof(id));
+        return shards_->route(id);
+      }
+      return 0;
+    }
+    default:
+      return 0;  // control plane
+  }
 }
 
 std::string EstimationService::note_shed(const Frame& request,
-                                         StatusCode status) {
+                                         StatusCode status, unsigned shard) {
   shed_.fetch_add(1, std::memory_order_relaxed);
+  if (status == StatusCode::kResourceExhausted) {
+    shards_->note_shed(shard);
+    if (obs::counters_enabled()) obs::svc_shard_instruments().shed.add();
+  }
   if (obs::counters_enabled()) obs::svc_instruments().req_shed.add();
 
   RequestRecord record;
@@ -171,6 +243,7 @@ std::string EstimationService::note_shed(const Frame& request,
   record.command = request.command;
   record.status = static_cast<std::uint16_t>(status);
   record.degrade_mask = kDegradeShed;
+  record.shard = static_cast<std::uint16_t>(shard);
   if (static_cast<CommandId>(request.command) == CommandId::kEstimate) {
     if (const auto req = parse_estimate_request(request.payload)) {
       record.population_id = req->population_id;
@@ -188,64 +261,82 @@ std::string EstimationService::note_shed(const Frame& request,
 
 std::future<Frame> EstimationService::submit(Frame request) {
   const auto command = static_cast<CommandId>(request.command);
+  const unsigned shard = route_shard(request);
   if (draining()) {
-    const std::string suffix = note_shed(request, StatusCode::kShuttingDown);
+    const std::string suffix =
+        note_shed(request, StatusCode::kShuttingDown, shard);
     return ready_future(ready_error(command, StatusCode::kShuttingDown,
                                     "service draining" + suffix));
   }
-  // Optimistic admission: grab a slot, give it back if we were over the
-  // cap.  Monitor/ping and the observability exports are control-plane and
-  // always admitted — an operator must be able to observe an overloaded
-  // server.
+  // Optimistic admission against the routed shard's budget: grab a slot,
+  // give it back if the shard was over its cap.  Monitor/ping and the
+  // observability exports are control-plane and always admitted — an
+  // operator must be able to observe an overloaded server.
   const bool control_plane =
       command == CommandId::kPing || command == CommandId::kMonitor ||
       command == CommandId::kMetrics || command == CommandId::kFlightDump;
-  const std::size_t occupied =
-      inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (!control_plane && occupied > config_.max_inflight) {
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  const std::size_t occupied = shards_->acquire(shard);
+  if (!control_plane && occupied > shards_->max_inflight_per_shard()) {
+    shards_->release(shard);
     const std::string suffix =
-        note_shed(request, StatusCode::kResourceExhausted);
+        note_shed(request, StatusCode::kResourceExhausted, shard);
     if (obs::counters_enabled()) {
       obs::svc_instruments().queue_depth.set(
-          static_cast<double>(occupied - 1));
+          static_cast<double>(shards_->total_inflight()));
+      obs::svc_shard_instruments().depth.set(
+          static_cast<double>(shards_->max_inflight_depth()));
     }
     return ready_future(
         ready_error(command, StatusCode::kResourceExhausted,
-                    "inflight cap reached; retry with backoff" + suffix));
+                    "shard inflight cap reached; retry with backoff" + suffix));
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (obs::counters_enabled()) {
     obs::svc_instruments().req_accepted.add();
-    obs::svc_instruments().queue_depth.set(static_cast<double>(occupied));
+    obs::svc_instruments().queue_depth.set(
+        static_cast<double>(shards_->total_inflight()));
+    obs::svc_shard_instruments().depth.set(
+        static_cast<double>(shards_->max_inflight_depth()));
   }
 
   auto promise = std::make_shared<std::promise<Frame>>();
   std::future<Frame> future = promise->get_future();
   const auto enqueued = std::chrono::steady_clock::now();
-  pool_->submit([this, promise, enqueued,
-                 request = std::move(request)]() mutable {
+  shards_->submit(shard, [this, promise, enqueued, shard,
+                          request = std::move(request)]() mutable {
     const auto queue_us =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - enqueued);
-    promise->set_value(handle_request(
-        request, static_cast<std::uint64_t>(queue_us.count())));
-    const std::size_t now_inflight =
-        inflight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    Frame response = handle_request(
+        request, static_cast<std::uint64_t>(queue_us.count()), shard);
+    // All service-state bookkeeping must precede set_value: the moment the
+    // promise is fulfilled the caller's future.get() returns and the caller
+    // may destroy the service — ~EstimationService nulls shards_ before the
+    // pool drain joins this worker, so touching `this` after set_value is a
+    // use-after-reset race.
+    shards_->release(shard);
     if (obs::counters_enabled()) {
       obs::svc_instruments().queue_depth.set(
-          static_cast<double>(now_inflight));
+          static_cast<double>(shards_->total_inflight()));
+      obs::svc_shard_instruments().depth.set(
+          static_cast<double>(shards_->max_inflight_depth()));
+      obs::svc_shard_instruments().steal.set(
+          static_cast<double>(shards_->stolen_total()));
     }
+    promise->set_value(std::move(response));
   });
   return future;
 }
 
 Frame EstimationService::handle(const Frame& request) {
-  return handle_request(request, 0);
+  // Direct path: route the same way submit() would so flight records carry
+  // the same shard stamp either way.
+  return handle_request(request, 0, route_shard(request));
 }
 
 Frame EstimationService::handle_request(const Frame& request,
-                                        std::uint64_t queue_us) {
+                                        std::uint64_t queue_us,
+                                        unsigned shard) {
   const auto started = std::chrono::steady_clock::now();
   const auto command = static_cast<CommandId>(request.command);
 
@@ -257,6 +348,7 @@ Frame EstimationService::handle_request(const Frame& request,
   record.request_id = derive_request_id(request);
   record.command = request.command;
   record.queue_us = queue_us;
+  record.shard = static_cast<std::uint16_t>(shard);
   std::optional<obs::ScopedSpan> span;
   if (obs::full_enabled()) {
     obs::set_trace_trial(record.request_id);
@@ -399,7 +491,7 @@ MonitorReply EstimationService::stats() const {
   const PopulationStatsSnapshot pops = registry_.fold_stats();
   MonitorReply reply;
   reply.populations = registry_.size();
-  reply.inflight = inflight_.load(std::memory_order_acquire);
+  reply.inflight = shards_->total_inflight();
   reply.accepted = accepted_.load(std::memory_order_relaxed);
   reply.completed = completed_.load(std::memory_order_relaxed);
   reply.shed = shed_.load(std::memory_order_relaxed);
@@ -478,6 +570,57 @@ Frame EstimationService::handle_flight_dump(const Frame& request) {
 #endif
 }
 
+void EstimationService::replay_cache_hit(PopulationStats& pop,
+                                         const ResultCache::Replay& rep,
+                                         std::uint64_t budget,
+                                         RequestRecord& record) {
+  // Mirror the miss path's flight-record and per-population fold exactly
+  // (handle_estimate's success tail) so every fold-derived surface —
+  // kMonitor, kMetrics stats objects, BENCH fold rows — is cache-invariant.
+  // Only the channel work (chan.* / core.robust.* counters) is skipped.
+  record.planned_rounds = rep.planned_rounds;
+  record.rounds = rep.rounds;
+  record.retries = rep.retries;
+  record.backoff_slots = rep.backoff_slots;
+  record.query_slots = rep.query_slots;
+  record.latency_slots = rep.backoff_slots + rep.query_slots;
+  record.degrade_mask = rep.degrade_mask;
+
+  pop.ok.fetch_add(1, std::memory_order_relaxed);
+  pop.retries.fetch_add(rep.retries, std::memory_order_relaxed);
+  pop.backoff_slots.fetch_add(rep.backoff_slots, std::memory_order_relaxed);
+  pop.query_slots.fetch_add(rep.query_slots, std::memory_order_relaxed);
+  pop.rounds.fetch_add(rep.rounds, std::memory_order_relaxed);
+  pop.rounds_planned.fetch_add(rep.planned_rounds, std::memory_order_relaxed);
+  pop.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  pop.observe_latency_slots(record.latency_slots);
+  if (rep.truncated != 0) {
+    pop.truncated.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (rep.truncated != 0 && budget > 0) {
+    pop.deadline_misses.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().deadline_misses.add();
+  }
+  if (rep.degraded != 0) {
+    pop.degraded.fetch_add(1, std::memory_order_relaxed);
+    if (obs::counters_enabled()) obs::svc_instruments().req_degraded.add();
+  }
+  if (obs::counters_enabled()) {
+    const obs::SvcPopInstruments& bundle = obs::svc_pop_instruments();
+    bundle.ok.add();
+    bundle.retries.add(rep.retries);
+    bundle.backoff_slots.add(rep.backoff_slots);
+    bundle.query_slots.add(rep.query_slots);
+    bundle.rounds.add(rep.rounds);
+    bundle.rounds_planned.add(rep.planned_rounds);
+    bundle.cache_hits.add();
+    bundle.latency_slots.observe(static_cast<double>(record.latency_slots));
+    if (rep.truncated != 0) bundle.truncated.add();
+    if (rep.truncated != 0 && budget > 0) bundle.deadline_misses.add();
+    if (rep.degraded != 0) bundle.degraded.add();
+  }
+}
+
 Frame EstimationService::handle_estimate(const Frame& request,
                                          RequestRecord& record) {
   const auto req = parse_estimate_request(request.payload);
@@ -506,6 +649,52 @@ Frame EstimationService::handle_estimate(const Frame& request,
   pop.requests.fetch_add(1, std::memory_order_relaxed);
   if (obs::counters_enabled()) obs::svc_pop_instruments().requests.add();
 
+  const std::uint64_t budget = req->deadline_slots;  // 0 = unlimited
+
+  // --- Result cache: epoch-pinned exact-payload lookup --------------------
+  // The key captures every input the response bytes depend on; the entry's
+  // epoch pins the population *content*, so a re-registered id can never
+  // serve stale bytes (registry.hpp).  A hit replays the fold and returns
+  // the stored payload; a miss falls through to the real estimate and
+  // publishes its payload on success.
+  ResultCache::Key cache_key;
+  cache_key.epoch = entry->epoch;
+  cache_key.population_id = req->population_id;
+  cache_key.seed = req->seed;
+  cache_key.epsilon_bits = f64_bits(req->epsilon);
+  cache_key.delta_bits = f64_bits(req->delta);
+  cache_key.deadline_slots = req->deadline_slots;
+  cache_key.robust = req->robust;
+  cache_key.vote_reads = config_.vote_reads;
+  cache_key.vote_quorum = config_.vote_quorum;
+  if (cache_.enabled()) {
+    std::vector<std::uint8_t> cached_payload;
+    ResultCache::Replay cached_replay;
+    if (cache_.lookup(cache_key, cached_payload, cached_replay)) {
+      record.cache_hit = 1;
+      replay_cache_hit(pop, cached_replay, budget, record);
+      if (obs::counters_enabled()) {
+        obs::svc_cache_instruments().hits.add();
+        obs::svc_cache_instruments().bytes.set(
+            static_cast<double>(cache_.stats().bytes));
+      }
+      if (obs::full_enabled()) {
+        obs::trace_event("svc.estimate",
+                         {{"population", std::to_string(req->population_id)},
+                          {"rounds", std::to_string(record.rounds)},
+                          {"planned", std::to_string(record.planned_rounds)},
+                          {"degraded",
+                           std::to_string(record.degrade_mask != 0 ? 1 : 0)},
+                          {"retries", std::to_string(record.retries)},
+                          {"cache_hit", "1"}});
+      }
+      return make_response(CommandId::kEstimate,
+                           static_cast<std::uint16_t>(StatusCode::kOk),
+                           std::move(cached_payload));
+    }
+    if (obs::counters_enabled()) obs::svc_cache_instruments().misses.add();
+  }
+
   // --- Transient link faults: seeded retry with capped backoff -----------
   // One FaultModel per request, seeded from (service fault seed, request
   // seed): the fault sequence — and therefore the retry schedule — is a
@@ -517,7 +706,6 @@ Frame EstimationService::handle_estimate(const Frame& request,
   sim::FaultModel fault_model(link);
   BackoffSchedule schedule(config_.retry,
                            rng::derive_seed(req->seed, kBackoffStream));
-  const std::uint64_t budget = req->deadline_slots;  // 0 = unlimited
   std::uint64_t backoff_spent = 0;
   for (std::uint32_t attempt = 1;; ++attempt) {
     fault_model.begin_slot();
@@ -726,9 +914,34 @@ Frame EstimationService::handle_estimate(const Frame& request,
                       {"degraded", std::to_string(reply.degraded)},
                       {"retries", std::to_string(reply.retries)}});
   }
+
+  std::vector<std::uint8_t> payload = encode(reply);
+  // Publish only replies that are pure functions of the request: a round
+  // loop stopped by the drain flag or the wall-clock backstop produced
+  // bytes an identical future request would not reproduce.
+  const bool impure_truncation =
+      reply.truncated != 0 && (draining_.load(std::memory_order_relaxed) ||
+                               wall_deadline.has_value());
+  if (cache_.enabled() && !impure_truncation) {
+    ResultCache::Replay publish;
+    publish.planned_rounds = planned;
+    publish.rounds = reply.rounds;
+    publish.query_slots = reply.query_slots;
+    publish.backoff_slots = reply.backoff_slots;
+    publish.retries = reply.retries;
+    publish.degrade_mask = record.degrade_mask;
+    publish.degraded = reply.degraded;
+    publish.truncated = reply.truncated;
+    const std::size_t evicted = cache_.insert(cache_key, payload, publish);
+    if (obs::counters_enabled()) {
+      if (evicted > 0) obs::svc_cache_instruments().evictions.add(evicted);
+      obs::svc_cache_instruments().bytes.set(
+          static_cast<double>(cache_.stats().bytes));
+    }
+  }
   return make_response(CommandId::kEstimate,
                        static_cast<std::uint16_t>(StatusCode::kOk),
-                       encode(reply));
+                       std::move(payload));
 }
 
 }  // namespace pet::svc

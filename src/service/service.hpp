@@ -3,25 +3,39 @@
 //
 // Lifecycle of an estimate request:
 //
-//   submit() ── admission ──> pool worker ── handle() ──> response frame
-//               │                           │
-//               ├ drain?    -> SHUTTING_DOWN│├ link fault?  -> seeded retry
-//               └ inflight  -> RESOURCE_    ││  w/ capped exp. backoff; dry
-//                 > cap        EXHAUSTED    ││  budget -> UNAVAILABLE
-//                              (shed)       │├ deadline (slot budget) can't
-//                                           ││  fit plan -> fewer rounds +
-//                                           ││  RoundGate truncation ->
-//                                           ││  degraded=1, widened CI
-//                                           │└ budget gone before round 1
-//                                           │   -> DEADLINE_EXCEEDED
+//   submit() ─ route ─ admission ──> shard worker ── handle() ──> response
+//              │       │                            │
+//              │       ├ drain?   -> SHUTTING_DOWN  │├ cache hit -> stored
+//              │       └ shard    -> RESOURCE_      ││  payload, fold replay
+//              │         inflight    EXHAUSTED      │├ link fault? -> seeded
+//              │         > budget    (shed)         ││  retry w/ capped exp.
+//              │                                    ││  backoff; dry budget
+//              └ shard = shard_of(population_id)    ││  -> UNAVAILABLE
+//                                                   │├ deadline (slot budget)
+//                                                   ││  can't fit plan ->
+//                                                   ││  fewer rounds + Round-
+//                                                   ││  Gate truncation ->
+//                                                   ││  degraded=1, wider CI
+//                                                   │└ budget gone before
+//                                                   │   round 1 -> DEADLINE_
+//                                                   │   EXCEEDED
+//
+// The service is partitioned into N population-affine *shards* (shard.hpp):
+// each owns a slice of the registry's lock space, its own worker pool, and
+// its own inflight-admission budget, so overload shedding and queueing are
+// charged per shard and a hot population cannot inflate a cold population's
+// latency.  In front of the shards sits a bounded LRU *result cache*
+// (cache.hpp) keyed on (population epoch, request seed, accuracy contract,
+// deadline, vote params); hits return the stored wire payload and replay
+// the per-population fold, so every deterministic export is cache-invariant.
 //
 // Determinism contract: given the same request (id, seed, ε, δ, deadline)
 // against the same registered population and service seeds, the response —
 // estimate, CI, retry schedule, degraded/truncated flags — is byte-identical
-// at any pool size.  Everything time-like is measured in reply-window slots
-// (backoff slots, deadline slot budgets); wall-clock deadline enforcement
-// exists only as an opt-in daemon backstop and is off wherever determinism
-// is asserted.
+// at any pool size, any shard count, and with the cache on or off.
+// Everything time-like is measured in reply-window slots (backoff slots,
+// deadline slot budgets); wall-clock deadline enforcement exists only as an
+// opt-in daemon backstop and is off wherever determinism is asserted.
 #pragma once
 
 #include <atomic>
@@ -29,13 +43,14 @@
 #include <future>
 #include <memory>
 
-#include "runtime/thread_pool.hpp"
+#include "service/cache.hpp"
 #include "service/errors.hpp"
 #include "service/flight.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
 #include "service/registry.hpp"
 #include "service/retry.hpp"
+#include "service/shard.hpp"
 #include "sim/faults.hpp"
 
 namespace pet::svc {
@@ -51,12 +66,24 @@ struct ServiceConfig {
   /// sequences replay per request regardless of arrival order.
   sim::ChannelImpairments link_faults{};
 
-  /// Admission cap: requests in flight (queued + executing) beyond this are
-  /// shed immediately with RESOURCE_EXHAUSTED.
+  /// Admission cap: split evenly across the shards into per-shard budgets
+  /// (max(1, max_inflight / shards) each); requests in flight (queued +
+  /// executing) beyond their shard's budget are shed immediately with
+  /// RESOURCE_EXHAUSTED.
   std::size_t max_inflight = 256;
 
-  /// Pool width for request execution; 0 picks hardware_threads().
+  /// Pool width for request execution; 0 picks hardware_threads().  The
+  /// resolved width is split max(1, width / shards) threads per shard.
   unsigned worker_threads = 0;
+
+  /// Population-affine shard count (shard = shard_of(population_id, N));
+  /// 0 derives from the resolved worker width (derive_shard_count).
+  unsigned shards = 0;
+
+  /// Result-cache bounds (cache.hpp).  cache_entries == 0 disables the
+  /// cache entirely — the default, so tests and benches opt in explicitly.
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = std::size_t{1} << 22;
 
   /// k-of-m voting parameters forwarded to RobustPetEstimator for
   /// robust=1 requests.
@@ -78,6 +105,11 @@ struct ServiceConfig {
   std::size_t flight_capacity = 256;
 
   void validate() const;
+
+  /// Worker width after the 0 -> hardware_threads() default.
+  [[nodiscard]] unsigned resolved_worker_threads() const noexcept;
+  /// Shard count after the 0 -> derive_shard_count(workers) default.
+  [[nodiscard]] unsigned resolved_shards() const noexcept;
 };
 
 class EstimationService {
@@ -90,11 +122,11 @@ class EstimationService {
 
   /// Admission-controlled asynchronous execution.  Always returns a ready
   /// or eventually-ready future — shed/drain outcomes resolve immediately
-  /// with the typed error frame, accepted requests resolve when a pool
-  /// worker finishes handle().
+  /// with the typed error frame, accepted requests resolve when their
+  /// shard's worker finishes handle().
   [[nodiscard]] std::future<Frame> submit(Frame request);
 
-  /// Synchronous request execution (the pool task body; also the direct
+  /// Synchronous request execution (the shard task body; also the direct
   /// path for tests and single-threaded tools).  Total: every input frame,
   /// however malformed, yields exactly one response frame.
   [[nodiscard]] Frame handle(const Frame& request);
@@ -123,6 +155,12 @@ class EstimationService {
   [[nodiscard]] const FlightRecorder& flight() const noexcept {
     return flight_;
   }
+  [[nodiscard]] const ShardSet& shards() const noexcept { return *shards_; }
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return shards_->count();
+  }
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] ResultCacheStats cache_stats() const { return cache_.stats(); }
 
   /// Count a malformed *frame* (decode-level garbage the session layer
   /// already resynced past); parse-level errors are counted inside handle().
@@ -153,10 +191,15 @@ class EstimationService {
   [[nodiscard]] ConnectionTotals connection_totals() const noexcept;
 
   /// Test hook: RAII occupation of `slots` admission slots, for driving the
-  /// shed path deterministically without timing games.
+  /// shed path deterministically without timing games.  The two-argument
+  /// form holds `slots` on EVERY shard (any subsequent estimate competes
+  /// with the hold); the population form holds only on that population's
+  /// shard, which is how per-shard isolation is asserted.
   class [[nodiscard]] InflightHold {
    public:
     InflightHold(EstimationService& service, std::size_t slots) noexcept;
+    InflightHold(EstimationService& service, std::size_t slots,
+                 std::uint64_t population_id) noexcept;
     ~InflightHold();
     InflightHold(const InflightHold&) = delete;
     InflightHold& operator=(const InflightHold&) = delete;
@@ -164,10 +207,13 @@ class EstimationService {
    private:
     EstimationService& service_;
     std::size_t slots_;
+    unsigned shard_ = 0;
+    bool all_shards_ = false;
   };
 
  private:
-  Frame handle_request(const Frame& request, std::uint64_t queue_us);
+  Frame handle_request(const Frame& request, std::uint64_t queue_us,
+                       unsigned shard);
   Frame handle_ping(const Frame& request);
   Frame handle_register(const Frame& request);
   Frame handle_unregister(const Frame& request);
@@ -176,18 +222,29 @@ class EstimationService {
   Frame handle_metrics(const Frame& request, RequestRecord& record);
   Frame handle_flight_dump(const Frame& request);
 
+  /// Population-affine routing: estimate/register/unregister frames lead
+  /// with their population id, which picks the shard; control-plane and
+  /// unparseable frames land on shard 0.
+  [[nodiscard]] unsigned route_shard(const Frame& request) const noexcept;
+
   /// Shed bookkeeping shared by the drain and inflight-cap paths: counts,
   /// population attribution, flight record; returns the " [request-id=...]"
   /// suffix for the error detail.
-  std::string note_shed(const Frame& request, StatusCode status);
+  std::string note_shed(const Frame& request, StatusCode status,
+                        unsigned shard);
+
+  /// Replay a cache hit: fill the flight record, charge the per-population
+  /// fold deltas the miss path would have charged, bump the obs mirrors.
+  void replay_cache_hit(PopulationStats& pop, const ResultCache::Replay& rep,
+                        std::uint64_t budget, RequestRecord& record);
 
   ServiceConfig config_;
   PopulationRegistry registry_;
-  std::unique_ptr<runtime::ThreadPool> pool_;
+  ResultCache cache_;
+  std::unique_ptr<ShardSet> shards_;
   FlightRecorder flight_;
 
   std::atomic<bool> draining_{false};
-  std::atomic<std::size_t> inflight_{0};
 
   // Lifecycle totals (relaxed: monotone counters, snapshot via stats()).
   // Degraded/deadline/retry totals live in the registry's per-population

@@ -27,9 +27,11 @@
 #include "runtime/cancel.hpp"
 #include "runtime/json.hpp"
 #include "runtime/trial_runner.hpp"
+#include "service/cache.hpp"
 #include "service/chaos.hpp"
 #include "service/errors.hpp"
 #include "service/flight.hpp"
+#include "service/shard.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
 #include "service/registry.hpp"
@@ -404,6 +406,8 @@ TEST(Messages, RoundTripObservabilityMessages) {
   record.latency_slots = 1016;
   record.queue_us = 120;
   record.handle_us = 800;
+  record.shard = 5;      // v1.2 stamps: shard id + cache-hit bit
+  record.cache_hit = 1;
   reply.records.push_back(record);
   const auto reply_rt = svc::parse_flight_dump_reply(svc::encode(reply));
   ASSERT_TRUE(reply_rt.has_value());
@@ -413,6 +417,8 @@ TEST(Messages, RoundTripObservabilityMessages) {
   EXPECT_EQ(reply_rt->records[0].latency_slots, record.latency_slots);
   EXPECT_EQ(reply_rt->records[0].queue_us, record.queue_us);
   EXPECT_EQ(reply_rt->records[0].handle_us, record.handle_us);
+  EXPECT_EQ(reply_rt->records[0].shard, record.shard);
+  EXPECT_EQ(reply_rt->records[0].cache_hit, record.cache_hit);
 
   // Truncated record arrays are malformed, not partially parsed.
   std::vector<std::uint8_t> truncated = svc::encode(reply);
@@ -421,10 +427,11 @@ TEST(Messages, RoundTripObservabilityMessages) {
 }
 
 TEST(Messages, MonitorReplyWireLayoutFrozenForOldClients) {
-  // Semver story: minor 1 added commands only — every v1.0 payload layout
-  // is frozen.  This inline parser IS the v1.0 client; if MonitorReply ever
-  // grows a field, this test fails before any deployed client does.
-  EXPECT_EQ(svc::kProtocolMinor, 1);
+  // Semver story: minor 1 added commands only; minor 2 widened flight-dump
+  // records (shard id + flags) — every v1.0 payload layout is still frozen.
+  // This inline parser IS the v1.0 client; if MonitorReply ever grows a
+  // field, this test fails before any deployed client does.
+  EXPECT_EQ(svc::kProtocolMinor, 2);
   svc::MonitorReply monitor;
   monitor.populations = 3;
   monitor.inflight = 1;
@@ -817,6 +824,318 @@ TEST(Service, ShutdownRefusesNewWorkWithTypedStatus) {
   const svc::Frame refused = service.submit(estimate_frame(1, 1)).get();
   EXPECT_EQ(status_of(refused), svc::StatusCode::kShuttingDown);
   EXPECT_TRUE(svc::is_retryable(status_of(refused)));
+}
+
+// --- population-affine shards ----------------------------------------------
+
+TEST(Shard, RoutingIsStableSpreadsAndClampsDerivedCounts) {
+  // shard_of is a pure function of (id, count): stable across calls, and
+  // the SplitMix64 mix spreads even sequential id schemes over every shard.
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(svc::shard_of(id, 1), 0u);
+    EXPECT_EQ(svc::shard_of(id, 8), svc::shard_of(id, 8));
+    EXPECT_LT(svc::shard_of(id, 8), 8u);
+  }
+  std::vector<std::uint64_t> occupancy(8, 0);
+  for (std::uint64_t id = 0; id < 256; ++id) ++occupancy[svc::shard_of(id, 8)];
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GT(occupancy[s], 0u) << "shard " << s << " never routed";
+  }
+
+  EXPECT_EQ(svc::derive_shard_count(0), 1u);
+  EXPECT_EQ(svc::derive_shard_count(1), 1u);
+  EXPECT_EQ(svc::derive_shard_count(4), 2u);
+  EXPECT_EQ(svc::derive_shard_count(8), 4u);
+  EXPECT_EQ(svc::derive_shard_count(64), 8u) << "derived count caps at 8";
+}
+
+TEST(Service, ResponsesByteIdenticalAcrossShardCountsAndCacheModes) {
+  // The PR's determinism clause: the exact same request script produces
+  // byte-identical response frames at shards 1, 2, and 8, with the result
+  // cache off or on.  Repeated seeds make the cached runs actually serve
+  // hits, so the comparison proves a hit returns the exact bytes the miss
+  // path would have computed.
+  using namespace service_helpers;
+  constexpr std::uint64_t kRequests = 24;
+
+  const auto run = [&](unsigned shards, std::size_t cache_entries) {
+    svc::ServiceConfig config;
+    config.worker_threads = 4;
+    config.shards = shards;
+    config.cache_entries = cache_entries;
+    config.link_faults.reply_loss_prob = 0.3;
+    svc::EstimationService service(config);
+    EXPECT_EQ(status_of(service.handle(register_frame(11, 600, 0xFEED))),
+              svc::StatusCode::kOk);
+    EXPECT_EQ(status_of(service.handle(register_frame(12, 400, 0xFEE0))),
+              svc::StatusCode::kOk);
+    EXPECT_EQ(service.shard_count(), shards);
+
+    std::vector<std::future<svc::Frame>> pending;
+    pending.reserve(kRequests);
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+      // Seeds repeat (i % 6) so cached runs get hits; a sprinkling of
+      // tight deadlines exercises the degraded paths too.
+      pending.push_back(service.submit(
+          estimate_frame(11 + (i & 1), rng::derive_seed(0xCAFE, i % 6),
+                         (i % 4 == 0) ? 80 : 0)));
+    }
+    std::vector<std::vector<std::uint8_t>> responses;
+    responses.reserve(kRequests);
+    for (std::future<svc::Frame>& future : pending) {
+      responses.push_back(svc::encode_frame(future.get()));
+    }
+    return responses;
+  };
+
+  const std::vector<std::vector<std::uint8_t>> base = run(1, 0);
+  ASSERT_EQ(base.size(), kRequests);
+  for (const unsigned shards : {1u, 2u, 8u}) {
+    for (const std::size_t cache_entries : {std::size_t{0}, std::size_t{256}}) {
+      if (shards == 1 && cache_entries == 0) continue;
+      const std::vector<std::vector<std::uint8_t>> other =
+          run(shards, cache_entries);
+      for (std::uint64_t i = 0; i < kRequests; ++i) {
+        EXPECT_EQ(base[i], other[i])
+            << "request " << i << " drifted at shards=" << shards
+            << " cache_entries=" << cache_entries;
+      }
+    }
+  }
+}
+
+TEST(Service, PerShardAdmissionIsolatesColdPopulationFromHotNeighbor) {
+  // The tentpole's isolation claim in miniature: saturating one
+  // population's shard budget sheds that population only — a population on
+  // a different shard is still admitted, and the shed is charged to the hot
+  // shard's counter.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.shards = 4;
+  config.worker_threads = 4;
+  config.max_inflight = 8;  // 2 admission slots per shard
+  svc::EstimationService service(config);
+  ASSERT_EQ(service.shards().max_inflight_per_shard(), 2u);
+
+  const std::uint64_t hot = 1;
+  const unsigned hot_shard = svc::shard_of(hot, config.shards);
+  std::uint64_t cold = 2;
+  while (svc::shard_of(cold, config.shards) == hot_shard) ++cold;
+  ASSERT_EQ(status_of(service.handle(register_frame(hot, 200, 3))),
+            svc::StatusCode::kOk);
+  ASSERT_EQ(status_of(service.handle(register_frame(cold, 200, 4))),
+            svc::StatusCode::kOk);
+
+  {
+    svc::EstimationService::InflightHold hold(
+        service, service.shards().max_inflight_per_shard(), hot);
+    const svc::Frame shed = service.submit(estimate_frame(hot, 1)).get();
+    EXPECT_EQ(status_of(shed), svc::StatusCode::kResourceExhausted);
+    EXPECT_EQ(status_of(service.submit(estimate_frame(cold, 1)).get()),
+              svc::StatusCode::kOk)
+        << "a hot neighbor must not consume the cold population's budget";
+  }
+  // Budget released: the hot population is served again, and the shed was
+  // charged to its shard.
+  EXPECT_EQ(status_of(service.submit(estimate_frame(hot, 1)).get()),
+            svc::StatusCode::kOk);
+  EXPECT_GE(service.shards().shed(hot_shard), 1u);
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(Cache, EvictionBoundsEntriesAndBytesUnderChurn) {
+  // The LRU honors BOTH bounds while distinct keys churn through, and an
+  // entry larger than the byte budget is refused outright rather than
+  // evicting the world for nothing.
+  svc::ResultCacheConfig config;
+  config.max_entries = 8;
+  config.max_bytes = 4096;
+  svc::ResultCache cache(config);
+  ASSERT_TRUE(cache.enabled());
+
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  svc::ResultCache::Replay replay;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    svc::ResultCache::Key key;
+    key.epoch = 1;
+    key.population_id = i;
+    key.seed = i * 17;
+    (void)cache.insert(key, payload, replay);
+    const svc::ResultCacheStats stats = cache.stats();
+    EXPECT_LE(stats.entries, config.max_entries);
+    EXPECT_LE(stats.bytes, config.max_bytes);
+  }
+  const svc::ResultCacheStats churned = cache.stats();
+  EXPECT_EQ(churned.entries, config.max_entries);
+  EXPECT_EQ(churned.evictions, 100u - config.max_entries);
+
+  // Only the newest max_entries keys survive, oldest-first eviction.
+  std::vector<std::uint8_t> out;
+  svc::ResultCache::Replay out_replay;
+  svc::ResultCache::Key probe;
+  probe.epoch = 1;
+  probe.population_id = 0;
+  probe.seed = 0;
+  EXPECT_FALSE(cache.lookup(probe, out, out_replay));
+  probe.population_id = 99;
+  probe.seed = 99 * 17;
+  EXPECT_TRUE(cache.lookup(probe, out, out_replay));
+  EXPECT_EQ(out, payload);
+
+  // A payload the byte budget can never hold is not cached at all.
+  const std::vector<std::uint8_t> huge(config.max_bytes + 1, 0xCD);
+  svc::ResultCache::Key huge_key;
+  huge_key.epoch = 2;
+  (void)cache.insert(huge_key, huge, replay);
+  EXPECT_FALSE(cache.lookup(huge_key, out, out_replay));
+  EXPECT_LE(cache.stats().bytes, config.max_bytes);
+}
+
+TEST(Service, CacheHitReplaysFoldsAndReturnsIdenticalPayload) {
+  // A hit must be indistinguishable in every fold-derived surface: same
+  // payload bytes, same per-population charge (ok/rounds/slots), plus the
+  // explicit hit counters and the flight record's cache-hit stamp.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.cache_entries = 64;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(5, 500, 42))),
+            svc::StatusCode::kOk);
+
+  const svc::Frame request = estimate_frame(5, 0xBEEF);
+  const svc::Frame miss = service.handle(request);
+  ASSERT_EQ(status_of(miss), svc::StatusCode::kOk);
+  const svc::Frame hit = service.handle(request);
+  ASSERT_EQ(status_of(hit), svc::StatusCode::kOk);
+  EXPECT_EQ(miss.payload, hit.payload)
+      << "a cache hit must return the exact bytes of the original reply";
+
+  const svc::ResultCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // Fold replay: both requests charged identically, so totals are exactly
+  // twice the single-request charge and the hit was counted.
+  const auto reply = svc::parse_estimate_reply(miss.payload);
+  ASSERT_TRUE(reply.has_value());
+  const auto entry = service.registry().find(5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->stats.ok.load(), 2u);
+  EXPECT_EQ(entry->stats.cache_hits.load(), 1u);
+  EXPECT_EQ(entry->stats.rounds.load(), 2 * reply->rounds);
+  EXPECT_EQ(entry->stats.query_slots.load(), 2 * reply->query_slots);
+
+#if PET_OBS_COMPILED
+  // The newest flight record for this request id carries the hit bit.
+  const std::vector<svc::RequestRecord> records =
+      service.flight().dump(svc::derive_request_id(request));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].cache_hit, 0u);
+  EXPECT_EQ(records[1].cache_hit, 1u);
+  EXPECT_EQ(records[1].rounds, records[0].rounds);
+  EXPECT_EQ(records[1].latency_slots, records[0].latency_slots);
+#endif
+}
+
+TEST(Service, CacheInvalidatedByReRegisterViaEpochKeying) {
+  // Unregister + re-register mints a fresh epoch, so a request that hit
+  // before can never be served the previous population's bytes — even when
+  // the new registration looks identical.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.cache_entries = 64;
+  svc::EstimationService service(config);
+  ASSERT_EQ(status_of(service.handle(register_frame(7, 300, 9))),
+            svc::StatusCode::kOk);
+  ASSERT_EQ(status_of(service.handle(estimate_frame(7, 0x5EED))),
+            svc::StatusCode::kOk);
+  ASSERT_EQ(status_of(service.handle(estimate_frame(7, 0x5EED))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+
+  svc::UnregisterRequest unregister;
+  unregister.population_id = 7;
+  ASSERT_EQ(status_of(service.handle(svc::make_request(
+                svc::CommandId::kUnregister, svc::encode(unregister)))),
+            svc::StatusCode::kOk);
+  ASSERT_EQ(status_of(service.handle(register_frame(7, 300, 9))),
+            svc::StatusCode::kOk);
+
+  // Same id, same tags, same seed — but a new epoch: must miss.
+  ASSERT_EQ(status_of(service.handle(estimate_frame(7, 0x5EED))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+  EXPECT_EQ(service.cache_stats().misses, 2u);
+  // And the fresh entry is hittable under the new epoch.
+  ASSERT_EQ(status_of(service.handle(estimate_frame(7, 0x5EED))),
+            svc::StatusCode::kOk);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+}
+
+TEST(Service, ConcurrentRegisterUnregisterVsEstimatesUnderSharding) {
+  // TSan payload (the service label runs under -fsanitize=thread in CI):
+  // estimates racing register/unregister churn across 4 shards with the
+  // cache on must only ever produce typed outcomes — the epoch-keyed cache
+  // and sliced registry have no window where a stale entry or a torn map
+  // is observable.
+  using namespace service_helpers;
+  svc::ServiceConfig config;
+  config.shards = 4;
+  config.worker_threads = 4;
+  config.cache_entries = 64;
+  svc::EstimationService service(config);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_EQ(status_of(service.handle(register_frame(id, 60, id))),
+              svc::StatusCode::kOk);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    svc::UnregisterRequest unregister;
+    for (int round = 0; round < 30; ++round) {
+      for (std::uint64_t id = 1; id <= 4; ++id) {
+        unregister.population_id = id;
+        (void)service.handle(svc::make_request(svc::CommandId::kUnregister,
+                                               svc::encode(unregister)));
+        (void)service.handle(
+            register_frame(id, 60 + 10 * (round % 3),
+                           rng::derive_seed(id, static_cast<std::uint64_t>(
+                                                    round))));
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const svc::Frame response =
+            service
+                .submit(estimate_frame(1 + (i % 4),
+                                       rng::derive_seed(c, i % 8),
+                                       /*deadline_slots=*/0, /*robust=*/0))
+                .get();
+        const svc::StatusCode status = status_of(response);
+        EXPECT_TRUE(status == svc::StatusCode::kOk ||
+                    status == svc::StatusCode::kNotFound)
+            << "unexpected status " << static_cast<int>(status);
+        ++i;
+      }
+    });
+  }
+  churn.join();
+  for (std::thread& client : clients) client.join();
+
+  // The run exercised both planes; every surviving population still serves.
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    EXPECT_EQ(status_of(service.handle(estimate_frame(id, 1, 0, 0))),
+              svc::StatusCode::kOk);
+  }
 }
 
 // --- service observability plane -------------------------------------------

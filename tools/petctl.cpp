@@ -12,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -33,6 +34,7 @@
 #include "service/flight.hpp"
 #include "service/frame.hpp"
 #include "service/messages.hpp"
+#include "service/shard.hpp"
 
 namespace {
 
@@ -50,9 +52,12 @@ int usage() {
       "  estimate   --id=I [--seed=S] [--eps=E] [--delta=D]\n"
       "             [--deadline-slots=N] [--vanilla]\n"
       "  monitor\n"
-      "  top        [--interval=SECONDS] [--once]\n"
+      "  top        [--interval=SECONDS] [--once] [--sort=KEY]\n"
+      "             KEY: id|reqs|rate|p99|degraded|shed|cache|shard\n"
+      "             (default id; descending except id/shard)\n"
       "  trace      REQUEST_ID   (hex 0x... or decimal; from error details\n"
-      "             or a flight dump)\n"
+      "             or a flight dump; each record shows its shard and\n"
+      "             whether the result cache served it)\n"
       "  soak       [--seconds=T] [--populations=N] [--tags=N] [--seed=S]\n"
       "             [--chaos-loss=P] [--chaos-noise=P] [--chaos-close=P]\n"
       "             [--deadline-slots=N]\n");
@@ -358,9 +363,20 @@ std::optional<obs::JsonValue> fetch_metrics(Connection& conn,
 /// Live per-population dashboard over kMetrics.  Renders req/s from the
 /// delta between successive snapshots; p50/p99 come from the cumulative
 /// slot-latency histograms (lifetime, not windowed — they are counters).
+/// The shard column is computed client-side (svc::shard_of over the shard
+/// count the kFull document reports), so it matches what the daemon routed
+/// without a per-population wire field; cache% is the population's
+/// cache-hit share of its requests.
 int cmd_top(Connection& conn, const Args& args) {
   const double interval = args.get("interval", 2.0);
   const bool once = !args.get("once", std::string()).empty();
+  const std::string sort_key = args.get("sort", std::string("id"));
+  if (sort_key != "id" && sort_key != "reqs" && sort_key != "rate" &&
+      sort_key != "p99" && sort_key != "degraded" && sort_key != "shed" &&
+      sort_key != "cache" && sort_key != "shard") {
+    std::fprintf(stderr, "petctl: unknown --sort key %s\n", sort_key.c_str());
+    return 2;
+  }
 
   std::map<std::string, double> prev_requests;
   auto prev_time = std::chrono::steady_clock::now();
@@ -385,15 +401,23 @@ int cmd_top(Connection& conn, const Args& args) {
         service != nullptr ? service->find("populations") : nullptr;
     const obs::JsonValue* connections =
         service != nullptr ? service->find("connections") : nullptr;
+    const obs::JsonValue* cache =
+        service != nullptr ? service->find("cache") : nullptr;
+    const obs::JsonValue* shards =
+        service != nullptr ? service->find("shards") : nullptr;
     if (totals == nullptr || pops == nullptr || !pops->is_object()) {
       std::fprintf(stderr, "petctl: metrics document has no service member\n");
       return 1;
     }
+    const auto shard_count =
+        static_cast<std::uint32_t>(num_or(shards, "count"));
 
     if (!once) std::printf("\x1b[2J\x1b[H");
     const double total_requests = num_or(totals, "requests");
     const double total_degraded = num_or(totals, "degraded");
     const double total_shed = num_or(totals, "shed");
+    const double cache_hits = num_or(cache, "hits");
+    const double cache_lookups = cache_hits + num_or(cache, "misses");
     std::printf("petd top  populations %zu  requests %.0f  degraded %.1f%%  "
                 "shed %.1f%%  resyncs %.0f\n",
                 pops->object.size(), total_requests,
@@ -402,26 +426,78 @@ int cmd_top(Connection& conn, const Args& args) {
                 total_requests > 0 ? 100.0 * total_shed / total_requests
                                    : 0.0,
                 num_or(connections, "resyncs"));
-    std::printf("%-12s %10s %8s %10s %10s %9s %7s\n", "population", "reqs",
-                "req/s", "p50(slot)", "p99(slot)", "degraded%", "shed%");
-    for (const auto& [id, stats] : pops->object) {
-      const double requests = num_or(&stats, "requests");
+    std::printf("shards %u  cache hit%% %.1f  entries %.0f  bytes %.0f  "
+                "evictions %.0f\n",
+                shard_count,
+                cache_lookups > 0 ? 100.0 * cache_hits / cache_lookups : 0.0,
+                num_or(cache, "entries"), num_or(cache, "bytes"),
+                num_or(cache, "evictions"));
+
+    struct Row {
+      std::string id;
+      double requests = 0.0;
       double rate = 0.0;
+      std::string p50;
+      std::string p99;
+      double p99_num = 0.0;
+      double degraded_pct = 0.0;
+      double shed_pct = 0.0;
+      double cache_pct = 0.0;
+      std::uint32_t shard = 0;
+    };
+    std::vector<Row> rows;
+    rows.reserve(pops->object.size());
+    for (const auto& [id, stats] : pops->object) {
+      Row row;
+      row.id = id;
+      row.requests = num_or(&stats, "requests");
       if (have_prev && dt > 0.0) {
         const auto it = prev_requests.find(id);
         const double before = it != prev_requests.end() ? it->second : 0.0;
-        rate = (requests - before) / dt;
+        row.rate = (row.requests - before) / dt;
       }
       const double degraded = num_or(&stats, "degraded");
       const double shed = num_or(&stats, "shed");
+      const double pop_hits = num_or(&stats, "cache_hits");
       const obs::JsonValue* hist = stats.find("latency_slots");
-      std::printf("%-12s %10.0f %8.1f %10s %10s %8.1f%% %6.1f%%\n",
-                  id.c_str(), requests, rate,
-                  latency_quantile(hist, 0.50).c_str(),
-                  latency_quantile(hist, 0.99).c_str(),
-                  requests > 0 ? 100.0 * degraded / requests : 0.0,
-                  requests > 0 ? 100.0 * shed / requests : 0.0);
-      prev_requests[id] = requests;
+      row.p50 = latency_quantile(hist, 0.50);
+      row.p99 = latency_quantile(hist, 0.99);
+      row.p99_num = std::strtod(row.p99.c_str(),
+                                nullptr);  // ">B" parses as 0; "-" too
+      if (row.requests > 0) {
+        row.degraded_pct = 100.0 * degraded / row.requests;
+        row.shed_pct = 100.0 * shed / row.requests;
+        row.cache_pct = 100.0 * pop_hits / row.requests;
+      }
+      row.shard = svc::shard_of(
+          std::strtoull(id.c_str(), nullptr, 10), shard_count);
+      prev_requests[id] = row.requests;
+      rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&sort_key](const Row& a, const Row& b) {
+                       if (sort_key == "reqs") return a.requests > b.requests;
+                       if (sort_key == "rate") return a.rate > b.rate;
+                       if (sort_key == "p99") return a.p99_num > b.p99_num;
+                       if (sort_key == "degraded") {
+                         return a.degraded_pct > b.degraded_pct;
+                       }
+                       if (sort_key == "shed") return a.shed_pct > b.shed_pct;
+                       if (sort_key == "cache") {
+                         return a.cache_pct > b.cache_pct;
+                       }
+                       if (sort_key == "shard") return a.shard < b.shard;
+                       return false;  // "id": keep the document's order
+                     });
+
+    std::printf("%-12s %5s %10s %8s %10s %10s %9s %7s %6s\n", "population",
+                "shard", "reqs", "req/s", "p50(slot)", "p99(slot)",
+                "degraded%", "shed%", "cache%");
+    for (const Row& row : rows) {
+      std::printf("%-12s %5u %10.0f %8.1f %10s %10s %8.1f%% %6.1f%% %5.1f%%\n",
+                  row.id.c_str(), row.shard, row.requests, row.rate,
+                  row.p50.c_str(), row.p99.c_str(), row.degraded_pct,
+                  row.shed_pct, row.cache_pct);
     }
     prev_time = now;
     have_prev = true;
@@ -462,15 +538,17 @@ int cmd_trace(Connection& conn, const Args& args) {
   }
   for (const svc::RequestRecord& record : reply->records) {
     std::printf(
-        "%s cmd=%s status=%s pop=%llu degrade=%s rounds=%llu/%llu "
-        "retries=%u backoff=%llu query=%llu latency=%llu slots "
-        "queue=%lluus handle=%lluus\n",
+        "%s cmd=%s status=%s pop=%llu shard=%u cache=%s degrade=%s "
+        "rounds=%llu/%llu retries=%u backoff=%llu query=%llu latency=%llu "
+        "slots queue=%lluus handle=%lluus\n",
         svc::format_request_id(record.request_id).c_str(),
         std::string(svc::to_string(
             static_cast<svc::CommandId>(record.command))).c_str(),
         std::string(svc::to_string(
             static_cast<svc::StatusCode>(record.status))).c_str(),
         static_cast<unsigned long long>(record.population_id),
+        static_cast<unsigned>(record.shard),
+        record.cache_hit != 0 ? "hit" : "miss",
         svc::degrade_mask_to_string(record.degrade_mask).c_str(),
         static_cast<unsigned long long>(record.rounds),
         static_cast<unsigned long long>(record.planned_rounds),

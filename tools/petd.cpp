@@ -44,7 +44,14 @@ int usage() {
       "usage: petd --socket=PATH [options]\n"
       "  --socket=PATH        Unix domain socket to listen on (required)\n"
       "  --threads=N          estimation pool width (default: hardware)\n"
-      "  --max-inflight=N     admission cap before shedding (default 256)\n"
+      "  --shards=N           population-affine worker-pool shards; the\n"
+      "                       inflight cap and threads split across them\n"
+      "                       (default 0 = derived from the pool width)\n"
+      "  --max-inflight=N     admission cap before shedding, split across\n"
+      "                       shards into per-shard budgets (default 256)\n"
+      "  --cache-entries=N    result-cache entry bound (default 1024;\n"
+      "                       0 disables caching)\n"
+      "  --cache-bytes=N      result-cache byte bound (default 4 MiB)\n"
       "  --tree-height=H      PET tree height for all populations (default 32)\n"
       "  --retry-attempts=N   attempts per estimate vs link faults (default 4)\n"
       "  --link-loss=P        transient link-fault probability per attempt\n"
@@ -113,8 +120,14 @@ int parse(int argc, char** argv, Options& options) {
       options.socket_path = std::string(arg.substr(9));
     } else if (parse_u64(arg, "--threads=", u)) {
       options.service.worker_threads = static_cast<unsigned>(u);
+    } else if (parse_u64(arg, "--shards=", u)) {
+      options.service.shards = static_cast<unsigned>(u);
     } else if (parse_u64(arg, "--max-inflight=", u)) {
       options.service.max_inflight = static_cast<std::size_t>(u);
+    } else if (parse_u64(arg, "--cache-entries=", u)) {
+      options.service.cache_entries = static_cast<std::size_t>(u);
+    } else if (parse_u64(arg, "--cache-bytes=", u)) {
+      options.service.cache_bytes = static_cast<std::size_t>(u);
     } else if (parse_u64(arg, "--tree-height=", u)) {
       options.service.registry.tree_height = static_cast<unsigned>(u);
     } else if (parse_u64(arg, "--retry-attempts=", u)) {
@@ -238,6 +251,9 @@ int main(int argc, char** argv) {
   // default; an explicit --obs=off during parse overrides this.
   obs::set_level(obs::Level::kCounters);
   Options options;
+  // The daemon defaults to caching on — identical repeated requests are the
+  // common monitoring pattern; libraries/tests opt in explicitly instead.
+  options.service.cache_entries = 1024;
   if (const int rc = parse(argc, argv, options); rc != 0) return rc;
 
   runtime::install_shutdown_handlers();
@@ -271,10 +287,13 @@ int main(int argc, char** argv) {
 
   svc::EstimationService service(options.service);
   if (!options.quiet) {
-    std::fprintf(stderr, "petd: listening on %s (%u workers, cap %zu)\n",
+    std::fprintf(stderr,
+                 "petd: listening on %s (%u workers, %u shards, cap %zu, "
+                 "cache %zu entries)\n",
                  options.socket_path.c_str(),
-                 runtime::ThreadPool::hardware_threads(),
-                 options.service.max_inflight);
+                 options.service.resolved_worker_threads(),
+                 service.shard_count(), options.service.max_inflight,
+                 options.service.cache_entries);
   }
 
   std::vector<std::thread> sessions;
